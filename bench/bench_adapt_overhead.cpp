@@ -1,0 +1,69 @@
+// §IV-D3 overhead — the adaptation module must be essentially free: the
+// paper measures 8.49e-2 ms to extract the motion feature and 1.89e-2 ms
+// to switch the DNN setting. These google-benchmarks measure the actual
+// cost of our velocity estimator and adapter decision.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "adapt/adapter.h"
+#include "adapt/velocity.h"
+#include "core/training.h"
+#include "detect/calibration.h"
+
+namespace {
+
+using namespace adavp;
+
+void BM_VelocityEstimatorStep(benchmark::State& state) {
+  adapt::VelocityEstimator estimator;
+  track::TrackStepStats stats;
+  stats.displacement_sum = 42.5;
+  stats.features_tracked = 37;
+  stats.frame_gap = 3;
+  for (auto _ : state) {
+    estimator.add_step(stats);
+    benchmark::DoNotOptimize(estimator.mean_velocity());
+  }
+}
+BENCHMARK(BM_VelocityEstimatorStep);
+
+void BM_AdapterDecision(benchmark::State& state) {
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+  double velocity = 0.0;
+  detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
+  for (auto _ : state) {
+    velocity += 0.37;
+    if (velocity > 8.0) velocity = 0.0;
+    setting = adapter.next_setting(velocity, setting);
+    benchmark::DoNotOptimize(setting);
+  }
+}
+BENCHMARK(BM_AdapterDecision);
+
+void BM_ThresholdTraining1kSamples(benchmark::State& state) {
+  std::vector<adapt::TrainingSample> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back({0.01 * i, i % 4 == 0
+                                     ? detect::ModelSetting::kYolov3_608
+                                     : detect::ModelSetting::kYolov3_320});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapt::ThresholdTrainer::train(samples));
+  }
+}
+BENCHMARK(BM_ThresholdTraining1kSamples);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "==== Adaptation-module overhead ====\n"
+            << "Paper (§IV-D3): motion-feature extraction 8.49e-2 ms;"
+               " setting switch 1.89e-2 ms — negligible vs 230-500 ms detection.\n"
+            << "Our estimator/adapter below must run in nanoseconds-to-"
+               "microseconds per call.\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

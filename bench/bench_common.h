@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared plumbing for the per-figure/table benchmark harnesses.
+//
+// Every bench binary prints the paper's reported numbers side by side with
+// the numbers measured on this reproduction, plus (optionally) a CSV dump
+// of the series a figure plots. Absolute agreement is not the goal — the
+// substrate is a simulator — but orderings, ranges, and crossovers should
+// match (see EXPERIMENTS.md).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/training.h"
+#include "metrics/accuracy.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "video/profiles.h"
+
+namespace adavp::bench {
+
+/// Standard knobs shared by the harnesses.
+struct BenchConfig {
+  int frames_per_video = 480;  ///< test videos are 16 s at 30 FPS by default
+  std::uint64_t seed = 2020;   ///< ICDCS 2020 :-)
+  std::string csv_dir;         ///< when set, benches dump plot data here
+};
+
+inline BenchConfig parse_bench_config(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  BenchConfig config;
+  config.frames_per_video = args.get_int("frames", config.frames_per_video);
+  config.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<int>(config.seed)));
+  config.csv_dir = args.get("csv-dir", "");
+  return config;
+}
+
+/// The held-out evaluation set (14 scenarios; the paper uses 45 videos /
+/// 141213 frames — scale with --frames).
+inline std::vector<video::SceneConfig> test_set(const BenchConfig& config) {
+  return video::make_test_set(config.seed, config.frames_per_video);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==== " << title << " ====\n"
+            << "Reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace adavp::bench

@@ -1,0 +1,73 @@
+// Fig. 1 — Detection latency and accuracy per frame for different YOLOv3
+// frame sizes. The paper processes 4000 frames per setting and reports
+// latency growing 230 -> 500 ms and F1 growing 0.62 -> 0.88.
+
+#include "bench_common.h"
+#include "detect/calibration.h"
+#include "detect/detector.h"
+#include "metrics/matching.h"
+
+int main(int argc, char** argv) {
+  using namespace adavp;
+  const bench::BenchConfig config = bench::parse_bench_config(argc, argv);
+  bench::print_header("Fig. 1: detector latency & accuracy vs frame size",
+                      "paper Fig. 1 (4000 frames per setting)");
+
+  // 4000 frames spread over a handful of scenes, as a detector-only sweep.
+  const int frames_per_scene = 500;
+  std::vector<video::SceneConfig> scenes;
+  for (int i = 0; i < 8; ++i) {
+    video::SceneConfig cfg;
+    cfg.frame_count = frames_per_scene;
+    cfg.seed = config.seed + 11 * static_cast<std::uint64_t>(i);
+    cfg.initial_objects = 3 + (i % 4);
+    cfg.speed_mean = 0.4 + 0.3 * i;
+    scenes.push_back(cfg);
+  }
+
+  struct PaperRow {
+    detect::ModelSetting setting;
+    double paper_latency;
+    double paper_f1;
+  };
+  const PaperRow rows[] = {
+      {detect::ModelSetting::kYolov3_320, 230.0, 0.62},
+      {detect::ModelSetting::kYolov3_416, 320.0, 0.72},
+      {detect::ModelSetting::kYolov3_512, 410.0, 0.80},
+      {detect::ModelSetting::kYolov3_608, 500.0, 0.88},
+  };
+
+  util::Table table({"setting", "latency ms (paper)", "latency ms (ours)",
+                     "F1 (paper)", "F1 (ours)"});
+  std::vector<std::vector<double>> csv_rows;
+  for (const PaperRow& row : rows) {
+    detect::SimulatedDetector detector(config.seed ^ 0xF16ULL);
+    util::RunningStats latency;
+    util::RunningStats f1;
+    for (const auto& scene : scenes) {
+      const video::SyntheticVideo video(scene);
+      for (int f = 0; f < video.frame_count(); ++f) {
+        const detect::DetectionResult result =
+            detector.detect(video, f, row.setting);
+        latency.add(result.latency_ms);
+        f1.add(metrics::score_frame(result.detections, video.ground_truth(f), 0.5)
+                   .f1());
+      }
+    }
+    table.add_row({std::string(detect::setting_name(row.setting)),
+                   util::fmt(row.paper_latency, 0), util::fmt(latency.mean(), 0),
+                   util::fmt(row.paper_f1, 2), util::fmt(f1.mean(), 2)});
+    csv_rows.push_back({static_cast<double>(detect::input_size(row.setting)),
+                        latency.mean(), f1.mean()});
+  }
+  table.print();
+  std::cout << "\nFrames per setting: " << scenes.size() * frames_per_scene
+            << " (paper: 4000)\n";
+
+  if (!config.csv_dir.empty()) {
+    util::CsvWriter csv(config.csv_dir + "/fig1.csv");
+    csv.header({"frame_size", "latency_ms", "f1"});
+    for (const auto& row : csv_rows) csv.row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 5 — Frame-level accuracy of MPDT under two fixed model settings
+// (YOLOv3-320 vs YOLOv3-608) on the same clip. The paper walks through
+// frames 0 / 8 / 14 / 23: the 320 pipeline has a lower initial detection
+// accuracy but re-calibrates sooner; the 608 pipeline starts near-perfect
+// but its tracking decays over the longer cycle.
+
+#include "bench_common.h"
+#include "core/mpdt_pipeline.h"
+#include "core/scoring.h"
+
+int main(int argc, char** argv) {
+  using namespace adavp;
+  const bench::BenchConfig config = bench::parse_bench_config(argc, argv);
+  bench::print_header("Fig. 5: frame accuracy, MPDT-320 vs MPDT-608",
+                      "paper Fig. 5 (one traffic clip, frames 0/8/14/23)");
+
+  video::SceneConfig cfg;  // traffic-like clip
+  cfg.frame_count = 48;
+  cfg.seed = config.seed + 5;
+  cfg.initial_objects = 5;
+  cfg.speed_mean = 1.6;
+  cfg.camera_pan = 0.6;
+  cfg.classes = {video::ObjectClass::kCar, video::ObjectClass::kTruck,
+                 video::ObjectClass::kBus};
+  const video::SyntheticVideo video(cfg);
+
+  core::MpdtOptions small;
+  small.setting = detect::ModelSetting::kYolov3_320;
+  small.seed = config.seed;
+  core::MpdtOptions large = small;
+  large.setting = detect::ModelSetting::kYolov3_608;
+
+  const core::RunResult run320 = run_mpdt(video, small);
+  const core::RunResult run608 = run_mpdt(video, large);
+  const auto f1_320 = score_run(run320, video, 0.5);
+  const auto f1_608 = score_run(run608, video, 0.5);
+
+  auto source_tag = [](const core::FrameResult& frame) {
+    switch (frame.source) {
+      case core::ResultSource::kDetector: return "detector";
+      case core::ResultSource::kTracker: return "tracker";
+      case core::ResultSource::kReused: return "reused";
+      default: return "none";
+    }
+  };
+
+  util::Table table({"frame", "MPDT-320 F1", "MPDT-320 via", "MPDT-608 F1",
+                     "MPDT-608 via"});
+  for (int f = 0; f < video.frame_count(); f += 2) {
+    table.add_row({std::to_string(f),
+                   util::fmt(f1_320[static_cast<std::size_t>(f)], 2),
+                   source_tag(run320.frames[static_cast<std::size_t>(f)]),
+                   util::fmt(f1_608[static_cast<std::size_t>(f)], 2),
+                   source_tag(run608.frames[static_cast<std::size_t>(f)])});
+  }
+  table.print();
+
+  std::cout << "\nPaper's narrative (Fig. 5): 608 starts higher (acc 1.0 vs"
+               " 0.79 at frame 0), 320 re-detects sooner (frame ~14) while"
+               " 608 keeps tracking until frame ~23.\n"
+            << "Ours: first re-detection at frame "
+            << (run320.cycles.size() > 1 ? run320.cycles[1].detected_frame : -1)
+            << " (320) vs "
+            << (run608.cycles.size() > 1 ? run608.cycles[1].detected_frame : -1)
+            << " (608); detected-frame F1 " << util::fmt(f1_320[0], 2)
+            << " (320) vs " << util::fmt(f1_608[0], 2) << " (608).\n";
+
+  if (!config.csv_dir.empty()) {
+    util::CsvWriter csv(config.csv_dir + "/fig5.csv");
+    csv.header({"frame", "f1_mpdt320", "f1_mpdt608"});
+    for (int f = 0; f < video.frame_count(); ++f) {
+      csv.row({static_cast<double>(f), f1_320[static_cast<std::size_t>(f)],
+               f1_608[static_cast<std::size_t>(f)]});
+    }
+  }
+  return 0;
+}

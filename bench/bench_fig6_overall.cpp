@@ -1,0 +1,93 @@
+// Fig. 6 — Overall accuracy of AdaVP vs the baselines on the test set:
+// MPDT / MARLIN / without-tracking under the four fixed settings.
+//
+// Paper findings to reproduce (shape, not absolute numbers):
+//  * AdaVP beats MARLIN by 20.4-43.9% and MPDT by 13.4-34.1% (relative);
+//  * YOLOv3-512 is the best fixed setting for both MPDT and MARLIN;
+//  * MPDT beats MARLIN by 7.1-21.95% and no-tracking by 2.3-37.3%.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace adavp;
+  const bench::BenchConfig config = bench::parse_bench_config(argc, argv);
+  bench::print_header("Fig. 6: overall accuracy, AdaVP vs baselines",
+                      "paper Fig. 6 / §VI-B / §VI-C");
+
+  const auto configs = bench::test_set(config);
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+
+  struct Row {
+    core::MethodSpec spec;
+    double accuracy = 0.0;
+  };
+  std::vector<Row> rows;
+  rows.push_back({{core::MethodKind::kAdaVP, detect::ModelSetting::kYolov3_512}});
+  for (detect::ModelSetting s : detect::kAdaptiveSettings) {
+    rows.push_back({{core::MethodKind::kMpdt, s}});
+  }
+  for (detect::ModelSetting s : detect::kAdaptiveSettings) {
+    rows.push_back({{core::MethodKind::kMarlin, s}});
+  }
+  for (detect::ModelSetting s : detect::kAdaptiveSettings) {
+    rows.push_back({{core::MethodKind::kDetectOnly, s}});
+  }
+
+  util::Table table({"method", "accuracy (ours)", "per-video min..max"});
+  double best_mpdt = 0.0;
+  double best_marlin = 0.0;
+  double worst_mpdt = 1.0;
+  double worst_marlin = 1.0;
+  double adavp_acc = 0.0;
+  detect::ModelSetting best_mpdt_setting = detect::ModelSetting::kYolov3_320;
+  for (Row& row : rows) {
+    const core::DatasetRun dataset =
+        core::run_dataset(row.spec, configs, &adapter, config.seed);
+    const auto accuracies =
+        core::dataset_video_accuracies(dataset, configs, 0.7, 0.5);
+    row.accuracy = core::dataset_accuracy(dataset, configs, 0.7, 0.5);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (double a : accuracies) {
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+    }
+    table.add_row({core::method_name(row.spec), util::fmt(row.accuracy, 3),
+                   util::fmt(lo, 2) + ".." + util::fmt(hi, 2)});
+    if (row.spec.kind == core::MethodKind::kAdaVP) adavp_acc = row.accuracy;
+    if (row.spec.kind == core::MethodKind::kMpdt) {
+      if (row.accuracy > best_mpdt) {
+        best_mpdt = row.accuracy;
+        best_mpdt_setting = row.spec.setting;
+      }
+      worst_mpdt = std::min(worst_mpdt, row.accuracy);
+    }
+    if (row.spec.kind == core::MethodKind::kMarlin) {
+      best_marlin = std::max(best_marlin, row.accuracy);
+      worst_marlin = std::min(worst_marlin, row.accuracy);
+    }
+  }
+  table.print();
+
+  std::cout << "\nPaper vs ours (relative gains, (a-b)/b):\n"
+            << "  AdaVP over MPDT:   paper +13.4%..+34.1%, ours +"
+            << util::fmt_pct(metrics::relative_gain(adavp_acc, best_mpdt))
+            << " (vs best) .. +"
+            << util::fmt_pct(metrics::relative_gain(adavp_acc, worst_mpdt))
+            << " (vs worst)\n"
+            << "  AdaVP over MARLIN: paper +20.4%..+43.9%, ours +"
+            << util::fmt_pct(metrics::relative_gain(adavp_acc, best_marlin))
+            << " .. +"
+            << util::fmt_pct(metrics::relative_gain(adavp_acc, worst_marlin))
+            << "\n  Best fixed MPDT setting: paper YOLOv3-512, ours "
+            << detect::setting_name(best_mpdt_setting) << "\n";
+
+  if (!config.csv_dir.empty()) {
+    util::CsvWriter csv(config.csv_dir + "/fig6.csv");
+    csv.header({"method", "accuracy"});
+    for (const Row& row : rows) {
+      csv.row({core::method_name(row.spec), util::fmt(row.accuracy, 4)});
+    }
+  }
+  return 0;
+}

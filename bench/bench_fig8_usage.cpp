@@ -1,0 +1,55 @@
+// Fig. 8 — Share of detection cycles AdaVP runs at each model setting.
+// The paper reports that 512x512 and 608x608 dominate while 320x320 and
+// 416x416 sit around 10% each.
+
+#include "bench_common.h"
+#include "core/scoring.h"
+
+int main(int argc, char** argv) {
+  using namespace adavp;
+  const bench::BenchConfig config = bench::parse_bench_config(argc, argv);
+  bench::print_header("Fig. 8: usage share per model setting (AdaVP)",
+                      "paper Fig. 8");
+
+  const auto configs = bench::test_set(config);
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+  const core::DatasetRun dataset = core::run_dataset(
+      {core::MethodKind::kAdaVP, detect::ModelSetting::kYolov3_512}, configs,
+      &adapter, config.seed);
+
+  std::array<double, 4> cycle_counts{0, 0, 0, 0};
+  double total = 0.0;
+  for (const core::RunResult& run : dataset.runs) {
+    for (const core::CycleRecord& cycle : run.cycles) {
+      if (const auto index = detect::adaptive_index(cycle.setting)) {
+        cycle_counts[static_cast<std::size_t>(*index)] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+
+  util::Table table({"setting", "usage (ours)", "paper shape"});
+  const char* shapes[] = {"~10%", "~10%", "dominant", "dominant"};
+  for (std::size_t s = 0; s < 4; ++s) {
+    table.add_row(
+        {std::string(detect::setting_name(detect::kAdaptiveSettings[s])),
+         util::fmt_pct(total > 0 ? cycle_counts[s] / total : 0.0), shapes[s]});
+  }
+  table.print();
+  std::cout << "\nAll four settings triggered: "
+            << ((cycle_counts[0] > 0 && cycle_counts[1] > 0 &&
+                 cycle_counts[2] > 0 && cycle_counts[3] > 0)
+                    ? "yes (as in the paper)"
+                    : "NO")
+            << "\n";
+
+  if (!config.csv_dir.empty()) {
+    util::CsvWriter csv(config.csv_dir + "/fig8.csv");
+    csv.header({"setting", "usage_fraction"});
+    for (std::size_t s = 0; s < 4; ++s) {
+      csv.row({std::string(detect::setting_name(detect::kAdaptiveSettings[s])),
+               util::fmt(total > 0 ? cycle_counts[s] / total : 0.0, 4)});
+    }
+  }
+  return 0;
+}

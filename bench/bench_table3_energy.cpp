@@ -1,0 +1,95 @@
+// Table III — Energy consumption (GPU/CPU/SoC/DDR, W·h) and accuracy of
+// AdaVP vs MPDT/MARLIN at 320 & 512, YOLOv3-tiny-320 and continuous
+// YOLOv3-320/608. Energies are scaled to the paper's dataset duration
+// (141213 frames at 30 FPS ~ 1.307 h of video) so the columns are directly
+// comparable with the paper's numbers.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace adavp;
+  const bench::BenchConfig config = bench::parse_bench_config(argc, argv);
+  bench::print_header("Table III: energy consumption and accuracy",
+                      "paper Table III (power rails via Power_Monitor.sh)");
+
+  const auto configs = bench::test_set(config);
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+  const double reference_hours = 141213.0 / 30.0 / 3600.0;  // paper dataset
+
+  struct Column {
+    core::MethodSpec spec;
+    // Paper's Table III row values: GPU, CPU, SoC, DDR, total, accuracy.
+    double paper[6];
+  };
+  const std::vector<Column> columns = {
+      {{core::MethodKind::kAdaVP, detect::ModelSetting::kYolov3_512},
+       {3.65, 1.88, 0.39, 1.34, 7.26, 0.59}},
+      {{core::MethodKind::kMpdt, detect::ModelSetting::kYolov3_320},
+       {2.85, 2.08, 0.34, 1.18, 6.45, 0.44}},
+      {{core::MethodKind::kMarlin, detect::ModelSetting::kYolov3_320},
+       {2.22, 1.25, 0.24, 0.82, 4.53, 0.41}},
+      {{core::MethodKind::kContinuous, detect::ModelSetting::kYolov3Tiny_320},
+       {4.09, 3.14, 0.53, 1.66, 9.42, 0.07}},
+      {{core::MethodKind::kContinuous, detect::ModelSetting::kYolov3_320},
+       {36.25, 6.64, 3.60, 11.25, 57.74, 0.57}},
+      {{core::MethodKind::kMpdt, detect::ModelSetting::kYolov3_512},
+       {3.53, 2.14, 0.40, 1.36, 7.43, 0.52}},
+      {{core::MethodKind::kMarlin, detect::ModelSetting::kYolov3_512},
+       {3.03, 1.84, 0.32, 1.13, 6.32, 0.48}},
+      {{core::MethodKind::kContinuous, detect::ModelSetting::kYolov3_608},
+       {68.84, 6.24, 6.62, 20.17, 101.87, 0.89}},
+  };
+
+  util::Table table({"method", "GPU Wh", "CPU Wh", "SoC Wh", "DDR Wh",
+                     "total Wh", "latency x", "accuracy"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double adavp_total = 0.0;
+  double adavp_acc = 0.0;
+  double cont608_total = 0.0;
+  for (const Column& column : columns) {
+    const core::DatasetRun dataset =
+        core::run_dataset(column.spec, configs, &adapter, config.seed);
+    const energy::RailEnergy energy =
+        core::dataset_energy(dataset, reference_hours);
+    const double accuracy = core::dataset_accuracy(dataset, configs, 0.7, 0.5);
+    const double latency_multiplier = core::dataset_latency_multiplier(dataset);
+
+    const std::string name = core::method_name(column.spec);
+    table.add_row({name,
+                   util::fmt(energy.gpu_wh, 2) + " (" + util::fmt(column.paper[0], 2) + ")",
+                   util::fmt(energy.cpu_wh, 2) + " (" + util::fmt(column.paper[1], 2) + ")",
+                   util::fmt(energy.soc_wh, 2) + " (" + util::fmt(column.paper[2], 2) + ")",
+                   util::fmt(energy.ddr_wh, 2) + " (" + util::fmt(column.paper[3], 2) + ")",
+                   util::fmt(energy.total_wh(), 2) + " (" + util::fmt(column.paper[4], 2) + ")",
+                   util::fmt(latency_multiplier, 1),
+                   util::fmt(accuracy, 2) + " (" + util::fmt(column.paper[5], 2) + ")"});
+    csv_rows.push_back({name, util::fmt(energy.gpu_wh, 3),
+                        util::fmt(energy.cpu_wh, 3), util::fmt(energy.soc_wh, 3),
+                        util::fmt(energy.ddr_wh, 3),
+                        util::fmt(energy.total_wh(), 3), util::fmt(accuracy, 3)});
+    if (column.spec.kind == core::MethodKind::kAdaVP) {
+      adavp_total = energy.total_wh();
+      adavp_acc = accuracy;
+    }
+    if (column.spec.kind == core::MethodKind::kContinuous &&
+        column.spec.setting == detect::ModelSetting::kYolov3_608) {
+      cont608_total = energy.total_wh();
+    }
+  }
+  std::cout << "(ours first, paper's Table III value in parentheses)\n\n";
+  table.print();
+
+  std::cout << "\nShape checks:\n"
+            << "  Continuous YOLOv3-608 vs AdaVP energy: paper 14x, ours "
+            << util::fmt(cont608_total / adavp_total, 1) << "x\n"
+            << "  AdaVP accuracy " << util::fmt(adavp_acc, 2)
+            << " should top every pipelined baseline (paper: 0.59 best).\n";
+
+  if (!config.csv_dir.empty()) {
+    util::CsvWriter csv(config.csv_dir + "/table3.csv");
+    csv.header({"method", "gpu_wh", "cpu_wh", "soc_wh", "ddr_wh", "total_wh",
+                "accuracy"});
+    for (const auto& row : csv_rows) csv.row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Offline training of the DNN-model-setting adaptation module (§IV-D3).
+//
+// Reproduces the paper's training pipeline: every training video is run
+// through MPDT under each of the four fixed settings; each 1-second chunk
+// is labelled with the best-performing setting; per-current-size velocity
+// thresholds (v1, v2, v3) are learned from the labelled samples.
+//
+// The resulting thresholds are what core::pretrained_adapter() bakes in;
+// re-run this binary after changing the detector calibration or the scene
+// generator and update those constants (printed at the end in C++ form).
+//
+// Usage: bench_train_adapter [--frames N] [--seed S] [--videos N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/training.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "video/profiles.h"
+
+int main(int argc, char** argv) {
+  using namespace adavp;
+  const util::Args args(argc, argv);
+  const int frames = args.get_int("frames", 300);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int max_videos = args.get_int("videos", 0);
+
+  std::vector<video::SceneConfig> configs =
+      video::make_training_set(seed, frames);
+  if (max_videos > 0 && static_cast<int>(configs.size()) > max_videos) {
+    configs.resize(static_cast<std::size_t>(max_videos));
+  }
+  std::size_t total_frames = 0;
+  for (const auto& cfg : configs) total_frames += static_cast<std::size_t>(cfg.frame_count);
+  std::cout << "== Adaptation-module training (paper §IV-D3) ==\n"
+            << "Paper: 32 videos / 105205 frames; this run: " << configs.size()
+            << " videos / " << total_frames << " frames\n\n";
+
+  core::TrainingOptions options;
+  options.seed = seed;
+  const core::TrainingReport report = core::train_adaptation(configs, options);
+
+  util::Table table({"measured under", "v1 (608|512)", "v2 (512|416)",
+                     "v3 (416|320)", "samples", "fit accuracy"});
+  const char* names[] = {"YOLOv3-320", "YOLOv3-416", "YOLOv3-512", "YOLOv3-608"};
+  for (std::size_t s = 0; s < 4; ++s) {
+    table.add_row({names[s], util::fmt(report.thresholds[s].v1, 3),
+                   util::fmt(report.thresholds[s].v2, 3),
+                   util::fmt(report.thresholds[s].v3, 3),
+                   std::to_string(report.sample_count[s]),
+                   util::fmt_pct(report.training_accuracy[s])});
+  }
+  table.print();
+
+  std::cout << "\n// Baked form for core::pretrained_adapter():\n";
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::printf("  thresholds[%zu] = {%.2f, %.2f, %.2f};  // measured under %s\n",
+                s, report.thresholds[s].v1, report.thresholds[s].v2,
+                report.thresholds[s].v3, names[s]);
+  }
+  return 0;
+}

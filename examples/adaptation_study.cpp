@@ -1,0 +1,90 @@
+// Adaptation study: watch the model-adaptation module react to a video
+// whose content speed ramps up and back down, cycle by cycle.
+//
+//   $ ./adaptation_study [--frames 600]
+//
+// Demonstrates the library's lower-level APIs: building a custom scene
+// list, running AdaVP per segment, and reading CycleRecords (velocity ->
+// chosen setting) — the observable core of §IV-D.
+
+#include <iostream>
+
+#include "core/mpdt_pipeline.h"
+#include "core/scoring.h"
+#include "core/training.h"
+#include "metrics/accuracy.h"
+#include "util/args.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace adavp;
+  const util::Args args(argc, argv);
+  const int frames = args.get_int("frames", 600);
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+
+  // Three segments: calm -> frantic -> calm. (The generator's motion
+  // parameters are per-video, so we emulate a ramp with three videos and
+  // carry the pipeline's chosen setting across segment boundaries.)
+  struct Segment {
+    const char* label;
+    double speed;
+    double pan;
+    double spawn;
+  };
+  const Segment segments[] = {
+      {"calm street", 0.4, 0.1, 0.6},
+      {"rush hour + panning camera", 4.2, 3.0, 4.0},
+      {"calm street again", 0.4, 0.1, 0.6},
+  };
+
+  detect::ModelSetting carried = detect::ModelSetting::kYolov3_512;
+  util::Table table({"segment", "mean velocity", "settings used (cycles)",
+                     "switches", "accuracy"});
+  for (const Segment& segment : segments) {
+    video::SceneConfig scene;
+    scene.name = segment.label;
+    scene.frame_count = frames / 3;
+    scene.seed = 77;
+    scene.speed_mean = segment.speed;
+    scene.camera_pan = segment.pan;
+    scene.spawn_per_second = segment.spawn;
+    scene.initial_objects = 5;
+    const video::SyntheticVideo video(scene);
+
+    core::MpdtOptions options;
+    options.adapter = &adapter;
+    options.setting = carried;  // continue from the previous segment
+    options.seed = 77;
+    const core::RunResult run = run_mpdt(video, options);
+
+    util::RunningStats velocity;
+    std::array<int, 4> used{0, 0, 0, 0};
+    for (const auto& cycle : run.cycles) {
+      if (cycle.mean_velocity > 0.0) velocity.add(cycle.mean_velocity);
+      if (const auto index = detect::adaptive_index(cycle.setting)) {
+        used[static_cast<std::size_t>(*index)] += 1;
+      }
+    }
+    std::string usage;
+    const char* names[] = {"320", "416", "512", "608"};
+    for (std::size_t s = 0; s < 4; ++s) {
+      if (used[s] > 0) {
+        if (!usage.empty()) usage += ", ";
+        usage += std::string(names[s]) + "x" + std::to_string(used[s]);
+      }
+    }
+    const auto f1 = score_run(run, video, 0.5);
+    table.add_row({segment.label, util::fmt(velocity.mean(), 2), usage,
+                   std::to_string(run.setting_switches),
+                   util::fmt(metrics::video_accuracy(f1, 0.7), 2)});
+    if (!run.cycles.empty()) carried = run.cycles.back().setting;
+  }
+  table.print();
+
+  std::cout << "\nExpected behaviour (§IV-D): calm segments sit at 512/608;"
+               " the frantic segment pulls the setting down to 320/416 and"
+               " the pipeline returns to the large sizes when the scene"
+               " calms down.\n";
+  return 0;
+}

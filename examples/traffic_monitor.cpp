@@ -1,0 +1,130 @@
+// Traffic monitoring (the paper's §I motivating application): a roadside
+// camera watches a highway; the pipeline must detect vehicles continuously
+// and raise an alert when a vehicle moves against the dominant traffic
+// direction ("reckless driving maneuvers").
+//
+//   $ ./traffic_monitor [--frames 450] [--dump-frames DIR]
+//
+// Demonstrates: consuming per-frame pipeline output, associating tracked
+// boxes across frames by nearest-center matching, deriving per-vehicle
+// velocities from the pipeline results, and dumping overlaid PGM frames
+// for visual inspection (--dump-frames).
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "core/mpdt_pipeline.h"
+#include "core/scoring.h"
+#include "core/training.h"
+#include "util/args.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "vision/drawing.h"
+#include "vision/pgm.h"
+
+namespace {
+
+using namespace adavp;
+
+/// Naive track association: match each box to the closest same-class box
+/// of the previous frame within a gate radius.
+struct TrackState {
+  geometry::Point2f center;
+  geometry::Point2f velocity;
+  int age = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string dump_dir = args.get("dump-frames", "");
+
+  // A highway scene: vehicles flowing left-to-right, occasional spawns.
+  video::SceneConfig scene;
+  scene.name = "highway";
+  scene.frame_count = args.get_int("frames", 450);
+  scene.seed = 20;
+  scene.speed_mean = 2.4;
+  scene.spawn_per_second = 2.2;
+  scene.initial_objects = 5;
+  scene.max_objects = 8;
+  scene.classes = {video::ObjectClass::kCar, video::ObjectClass::kTruck,
+                   video::ObjectClass::kBus, video::ObjectClass::kMotorbike};
+  const video::SyntheticVideo video(scene);
+
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+  core::MpdtOptions options;
+  options.adapter = &adapter;
+  options.seed = 20;
+  const core::RunResult run = run_mpdt(video, options);
+
+  // Post-process the pipeline output: estimate per-vehicle velocities and
+  // flag wrong-way movers (negative x-velocity against the median flow).
+  std::vector<TrackState> previous;
+  int alerts = 0;
+  int vehicle_frames = 0;
+  util::RunningStats flow_vx;
+  for (const auto& frame : run.frames) {
+    std::vector<TrackState> current;
+    for (const auto& box : frame.boxes) {
+      TrackState state;
+      state.center = box.box.center();
+      // Associate with the previous frame.
+      double best = 30.0;  // gate, pixels
+      const TrackState* match = nullptr;
+      for (const auto& prev : previous) {
+        const double d = (prev.center - state.center).norm();
+        if (d < best) {
+          best = d;
+          match = &prev;
+        }
+      }
+      if (match != nullptr) {
+        state.velocity = state.center - match->center;
+        state.age = match->age + 1;
+        flow_vx.add(state.velocity.x);
+      }
+      current.push_back(state);
+      ++vehicle_frames;
+    }
+    // Wrong-way detection once the dominant flow is established.
+    if (flow_vx.count() > 200 && std::abs(flow_vx.mean()) > 0.3) {
+      for (const auto& state : current) {
+        if (state.age >= 5 &&
+            state.velocity.x * flow_vx.mean() < -0.2 * std::abs(flow_vx.mean())) {
+          ++alerts;
+        }
+      }
+    }
+    previous = std::move(current);
+
+    if (!dump_dir.empty() && frame.frame_index % 30 == 0) {
+      vision::ImageU8 img = video.render(frame.frame_index);
+      std::vector<geometry::BoundingBox> boxes;
+      for (const auto& b : frame.boxes) boxes.push_back(b.box);
+      vision::write_pgm(vision::overlay_boxes(img, boxes),
+                        dump_dir + "/traffic_" +
+                            std::to_string(frame.frame_index) + ".pgm");
+    }
+  }
+
+  const auto f1 = score_run(run, video, 0.5);
+  double mean_f1 = 0.0;
+  for (double v : f1) mean_f1 += v;
+  mean_f1 /= static_cast<double>(f1.size());
+
+  util::Table table({"traffic-monitor metric", "value"});
+  table.add_row({"frames processed", std::to_string(run.frames.size())});
+  table.add_row({"vehicle observations", std::to_string(vehicle_frames)});
+  table.add_row({"dominant flow vx (px/frame)", util::fmt(flow_vx.mean(), 2)});
+  table.add_row({"wrong-way alerts", std::to_string(alerts)});
+  table.add_row({"mean F1 vs ground truth", util::fmt(mean_f1, 3)});
+  table.add_row({"detection cycles", std::to_string(run.cycles.size())});
+  table.print();
+  if (!dump_dir.empty()) {
+    std::cout << "Overlaid frames written to " << dump_dir << "/traffic_*.pgm\n";
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "adapt/adapter.h"
+
+namespace adavp::adapt {
+
+ModelAdapter::ModelAdapter(const ThresholdSet& shared)
+    : per_size_{shared, shared, shared, shared} {}
+
+ModelAdapter::ModelAdapter(const std::array<ThresholdSet, 4>& per_size)
+    : per_size_(per_size) {}
+
+const ThresholdSet& ModelAdapter::thresholds_for(
+    detect::ModelSetting current) const {
+  const auto index = detect::adaptive_index(current);
+  return per_size_[static_cast<std::size_t>(index.value_or(3))];
+}
+
+detect::ModelSetting ModelAdapter::next_setting(double velocity,
+                                                detect::ModelSetting current) const {
+  const ThresholdSet& set = thresholds_for(current);
+  const detect::ModelSetting proposed = set.classify(velocity);
+  if (hysteresis_margin_ <= 0.0 || proposed == current) return proposed;
+
+  // Hysteresis extension: keep the current setting unless the velocity
+  // clears the boundary between `current` and `proposed` by the margin.
+  const ThresholdSet& bounds = set;
+  auto boundary_between = [&](detect::ModelSetting a, detect::ModelSetting b) {
+    // Boundaries indexed by the larger-size side: 608|512 -> v1,
+    // 512|416 -> v2, 416|320 -> v3.
+    const int ra = detect::adaptive_index(a).value_or(0);
+    const int rb = detect::adaptive_index(b).value_or(0);
+    const int hi = std::max(ra, rb);  // adaptive index: 0=320 .. 3=608
+    switch (hi) {
+      case 3: return bounds.v1;
+      case 2: return bounds.v2;
+      default: return bounds.v3;
+    }
+  };
+  const double boundary = boundary_between(current, proposed);
+  const double margin = boundary * hysteresis_margin_;
+  if (velocity > boundary + margin || velocity < boundary - margin) {
+    return proposed;
+  }
+  return current;
+}
+
+}  // namespace adavp::adapt

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+
+#include "adapt/threshold_trainer.h"
+#include "detect/model_setting.h"
+
+namespace adavp::adapt {
+
+/// The runtime DNN-model-setting adaptation module (§IV-D3).
+///
+/// Holds one ThresholdSet per *current* frame size — the paper found the
+/// velocity measured under different sizes is similar but not identical
+/// (feature points come from slightly different boxes), so thresholds are
+/// calibrated per size and looked up with the size of the cycle that
+/// produced the velocity. Inputs: (cycle mean velocity, current setting);
+/// output: the setting for the next detection cycle.
+///
+/// `hysteresis_margin` is an extension beyond the paper (off by default):
+/// when > 0, a switch only happens if the velocity clears the boundary by
+/// that relative margin, damping oscillation around a threshold.
+class ModelAdapter {
+ public:
+  /// Builds an adapter with the same thresholds for every current size.
+  explicit ModelAdapter(const ThresholdSet& shared);
+
+  /// Builds an adapter with per-current-size thresholds, indexed like
+  /// detect::kAdaptiveSettings (320, 416, 512, 608).
+  explicit ModelAdapter(const std::array<ThresholdSet, 4>& per_size);
+
+  /// Decides the setting for the next cycle.
+  detect::ModelSetting next_setting(double velocity,
+                                    detect::ModelSetting current) const;
+
+  const ThresholdSet& thresholds_for(detect::ModelSetting current) const;
+
+  void set_hysteresis_margin(double margin) { hysteresis_margin_ = margin; }
+  double hysteresis_margin() const { return hysteresis_margin_; }
+
+ private:
+  std::array<ThresholdSet, 4> per_size_;
+  double hysteresis_margin_ = 0.0;
+};
+
+}  // namespace adavp::adapt

@@ -1,0 +1,94 @@
+#include "adapt/threshold_trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace adavp::adapt {
+
+namespace {
+
+/// Rank of a setting in decreasing-size order: 608 -> 0, 512 -> 1,
+/// 416 -> 2, 320 -> 3. Samples with rank <= boundary_index belong below the
+/// boundary velocity.
+int size_rank(detect::ModelSetting setting) {
+  switch (setting) {
+    case detect::ModelSetting::kYolov3_608: return 0;
+    case detect::ModelSetting::kYolov3_512: return 1;
+    case detect::ModelSetting::kYolov3_416: return 2;
+    default: return 3;
+  }
+}
+
+}  // namespace
+
+double ThresholdTrainer::best_split(const std::vector<TrainingSample>& samples,
+                                    int boundary_index) {
+  // Candidate thresholds: midpoints between consecutive sorted velocities
+  // plus the extremes.
+  std::vector<TrainingSample> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TrainingSample& a, const TrainingSample& b) {
+              return a.velocity < b.velocity;
+            });
+
+  // Prefix counts of "should be below" samples allow an O(n) sweep: with
+  // threshold after position k, errors = (#above-class in prefix) +
+  // (#below-class in suffix).
+  const std::size_t n = sorted.size();
+  std::size_t total_below_class = 0;
+  for (const auto& s : sorted) {
+    if (size_rank(s.best) <= boundary_index) ++total_below_class;
+  }
+
+  std::size_t below_class_seen = 0;
+  std::size_t best_errors = std::numeric_limits<std::size_t>::max();
+  double best_threshold = 0.0;
+  for (std::size_t k = 0; k <= n; ++k) {
+    // Threshold between sorted[k-1] and sorted[k].
+    const std::size_t above_class_in_prefix = k - below_class_seen;
+    const std::size_t below_class_in_suffix = total_below_class - below_class_seen;
+    const std::size_t errors = above_class_in_prefix + below_class_in_suffix;
+    if (errors < best_errors) {
+      best_errors = errors;
+      if (k == 0) {
+        best_threshold = sorted.front().velocity - 1e-6;
+      } else if (k == n) {
+        best_threshold = sorted.back().velocity + 1e-6;
+      } else {
+        best_threshold = 0.5 * (sorted[k - 1].velocity + sorted[k].velocity);
+      }
+    }
+    if (k < n && size_rank(sorted[k].best) <= boundary_index) {
+      ++below_class_seen;
+    }
+  }
+  return best_threshold;
+}
+
+ThresholdSet ThresholdTrainer::train(const std::vector<TrainingSample>& samples) {
+  ThresholdSet set;
+  if (samples.empty()) {
+    // Degenerate: always pick the largest size.
+    set.v1 = set.v2 = set.v3 = std::numeric_limits<double>::infinity();
+    return set;
+  }
+  set.v1 = best_split(samples, 0);
+  set.v2 = best_split(samples, 1);
+  set.v3 = best_split(samples, 2);
+  // Enforce monotonicity (ordinal boundaries can cross on noisy data).
+  set.v2 = std::max(set.v2, set.v1);
+  set.v3 = std::max(set.v3, set.v2);
+  return set;
+}
+
+double ThresholdTrainer::training_accuracy(
+    const ThresholdSet& set, const std::vector<TrainingSample>& samples) {
+  if (samples.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& s : samples) {
+    if (set.classify(s.velocity) == s.best) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples.size());
+}
+
+}  // namespace adavp::adapt

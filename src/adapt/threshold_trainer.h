@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "detect/model_setting.h"
+
+namespace adavp::adapt {
+
+/// One training example: a 1-second video chunk's measured motion velocity
+/// and the frame size that scored the highest MPDT accuracy on that chunk
+/// (§IV-D3: "the best frame size is the label of the corresponding motion
+/// velocity").
+struct TrainingSample {
+  double velocity = 0.0;
+  detect::ModelSetting best = detect::ModelSetting::kYolov3_608;
+};
+
+/// The three learned velocity boundaries for one current-setting context:
+/// v <= v1 -> 608, v1 < v <= v2 -> 512, v2 < v <= v3 -> 416, v > v3 -> 320.
+struct ThresholdSet {
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double v3 = 0.0;
+
+  detect::ModelSetting classify(double velocity) const {
+    if (velocity <= v1) return detect::ModelSetting::kYolov3_608;
+    if (velocity <= v2) return detect::ModelSetting::kYolov3_512;
+    if (velocity <= v3) return detect::ModelSetting::kYolov3_416;
+    return detect::ModelSetting::kYolov3_320;
+  }
+};
+
+/// Learns a ThresholdSet from labelled (velocity, best-setting) samples.
+///
+/// The paper assumes the velocity -> frame-size relation is monotone
+/// (higher velocity -> smaller size) and reduces threshold finding to a
+/// 1-D ordinal classification: each boundary between two adjacent sizes is
+/// the split that minimizes misclassified samples when samples labelled
+/// with the larger sizes should fall below it and the rest above. The
+/// boundaries are then forced monotone (v1 <= v2 <= v3).
+class ThresholdTrainer {
+ public:
+  /// Trains on `samples`; returns a degenerate all-608 set when empty.
+  static ThresholdSet train(const std::vector<TrainingSample>& samples);
+
+  /// Fraction of samples the trained set classifies to their label.
+  static double training_accuracy(const ThresholdSet& set,
+                                  const std::vector<TrainingSample>& samples);
+
+ private:
+  /// Optimal split for a binary partition: samples with `large_side(label)`
+  /// true should have velocity <= threshold. Minimizes 0-1 loss by sweeping
+  /// sorted candidate velocities.
+  static double best_split(const std::vector<TrainingSample>& samples,
+                           int boundary_index);
+};
+
+}  // namespace adavp::adapt

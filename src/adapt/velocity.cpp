@@ -1,0 +1,27 @@
+#include "adapt/velocity.h"
+
+namespace adavp::adapt {
+
+double VelocityEstimator::step_velocity(const track::TrackStepStats& stats) {
+  if (stats.features_tracked <= 0 || stats.frame_gap <= 0) return 0.0;
+  return stats.displacement_sum /
+         (static_cast<double>(stats.features_tracked) *
+          static_cast<double>(stats.frame_gap));
+}
+
+void VelocityEstimator::add_step(const track::TrackStepStats& stats) {
+  if (stats.features_tracked <= 0) return;
+  velocity_sum_ += step_velocity(stats);
+  ++steps_;
+}
+
+double VelocityEstimator::mean_velocity() const {
+  return steps_ > 0 ? velocity_sum_ / static_cast<double>(steps_) : 0.0;
+}
+
+void VelocityEstimator::reset() {
+  velocity_sum_ = 0.0;
+  steps_ = 0;
+}
+
+}  // namespace adavp::adapt

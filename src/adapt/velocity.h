@@ -1,0 +1,39 @@
+#pragma once
+
+#include "track/tracker.h"
+
+namespace adavp::adapt {
+
+/// The paper's video-content changing-rate metric (Eq. 3): the mean motion
+/// velocity of tracked good features, normalized to per-adjacent-frame
+/// pixels. Because the tracker skips frames (j - i may exceed 1), each
+/// step's summed displacement is divided by M * (j - i).
+///
+/// The estimator aggregates over a detection cycle; `mean_velocity`
+/// returns the cycle's average, which the adaptation module feeds into its
+/// thresholds. It costs a handful of arithmetic ops per step — the paper's
+/// "almost no extra computation" claim (8.49e-2 ms).
+class VelocityEstimator {
+ public:
+  /// Accounts one tracking step.
+  void add_step(const track::TrackStepStats& stats);
+
+  /// Eq. 3 for a single step, exposed for tests.
+  static double step_velocity(const track::TrackStepStats& stats);
+
+  /// Mean per-adjacent-frame feature velocity over all recorded steps, in
+  /// pixels; 0 when nothing was tracked.
+  double mean_velocity() const;
+
+  /// Number of steps with at least one tracked feature.
+  int step_count() const { return steps_; }
+
+  /// Clears the accumulator for the next cycle.
+  void reset();
+
+ private:
+  double velocity_sum_ = 0.0;
+  int steps_ = 0;
+};
+
+}  // namespace adavp::adapt

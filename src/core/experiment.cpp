@@ -1,0 +1,127 @@
+#include "core/experiment.h"
+
+#include "core/scoring.h"
+#include "metrics/accuracy.h"
+
+namespace adavp::core {
+
+std::string method_name(const MethodSpec& spec) {
+  switch (spec.kind) {
+    case MethodKind::kAdaVP: return "AdaVP";
+    case MethodKind::kMpdt:
+      return "MPDT-" + std::string(detect::setting_name(spec.setting));
+    case MethodKind::kMarlin:
+      return "MARLIN-" + std::string(detect::setting_name(spec.setting));
+    case MethodKind::kDetectOnly:
+      return "NoTrack-" + std::string(detect::setting_name(spec.setting));
+    case MethodKind::kContinuous:
+      return std::string(detect::setting_name(spec.setting)) + "-continuous";
+  }
+  return "unknown";
+}
+
+RunResult run_method(const MethodSpec& spec, const video::SyntheticVideo& video,
+                     const adapt::ModelAdapter* adapter, std::uint64_t seed) {
+  switch (spec.kind) {
+    case MethodKind::kAdaVP: {
+      MpdtOptions options;
+      options.setting = spec.setting;  // initial setting
+      options.adapter = adapter;
+      options.seed = seed;
+      return run_mpdt(video, options);
+    }
+    case MethodKind::kMpdt: {
+      MpdtOptions options;
+      options.setting = spec.setting;
+      options.seed = seed;
+      return run_mpdt(video, options);
+    }
+    case MethodKind::kMarlin: {
+      MarlinOptions options;
+      options.setting = spec.setting;
+      options.seed = seed;
+      return run_marlin(video, options);
+    }
+    case MethodKind::kDetectOnly: {
+      DetectOnlyOptions options{spec.setting, seed};
+      return run_detect_only(video, options);
+    }
+    case MethodKind::kContinuous: {
+      DetectOnlyOptions options{spec.setting, seed};
+      return run_continuous(video, options);
+    }
+  }
+  return {};
+}
+
+DatasetRun run_dataset(const MethodSpec& spec,
+                       const std::vector<video::SceneConfig>& configs,
+                       const adapt::ModelAdapter* adapter, std::uint64_t seed) {
+  DatasetRun dataset;
+  dataset.spec = spec;
+  dataset.runs.reserve(configs.size());
+  std::uint64_t salt = 0;
+  for (const video::SceneConfig& config : configs) {
+    const video::SyntheticVideo video(config);
+    dataset.runs.push_back(
+        run_method(spec, video, adapter, seed ^ (0x9E37ULL * ++salt)));
+  }
+  return dataset;
+}
+
+std::vector<double> dataset_video_accuracies(
+    const DatasetRun& dataset, const std::vector<video::SceneConfig>& configs,
+    double alpha, double iou_threshold) {
+  std::vector<double> accuracies;
+  accuracies.reserve(dataset.runs.size());
+  for (std::size_t i = 0; i < dataset.runs.size() && i < configs.size(); ++i) {
+    const video::SyntheticVideo video(configs[i]);
+    const std::vector<double> f1 =
+        score_run(dataset.runs[i], video, iou_threshold);
+    accuracies.push_back(metrics::video_accuracy(f1, alpha));
+  }
+  return accuracies;
+}
+
+double dataset_accuracy(const DatasetRun& dataset,
+                        const std::vector<video::SceneConfig>& configs,
+                        double alpha, double iou_threshold) {
+  const std::vector<double> accuracies =
+      dataset_video_accuracies(dataset, configs, alpha, iou_threshold);
+  if (accuracies.empty()) return 0.0;
+  double sum = 0.0;
+  for (double a : accuracies) sum += a;
+  return sum / static_cast<double>(accuracies.size());
+}
+
+energy::RailEnergy dataset_energy(const DatasetRun& dataset,
+                                  double reference_hours) {
+  energy::RailEnergy total;
+  double total_hours = 0.0;
+  for (const RunResult& run : dataset.runs) {
+    total.gpu_wh += run.energy.gpu_wh;
+    total.cpu_wh += run.energy.cpu_wh;
+    total.soc_wh += run.energy.soc_wh;
+    total.ddr_wh += run.energy.ddr_wh;
+    total_hours += run.timeline_ms / 3'600'000.0;
+  }
+  if (total_hours <= 0.0 || reference_hours <= 0.0) return total;
+  // Scale the short benchmark run to the paper's dataset duration. For
+  // continuous methods timeline_ms already includes the latency blow-up, so
+  // the scale keeps their relative penalty.
+  double video_hours = 0.0;
+  for (const RunResult& run : dataset.runs) {
+    video_hours += run.timeline_ms / run.latency_multiplier / 3'600'000.0;
+  }
+  if (video_hours <= 0.0) return total;
+  return total.scaled(reference_hours / video_hours);
+}
+
+double dataset_latency_multiplier(const DatasetRun& dataset) {
+  if (dataset.runs.empty()) return 1.0;
+  double sum = 0.0;
+  for (const RunResult& run : dataset.runs) sum += run.latency_multiplier;
+  return sum / static_cast<double>(dataset.runs.size());
+}
+
+}  // namespace adavp::core

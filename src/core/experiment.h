@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adapt/adapter.h"
+#include "core/baselines.h"
+#include "core/mpdt_pipeline.h"
+#include "core/run_result.h"
+#include "video/profiles.h"
+
+namespace adavp::core {
+
+/// The video-processing methods the evaluation compares (§VI-A).
+enum class MethodKind {
+  kAdaVP,       ///< MPDT + runtime model adaptation
+  kMpdt,        ///< MPDT with a fixed model setting
+  kMarlin,      ///< sequential detect-then-track baseline
+  kDetectOnly,  ///< "Without Tracking": detector + result reuse
+  kContinuous,  ///< DNN on every frame, ignoring real time (Table III)
+};
+
+/// A method instance: kind + (for the fixed-setting kinds) the setting.
+struct MethodSpec {
+  MethodKind kind = MethodKind::kAdaVP;
+  detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
+};
+
+/// "AdaVP", "MPDT-YOLOv3-512", "MARLIN-YOLOv3-320", ...
+std::string method_name(const MethodSpec& spec);
+
+/// Dispatches one run. `adapter` is required for kAdaVP and ignored
+/// otherwise.
+RunResult run_method(const MethodSpec& spec, const video::SyntheticVideo& video,
+                     const adapt::ModelAdapter* adapter, std::uint64_t seed);
+
+/// A method's runs over a whole dataset (one RunResult per video, in the
+/// order of the config list).
+struct DatasetRun {
+  MethodSpec spec;
+  std::vector<RunResult> runs;
+};
+
+/// Runs `spec` on every video of the dataset.
+DatasetRun run_dataset(const MethodSpec& spec,
+                       const std::vector<video::SceneConfig>& configs,
+                       const adapt::ModelAdapter* adapter, std::uint64_t seed);
+
+/// Per-video accuracies (fraction of frames with F1 >= alpha at the IoU
+/// threshold) for a finished dataset run. Videos are reconstructed from
+/// their configs (ground truth only; no rendering cost).
+std::vector<double> dataset_video_accuracies(
+    const DatasetRun& dataset, const std::vector<video::SceneConfig>& configs,
+    double alpha = 0.7, double iou_threshold = 0.5);
+
+/// Mean of the per-video accuracies — the paper's headline metric.
+double dataset_accuracy(const DatasetRun& dataset,
+                        const std::vector<video::SceneConfig>& configs,
+                        double alpha = 0.7, double iou_threshold = 0.5);
+
+/// Sum of per-run energies, with every run scaled to represent
+/// `reference_hours` of processed video (Table III reports W·h over the
+/// paper's 141213-frame dataset, ~1.31 h of video).
+energy::RailEnergy dataset_energy(const DatasetRun& dataset,
+                                  double reference_hours);
+
+/// Mean latency multiplier across runs (1.0 = real time).
+double dataset_latency_multiplier(const DatasetRun& dataset);
+
+}  // namespace adavp::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "adapt/adapter.h"
+#include "core/run_result.h"
+#include "detect/detector.h"
+#include "track/frame_selection.h"
+#include "track/latency.h"
+#include "track/tracker.h"
+#include "video/scene.h"
+
+namespace adavp::core {
+
+/// How the tracker picks which buffered frames to process (ablation knob;
+/// the paper's scheme is kAdaptiveFraction, §IV-C).
+enum class SelectionPolicy {
+  kAdaptiveFraction,  ///< paper: h_t = p * f_t at regular intervals
+  kTrackAll,          ///< try every frame oldest-first (overruns the cycle)
+  kNewestOnly,        ///< track only the newest frame of each cycle
+};
+
+/// Which feature tracker implementation the pipeline runs (ablation knob;
+/// §IV-C: the paper evaluated several and chose good-features + LK).
+enum class TrackerBackend {
+  kLucasKanade,  ///< paper: good features to track + pyramidal LK
+  kDescriptor,   ///< FAST + BRIEF matching (ORB-style alternative)
+};
+
+/// Options for an MPDT / AdaVP run.
+struct MpdtOptions {
+  /// Fixed model setting (MPDT baseline) and the initial setting for AdaVP.
+  detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
+  /// When non-null the run is AdaVP: after every cycle the adapter picks
+  /// the next setting from the measured content-change velocity.
+  const adapt::ModelAdapter* adapter = nullptr;
+  std::uint64_t seed = 1234;
+  track::TrackerParams tracker;
+  SelectionPolicy selection = SelectionPolicy::kAdaptiveFraction;
+  TrackerBackend backend = TrackerBackend::kLucasKanade;
+};
+
+/// Runs the Mobile Parallel Detection and Tracking pipeline (§IV-B) over a
+/// synthetic video on the deterministic virtual-time engine.
+///
+/// Semantics follow the paper exactly:
+///  * the detector and tracker run on disjoint "hardware" (GPU vs CPU), so
+///    within one cycle the detector processes the newest buffered frame
+///    while the tracker propagates the previous detection across the
+///    frames accumulated before it;
+///  * the tracker skips frames via the tracking-frame-selection fraction
+///    p = h_{t-1}/f_{t-1}; skipped frames reuse the previous result;
+///  * a tracking task still in flight when the detector fetches its next
+///    frame is cancelled and not displayed;
+///  * with an adapter, the mean feature velocity of the ending cycle picks
+///    the frame size of the next cycle (per-current-size thresholds).
+///
+/// Tracking runs on the real image substrate (rendered frames, Shi-Tomasi,
+/// pyramidal LK); only the detector output and the component *latencies*
+/// come from the calibrated models.
+RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& options);
+
+}  // namespace adavp::core

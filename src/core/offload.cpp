@@ -1,0 +1,168 @@
+#include "core/offload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adapt/velocity.h"
+#include "detect/detector.h"
+#include "energy/power_model.h"
+#include "track/frame_selection.h"
+#include "track/latency.h"
+#include "util/rng.h"
+
+namespace adavp::core {
+
+namespace {
+
+std::vector<metrics::LabeledBox> to_boxes(const detect::DetectionResult& det) {
+  std::vector<metrics::LabeledBox> boxes;
+  boxes.reserve(det.detections.size());
+  for (const auto& d : det.detections) boxes.push_back({d.box, d.cls});
+  return boxes;
+}
+
+void fill_reused_frames(std::vector<FrameResult>& frames) {
+  int last_filled = -1;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (frames[i].source != ResultSource::kNone) {
+      last_filled = static_cast<int>(i);
+      continue;
+    }
+    if (last_filled >= 0) {
+      const FrameResult& prev = frames[static_cast<std::size_t>(last_filled)];
+      frames[i].source = ResultSource::kReused;
+      frames[i].boxes = prev.boxes;
+      frames[i].setting = prev.setting;
+      frames[i].staleness_ms = prev.staleness_ms;
+    }
+  }
+}
+
+/// WiFi/LTE radio power while transmitting a frame (rough handset figure).
+constexpr double kRadioTransmitW = 1.1;
+
+}  // namespace
+
+double offload_round_trip_ms(const OffloadOptions& options) {
+  const double transmit_ms =
+      options.frame_bytes * 8.0 / (options.bandwidth_mbps * 1000.0);
+  return transmit_ms + options.rtt_ms + options.server_latency_ms;
+}
+
+RunResult run_offload(const video::SyntheticVideo& video,
+                      const OffloadOptions& options) {
+  const int frame_count = video.frame_count();
+  const double interval = video.frame_interval_ms();
+  const int last = frame_count - 1;
+
+  RunResult run;
+  run.frames.resize(static_cast<std::size_t>(frame_count));
+  for (int i = 0; i < frame_count; ++i) {
+    run.frames[static_cast<std::size_t>(i)].frame_index = i;
+  }
+  if (frame_count == 0) return run;
+
+  // The server runs the full-size model; its accuracy is YOLOv3-608's.
+  const detect::ModelSetting remote_setting = detect::ModelSetting::kYolov3_608;
+  detect::SimulatedDetector detector(options.seed);
+  track::ObjectTracker tracker(options.tracker);
+  track::TrackingFrameSelector selector;
+  track::TrackLatencyModel latency(options.seed ^ 0xABCDULL);
+  adapt::VelocityEstimator velocity;
+  energy::EnergyMeter meter;
+  util::Rng rng(options.seed ^ 0x0FF10ADULL);
+
+  const double mean_round_trip = offload_round_trip_ms(options);
+  auto sample_round_trip = [&]() {
+    // Unpredictable network latency: positively skewed jitter.
+    const double jitter =
+        std::abs(rng.gaussian(0.0, options.jitter_frac * options.rtt_ms));
+    return mean_round_trip + jitter;
+  };
+  const double transmit_ms =
+      options.frame_bytes * 8.0 / (options.bandwidth_mbps * 1000.0);
+
+  // First request: frame 0.
+  detect::DetectionResult ref = detector.detect(video, 0, remote_setting);
+  double t = video.timestamp_ms(0) + sample_round_trip();
+  meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
+  {
+    FrameResult& r0 = run.frames[0];
+    r0.source = ResultSource::kDetector;
+    r0.boxes = to_boxes(ref);
+    r0.setting = remote_setting;
+    r0.staleness_ms = t - video.timestamp_ms(0);
+  }
+  run.cycles.push_back({0, remote_setting, video.timestamp_ms(0), t, 0, 0, 0.0});
+
+  int ref_index = 0;
+  while (ref_index < last) {
+    int next_index = std::min(last, static_cast<int>(std::floor(t / interval)));
+    if (next_index <= ref_index) {
+      next_index = ref_index + 1;
+      t = video.timestamp_ms(next_index);
+    }
+
+    const double cycle_start = t;
+    const detect::DetectionResult detection =
+        detector.detect(video, next_index, remote_setting);
+    const double round_trip = sample_round_trip();
+    const double cycle_end = cycle_start + round_trip;
+    meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
+
+    // Local tracking bridges the round trip, as in MPDT.
+    tracker.set_reference(video.render(ref_index), ref.detections);
+    const double extract_ms = latency.feature_extraction_ms();
+    double cpu_clock = cycle_start + extract_ms;
+    meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), extract_ms);
+
+    const int frames_between = next_index - 1 - ref_index;
+    const std::vector<int> offsets = selector.select(frames_between);
+    velocity.reset();
+    int tracked = 0;
+    int prev_offset = 0;
+    for (int offset : offsets) {
+      const double step_cost =
+          latency.tracking_ms(tracker.object_count(),
+                              tracker.live_feature_count()) +
+          latency.overlay_ms();
+      if (cpu_clock + step_cost > cycle_end) break;
+      const int frame_index = ref_index + offset;
+      const track::TrackStepStats stats =
+          tracker.track_to(video.render(frame_index), offset - prev_offset);
+      velocity.add_step(stats);
+      cpu_clock += step_cost;
+      meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), step_cost);
+
+      FrameResult& result = run.frames[static_cast<std::size_t>(frame_index)];
+      result.source = ResultSource::kTracker;
+      result.boxes = tracker.current_boxes();
+      result.setting = remote_setting;
+      result.staleness_ms = cpu_clock - video.timestamp_ms(frame_index);
+      ++tracked;
+      prev_offset = offset;
+    }
+    if (frames_between > 0) selector.update(std::max(tracked, 1), frames_between);
+
+    FrameResult& detected = run.frames[static_cast<std::size_t>(next_index)];
+    detected.source = ResultSource::kDetector;
+    detected.boxes = to_boxes(detection);
+    detected.setting = remote_setting;
+    detected.staleness_ms = cycle_end - video.timestamp_ms(next_index);
+
+    run.cycles.push_back({next_index, remote_setting, cycle_start, cycle_end,
+                          frames_between, tracked, velocity.mean_velocity()});
+    ref = detection;
+    ref_index = next_index;
+    t = cycle_end;
+  }
+
+  fill_reused_frames(run.frames);
+  const double video_duration = static_cast<double>(frame_count) * interval;
+  run.timeline_ms = std::max(video_duration, t);
+  run.latency_multiplier = run.timeline_ms / video_duration;
+  run.energy = meter.finish(run.timeline_ms);
+  return run;
+}
+
+}  // namespace adavp::core

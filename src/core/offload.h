@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/run_result.h"
+#include "track/tracker.h"
+#include "video/scene.h"
+
+namespace adavp::core {
+
+/// Options of the offloading baseline (extension).
+///
+/// The paper argues against offloading (§I/§II: "offloading suffers from
+/// privacy concerns and unpredictable network latency") but does not
+/// evaluate it. This Glimpse-style baseline quantifies the argument on our
+/// substrate: frames are shipped to an edge server that runs the *full*
+/// YOLOv3-608 fast, but every result comes back one network round trip
+/// stale; a local tracker bridges the gap exactly like MPDT's.
+struct OffloadOptions {
+  double rtt_ms = 60.0;             ///< network round-trip time
+  double bandwidth_mbps = 20.0;     ///< uplink available to the camera
+  double server_latency_ms = 35.0;  ///< server-side YOLOv3-608 inference
+  double frame_bytes = 40000.0;     ///< compressed frame upload size
+  double jitter_frac = 0.25;        ///< lognormal-ish RTT jitter fraction
+  std::uint64_t seed = 1234;
+  track::TrackerParams tracker;
+};
+
+/// Total mean latency of one offloaded detection (transmit + RTT + server).
+double offload_round_trip_ms(const OffloadOptions& options);
+
+/// Runs the offloading pipeline on the virtual-time engine: remote
+/// YOLOv3-608 detections arriving `offload_round_trip_ms` late, local
+/// tracking in between (same parallel structure as MPDT). Radio energy is
+/// charged to the CPU rail as a transmit-power segment.
+RunResult run_offload(const video::SyntheticVideo& video,
+                      const OffloadOptions& options);
+
+}  // namespace adavp::core

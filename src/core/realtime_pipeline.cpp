@@ -1,0 +1,302 @@
+#include "core/realtime_pipeline.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "adapt/velocity.h"
+#include "detect/detector.h"
+#include "track/frame_selection.h"
+#include "track/latency.h"
+#include "track/tracker.h"
+#include "video/camera.h"
+#include "video/frame_buffer.h"
+
+namespace adavp::core {
+
+namespace {
+
+void scaled_sleep(double duration_ms, double time_scale) {
+  if (duration_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(duration_ms / time_scale));
+}
+
+/// Sleeps whatever is left of a modeled latency after the real compute
+/// that already happened. The modeled TX2 latencies are meant to SUBSUME
+/// the actual CPU work this reproduction performs (LK, rasterizing), so
+/// pacing must not pay for it twice — otherwise high time scales starve
+/// the tracker of its schedule share.
+class PacedSection {
+ public:
+  PacedSection(double modeled_ms, double time_scale)
+      : deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(modeled_ms /
+                                                                time_scale))) {}
+  ~PacedSection() { std::this_thread::sleep_until(deadline_); }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+/// A finished detection handed from the detector thread to the tracker
+/// thread: reference detections for `ref_index`, frames up to `track_upto`
+/// to propagate across.
+struct DetectionEvent {
+  int ref_index = 0;
+  int track_upto = 0;
+  detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
+  std::vector<detect::Detection> detections;
+};
+
+/// Mutex + condition-variable mailbox (the paper's "event" communication).
+class EventQueue {
+ public:
+  void push(DetectionEvent event) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      events_.push_back(std::move(event));
+    }
+    cv_.notify_all();
+  }
+
+  std::optional<DetectionEvent> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !events_.empty() || closed_; });
+    if (events_.empty()) return std::nullopt;
+    DetectionEvent event = std::move(events_.front());
+    events_.pop_front();
+    return event;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<DetectionEvent> events_;
+  bool closed_ = false;
+};
+
+/// Frame results shared between threads, guarded by one lock.
+class ResultBoard {
+ public:
+  explicit ResultBoard(int frame_count) {
+    frames_.resize(static_cast<std::size_t>(frame_count));
+    for (int i = 0; i < frame_count; ++i) {
+      frames_[static_cast<std::size_t>(i)].frame_index = i;
+    }
+  }
+
+  void record(FrameResult result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    frames_[static_cast<std::size_t>(result.frame_index)] = std::move(result);
+  }
+
+  std::vector<FrameResult> take() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(frames_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<FrameResult> frames_;
+};
+
+}  // namespace
+
+RealtimeResult run_realtime(const video::SyntheticVideo& video,
+                            const RealtimeOptions& options) {
+  RealtimeResult result;
+  const int frame_count = video.frame_count();
+  if (frame_count == 0) return result;
+  const double scale = options.time_scale;
+
+  video::FrameBuffer buffer;
+  video::CameraSource camera(video, buffer, scale);
+  EventQueue events;
+  ResultBoard board(frame_count);
+
+  std::atomic<int> fetch_generation{0};
+  std::atomic<double> latest_velocity{0.0};
+  std::atomic<bool> have_velocity{false};
+  std::atomic<int> frames_tracked{0};
+  std::atomic<int> cancelled{0};
+
+  std::mutex cycles_mutex;
+  std::vector<CycleRecord> cycles;
+
+  // ---- Detector thread: always fetch the newest frame; the previous
+  // detection is delivered to the tracker the moment the next fetch
+  // happens, so both sides of the cycle run concurrently.
+  std::thread detector_thread([&] {
+    detect::SimulatedDetector detector(options.seed);
+    detect::ModelSetting setting = options.setting;
+    adapt::ModelAdapter const* adapter = options.adapter;
+    std::optional<DetectionEvent> pending;
+    int last_detected = -1;
+    int switches = 0;
+
+    while (true) {
+      const std::optional<video::Frame> frame = buffer.wait_newer(last_detected);
+      if (!frame.has_value()) break;
+
+      // Fetching a new frame cancels the tracker's in-flight batch (§IV-B)
+      // and releases the previous detection for tracking up to this frame.
+      fetch_generation.fetch_add(1);
+      if (pending.has_value()) {
+        pending->track_upto = frame->index - 1;
+        events.push(std::move(*pending));
+        pending.reset();
+      }
+
+      if (adapter != nullptr && have_velocity.load()) {
+        const detect::ModelSetting next =
+            adapter->next_setting(latest_velocity.load(), setting);
+        if (next != setting) {
+          ++switches;
+          setting = next;
+        }
+      }
+
+      const detect::DetectionResult det =
+          detector.detect(video, frame->index, setting);
+      scaled_sleep(det.latency_ms, scale);  // the GPU is busy this long
+
+      FrameResult fr;
+      fr.frame_index = frame->index;
+      fr.source = ResultSource::kDetector;
+      fr.setting = setting;
+      fr.staleness_ms = det.latency_ms;
+      fr.boxes.reserve(det.detections.size());
+      for (const auto& d : det.detections) fr.boxes.push_back({d.box, d.cls});
+      board.record(std::move(fr));
+
+      {
+        std::lock_guard<std::mutex> lock(cycles_mutex);
+        cycles.push_back({frame->index, setting, 0.0, 0.0, 0, 0,
+                          latest_velocity.load()});
+      }
+
+      pending = DetectionEvent{frame->index, frame->index, setting,
+                               det.detections};
+      last_detected = frame->index;
+      result.stats.frames_detected += 1;
+    }
+    // Stream over: let the tracker finish the tail of the video.
+    if (pending.has_value()) {
+      pending->track_upto = frame_count - 1;
+      events.push(std::move(*pending));
+    }
+    events.close();
+    result.stats.setting_switches = switches;
+  });
+
+  // ---- Tracker thread: real feature extraction + LK on rendered frames,
+  // with the modelled CPU latencies for pacing.
+  std::thread tracker_thread([&] {
+    track::ObjectTracker tracker;
+    track::TrackingFrameSelector selector;
+    track::TrackLatencyModel latency(options.seed ^ 0x77777ULL);
+
+    while (true) {
+      const std::optional<DetectionEvent> event = events.pop();
+      if (!event.has_value()) break;
+      const int my_generation = fetch_generation.load();
+
+      {
+        PacedSection pace(latency.feature_extraction_ms(), scale);
+        tracker.set_reference(video.render(event->ref_index), event->detections);
+      }
+
+      adapt::VelocityEstimator velocity;
+      const int frames_between = event->track_upto - event->ref_index;
+      const std::vector<int> offsets = selector.select(frames_between);
+      int tracked = 0;
+      int prev_offset = 0;
+      for (int offset : offsets) {
+        if (fetch_generation.load() != my_generation) {
+          cancelled.fetch_add(1);
+          break;
+        }
+        const int frame_index = event->ref_index + offset;
+        track::TrackStepStats stats;
+        {
+          PacedSection pace(latency.tracking_ms(tracker.object_count(),
+                                                tracker.live_feature_count()) +
+                                latency.overlay_ms(),
+                            scale);
+          stats = tracker.track_to(video.render(frame_index),
+                                   offset - prev_offset);
+        }
+        velocity.add_step(stats);
+        if (fetch_generation.load() != my_generation) {
+          // Task finished after the detector moved on: per §IV-B the result
+          // is not displayed (it would move the display backwards).
+          cancelled.fetch_add(1);
+          break;
+        }
+        FrameResult fr;
+        fr.frame_index = frame_index;
+        fr.source = ResultSource::kTracker;
+        fr.setting = event->setting;
+        fr.boxes = tracker.current_boxes();
+        board.record(std::move(fr));
+        frames_tracked.fetch_add(1);
+        ++tracked;
+        prev_offset = offset;
+      }
+      if (frames_between > 0) selector.update(std::max(tracked, 1), frames_between);
+      if (velocity.step_count() > 0) {
+        latest_velocity.store(velocity.mean_velocity());
+        have_velocity.store(true);
+      }
+    }
+  });
+
+  camera.start();
+  detector_thread.join();
+  tracker_thread.join();
+  camera.stop();
+
+  result.stats.frames_captured = camera.frames_captured();
+  result.stats.frames_tracked = frames_tracked.load();
+  result.stats.tracking_tasks_cancelled = cancelled.load();
+
+  result.run.frames = board.take();
+  // Fill skipped frames from the previous available result.
+  int last_filled = -1;
+  for (std::size_t i = 0; i < result.run.frames.size(); ++i) {
+    if (result.run.frames[i].source != ResultSource::kNone) {
+      last_filled = static_cast<int>(i);
+      continue;
+    }
+    if (last_filled >= 0) {
+      const FrameResult& prev = result.run.frames[static_cast<std::size_t>(last_filled)];
+      result.run.frames[i].source = ResultSource::kReused;
+      result.run.frames[i].boxes = prev.boxes;
+      result.run.frames[i].setting = prev.setting;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(cycles_mutex);
+    result.run.cycles = std::move(cycles);
+  }
+  result.run.setting_switches = result.stats.setting_switches;
+  result.run.timeline_ms =
+      static_cast<double>(frame_count) * video.frame_interval_ms();
+  return result;
+}
+
+}  // namespace adavp::core

@@ -1,0 +1,53 @@
+#include "core/scoring.h"
+
+#include "metrics/matching.h"
+
+namespace adavp::core {
+
+std::vector<double> score_run(const RunResult& run,
+                              const video::SyntheticVideo& video,
+                              double iou_threshold) {
+  std::vector<double> f1;
+  f1.reserve(run.frames.size());
+  for (const FrameResult& frame : run.frames) {
+    const auto& truth = video.ground_truth(frame.frame_index);
+    if (frame.source == ResultSource::kNone) {
+      // Start-up frames: no boxes yet. An empty frame scores 1 only when
+      // the ground truth is empty too.
+      f1.push_back(truth.empty() ? 1.0 : 0.0);
+      continue;
+    }
+    f1.push_back(metrics::score_boxes(frame.boxes, truth, iou_threshold).f1());
+  }
+  return f1;
+}
+
+std::vector<double> cycles_per_switch(const RunResult& run) {
+  std::vector<double> gaps;
+  int held = 0;
+  for (std::size_t i = 1; i < run.cycles.size(); ++i) {
+    ++held;
+    if (run.cycles[i].setting != run.cycles[i - 1].setting) {
+      gaps.push_back(static_cast<double>(held));
+      held = 0;
+    }
+  }
+  if (gaps.empty() && !run.cycles.empty()) {
+    gaps.push_back(static_cast<double>(run.cycles.size()));
+  }
+  return gaps;
+}
+
+std::array<double, 4> setting_usage(const RunResult& run) {
+  std::array<double, 4> usage{0.0, 0.0, 0.0, 0.0};
+  if (run.cycles.empty()) return usage;
+  for (const CycleRecord& cycle : run.cycles) {
+    if (const auto index = detect::adaptive_index(cycle.setting)) {
+      usage[static_cast<std::size_t>(*index)] += 1.0;
+    }
+  }
+  for (double& u : usage) u /= static_cast<double>(run.cycles.size());
+  return usage;
+}
+
+}  // namespace adavp::core

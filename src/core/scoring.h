@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "core/run_result.h"
+#include "video/scene.h"
+
+namespace adavp::core {
+
+/// Scores a run against the video's ground truth: per-frame F1 at the
+/// given IoU threshold (Eq. 1 + Eq. 2). Because RunResult stores the boxes
+/// themselves, the same run can be re-scored at several IoU thresholds
+/// (Fig. 11) or accuracy thresholds (Fig. 10) without re-running.
+std::vector<double> score_run(const RunResult& run,
+                              const video::SyntheticVideo& video,
+                              double iou_threshold = 0.5);
+
+/// Per-cycle switch gaps for Fig. 7: for every model-setting switch, the
+/// number of cycles the previous setting was held. A run that never
+/// switches contributes a single entry equal to its cycle count.
+std::vector<double> cycles_per_switch(const RunResult& run);
+
+/// Fraction of detection cycles run at each of the four adaptive settings
+/// (Fig. 8), indexed like detect::kAdaptiveSettings.
+std::array<double, 4> setting_usage(const RunResult& run);
+
+}  // namespace adavp::core

@@ -1,0 +1,140 @@
+#include "core/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace adavp::core {
+
+namespace {
+
+constexpr const char* kHeader = "# adavp-trace v1";
+
+const char* source_tag(ResultSource source) {
+  switch (source) {
+    case ResultSource::kDetector: return "detector";
+    case ResultSource::kTracker: return "tracker";
+    case ResultSource::kReused: return "reused";
+    case ResultSource::kNone: return "none";
+  }
+  return "none";
+}
+
+std::optional<ResultSource> parse_source(const std::string& tag) {
+  if (tag == "detector") return ResultSource::kDetector;
+  if (tag == "tracker") return ResultSource::kTracker;
+  if (tag == "reused") return ResultSource::kReused;
+  if (tag == "none") return ResultSource::kNone;
+  return std::nullopt;
+}
+
+std::optional<detect::ModelSetting> setting_from_size(int size) {
+  switch (size) {
+    case 320: return detect::ModelSetting::kYolov3_320;
+    case 416: return detect::ModelSetting::kYolov3_416;
+    case 512: return detect::ModelSetting::kYolov3_512;
+    case 608: return detect::ModelSetting::kYolov3_608;
+    case 704: return detect::ModelSetting::kYolov3_704_Oracle;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+bool write_trace(const RunResult& run, std::ostream& out) {
+  out.precision(15);  // round-trip doubles (timestamps, velocities)
+  out << kHeader << "\n";
+  out << "video " << run.frames.size() << " " << run.timeline_ms << " "
+      << run.latency_multiplier << " " << run.setting_switches << "\n";
+  for (const CycleRecord& cycle : run.cycles) {
+    out << "cycle " << cycle.detected_frame << " "
+        << detect::input_size(cycle.setting) << " " << cycle.start_ms << " "
+        << cycle.end_ms << " " << cycle.frames_in_buffer << " "
+        << cycle.frames_tracked << " " << cycle.mean_velocity << "\n";
+  }
+  for (const FrameResult& frame : run.frames) {
+    out << "frame " << frame.frame_index << " " << source_tag(frame.source)
+        << " " << detect::input_size(frame.setting) << " " << frame.staleness_ms
+        << " " << frame.boxes.size();
+    for (const auto& box : frame.boxes) {
+      out << " " << static_cast<int>(box.cls) << " " << box.box.left << " "
+          << box.box.top << " " << box.box.width << " " << box.box.height;
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_trace_file(const RunResult& run, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return write_trace(run, out);
+}
+
+std::optional<RunResult> read_trace(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  RunResult run;
+  bool saw_video = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "video") {
+      std::size_t frame_count = 0;
+      ls >> frame_count >> run.timeline_ms >> run.latency_multiplier >>
+          run.setting_switches;
+      if (!ls) return std::nullopt;
+      run.frames.resize(frame_count);
+      saw_video = true;
+    } else if (tag == "cycle") {
+      CycleRecord cycle;
+      int size = 0;
+      ls >> cycle.detected_frame >> size >> cycle.start_ms >> cycle.end_ms >>
+          cycle.frames_in_buffer >> cycle.frames_tracked >> cycle.mean_velocity;
+      const auto setting = setting_from_size(size);
+      if (!ls || !setting) return std::nullopt;
+      cycle.setting = *setting;
+      run.cycles.push_back(cycle);
+    } else if (tag == "frame") {
+      FrameResult frame;
+      std::string source;
+      int size = 0;
+      std::size_t boxes = 0;
+      ls >> frame.frame_index >> source >> size >> frame.staleness_ms >> boxes;
+      const auto parsed_source = parse_source(source);
+      const auto setting = setting_from_size(size);
+      if (!ls || !parsed_source || !setting) return std::nullopt;
+      frame.source = *parsed_source;
+      frame.setting = *setting;
+      for (std::size_t b = 0; b < boxes; ++b) {
+        int cls = 0;
+        geometry::BoundingBox box;
+        ls >> cls >> box.left >> box.top >> box.width >> box.height;
+        if (!ls || cls < 0 || cls >= video::kNumObjectClasses) {
+          return std::nullopt;
+        }
+        frame.boxes.push_back({box, static_cast<video::ObjectClass>(cls)});
+      }
+      if (!saw_video ||
+          frame.frame_index < 0 ||
+          static_cast<std::size_t>(frame.frame_index) >= run.frames.size()) {
+        return std::nullopt;
+      }
+      run.frames[static_cast<std::size_t>(frame.frame_index)] = std::move(frame);
+    } else {
+      return std::nullopt;  // unknown record
+    }
+  }
+  if (!saw_video) return std::nullopt;
+  return run;
+}
+
+std::optional<RunResult> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_trace(in);
+}
+
+}  // namespace adavp::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/run_result.h"
+
+namespace adavp::core {
+
+/// Runtime trace storage (§V "Data storage"): the paper saves frame
+/// numbers, object class labels, object locations and motions during the
+/// run, then trains the adaptation module and computes accuracy offline
+/// from the saved data. This module serializes a RunResult to a
+/// line-oriented text format and loads it back, so scoring (core/scoring)
+/// can run on traces produced by another process or an earlier session.
+///
+/// Format (`# adavp-trace v1` header, whitespace-separated):
+///   video <frame_count> <timeline_ms> <latency_multiplier> <switches>
+///   cycle <detected_frame> <input_size> <start_ms> <end_ms> <f> <h> <velocity>
+///   frame <index> <source> <input_size> <staleness_ms> <n> {<cls> <l> <t> <w> <h>}*n
+
+/// Writes `run` to `out`. Returns false on stream failure.
+bool write_trace(const RunResult& run, std::ostream& out);
+
+/// Convenience: writes to a file path.
+bool write_trace_file(const RunResult& run, const std::string& path);
+
+/// Parses a trace; nullopt when the header/records are malformed.
+std::optional<RunResult> read_trace(std::istream& in);
+
+/// Convenience: reads from a file path.
+std::optional<RunResult> read_trace_file(const std::string& path);
+
+}  // namespace adavp::core

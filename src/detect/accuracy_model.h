@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "detect/calibration.h"
+#include "detect/detection.h"
+#include "geometry/point.h"
+#include "util/rng.h"
+#include "video/scene.h"
+
+namespace adavp::detect {
+
+/// Turns exact ground truth into the noisy detections a YOLOv3 run at a
+/// given input size would produce.
+///
+/// Noise channels, per ModelProfile:
+///  * misses          — each object is found with `detect_prob`, scaled
+///                      down for objects smaller than `min_side_frac` of
+///                      the frame's short side (small objects vanish first
+///                      at small input sizes);
+///  * mislabels       — found objects swap to a confusable class with
+///                      `mislabel_prob` (the car<->truck mistakes of Fig. 5);
+///  * localization    — box centers and sizes get Gaussian noise, which
+///                      costs true positives at strict IoU thresholds
+///                      (Fig. 11's IoU 0.6 sweep);
+///  * ghosts          — near-duplicate spurious boxes with `ghost_prob`;
+///  * background FPs  — Poisson(`bg_fp_per_frame`) random boxes.
+///
+/// The oracle setting (YOLOv3-704) returns the ground truth unchanged,
+/// matching the paper's use of YOLOv3-704 output as ground truth.
+class AccuracyModel {
+ public:
+  explicit AccuracyModel(std::uint64_t seed = 11) : rng_(seed) {}
+
+  /// `frame_index` is reserved for content-dependent difficulty extensions.
+  std::vector<Detection> detect(const std::vector<video::GroundTruthObject>& truth,
+                                const geometry::Size& frame_size,
+                                ModelSetting setting, int frame_index = 0);
+
+ private:
+  Detection perturb(const video::GroundTruthObject& object,
+                    const geometry::Size& frame_size,
+                    const ModelProfile& profile, double noise_scale = 1.0);
+
+  util::Rng rng_;
+};
+
+}  // namespace adavp::detect

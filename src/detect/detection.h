@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "detect/model_setting.h"
+#include "geometry/box.h"
+#include "video/object_class.h"
+
+namespace adavp::detect {
+
+/// One detected object: label + bounding box + confidence, exactly the
+/// tuple the paper's detector hands to the tracker.
+struct Detection {
+  geometry::BoundingBox box;
+  video::ObjectClass cls = video::ObjectClass::kCar;
+  float score = 0.0f;
+};
+
+/// Result of running the detector on one frame.
+struct DetectionResult {
+  int frame_index = 0;
+  ModelSetting setting = ModelSetting::kYolov3_608;
+  double latency_ms = 0.0;  ///< simulated GPU inference time
+  std::vector<Detection> detections;
+};
+
+}  // namespace adavp::detect

@@ -1,0 +1,22 @@
+#include "detect/detector.h"
+
+namespace adavp::detect {
+
+DetectionResult SimulatedDetector::detect(const video::SyntheticVideo& video,
+                                          int frame_index, ModelSetting setting) {
+  return detect(video.ground_truth(frame_index), video.frame_size(), frame_index,
+                setting);
+}
+
+DetectionResult SimulatedDetector::detect(
+    const std::vector<video::GroundTruthObject>& truth,
+    const geometry::Size& frame_size, int frame_index, ModelSetting setting) {
+  DetectionResult result;
+  result.frame_index = frame_index;
+  result.setting = setting;
+  result.latency_ms = latency_.sample_ms(setting);
+  result.detections = accuracy_.detect(truth, frame_size, setting, frame_index);
+  return result;
+}
+
+}  // namespace adavp::detect

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "detect/accuracy_model.h"
+#include "detect/detection.h"
+#include "detect/latency_model.h"
+#include "video/scene.h"
+
+namespace adavp::detect {
+
+/// The DNN object detector of the pipeline.
+///
+/// The paper runs YOLOv3 (PyTorch + CUDA) on the Jetson TX2 GPU; this
+/// workspace has no GPU, so the detector is a calibrated simulator: it
+/// consumes the synthetic video's ground truth for the frame, degrades it
+/// through `AccuracyModel`, and reports a latency drawn from
+/// `LatencyModel`. From the pipeline's point of view the interface is
+/// identical to a real detector — (frame in) -> (boxes + labels + time).
+///
+/// The key YOLOv3 property the paper exploits — the input size can be
+/// switched at runtime without reloading weights — corresponds here to
+/// passing a different ModelSetting per call; `set_setting` costs
+/// `kSettingSwitchMs` as in §IV-D3.
+class SimulatedDetector {
+ public:
+  explicit SimulatedDetector(std::uint64_t seed = 41)
+      : accuracy_(seed), latency_(seed ^ 0x5D5D5D5DULL) {}
+
+  /// Runs "inference" on frame `frame_index` of `video` at `setting`.
+  DetectionResult detect(const video::SyntheticVideo& video, int frame_index,
+                         ModelSetting setting);
+
+  /// As above but with explicit truth (used by unit tests and Fig. 1).
+  DetectionResult detect(const std::vector<video::GroundTruthObject>& truth,
+                         const geometry::Size& frame_size, int frame_index,
+                         ModelSetting setting);
+
+ private:
+  AccuracyModel accuracy_;
+  LatencyModel latency_;
+};
+
+}  // namespace adavp::detect

@@ -1,0 +1,17 @@
+#include "detect/latency_model.h"
+
+#include <algorithm>
+
+namespace adavp::detect {
+
+double LatencyModel::mean_latency_ms(ModelSetting setting) {
+  return model_profile(setting).latency_ms;
+}
+
+double LatencyModel::sample_ms(ModelSetting setting) {
+  const ModelProfile& profile = model_profile(setting);
+  const double draw = rng_.gaussian(profile.latency_ms, profile.latency_jitter);
+  return std::max(profile.latency_ms * 0.5, draw);
+}
+
+}  // namespace adavp::detect

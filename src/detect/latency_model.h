@@ -1,0 +1,29 @@
+#pragma once
+
+#include "detect/calibration.h"
+#include "detect/model_setting.h"
+#include "util/rng.h"
+
+namespace adavp::detect {
+
+/// Samples per-frame DNN inference latency for a model setting.
+///
+/// The mean values reproduce Fig. 1 / Table II (230 ms at 320^2 up to
+/// 500 ms at 608^2, ~55 ms for YOLOv3-tiny); a small Gaussian jitter
+/// models the measurement spread, clamped so latency never goes below
+/// half the mean.
+class LatencyModel {
+ public:
+  explicit LatencyModel(std::uint64_t seed = 7) : rng_(seed) {}
+
+  /// Mean latency of a setting (deterministic; used by planners/tests).
+  static double mean_latency_ms(ModelSetting setting);
+
+  /// One sampled latency draw.
+  double sample_ms(ModelSetting setting);
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace adavp::detect

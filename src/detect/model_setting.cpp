@@ -1,0 +1,40 @@
+#include "detect/model_setting.h"
+
+namespace adavp::detect {
+
+int input_size(ModelSetting setting) {
+  switch (setting) {
+    case ModelSetting::kYolov3_320: return 320;
+    case ModelSetting::kYolov3_416: return 416;
+    case ModelSetting::kYolov3_512: return 512;
+    case ModelSetting::kYolov3_608: return 608;
+    case ModelSetting::kYolov3Tiny_320: return 320;
+    case ModelSetting::kYolov3_704_Oracle: return 704;
+  }
+  return 0;
+}
+
+std::string_view setting_name(ModelSetting setting) {
+  switch (setting) {
+    case ModelSetting::kYolov3_320: return "YOLOv3-320";
+    case ModelSetting::kYolov3_416: return "YOLOv3-416";
+    case ModelSetting::kYolov3_512: return "YOLOv3-512";
+    case ModelSetting::kYolov3_608: return "YOLOv3-608";
+    case ModelSetting::kYolov3Tiny_320: return "YOLOv3-tiny-320";
+    case ModelSetting::kYolov3_704_Oracle: return "YOLOv3-704";
+  }
+  return "unknown";
+}
+
+bool is_adaptive(ModelSetting setting) {
+  return adaptive_index(setting).has_value();
+}
+
+std::optional<int> adaptive_index(ModelSetting setting) {
+  for (std::size_t i = 0; i < kAdaptiveSettings.size(); ++i) {
+    if (kAdaptiveSettings[i] == setting) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace adavp::detect

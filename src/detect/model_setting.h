@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace adavp::detect {
+
+/// A YOLOv3 "model setting" — the network input size the paper switches at
+/// runtime (§IV-D) — plus the two auxiliary configurations used in the
+/// evaluation: YOLOv3-tiny-320 (motivation / Table III) and YOLOv3-704,
+/// which the paper uses as the ground-truth oracle (§III-A).
+enum class ModelSetting : int {
+  kYolov3_320 = 0,
+  kYolov3_416,
+  kYolov3_512,
+  kYolov3_608,
+  kYolov3Tiny_320,
+  kYolov3_704_Oracle,
+};
+
+/// The four adaptive settings, ordered small -> large. AdaVP's adaptation
+/// module selects among exactly these (§IV-D3).
+inline constexpr std::array<ModelSetting, 4> kAdaptiveSettings = {
+    ModelSetting::kYolov3_320, ModelSetting::kYolov3_416,
+    ModelSetting::kYolov3_512, ModelSetting::kYolov3_608};
+
+/// Network input side length in pixels (320/416/512/608/704).
+int input_size(ModelSetting setting);
+
+/// Display name, e.g. "YOLOv3-512".
+std::string_view setting_name(ModelSetting setting);
+
+/// True for one of the four adaptive settings.
+bool is_adaptive(ModelSetting setting);
+
+/// Index of an adaptive setting in kAdaptiveSettings, nullopt otherwise.
+std::optional<int> adaptive_index(ModelSetting setting);
+
+}  // namespace adavp::detect

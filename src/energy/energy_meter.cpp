@@ -1,0 +1,40 @@
+#include "energy/energy_meter.h"
+
+#include <algorithm>
+
+namespace adavp::energy {
+
+namespace {
+constexpr double kMsToHours = 1.0 / 3'600'000.0;
+}
+
+void EnergyMeter::add_gpu_busy(double power_w, double duration_ms) {
+  if (duration_ms <= 0.0) return;
+  gpu_joules_ += power_w * duration_ms / 1000.0;
+  gpu_busy_ms_ += duration_ms;
+}
+
+void EnergyMeter::add_cpu_busy(double power_w, double duration_ms) {
+  if (duration_ms <= 0.0) return;
+  cpu_joules_ += power_w * duration_ms / 1000.0;
+  cpu_busy_ms_ += duration_ms;
+}
+
+RailEnergy EnergyMeter::finish(double total_duration_ms) const {
+  const double gpu_idle_ms = std::max(0.0, total_duration_ms - gpu_busy_ms_);
+  const double cpu_idle_ms = std::max(0.0, total_duration_ms - cpu_busy_ms_);
+
+  RailEnergy out;
+  out.gpu_wh = (gpu_joules_ + PowerModel::gpu_idle_w() * gpu_idle_ms / 1000.0) /
+               3600.0;
+  out.cpu_wh = (cpu_joules_ + PowerModel::cpu_idle_w() * cpu_idle_ms / 1000.0) /
+               3600.0;
+  const double hours = total_duration_ms * kMsToHours;
+  out.soc_wh = PowerModel::kSocBaseW * hours + PowerModel::kSocPerGpu * out.gpu_wh +
+               PowerModel::kSocPerCpu * out.cpu_wh;
+  out.ddr_wh = PowerModel::kDdrBaseW * hours + PowerModel::kDdrPerGpu * out.gpu_wh +
+               PowerModel::kDdrPerCpu * out.cpu_wh;
+  return out;
+}
+
+}  // namespace adavp::energy

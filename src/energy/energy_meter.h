@@ -1,0 +1,51 @@
+#pragma once
+
+#include "energy/power_model.h"
+
+namespace adavp::energy {
+
+/// Per-rail energy, in watt-hours (the unit Table III uses).
+struct RailEnergy {
+  double gpu_wh = 0.0;
+  double cpu_wh = 0.0;
+  double soc_wh = 0.0;
+  double ddr_wh = 0.0;
+
+  double total_wh() const { return gpu_wh + cpu_wh + soc_wh + ddr_wh; }
+
+  /// Scales all rails by `factor` (used to normalize a short benchmark run
+  /// to the paper's full-dataset duration).
+  RailEnergy scaled(double factor) const {
+    return {gpu_wh * factor, cpu_wh * factor, soc_wh * factor, ddr_wh * factor};
+  }
+};
+
+/// Integrates rail power over the pipeline's (virtual) timeline.
+///
+/// The pipeline reports GPU-busy and CPU-busy segments; idle remainders
+/// are filled in at `finish(total_duration)`. SoC/DDR energy follows from
+/// the affine rail model, which makes the integral a linear function of
+/// GPU energy, CPU energy and elapsed time (see PowerModel).
+class EnergyMeter {
+ public:
+  /// Accounts a GPU-busy segment at `power_w` for `duration_ms`.
+  void add_gpu_busy(double power_w, double duration_ms);
+
+  /// Accounts a CPU-busy segment at `power_w` for `duration_ms`.
+  void add_cpu_busy(double power_w, double duration_ms);
+
+  /// Completes integration for a run of `total_duration_ms`, padding the
+  /// rails with idle power for the unaccounted time, and returns energies.
+  RailEnergy finish(double total_duration_ms) const;
+
+  double gpu_busy_ms() const { return gpu_busy_ms_; }
+  double cpu_busy_ms() const { return cpu_busy_ms_; }
+
+ private:
+  double gpu_joules_ = 0.0;  // accumulated as W * s
+  double cpu_joules_ = 0.0;
+  double gpu_busy_ms_ = 0.0;
+  double cpu_busy_ms_ = 0.0;
+};
+
+}  // namespace adavp::energy

@@ -1,0 +1,40 @@
+#include "energy/power_model.h"
+
+namespace adavp::energy {
+
+double PowerModel::gpu_detect_w(detect::ModelSetting setting, bool continuous) {
+  if (continuous) {
+    switch (setting) {
+      case detect::ModelSetting::kYolov3_320: return 3.96;
+      case detect::ModelSetting::kYolov3_416: return 4.35;
+      case detect::ModelSetting::kYolov3_512: return 4.75;
+      case detect::ModelSetting::kYolov3_608: return 5.11;
+      case detect::ModelSetting::kYolov3Tiny_320: return 1.74;
+      case detect::ModelSetting::kYolov3_704_Oracle: return 5.4;
+    }
+    return 4.0;
+  }
+  switch (setting) {
+    case detect::ModelSetting::kYolov3_320: return 2.25;
+    case detect::ModelSetting::kYolov3_416: return 2.45;
+    case detect::ModelSetting::kYolov3_512: return 2.70;
+    case detect::ModelSetting::kYolov3_608: return 2.90;
+    case detect::ModelSetting::kYolov3Tiny_320: return 1.30;
+    case detect::ModelSetting::kYolov3_704_Oracle: return 3.1;
+  }
+  return 2.5;
+}
+
+double PowerModel::cpu_feed_w(detect::ModelSetting setting) {
+  switch (setting) {
+    case detect::ModelSetting::kYolov3Tiny_320: return 1.33;
+    case detect::ModelSetting::kYolov3_320: return 0.73;
+    case detect::ModelSetting::kYolov3_416: return 0.60;
+    case detect::ModelSetting::kYolov3_512: return 0.52;
+    case detect::ModelSetting::kYolov3_608: return 0.46;
+    case detect::ModelSetting::kYolov3_704_Oracle: return 0.42;
+  }
+  return 0.6;
+}
+
+}  // namespace adavp::energy

@@ -1,0 +1,31 @@
+#include "geometry/box.h"
+
+#include <algorithm>
+
+namespace adavp::geometry {
+
+BoundingBox intersect(const BoundingBox& a, const BoundingBox& b) {
+  const float l = std::max(a.left, b.left);
+  const float t = std::max(a.top, b.top);
+  const float r = std::min(a.right(), b.right());
+  const float btm = std::min(a.bottom(), b.bottom());
+  return {l, t, r - l, btm - t};
+}
+
+float iou(const BoundingBox& a, const BoundingBox& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  const float inter = intersect(a, b).area();
+  const float uni = a.area() + b.area() - inter;
+  if (uni <= 0.0f) return 0.0f;
+  return inter / uni;
+}
+
+BoundingBox clamp_to(const BoundingBox& box, const Size& image) {
+  const float l = std::clamp(box.left, 0.0f, static_cast<float>(image.width));
+  const float t = std::clamp(box.top, 0.0f, static_cast<float>(image.height));
+  const float r = std::clamp(box.right(), 0.0f, static_cast<float>(image.width));
+  const float b = std::clamp(box.bottom(), 0.0f, static_cast<float>(image.height));
+  return {l, t, r - l, b - t};
+}
+
+}  // namespace adavp::geometry

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "geometry/point.h"
+
+namespace adavp::geometry {
+
+/// Axis-aligned bounding box in the paper's 4-tuple representation
+/// (left, top, width, height), in pixels. A box with non-positive width or
+/// height is "empty" and has zero area.
+struct BoundingBox {
+  float left = 0.0f;
+  float top = 0.0f;
+  float width = 0.0f;
+  float height = 0.0f;
+
+  BoundingBox() = default;
+  BoundingBox(float l, float t, float w, float h)
+      : left(l), top(t), width(w), height(h) {}
+
+  float right() const { return left + width; }
+  float bottom() const { return top + height; }
+  float area() const { return empty() ? 0.0f : width * height; }
+  bool empty() const { return width <= 0.0f || height <= 0.0f; }
+  Point2f center() const { return {left + width / 2.0f, top + height / 2.0f}; }
+
+  /// Returns the box translated by `delta` (the tracker's motion-vector
+  /// shift from step 5 of the paper's tracker workflow).
+  BoundingBox shifted(const Point2f& delta) const {
+    return {left + delta.x, top + delta.y, width, height};
+  }
+
+  /// True when `p` lies inside the half-open box [left,right) x [top,bottom).
+  bool contains(const Point2f& p) const {
+    return p.x >= left && p.x < right() && p.y >= top && p.y < bottom();
+  }
+
+  bool operator==(const BoundingBox& o) const = default;
+};
+
+/// Intersection box (empty if the boxes do not overlap).
+BoundingBox intersect(const BoundingBox& a, const BoundingBox& b);
+
+/// Intersection-over-Union (Eq. 2 of the paper). Returns 0 when either box
+/// is empty.
+float iou(const BoundingBox& a, const BoundingBox& b);
+
+/// Clamps the box to the image rectangle [0,w) x [0,h); may become empty.
+BoundingBox clamp_to(const BoundingBox& box, const Size& image);
+
+}  // namespace adavp::geometry

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cmath>
+
+namespace adavp::geometry {
+
+/// 2-D point / vector in pixel coordinates (x right, y down).
+struct Point2f {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  Point2f() = default;
+  Point2f(float px, float py) : x(px), y(py) {}
+
+  Point2f operator+(const Point2f& o) const { return {x + o.x, y + o.y}; }
+  Point2f operator-(const Point2f& o) const { return {x - o.x, y - o.y}; }
+  Point2f operator*(float s) const { return {x * s, y * s}; }
+  Point2f& operator+=(const Point2f& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point2f& operator-=(const Point2f& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  bool operator==(const Point2f& o) const { return x == o.x && y == o.y; }
+
+  /// Euclidean length of the vector.
+  float norm() const { return std::sqrt(x * x + y * y); }
+};
+
+/// Integer width x height.
+struct Size {
+  int width = 0;
+  int height = 0;
+
+  bool operator==(const Size& o) const = default;
+  long long area() const {
+    return static_cast<long long>(width) * static_cast<long long>(height);
+  }
+};
+
+}  // namespace adavp::geometry

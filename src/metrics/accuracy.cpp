@@ -1,0 +1,29 @@
+#include "metrics/accuracy.h"
+
+namespace adavp::metrics {
+
+double video_accuracy(std::span<const double> f1_per_frame, double alpha) {
+  if (f1_per_frame.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (double f1 : f1_per_frame) {
+    if (f1 >= alpha) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(f1_per_frame.size());
+}
+
+double dataset_accuracy(const std::vector<std::vector<double>>& f1_per_video,
+                        double alpha) {
+  if (f1_per_video.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& video : f1_per_video) {
+    acc += video_accuracy(video, alpha);
+  }
+  return acc / static_cast<double>(f1_per_video.size());
+}
+
+double relative_gain(double ours, double baseline) {
+  if (baseline <= 0.0) return 0.0;
+  return (ours - baseline) / baseline;
+}
+
+}  // namespace adavp::metrics

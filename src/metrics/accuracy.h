@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace adavp::metrics {
+
+/// The paper's video-level accuracy metric (§VI-A): the fraction of frames
+/// whose per-frame F1 is at least `alpha` (default 0.7). "If the accuracy
+/// of a video is 0.6, it means there are 60% frames with F1 higher
+/// than 0.7."
+double video_accuracy(std::span<const double> f1_per_frame, double alpha = 0.7);
+
+/// Average of per-video accuracies (the paper's dataset-level number:
+/// "we use the average percentage per video").
+double dataset_accuracy(const std::vector<std::vector<double>>& f1_per_video,
+                        double alpha = 0.7);
+
+/// Relative improvement of `ours` over `baseline` as the paper reports it
+/// ("improves the accuracy ... by up to 43.9%"): (ours - base) / base.
+double relative_gain(double ours, double baseline);
+
+}  // namespace adavp::metrics

@@ -1,0 +1,98 @@
+#include "metrics/map.h"
+
+#include <algorithm>
+#include <set>
+
+namespace adavp::metrics {
+
+ApResult average_precision(const std::vector<FrameDetections>& frames,
+                           video::ObjectClass cls, double iou_threshold) {
+  ApResult result;
+
+  struct Ranked {
+    float score;
+    std::size_t frame;
+    std::size_t det_index;
+  };
+  std::vector<Ranked> ranked;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    for (std::size_t d = 0; d < frames[f].detections.size(); ++d) {
+      if (frames[f].detections[d].cls == cls) {
+        ranked.push_back({frames[f].detections[d].score, f, d});
+      }
+    }
+    for (const auto& gt : frames[f].truth) {
+      if (gt.cls == cls) ++result.gt_count;
+    }
+  }
+  result.detections = static_cast<int>(ranked.size());
+  if (result.gt_count == 0 || ranked.empty()) return result;
+
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) { return a.score > b.score; });
+
+  // Per-frame per-GT "claimed" flags.
+  std::vector<std::vector<bool>> claimed(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    claimed[f].assign(frames[f].truth.size(), false);
+  }
+
+  int tp = 0;
+  int fp = 0;
+  for (const Ranked& entry : ranked) {
+    const auto& frame = frames[entry.frame];
+    const auto& det = frame.detections[entry.det_index];
+    float best_iou = 0.0f;
+    int best_gt = -1;
+    for (std::size_t g = 0; g < frame.truth.size(); ++g) {
+      if (frame.truth[g].cls != cls || claimed[entry.frame][g]) continue;
+      const float overlap = geometry::iou(det.box, frame.truth[g].box);
+      if (overlap > best_iou) {
+        best_iou = overlap;
+        best_gt = static_cast<int>(g);
+      }
+    }
+    if (best_gt >= 0 && best_iou >= static_cast<float>(iou_threshold)) {
+      claimed[entry.frame][static_cast<std::size_t>(best_gt)] = true;
+      ++tp;
+    } else {
+      ++fp;
+    }
+    result.pr_curve.push_back(
+        {static_cast<double>(tp) / result.gt_count,
+         static_cast<double>(tp) / static_cast<double>(tp + fp)});
+  }
+
+  // Area under the precision envelope (all-points interpolation): at each
+  // recall step take the maximum precision achieved at that or any higher
+  // recall.
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < result.pr_curve.size(); ++i) {
+    double max_precision = 0.0;
+    for (std::size_t j = i; j < result.pr_curve.size(); ++j) {
+      max_precision = std::max(max_precision, result.pr_curve[j].second);
+    }
+    const double recall = result.pr_curve[i].first;
+    ap += (recall - prev_recall) * max_precision;
+    prev_recall = recall;
+  }
+  result.ap = ap;
+  return result;
+}
+
+double mean_average_precision(const std::vector<FrameDetections>& frames,
+                              double iou_threshold) {
+  std::set<video::ObjectClass> classes;
+  for (const auto& frame : frames) {
+    for (const auto& gt : frame.truth) classes.insert(gt.cls);
+  }
+  if (classes.empty()) return 0.0;
+  double sum = 0.0;
+  for (video::ObjectClass cls : classes) {
+    sum += average_precision(frames, cls, iou_threshold).ap;
+  }
+  return sum / static_cast<double>(classes.size());
+}
+
+}  // namespace adavp::metrics

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "metrics/matching.h"
+
+namespace adavp::metrics {
+
+/// Detections + ground truth of one frame, the unit of AP evaluation.
+struct FrameDetections {
+  std::vector<detect::Detection> detections;
+  std::vector<video::GroundTruthObject> truth;
+};
+
+/// Average-precision result for one class.
+struct ApResult {
+  double ap = 0.0;       ///< area under the interpolated PR curve
+  int gt_count = 0;      ///< ground-truth instances of the class
+  int detections = 0;    ///< detections of the class
+  /// (recall, precision) points in ranking order (one per detection).
+  std::vector<std::pair<double, double>> pr_curve;
+};
+
+/// Average precision of one class over a sequence of frames, VOC-style:
+/// detections ranked by confidence, matched greedily (highest IoU first,
+/// each ground-truth object claimed once per frame), AP computed as the
+/// area under the precision envelope.
+ApResult average_precision(const std::vector<FrameDetections>& frames,
+                           video::ObjectClass cls, double iou_threshold = 0.5);
+
+/// Mean AP over all classes that appear in the ground truth.
+double mean_average_precision(const std::vector<FrameDetections>& frames,
+                              double iou_threshold = 0.5);
+
+}  // namespace adavp::metrics

@@ -1,0 +1,69 @@
+#include "metrics/matching.h"
+
+#include <algorithm>
+
+namespace adavp::metrics {
+
+namespace {
+
+struct Pair {
+  float iou;
+  std::size_t det;
+  std::size_t gt;
+};
+
+template <typename BoxGetter, typename ClsGetter, typename Container>
+FrameScore score_impl(const Container& detections,
+                      const std::vector<video::GroundTruthObject>& truth,
+                      double iou_threshold, BoxGetter get_box, ClsGetter get_cls) {
+  std::vector<Pair> pairs;
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    for (std::size_t g = 0; g < truth.size(); ++g) {
+      if (get_cls(detections[d]) != truth[g].cls) continue;
+      const float overlap = geometry::iou(get_box(detections[d]), truth[g].box);
+      if (overlap >= static_cast<float>(iou_threshold)) {
+        pairs.push_back({overlap, d, g});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+
+  std::vector<bool> det_used(detections.size(), false);
+  std::vector<bool> gt_used(truth.size(), false);
+  int tp = 0;
+  for (const Pair& p : pairs) {
+    if (det_used[p.det] || gt_used[p.gt]) continue;
+    det_used[p.det] = true;
+    gt_used[p.gt] = true;
+    ++tp;
+  }
+
+  FrameScore score;
+  score.true_positives = tp;
+  score.false_positives = static_cast<int>(detections.size()) - tp;
+  score.false_negatives = static_cast<int>(truth.size()) - tp;
+  return score;
+}
+
+}  // namespace
+
+FrameScore score_frame(const std::vector<detect::Detection>& detections,
+                       const std::vector<video::GroundTruthObject>& truth,
+                       double iou_threshold) {
+  return score_impl(
+      detections, truth, iou_threshold,
+      [](const detect::Detection& d) -> const geometry::BoundingBox& { return d.box; },
+      [](const detect::Detection& d) { return d.cls; });
+}
+
+FrameScore score_boxes(const std::vector<LabeledBox>& boxes,
+                       const std::vector<video::GroundTruthObject>& truth,
+                       double iou_threshold) {
+  return score_impl(
+      boxes, truth, iou_threshold,
+      [](const LabeledBox& b) -> const geometry::BoundingBox& { return b.box; },
+      [](const LabeledBox& b) { return b.cls; });
+}
+
+}  // namespace adavp::metrics

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "detect/detection.h"
+#include "video/scene.h"
+
+namespace adavp::metrics {
+
+/// Per-frame precision / recall / F1 (Eq. 1 of the paper: the harmonic
+/// mean of precision and recall) computed from IoU + label matching
+/// (Eq. 2, default IoU threshold 0.5).
+struct FrameScore {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+
+  double precision() const {
+    const int denom = true_positives + false_positives;
+    return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+  }
+  double recall() const {
+    const int denom = true_positives + false_negatives;
+    return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    // Edge case: an empty frame with no detections is a perfect result.
+    if (true_positives + false_positives + false_negatives == 0) return 1.0;
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+/// Matches detections against ground truth: a detection is a true positive
+/// when it has the same label as an unmatched ground-truth object and
+/// IoU >= `iou_threshold`. Matching is greedy by decreasing IoU, each
+/// detection and each ground-truth object used at most once.
+FrameScore score_frame(const std::vector<detect::Detection>& detections,
+                       const std::vector<video::GroundTruthObject>& truth,
+                       double iou_threshold = 0.5);
+
+/// Convenience overload scoring plain labelled boxes (tracker output).
+struct LabeledBox {
+  geometry::BoundingBox box;
+  video::ObjectClass cls = video::ObjectClass::kCar;
+};
+
+FrameScore score_boxes(const std::vector<LabeledBox>& boxes,
+                       const std::vector<video::GroundTruthObject>& truth,
+                       double iou_threshold = 0.5);
+
+}  // namespace adavp::metrics

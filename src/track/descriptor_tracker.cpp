@@ -1,0 +1,152 @@
+#include "track/descriptor_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adavp::track {
+
+namespace {
+
+/// Keypoints of one image restricted to a region, strongest first.
+std::vector<geometry::Point2f> detect_in_region(
+    const vision::ImageU8& frame, const geometry::BoundingBox& region,
+    const vision::FastParams& params, int budget) {
+  const vision::ImageU8 mask = vision::boxes_mask(frame.size(), {region});
+  vision::FastParams local = params;
+  local.max_corners = budget;
+  const auto keypoints = vision::fast_detect(frame, local, &mask);
+  std::vector<geometry::Point2f> out;
+  out.reserve(keypoints.size());
+  for (const auto& kp : keypoints) out.push_back(kp.position);
+  return out;
+}
+
+float median_of(std::vector<float> values) {
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  return values[mid];
+}
+
+}  // namespace
+
+DescriptorTracker::DescriptorTracker(DescriptorTrackerParams params)
+    : params_(std::move(params)) {}
+
+void DescriptorTracker::set_reference(
+    const vision::ImageU8& frame, const std::vector<detect::Detection>& detections) {
+  objects_.clear();
+  objects_.reserve(detections.size());
+  for (const auto& det : detections) {
+    TrackedObject obj;
+    obj.cls = det.cls;
+    obj.box = det.box;
+    obj.keypoints = detect_in_region(frame, det.box, params_.fast,
+                                     params_.max_features_per_box);
+    obj.descriptors = vision::brief_describe(frame, obj.keypoints);
+    obj.lost = obj.keypoints.empty();
+    objects_.push_back(std::move(obj));
+  }
+  frame_size_ = frame.size();
+}
+
+TrackStepStats DescriptorTracker::track_to(const vision::ImageU8& frame,
+                                           int frame_gap) {
+  TrackStepStats stats;
+  stats.frame_gap = std::max(1, frame_gap);
+  stats.live_objects = object_count();
+
+  const float margin =
+      params_.search_margin * static_cast<float>(stats.frame_gap);
+  const float max_disp =
+      params_.max_step_displacement * static_cast<float>(stats.frame_gap);
+  const geometry::Size frame_size = frame.size();
+
+  for (auto& obj : objects_) {
+    if (obj.lost || obj.descriptors.empty()) continue;
+    stats.features_attempted += static_cast<int>(obj.descriptors.size());
+
+    // Re-detect candidates in the inflated search window and match the
+    // reference descriptors into them.
+    const geometry::BoundingBox search{
+        obj.box.left - margin, obj.box.top - margin,
+        obj.box.width + 2.0f * margin, obj.box.height + 2.0f * margin};
+    const auto candidates = detect_in_region(
+        frame, geometry::clamp_to(search, frame_size), params_.fast,
+        params_.max_features_per_box * 4);
+    if (candidates.empty()) {
+      obj.lost = true;
+      continue;
+    }
+    const auto candidate_desc = vision::brief_describe(frame, candidates);
+    const auto matches =
+        vision::match_descriptors(obj.descriptors, candidate_desc,
+                                  params_.max_match_distance, params_.match_ratio);
+
+    // Per-object motion = median displacement over gated matches.
+    std::vector<float> dxs;
+    std::vector<float> dys;
+    std::vector<std::pair<int, int>> accepted;  // (ref idx, candidate idx)
+    for (const auto& match : matches) {
+      const geometry::Point2f delta =
+          candidates[static_cast<std::size_t>(match.train_index)] -
+          obj.keypoints[static_cast<std::size_t>(match.query_index)];
+      if (delta.norm() > max_disp) continue;
+      dxs.push_back(delta.x);
+      dys.push_back(delta.y);
+      accepted.push_back({match.query_index, match.train_index});
+    }
+    if (dxs.empty()) {
+      obj.lost = true;
+      continue;
+    }
+    const geometry::Point2f motion{median_of(dxs), median_of(dys)};
+    obj.box = obj.box.shifted(motion);
+
+    // Advance the keypoints that matched (and keep their reference
+    // descriptors), drop the rest.
+    std::vector<geometry::Point2f> next_points;
+    std::vector<vision::BriefDescriptor> next_desc;
+    for (const auto& [ref_index, cand_index] : accepted) {
+      next_points.push_back(candidates[static_cast<std::size_t>(cand_index)]);
+      next_desc.push_back(obj.descriptors[static_cast<std::size_t>(ref_index)]);
+      stats.displacement_sum +=
+          (candidates[static_cast<std::size_t>(cand_index)] -
+           obj.keypoints[static_cast<std::size_t>(ref_index)])
+              .norm();
+      ++stats.features_tracked;
+    }
+    obj.keypoints = std::move(next_points);
+    obj.descriptors = std::move(next_desc);
+
+    const geometry::BoundingBox visible = geometry::clamp_to(obj.box, frame_size);
+    if (visible.empty() || visible.area() < 0.2f * obj.box.area()) {
+      obj.lost = true;
+      obj.box = {};
+    }
+  }
+  frame_size_ = frame_size;
+  return stats;
+}
+
+std::vector<metrics::LabeledBox> DescriptorTracker::current_boxes() const {
+  std::vector<metrics::LabeledBox> out;
+  out.reserve(objects_.size());
+  for (const auto& obj : objects_) {
+    if (obj.box.empty()) continue;
+    const geometry::BoundingBox visible =
+        frame_size_.width > 0 ? geometry::clamp_to(obj.box, frame_size_) : obj.box;
+    if (!visible.empty()) out.push_back({visible, obj.cls});
+  }
+  return out;
+}
+
+int DescriptorTracker::live_feature_count() const {
+  int count = 0;
+  for (const auto& obj : objects_) {
+    if (!obj.lost) count += static_cast<int>(obj.keypoints.size());
+  }
+  return count;
+}
+
+}  // namespace adavp::track

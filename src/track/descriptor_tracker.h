@@ -1,0 +1,50 @@
+#pragma once
+
+#include "track/tracker.h"
+#include "track/tracker_interface.h"
+#include "vision/brief.h"
+#include "vision/fast_detector.h"
+
+namespace adavp::track {
+
+/// Tuning knobs of the FAST + BRIEF matching tracker.
+struct DescriptorTrackerParams {
+  vision::FastParams fast;        ///< keypoint detector inside the boxes
+  int max_features_per_box = 16;
+  float search_margin = 24.0f;    ///< box inflation for re-detection, px/frame-gap
+  int max_match_distance = 64;    ///< Hamming gate
+  double match_ratio = 0.85;      ///< Lowe ratio test
+  float max_step_displacement = 30.0f;  ///< per-frame motion gate
+};
+
+/// Feature-matching tracker backend: FAST corners + BRIEF descriptors,
+/// matched frame-to-frame inside an inflated search window around each
+/// object ("ORB-style"). One of the alternatives the paper evaluated in
+/// §IV-C; slower and less smooth than good-features + LK on this substrate
+/// (bench_ablations reproduces the comparison), but robust to large jumps.
+class DescriptorTracker : public TrackerInterface {
+ public:
+  explicit DescriptorTracker(DescriptorTrackerParams params = {});
+
+  void set_reference(const vision::ImageU8& frame,
+                     const std::vector<detect::Detection>& detections) override;
+  TrackStepStats track_to(const vision::ImageU8& frame, int frame_gap) override;
+  std::vector<metrics::LabeledBox> current_boxes() const override;
+  int object_count() const override { return static_cast<int>(objects_.size()); }
+  int live_feature_count() const override;
+
+ private:
+  struct TrackedObject {
+    video::ObjectClass cls;
+    geometry::BoundingBox box;
+    std::vector<geometry::Point2f> keypoints;          // positions in last frame
+    std::vector<vision::BriefDescriptor> descriptors;  // reference descriptors
+    bool lost = false;
+  };
+
+  DescriptorTrackerParams params_;
+  std::vector<TrackedObject> objects_;
+  geometry::Size frame_size_{};  // of the last processed frame
+};
+
+}  // namespace adavp::track

@@ -1,0 +1,39 @@
+#include "track/frame_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adavp::track {
+
+TrackingFrameSelector::TrackingFrameSelector(double initial_fraction)
+    : fraction_(std::clamp(initial_fraction, 0.05, 1.0)) {}
+
+std::vector<int> TrackingFrameSelector::select(int frames_available) const {
+  std::vector<int> offsets;
+  if (frames_available <= 0) return offsets;
+  const int h = std::clamp(
+      static_cast<int>(std::lround(fraction_ * frames_available)), 1,
+      frames_available);
+  // h offsets at regular intervals in (0, f], ending exactly at f so the
+  // final tracked frame is the newest one before the next detection.
+  offsets.reserve(static_cast<std::size_t>(h));
+  for (int k = 1; k <= h; ++k) {
+    const int offset = static_cast<int>(std::lround(
+        static_cast<double>(k) * frames_available / static_cast<double>(h)));
+    if (offsets.empty() || offset > offsets.back()) {
+      offsets.push_back(std::min(offset, frames_available));
+    }
+  }
+  if (offsets.empty() || offsets.back() != frames_available) {
+    offsets.push_back(frames_available);
+  }
+  return offsets;
+}
+
+void TrackingFrameSelector::update(int tracked, int available) {
+  if (available <= 0 || tracked <= 0) return;
+  const double p = static_cast<double>(tracked) / static_cast<double>(available);
+  fraction_ = std::clamp(p, 0.05, 1.0);
+}
+
+}  // namespace adavp::track

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+namespace adavp::track {
+
+/// The paper's tracking-frame-selection scheme (§IV-C).
+///
+/// Tracking + overlay of one frame costs more than a frame interval
+/// (Observation 4), so the tracker cannot process every buffered frame. It
+/// therefore tracks a *fraction* of them at regular intervals and lets the
+/// skipped frames reuse the previous result. The fraction for the current
+/// cycle is the measured throughput of the previous cycle:
+///     p = h_{t-1} / f_{t-1},   h_t = p * f_t
+/// where h is the number of frames actually tracked and f the number of
+/// frames that accumulated in the buffer.
+class TrackingFrameSelector {
+ public:
+  /// `initial_fraction` seeds p before any cycle has completed.
+  explicit TrackingFrameSelector(double initial_fraction = 0.5);
+
+  /// Plans which of `frames_available` frames (1-based offsets from the
+  /// reference frame) to track this cycle: h = clamp(round(p*f), 1, f)
+  /// offsets spaced at regular intervals, always ending at the newest
+  /// frame so results stay fresh. Empty when `frames_available <= 0`.
+  std::vector<int> select(int frames_available) const;
+
+  /// Records the outcome of a finished cycle (h frames tracked out of f).
+  void update(int tracked, int available);
+
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+}  // namespace adavp::track

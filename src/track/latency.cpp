@@ -1,0 +1,42 @@
+#include "track/latency.h"
+
+#include <algorithm>
+
+#include "detect/calibration.h"
+
+namespace adavp::track {
+
+namespace {
+
+/// Deterministic core of the tracking-latency curve: 7 ms floor, saturating
+/// toward 20 ms as the scene fills up (8 objects / 80 features is "full").
+double tracking_core_ms(int num_objects, int num_features) {
+  const double object_load = std::min(1.0, num_objects / 8.0);
+  const double feature_load = std::min(1.0, num_features / 80.0);
+  const double load = 0.6 * object_load + 0.4 * feature_load;
+  return detect::kTrackingMinMs +
+         (detect::kTrackingMaxMs - detect::kTrackingMinMs) * load;
+}
+
+}  // namespace
+
+double TrackLatencyModel::feature_extraction_ms() {
+  return std::max(20.0, rng_.gaussian(detect::kFeatureExtractionMs, 3.0));
+}
+
+double TrackLatencyModel::tracking_ms(int num_objects, int num_features) {
+  const double core = tracking_core_ms(num_objects, num_features);
+  return std::clamp(rng_.gaussian(core, 1.0), detect::kTrackingMinMs,
+                    detect::kTrackingMaxMs);
+}
+
+double TrackLatencyModel::overlay_ms() {
+  return std::max(30.0, rng_.gaussian(detect::kOverlayMs, 2.5));
+}
+
+double TrackLatencyModel::mean_track_and_overlay_ms(int num_objects,
+                                                    int num_features) {
+  return tracking_core_ms(num_objects, num_features) + detect::kOverlayMs;
+}
+
+}  // namespace adavp::track

@@ -1,0 +1,49 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+namespace adavp::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace adavp::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adavp::util {
+
+/// Tiny command-line option parser for the example binaries.
+///
+/// Accepts `--key=value`, `--key value`, and bare `--flag` forms; anything
+/// not starting with `--` is collected as a positional argument.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adavp::util

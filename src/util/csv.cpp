@@ -1,0 +1,50 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace adavp::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  row(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double d : cells) {
+    std::ostringstream ss;
+    ss << d;
+    text.push_back(ss.str());
+  }
+  row(text);
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace adavp::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adavp::util {
+
+/// Minimal CSV file writer used by benchmarks and examples to dump series
+/// that figures are plotted from. Values containing commas/quotes/newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file. Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes a row of already-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Writes a row of doubles with default formatting.
+  void row(const std::vector<double>& cells);
+
+  /// Flushes buffered output to disk.
+  void flush();
+
+  /// Escapes one cell per RFC 4180 (exposed for testing).
+  static std::string escape(std::string_view cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace adavp::util

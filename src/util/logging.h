@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace adavp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line (thread-safe) to stderr as
+/// `[LEVEL] message`. Prefer the LOG_* macros below.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace adavp::util
+
+#define ADAVP_LOG_DEBUG ::adavp::util::detail::LogLine(::adavp::util::LogLevel::kDebug)
+#define ADAVP_LOG_INFO ::adavp::util::detail::LogLine(::adavp::util::LogLevel::kInfo)
+#define ADAVP_LOG_WARN ::adavp::util::detail::LogLine(::adavp::util::LogLevel::kWarn)
+#define ADAVP_LOG_ERROR ::adavp::util::detail::LogLine(::adavp::util::LogLevel::kError)

@@ -1,0 +1,106 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adavp::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 100.0);
+  const double pos = q / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  std::vector<CdfPoint> out;
+  if (xs.empty()) return out;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double n = static_cast<double>(v.size());
+  std::size_t i = 0;
+  while (i < v.size()) {
+    std::size_t j = i;
+    while (j + 1 < v.size() && v[j + 1] == v[i]) ++j;
+    out.push_back({v[i], static_cast<double>(j + 1) / n});
+    i = j + 1;
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  long idx = 0;
+  if (span > 0) {
+    idx = static_cast<long>((x - lo_) / span * static_cast<double>(counts_.size()));
+  }
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+}  // namespace adavp::util

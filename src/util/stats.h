@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adavp::util {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `xs`; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Linear-interpolated percentile, `q` in [0,100]. Sorts a copy of `xs`.
+/// Returns 0 for an empty span.
+double percentile(std::span<const double> xs, double q);
+
+/// Median shorthand.
+double median(std::span<const double> xs);
+
+/// One point on an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;        ///< sample value
+  double cumulative = 0.0;   ///< P(X <= value), in (0, 1]
+};
+
+/// Builds the empirical CDF of `xs` (sorted unique values with cumulative
+/// probabilities). Returns an empty vector for empty input.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Center value of bucket `i`.
+  double bin_center(std::size_t i) const;
+  /// Fraction of all samples in bucket `i` (0 when empty).
+  double bin_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace adavp::util

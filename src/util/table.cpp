@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace adavp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print() const { std::cout << to_string(); }
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace adavp::util

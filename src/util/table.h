@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adavp::util {
+
+/// Console table used by benchmark binaries to print paper-style rows.
+/// Columns are sized to the widest cell; numbers should be pre-formatted
+/// by the caller (see `fmt`).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders the table (header, separator, rows) as a string.
+  std::string to_string() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt(double value, int digits = 2);
+
+/// Formats a value as a percentage string, e.g. 0.431 -> "43.1%".
+std::string fmt_pct(double fraction, int digits = 1);
+
+}  // namespace adavp::util

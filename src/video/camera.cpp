@@ -1,0 +1,45 @@
+#include "video/camera.h"
+
+#include <chrono>
+
+namespace adavp::video {
+
+CameraSource::CameraSource(const SyntheticVideo& video, FrameBuffer& buffer,
+                           double time_scale)
+    : video_(video), buffer_(buffer), time_scale_(time_scale) {}
+
+CameraSource::~CameraSource() { stop(); }
+
+void CameraSource::start() {
+  if (thread_.joinable()) return;
+  stop_requested_.store(false);
+  thread_ = std::thread([this] { run(); });
+}
+
+void CameraSource::stop() {
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void CameraSource::run() {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  for (int i = 0; i < video_.frame_count(); ++i) {
+    if (stop_requested_.load()) break;
+    // Wall-clock deadline of frame i under the scaled timeline.
+    const auto deadline =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        video_.timestamp_ms(i) / time_scale_));
+    std::this_thread::sleep_until(deadline);
+    Frame frame;
+    frame.index = i;
+    frame.timestamp_ms = video_.timestamp_ms(i);
+    frame.image = video_.render(i);
+    buffer_.push(std::move(frame));
+    frames_captured_.fetch_add(1);
+  }
+  buffer_.close();
+}
+
+}  // namespace adavp::video

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "video/frame_buffer.h"
+#include "video/scene.h"
+
+namespace adavp::video {
+
+/// Plays a SyntheticVideo into a FrameBuffer in real (scaled) time on its
+/// own thread, emulating the mobile camera of the paper's §IV-A. A
+/// `time_scale` > 1 runs faster than real time (used by tests so a
+/// 30-second experiment takes under a second of wall clock).
+class CameraSource {
+ public:
+  CameraSource(const SyntheticVideo& video, FrameBuffer& buffer,
+               double time_scale = 1.0);
+  ~CameraSource();
+
+  CameraSource(const CameraSource&) = delete;
+  CameraSource& operator=(const CameraSource&) = delete;
+
+  /// Starts the capture thread. Frames are pushed at fps * time_scale and
+  /// the buffer is closed when the video ends (or `stop()` is called).
+  void start();
+
+  /// Requests the capture thread to finish early and joins it.
+  void stop();
+
+  /// Frames pushed so far.
+  int frames_captured() const { return frames_captured_.load(); }
+
+ private:
+  void run();
+
+  const SyntheticVideo& video_;
+  FrameBuffer& buffer_;
+  double time_scale_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> frames_captured_{0};
+};
+
+}  // namespace adavp::video

@@ -1,0 +1,58 @@
+#include "video/frame_buffer.h"
+
+namespace adavp::video {
+
+void FrameBuffer::push(Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (frames_.size() >= capacity_) frames_.pop_front();
+    frames_.push_back(std::move(frame));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Frame> FrameBuffer::wait_newest() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !frames_.empty() || closed_; });
+  if (frames_.empty()) return std::nullopt;
+  return frames_.back();
+}
+
+std::optional<Frame> FrameBuffer::wait_newer(int after_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return (!frames_.empty() && frames_.back().index > after_index) || closed_;
+  });
+  if (frames_.empty() || frames_.back().index <= after_index) return std::nullopt;
+  return frames_.back();
+}
+
+std::vector<Frame> FrameBuffer::drain_up_to(int up_to_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Frame> out;
+  while (!frames_.empty() && frames_.front().index <= up_to_index) {
+    out.push_back(std::move(frames_.front()));
+    frames_.pop_front();
+  }
+  return out;
+}
+
+std::size_t FrameBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_.size();
+}
+
+void FrameBuffer::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool FrameBuffer::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace adavp::video

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "video/scene.h"
+
+namespace adavp::video {
+
+/// Thread-safe camera frame buffer (the paper's "Frame Buffer", §V:
+/// "implemented by using Queue data structure... we use lock to prevent
+/// data from being operated at the same time").
+///
+/// The camera thread pushes frames; the detector pops the *newest* frame
+/// (discarding nothing), and the tracker drains the frames accumulated
+/// before it. A bounded capacity drops the oldest frame on overflow, which
+/// is what a real camera ring buffer does.
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Appends a frame; drops the oldest when full. Wakes waiters.
+  void push(Frame frame);
+
+  /// Returns (a copy of) the newest frame without removing older ones, or
+  /// nullopt after `close()` with an empty buffer. Blocks until a frame is
+  /// available. This is the detector's "fetch the newest frame".
+  std::optional<Frame> wait_newest();
+
+  /// Like `wait_newest`, but blocks until the newest frame is strictly
+  /// newer than `after_index` (so a fast detector does not re-detect the
+  /// same frame). Returns nullopt once closed with nothing newer.
+  std::optional<Frame> wait_newer(int after_index);
+
+  /// Removes and returns all frames with index <= `up_to_index` — the
+  /// frames the tracker must handle for the cycle that ended at that
+  /// detected frame.
+  std::vector<Frame> drain_up_to(int up_to_index);
+
+  /// Number of buffered frames.
+  std::size_t size() const;
+
+  /// Marks the stream finished; wakes all waiters.
+  void close();
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Frame> frames_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace adavp::video

@@ -1,0 +1,32 @@
+#include "video/object_class.h"
+
+namespace adavp::video {
+
+std::string_view class_name(ObjectClass cls) {
+  static constexpr std::array<std::string_view, kNumObjectClasses> kNames = {
+      "person", "bicycle", "car",  "motorbike", "airplane", "bus",
+      "train",  "truck",   "boat", "dog",       "horse",    "sheep"};
+  const int i = static_cast<int>(cls);
+  if (i < 0 || i >= kNumObjectClasses) return "unknown";
+  return kNames[static_cast<std::size_t>(i)];
+}
+
+ObjectClass confusable_class(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar: return ObjectClass::kTruck;
+    case ObjectClass::kTruck: return ObjectClass::kCar;
+    case ObjectClass::kBus: return ObjectClass::kTruck;
+    case ObjectClass::kBicycle: return ObjectClass::kMotorbike;
+    case ObjectClass::kMotorbike: return ObjectClass::kBicycle;
+    case ObjectClass::kDog: return ObjectClass::kSheep;
+    case ObjectClass::kSheep: return ObjectClass::kDog;
+    case ObjectClass::kHorse: return ObjectClass::kDog;
+    case ObjectClass::kBoat: return ObjectClass::kCar;
+    case ObjectClass::kPerson: return ObjectClass::kPerson;
+    case ObjectClass::kAirplane: return ObjectClass::kBoat;
+    case ObjectClass::kTrain: return ObjectClass::kBus;
+    default: return cls;
+  }
+}
+
+}  // namespace adavp::video

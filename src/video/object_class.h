@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace adavp::video {
+
+/// Object categories that appear in the synthetic videos. The set mirrors
+/// the classes the paper's dataset contains ("cars, trucks, trains,
+/// persons, airplanes, animals").
+enum class ObjectClass : int {
+  kPerson = 0,
+  kBicycle,
+  kCar,
+  kMotorbike,
+  kAirplane,
+  kBus,
+  kTrain,
+  kTruck,
+  kBoat,
+  kDog,
+  kHorse,
+  kSheep,
+  kCount  // sentinel
+};
+
+inline constexpr int kNumObjectClasses = static_cast<int>(ObjectClass::kCount);
+
+/// Human-readable class name ("car", "truck", ...).
+std::string_view class_name(ObjectClass cls);
+
+/// Classes that are visually similar and therefore plausible
+/// misclassifications of each other (e.g. car <-> truck, the paper's
+/// Fig. 5 example). Returns `cls` itself when it has no confusable peer.
+ObjectClass confusable_class(ObjectClass cls);
+
+}  // namespace adavp::video

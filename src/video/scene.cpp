@@ -1,0 +1,293 @@
+#include "video/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adavp::video {
+
+namespace {
+
+std::uint64_t hash3(std::uint64_t seed, std::int64_t a, std::int64_t b) {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(a) * 0x9E3779B97F4A7C15ULL) ^
+                    (static_cast<std::uint64_t>(b) * 0xC2B2AE3D27D4EB4FULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+float hash_unit(std::uint64_t seed, std::int64_t a, std::int64_t b) {
+  return static_cast<float>((hash3(seed, a, b) >> 11) * 0x1.0p-53);
+}
+
+float smoothstep(float t) { return t * t * (3.0f - 2.0f * t); }
+
+/// Smooth value noise in [0,1] over a lattice with the given cell size.
+float value_noise(float x, float y, std::uint64_t seed, float cell) {
+  const float gx = x / cell;
+  const float gy = y / cell;
+  const auto ix = static_cast<std::int64_t>(std::floor(gx));
+  const auto iy = static_cast<std::int64_t>(std::floor(gy));
+  const float fx = smoothstep(gx - static_cast<float>(ix));
+  const float fy = smoothstep(gy - static_cast<float>(iy));
+  const float v00 = hash_unit(seed, ix, iy);
+  const float v10 = hash_unit(seed, ix + 1, iy);
+  const float v01 = hash_unit(seed, ix, iy + 1);
+  const float v11 = hash_unit(seed, ix + 1, iy + 1);
+  const float top = v00 + fx * (v10 - v00);
+  const float bot = v01 + fx * (v11 - v01);
+  return top + fy * (bot - top);
+}
+
+/// Two-octave texture centred on 0 with unit-ish amplitude.
+float texture(float x, float y, std::uint64_t seed) {
+  const float coarse = value_noise(x, y, seed, 9.0f) - 0.5f;
+  const float fine = value_noise(x, y, seed ^ 0xABCDEF1234567890ULL, 3.5f) - 0.5f;
+  return coarse * 0.7f + fine * 0.5f;
+}
+
+}  // namespace
+
+SyntheticVideo::SyntheticVideo(const SceneConfig& config) : config_(config) {
+  background_seed_ = hash3(config_.seed, 0x6261636B, 0);  // "back"
+  precompute_trajectories();
+}
+
+void SyntheticVideo::precompute_trajectories() {
+  struct LiveObject {
+    int object_id;
+    ObjectClass cls;
+    float x;  // world-coordinate left
+    float y;  // top
+    float w;
+    float h;
+    float vx;
+    float vy;
+    std::uint64_t texture_seed;
+  };
+
+  util::Rng rng(config_.seed);
+  std::vector<LiveObject> live;
+  int next_id = 0;
+
+  const auto fw = static_cast<float>(config_.width);
+  const auto fh = static_cast<float>(config_.height);
+
+  auto random_class = [&]() {
+    if (config_.classes.empty()) return ObjectClass::kCar;
+    return config_.classes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(config_.classes.size()) - 1))];
+  };
+
+  auto random_speed = [&]() {
+    const double lo = std::max(0.15, 0.5 * config_.speed_mean);
+    const double hi = 1.5 * config_.speed_mean + 0.1;
+    return rng.uniform(lo, hi);
+  };
+
+  auto make_object = [&](bool initial, double pan_x) {
+    LiveObject obj{};
+    obj.object_id = next_id++;
+    obj.cls = random_class();
+    obj.w = static_cast<float>(rng.uniform(config_.min_obj_size, config_.max_obj_size));
+    obj.h = static_cast<float>(obj.w * rng.uniform(0.6, 1.1));
+    obj.texture_seed = hash3(config_.seed, 0x6F626A, obj.object_id);
+    const double speed = random_speed();
+    if (initial) {
+      obj.x = static_cast<float>(pan_x + rng.uniform(0.05, 0.75) * fw);
+      obj.y = static_cast<float>(rng.uniform(0.05, 0.75) * fh);
+      const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979);
+      obj.vx = static_cast<float>(speed * std::cos(angle));
+      obj.vy = static_cast<float>(speed * std::sin(angle));
+    } else {
+      // Enter from the left or right edge, heading inward with a small
+      // vertical component.
+      const bool from_left = rng.chance(0.5);
+      obj.y = static_cast<float>(rng.uniform(0.05, 0.7) * fh);
+      const double vy = speed * rng.uniform(-0.3, 0.3);
+      if (from_left) {
+        obj.x = static_cast<float>(pan_x - obj.w + 2.0f);
+        obj.vx = static_cast<float>(speed);
+      } else {
+        obj.x = static_cast<float>(pan_x + fw - 2.0f);
+        obj.vx = static_cast<float>(-speed);
+      }
+      obj.vy = static_cast<float>(vy);
+    }
+    return obj;
+  };
+
+  double pan = 0.0;
+  for (int i = 0; i < config_.initial_objects; ++i) {
+    live.push_back(make_object(/*initial=*/true, pan));
+  }
+
+  // Per-episode global speed multiplier (see SceneConfig).
+  const int episode_frames = std::max(
+      1, static_cast<int>(config_.episode_seconds * config_.fps));
+  util::Rng episode_rng = rng.fork(0xEB150DE5ULL);
+  double episode_multiplier = 1.0;
+
+  frames_.resize(static_cast<std::size_t>(config_.frame_count));
+  truth_.resize(static_cast<std::size_t>(config_.frame_count));
+  pan_offset_.resize(static_cast<std::size_t>(config_.frame_count));
+
+  double speed_accum = 0.0;
+  std::size_t speed_samples = 0;
+
+  for (int f = 0; f < config_.frame_count; ++f) {
+    if (f % episode_frames == 0) {
+      episode_multiplier = episode_rng.uniform(config_.episode_speed_min,
+                                               config_.episode_speed_max);
+    }
+    pan_offset_[static_cast<std::size_t>(f)] = pan;
+
+    // Record snapshots (screen coordinates) and ground truth.
+    auto& snaps = frames_[static_cast<std::size_t>(f)];
+    auto& gt = truth_[static_cast<std::size_t>(f)];
+    for (const LiveObject& obj : live) {
+      ObjectSnapshot s{};
+      s.object_id = obj.object_id;
+      s.cls = obj.cls;
+      s.left = static_cast<float>(obj.x - pan);
+      s.top = obj.y;
+      s.width = obj.w;
+      s.height = obj.h;
+      s.texture_seed = obj.texture_seed;
+      snaps.push_back(s);
+
+      const geometry::BoundingBox raw{s.left, s.top, s.width, s.height};
+      const geometry::BoundingBox clamped =
+          geometry::clamp_to(raw, {config_.width, config_.height});
+      // Only objects with a meaningful visible part are ground truth.
+      if (!clamped.empty() && clamped.area() >= 0.25f * raw.area()) {
+        gt.push_back({s.object_id, s.cls, clamped});
+      }
+    }
+
+    // Advance world state to the next frame.
+    const auto em = static_cast<float>(episode_multiplier);
+    for (LiveObject& obj : live) {
+      obj.x += obj.vx * em;
+      obj.y += obj.vy * em;
+      obj.vx += static_cast<float>(rng.gaussian(0.0, config_.speed_jitter));
+      obj.vy += static_cast<float>(rng.gaussian(0.0, config_.speed_jitter * 0.6));
+      // Keep speed within a sane band around the configured mean.
+      const float speed = std::sqrt(obj.vx * obj.vx + obj.vy * obj.vy);
+      const auto max_speed = static_cast<float>(2.0 * config_.speed_mean + 0.5);
+      if (speed > max_speed && speed > 0.0f) {
+        obj.vx *= max_speed / speed;
+        obj.vy *= max_speed / speed;
+      }
+      // Bounce softly off top/bottom so objects linger in view.
+      if (obj.y < -obj.h * 0.5f) obj.vy = std::abs(obj.vy);
+      if (obj.y + obj.h * 0.5f > fh) obj.vy = -std::abs(obj.vy);
+      speed_accum += (std::sqrt(obj.vx * obj.vx + obj.vy * obj.vy) +
+                      std::abs(config_.camera_pan)) *
+                     episode_multiplier;
+      ++speed_samples;
+    }
+    pan += config_.camera_pan * episode_multiplier;
+
+    // Despawn objects fully outside the (panned) viewport by a margin.
+    const float margin = 8.0f;
+    std::erase_if(live, [&](const LiveObject& obj) {
+      const float sl = static_cast<float>(obj.x - pan);
+      return sl + obj.w < -margin || sl > fw + margin ||
+             obj.y + obj.h < -margin || obj.y > fh + margin;
+    });
+
+    // Spawn new objects entering the scene.
+    if (static_cast<int>(live.size()) < config_.max_objects &&
+        rng.chance(config_.spawn_per_second / config_.fps)) {
+      live.push_back(make_object(/*initial=*/false, pan));
+    }
+    // Never let the scene go empty: respawn immediately.
+    if (live.empty()) {
+      live.push_back(make_object(/*initial=*/true, pan));
+    }
+  }
+
+  mean_true_speed_ =
+      speed_samples > 0 ? speed_accum / static_cast<double>(speed_samples) : 0.0;
+}
+
+void SyntheticVideo::rasterize_object(vision::ImageU8& img,
+                                      const ObjectSnapshot& obj) const {
+  const geometry::BoundingBox box{obj.left, obj.top, obj.width, obj.height};
+  const geometry::BoundingBox visible = geometry::clamp_to(box, img.size());
+  if (visible.empty()) return;
+  const int x0 = static_cast<int>(std::floor(visible.left));
+  const int y0 = static_cast<int>(std::floor(visible.top));
+  const int x1 = static_cast<int>(std::ceil(visible.right()));
+  const int y1 = static_cast<int>(std::ceil(visible.bottom()));
+
+  // Base tone per object so objects stand out from each other and from the
+  // background; texture is sampled in object-local coordinates so it moves
+  // rigidly (sub-pixel) with the object.
+  const float base =
+      90.0f + 110.0f * hash_unit(obj.texture_seed, 17, 23);
+  const auto contrast = static_cast<float>(config_.texture_contrast);
+
+  for (int y = y0; y < y1 && y < img.height(); ++y) {
+    for (int x = x0; x < x1 && x < img.width(); ++x) {
+      if (x < 0 || y < 0) continue;
+      const float lx = static_cast<float>(x) - obj.left;
+      const float ly = static_cast<float>(y) - obj.top;
+      if (lx < 0.0f || ly < 0.0f || lx >= obj.width || ly >= obj.height) continue;
+      float v = base + contrast * texture(lx, ly, obj.texture_seed);
+      // Darken a thin border so the object silhouette has strong edges.
+      const float edge = std::min(std::min(lx, ly),
+                                  std::min(obj.width - lx, obj.height - ly));
+      if (edge < 2.0f) v -= 45.0f * (2.0f - edge) / 2.0f;
+      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f));
+    }
+  }
+}
+
+vision::ImageU8 SyntheticVideo::render(int index) const {
+  if (!cache_.empty()) return cache_.at(static_cast<std::size_t>(index));
+  return rasterize(index);
+}
+
+void SyntheticVideo::precache() {
+  if (!cache_.empty()) return;
+  cache_.reserve(static_cast<std::size_t>(config_.frame_count));
+  for (int i = 0; i < config_.frame_count; ++i) cache_.push_back(rasterize(i));
+}
+
+vision::ImageU8 SyntheticVideo::rasterize(int index) const {
+  const auto& snaps = frames_.at(static_cast<std::size_t>(index));
+  const auto pan = static_cast<float>(pan_offset_.at(static_cast<std::size_t>(index)));
+
+  vision::ImageU8 img(config_.width, config_.height);
+  // Background: world-anchored noise that scrolls with the camera pan.
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const float wx = static_cast<float>(x) + pan;
+      const float wy = static_cast<float>(y);
+      const float v = 120.0f + 45.0f * texture(wx, wy, background_seed_);
+      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f));
+    }
+  }
+  for (const auto& obj : snaps) rasterize_object(img, obj);
+
+  // Deterministic per-frame sensor noise.
+  if (config_.noise_sigma > 0.0) {
+    const std::uint64_t noise_seed = hash3(config_.seed, 0x6E6F6973, index);
+    const auto sigma = static_cast<float>(config_.noise_sigma);
+    for (int y = 0; y < config_.height; ++y) {
+      for (int x = 0; x < config_.width; ++x) {
+        const float u = hash_unit(noise_seed, x, y) - 0.5f;
+        const float v = static_cast<float>(img.at(x, y)) + 3.4f * sigma * u;
+        img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f));
+      }
+    }
+  }
+  return img;
+}
+
+const std::vector<GroundTruthObject>& SyntheticVideo::ground_truth(int index) const {
+  return truth_.at(static_cast<std::size_t>(index));
+}
+
+}  // namespace adavp::video

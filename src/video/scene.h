@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "util/rng.h"
+#include "video/object_class.h"
+#include "vision/image.h"
+
+namespace adavp::video {
+
+/// One labelled object in one frame — the ground truth the detector
+/// simulator and the accuracy metrics consume.
+struct GroundTruthObject {
+  int object_id = 0;
+  ObjectClass cls = ObjectClass::kCar;
+  geometry::BoundingBox box;
+};
+
+/// A captured frame: index, capture timestamp and the rendered raster.
+struct Frame {
+  int index = 0;
+  double timestamp_ms = 0.0;
+  vision::ImageU8 image;
+};
+
+/// Parameters of one synthetic video. The defaults approximate a moderate
+/// street scene; `profiles.h` provides the 14 paper scenarios.
+struct SceneConfig {
+  std::string name = "scene";
+  int width = 384;          ///< frame width (paper videos are 1280x720; we
+                            ///< render at 1/3.33 scale to fit CPU budget)
+  int height = 216;
+  double fps = 30.0;
+  int frame_count = 300;
+
+  // -- object population --------------------------------------------------
+  int initial_objects = 5;       ///< objects present in frame 0
+  int max_objects = 8;           ///< cap on simultaneously visible objects
+  double spawn_per_second = 0.8; ///< expected new objects entering per second
+  std::vector<ObjectClass> classes = {ObjectClass::kCar, ObjectClass::kTruck,
+                                      ObjectClass::kBus, ObjectClass::kPerson};
+
+  // -- motion (the paper's "video content changing rate") ------------------
+  double speed_mean = 1.2;    ///< mean object speed, pixels per frame
+  double speed_jitter = 0.3;  ///< random-walk step of the velocity per frame
+  double camera_pan = 0.0;    ///< background pan, pixels per frame (car-mounted)
+
+  // -- motion episodes ------------------------------------------------------
+  // Real videos are non-stationary: traffic stops at a light, a handheld
+  // camera pans then rests. Every `episode_seconds` a global speed
+  // multiplier is redrawn from [episode_speed_min, episode_speed_max] and
+  // applied to all object motion and the camera pan. This within-video
+  // variation is what the runtime model adaptation (§IV-D) reacts to;
+  // set min == max == 1 for stationary content.
+  double episode_seconds = 3.0;
+  double episode_speed_min = 1.0;
+  double episode_speed_max = 1.0;
+
+  // -- object geometry ------------------------------------------------------
+  double min_obj_size = 28.0;  ///< smallest object side, pixels
+  double max_obj_size = 64.0;  ///< largest object side, pixels
+
+  // -- appearance -----------------------------------------------------------
+  double texture_contrast = 60.0;  ///< object texture amplitude (gray levels)
+  double noise_sigma = 1.5;        ///< per-pixel sensor noise
+  std::uint64_t seed = 1;          ///< master seed; everything derives from it
+};
+
+/// Deterministic synthetic video with exact per-frame ground truth.
+///
+/// Object trajectories are precomputed at construction (velocity random
+/// walk, edge spawn/despawn, camera pan), so `render` and `ground_truth`
+/// are pure lookups + rasterization and the same (config, seed) pair always
+/// produces bit-identical videos. Objects carry a procedural value-noise
+/// texture anchored to object-local coordinates, so real corner detection
+/// and optical flow can latch onto them; the background pans with
+/// `camera_pan` in world coordinates.
+class SyntheticVideo {
+ public:
+  explicit SyntheticVideo(const SceneConfig& config);
+
+  const SceneConfig& config() const { return config_; }
+  int frame_count() const { return config_.frame_count; }
+  geometry::Size frame_size() const { return {config_.width, config_.height}; }
+  double fps() const { return config_.fps; }
+  double frame_interval_ms() const { return 1000.0 / config_.fps; }
+  double timestamp_ms(int index) const {
+    return static_cast<double>(index) * frame_interval_ms();
+  }
+
+  /// Renders frame `index` (0-based). Precondition: 0 <= index < frame_count.
+  vision::ImageU8 render(int index) const;
+
+  /// Pre-renders every frame into an in-memory cache so subsequent
+  /// `render` calls are O(copy). Call before `run_realtime` so the camera
+  /// thread is not bottlenecked by rasterization on slow machines; the
+  /// cache is read-only afterwards and safe to share across threads.
+  void precache();
+  bool is_precached() const { return !cache_.empty(); }
+
+  /// Ground truth of frame `index` (visible objects only, boxes clamped to
+  /// the frame).
+  const std::vector<GroundTruthObject>& ground_truth(int index) const;
+
+  /// Mean true object displacement between consecutive frames, averaged
+  /// over the whole video — a reference "content change rate" used by
+  /// tests and dataset builders (includes camera pan).
+  double mean_true_speed() const { return mean_true_speed_; }
+
+ private:
+  struct ObjectSnapshot {
+    int object_id;
+    ObjectClass cls;
+    float left;
+    float top;
+    float width;
+    float height;
+    std::uint64_t texture_seed;
+  };
+
+  void precompute_trajectories();
+  void rasterize_object(vision::ImageU8& img, const ObjectSnapshot& obj) const;
+
+  vision::ImageU8 rasterize(int index) const;
+
+  SceneConfig config_;
+  std::vector<std::vector<ObjectSnapshot>> frames_;     // per-frame objects
+  std::vector<std::vector<GroundTruthObject>> truth_;   // clamped boxes
+  std::vector<double> pan_offset_;                      // camera x-offset per frame
+  std::vector<vision::ImageU8> cache_;                  // see precache()
+  std::uint64_t background_seed_ = 0;
+  double mean_true_speed_ = 0.0;
+};
+
+}  // namespace adavp::video

@@ -1,0 +1,100 @@
+#include "vision/brief.h"
+
+#include <bit>
+#include <limits>
+
+#include "util/rng.h"
+#include "vision/image_ops.h"
+
+namespace adavp::vision {
+
+namespace {
+
+struct TestPair {
+  float ax;
+  float ay;
+  float bx;
+  float by;
+};
+
+/// The fixed 256 sampling pairs, drawn once from an isotropic Gaussian
+/// clipped to the 31x31 patch (the classic BRIEF construction).
+const std::array<TestPair, 256>& test_pairs() {
+  static const std::array<TestPair, 256> kPairs = [] {
+    std::array<TestPair, 256> pairs{};
+    util::Rng rng(0xB81EFULL);
+    auto coord = [&]() {
+      const double v = rng.gaussian(0.0, 31.0 / 5.0);
+      return static_cast<float>(std::clamp(v, -15.0, 15.0));
+    };
+    for (auto& pair : pairs) {
+      pair = {coord(), coord(), coord(), coord()};
+    }
+    return pairs;
+  }();
+  return kPairs;
+}
+
+}  // namespace
+
+int hamming_distance(const BriefDescriptor& a, const BriefDescriptor& b) {
+  int distance = 0;
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    distance += std::popcount(a.bits[i] ^ b.bits[i]);
+  }
+  return distance;
+}
+
+std::vector<BriefDescriptor> brief_describe(
+    const ImageU8& img, const std::vector<geometry::Point2f>& points) {
+  // BRIEF is defined on a smoothed image; a single binomial pass is enough
+  // at our resolutions.
+  const ImageF32 smoothed = smooth5(to_float(img));
+  const auto& pairs = test_pairs();
+
+  std::vector<BriefDescriptor> out(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    BriefDescriptor& desc = out[p];
+    const geometry::Point2f c = points[p];
+    for (std::size_t bit = 0; bit < pairs.size(); ++bit) {
+      const TestPair& t = pairs[bit];
+      const float a = sample_bilinear(smoothed, c.x + t.ax, c.y + t.ay);
+      const float b = sample_bilinear(smoothed, c.x + t.bx, c.y + t.by);
+      if (a < b) {
+        desc.bits[bit >> 6] |= (1ULL << (bit & 63));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DescriptorMatch> match_descriptors(
+    const std::vector<BriefDescriptor>& query,
+    const std::vector<BriefDescriptor>& train, int max_distance, double ratio) {
+  std::vector<DescriptorMatch> matches;
+  if (train.empty()) return matches;
+  for (std::size_t q = 0; q < query.size(); ++q) {
+    int best = std::numeric_limits<int>::max();
+    int second = std::numeric_limits<int>::max();
+    int best_index = -1;
+    for (std::size_t t = 0; t < train.size(); ++t) {
+      const int d = hamming_distance(query[q], train[t]);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_index = static_cast<int>(t);
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    if (best_index < 0 || best > max_distance) continue;
+    if (second != std::numeric_limits<int>::max() &&
+        static_cast<double>(best) > ratio * static_cast<double>(second)) {
+      continue;  // ambiguous match
+    }
+    matches.push_back({static_cast<int>(q), best_index, best});
+  }
+  return matches;
+}
+
+}  // namespace adavp::vision

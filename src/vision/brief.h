@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "vision/image.h"
+
+namespace adavp::vision {
+
+/// 256-bit BRIEF binary descriptor (the descriptor half of ORB, which the
+/// paper lists among the feature alternatives it evaluated in §IV-C).
+struct BriefDescriptor {
+  std::array<std::uint64_t, 4> bits{};
+
+  bool operator==(const BriefDescriptor& other) const = default;
+};
+
+/// Hamming distance between two descriptors (0..256).
+int hamming_distance(const BriefDescriptor& a, const BriefDescriptor& b);
+
+/// Computes BRIEF descriptors for `points` on a smoothed version of `img`.
+///
+/// Each bit compares a fixed pseudo-random pair of offsets inside a
+/// 31x31 patch (pairs generated once from a fixed seed, so descriptors are
+/// comparable across images and runs). Points whose patch leaves the image
+/// use replicate-border sampling.
+std::vector<BriefDescriptor> brief_describe(
+    const ImageU8& img, const std::vector<geometry::Point2f>& points);
+
+/// One match between descriptor sets.
+struct DescriptorMatch {
+  int query_index = 0;
+  int train_index = 0;
+  int distance = 0;
+};
+
+/// Brute-force nearest-neighbour matching with a Lowe-style ratio test:
+/// a query matches its nearest train descriptor when
+/// `best <= max_distance` and `best <= ratio * second_best`.
+std::vector<DescriptorMatch> match_descriptors(
+    const std::vector<BriefDescriptor>& query,
+    const std::vector<BriefDescriptor>& train, int max_distance = 64,
+    double ratio = 0.8);
+
+}  // namespace adavp::vision

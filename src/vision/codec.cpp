@@ -1,0 +1,239 @@
+#include "vision/codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace adavp::vision {
+
+namespace {
+
+constexpr int kBlock = 8;
+
+/// Cosine basis, precomputed once: c[u][x] = a(u) cos((2x+1)u pi / 16).
+const std::array<std::array<float, 8>, 8>& dct_basis() {
+  static const auto kBasis = [] {
+    std::array<std::array<float, 8>, 8> basis{};
+    for (int u = 0; u < 8; ++u) {
+      const float a = u == 0 ? std::sqrt(1.0f / 8.0f) : std::sqrt(2.0f / 8.0f);
+      for (int x = 0; x < 8; ++x) {
+        basis[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] =
+            a * std::cos((2.0f * x + 1.0f) * u * 3.14159265358979f / 16.0f);
+      }
+    }
+    return basis;
+  }();
+  return kBasis;
+}
+
+/// The standard JPEG luminance quantization table.
+constexpr std::array<int, 64> kBaseQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+/// Zigzag scan order for an 8x8 block.
+const std::array<int, 64>& zigzag_order() {
+  static const auto kOrder = [] {
+    std::array<int, 64> order{};
+    int index = 0;
+    for (int s = 0; s < 15; ++s) {
+      if (s % 2 == 0) {  // up-right
+        for (int y = std::min(s, 7); y >= std::max(0, s - 7); --y) {
+          order[static_cast<std::size_t>(index++)] = y * 8 + (s - y);
+        }
+      } else {  // down-left
+        for (int x = std::min(s, 7); x >= std::max(0, s - 7); --x) {
+          order[static_cast<std::size_t>(index++)] = (s - x) * 8 + x;
+        }
+      }
+    }
+    return order;
+  }();
+  return kOrder;
+}
+
+std::array<int, 64> scaled_quant(int quality) {
+  quality = std::clamp(quality, 1, 100);
+  // JPEG's quality scaling convention.
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> table{};
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<std::size_t>(i)] = std::clamp(
+        (kBaseQuant[static_cast<std::size_t>(i)] * scale + 50) / 100, 1, 4096);
+  }
+  return table;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t offset) {
+  return static_cast<std::uint16_t>(data[offset] |
+                                    (static_cast<std::uint16_t>(data[offset + 1]) << 8));
+}
+
+}  // namespace
+
+void dct8x8(const float* block, float* out) {
+  const auto& basis = dct_basis();
+  float tmp[64];
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float acc = 0.0f;
+      for (int x = 0; x < 8; ++x) {
+        acc += block[y * 8 + x] * basis[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0.0f;
+      for (int y = 0; y < 8; ++y) {
+        acc += tmp[y * 8 + u] * basis[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      out[v * 8 + u] = acc;
+    }
+  }
+}
+
+void idct8x8(const float* coeffs, float* out) {
+  const auto& basis = dct_basis();
+  float tmp[64];
+  // Columns (inverse).
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < 8; ++v) {
+        acc += coeffs[v * 8 + u] * basis[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  // Rows (inverse).
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < 8; ++u) {
+        acc += tmp[y * 8 + u] * basis[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      out[y * 8 + x] = acc;
+    }
+  }
+}
+
+std::vector<std::uint8_t> encode_frame(const ImageU8& frame, int quality) {
+  std::vector<std::uint8_t> out;
+  if (frame.empty()) return out;
+  const auto quant = scaled_quant(quality);
+  const auto& order = zigzag_order();
+
+  // Header: magic, width, height, quality.
+  out.push_back('A');
+  out.push_back('V');
+  put_u16(out, static_cast<std::uint16_t>(frame.width()));
+  put_u16(out, static_cast<std::uint16_t>(frame.height()));
+  out.push_back(static_cast<std::uint8_t>(std::clamp(quality, 1, 100)));
+
+  float block[64];
+  float coeffs[64];
+  for (int by = 0; by < frame.height(); by += kBlock) {
+    for (int bx = 0; bx < frame.width(); bx += kBlock) {
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          block[y * 8 + x] =
+              static_cast<float>(frame.at_clamped(bx + x, by + y)) - 128.0f;
+        }
+      }
+      dct8x8(block, coeffs);
+      // Quantize in zigzag order, then run-length code zeros:
+      // (run:u8, value:i16) pairs, terminated by run=255.
+      int run = 0;
+      for (int i = 0; i < 64; ++i) {
+        const int q = quant[static_cast<std::size_t>(i)];
+        const int v = static_cast<int>(
+            std::lround(coeffs[order[static_cast<std::size_t>(i)]] / static_cast<float>(q)));
+        if (v == 0) {
+          ++run;
+          continue;
+        }
+        // A block has 64 coefficients, so runs never exceed 63 and always
+        // fit one byte (255 is reserved as the end-of-block marker).
+        out.push_back(static_cast<std::uint8_t>(run));
+        put_u16(out, static_cast<std::uint16_t>(static_cast<std::int16_t>(
+                    std::clamp(v, -32768, 32767))));
+        run = 0;
+      }
+      out.push_back(255);  // end of block
+    }
+  }
+  return out;
+}
+
+ImageU8 decode_frame(std::span<const std::uint8_t> data) {
+  if (data.size() < 7 || data[0] != 'A' || data[1] != 'V') return {};
+  const int width = get_u16(data, 2);
+  const int height = get_u16(data, 4);
+  const int quality = data[6];
+  if (width <= 0 || height <= 0 || quality < 1 || quality > 100) return {};
+  const auto quant = scaled_quant(quality);
+  const auto& order = zigzag_order();
+
+  ImageU8 out(width, height);
+  std::size_t pos = 7;
+  float coeffs[64];
+  float block[64];
+  for (int by = 0; by < height; by += kBlock) {
+    for (int bx = 0; bx < width; bx += kBlock) {
+      std::fill(std::begin(coeffs), std::end(coeffs), 0.0f);
+      int i = 0;
+      while (true) {
+        if (pos >= data.size()) return {};
+        const int run = data[pos++];
+        if (run == 255) break;  // end of block
+        if (pos + 1 >= data.size()) return {};
+        const auto raw = static_cast<std::int16_t>(get_u16(data, pos));
+        pos += 2;
+        i += run;
+        if (i >= 64) return {};
+        coeffs[order[static_cast<std::size_t>(i)]] =
+            static_cast<float>(raw) *
+            static_cast<float>(quant[static_cast<std::size_t>(i)]);
+        ++i;
+      }
+      idct8x8(coeffs, block);
+      for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+          if (!out.in_bounds(bx + x, by + y)) continue;
+          out.at(bx + x, by + y) = static_cast<std::uint8_t>(
+              std::clamp(std::lround(block[y * 8 + x] + 128.0f), 0L, 255L));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double psnr(const ImageU8& a, const ImageU8& b) {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    return 0.0;
+  }
+  double mse = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(pa.size());
+  if (mse <= 1e-12) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace adavp::vision

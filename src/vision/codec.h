@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vision/image.h"
+
+namespace adavp::vision {
+
+/// Minimal JPEG-style intra-frame codec (8x8 DCT + quantization + zigzag +
+/// zero-run-length coding).
+///
+/// The paper's implementation sits on the Nvidia Video Codec SDK (§III-A):
+/// camera frames arrive compressed and are decoded before processing, and
+/// any offloading system ships encoded frames. This substrate provides
+/// that stage: it produces realistic compressed-frame sizes (used by the
+/// offload baseline's transmit model) and a decode path whose output the
+/// vision kernels can actually run on.
+///
+/// `quality` in [1, 100] scales the quantization table (higher = better
+/// fidelity, larger output).
+std::vector<std::uint8_t> encode_frame(const ImageU8& frame, int quality = 75);
+
+/// Decodes a frame produced by `encode_frame`; empty image on malformed
+/// input.
+ImageU8 decode_frame(std::span<const std::uint8_t> data);
+
+/// Peak signal-to-noise ratio between two same-sized images, in dB
+/// (capped at 99 for identical images; 0 for size mismatch).
+double psnr(const ImageU8& a, const ImageU8& b);
+
+/// Forward/inverse 8x8 DCT-II on a single block (row-major, length 64).
+/// Exposed for tests.
+void dct8x8(const float* block, float* out);
+void idct8x8(const float* coeffs, float* out);
+
+}  // namespace adavp::vision

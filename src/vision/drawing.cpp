@@ -1,0 +1,42 @@
+#include "vision/drawing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adavp::vision {
+
+void draw_box(ImageU8& img, const geometry::BoundingBox& box,
+              std::uint8_t intensity) {
+  if (img.empty() || box.empty()) return;
+  const int x0 = std::clamp(static_cast<int>(std::lround(box.left)), 0, img.width() - 1);
+  const int y0 = std::clamp(static_cast<int>(std::lround(box.top)), 0, img.height() - 1);
+  const int x1 = std::clamp(static_cast<int>(std::lround(box.right())), 0, img.width() - 1);
+  const int y1 = std::clamp(static_cast<int>(std::lround(box.bottom())), 0, img.height() - 1);
+  for (int x = x0; x <= x1; ++x) {
+    img.at(x, y0) = intensity;
+    img.at(x, y1) = intensity;
+  }
+  for (int y = y0; y <= y1; ++y) {
+    img.at(x0, y) = intensity;
+    img.at(x1, y) = intensity;
+  }
+}
+
+void draw_marker(ImageU8& img, const geometry::Point2f& p,
+                 std::uint8_t intensity, int radius) {
+  const int cx = static_cast<int>(std::lround(p.x));
+  const int cy = static_cast<int>(std::lround(p.y));
+  for (int d = -radius; d <= radius; ++d) {
+    if (img.in_bounds(cx + d, cy)) img.at(cx + d, cy) = intensity;
+    if (img.in_bounds(cx, cy + d)) img.at(cx, cy + d) = intensity;
+  }
+}
+
+ImageU8 overlay_boxes(const ImageU8& frame,
+                      const std::vector<geometry::BoundingBox>& boxes) {
+  ImageU8 out = frame;
+  for (const auto& box : boxes) draw_box(out, box);
+  return out;
+}
+
+}  // namespace adavp::vision

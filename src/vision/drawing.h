@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "vision/image.h"
+
+namespace adavp::vision {
+
+/// Draws the outline of `box` into `img` with the given intensity.
+/// Coordinates are clamped to the image; 1-pixel-wide border.
+void draw_box(ImageU8& img, const geometry::BoundingBox& box,
+              std::uint8_t intensity = 255);
+
+/// Draws a small plus-shaped marker centred at `p`.
+void draw_marker(ImageU8& img, const geometry::Point2f& p,
+                 std::uint8_t intensity = 255, int radius = 2);
+
+/// The paper's "overlay drawer" module: copies the frame and draws one box
+/// per result. This is the per-frame display step whose ~50 ms latency is
+/// modelled in Table II.
+ImageU8 overlay_boxes(const ImageU8& frame,
+                      const std::vector<geometry::BoundingBox>& boxes);
+
+}  // namespace adavp::vision

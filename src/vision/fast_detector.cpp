@@ -1,0 +1,146 @@
+#include "vision/fast_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adavp::vision {
+
+const std::array<geometry::Point2f, 16>& fast_circle_offsets() {
+  // Radius-3 Bresenham circle, clockwise from 12 o'clock (OpenCV order).
+  static const std::array<geometry::Point2f, 16> kOffsets = {{
+      {0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+      {0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+  }};
+  return kOffsets;
+}
+
+namespace {
+
+struct Candidate {
+  int x;
+  int y;
+  float score;
+};
+
+/// Classifies circle pixel intensities relative to center +- threshold:
+/// +1 brighter, -1 darker, 0 similar.
+inline int classify(int value, int center, int threshold) {
+  if (value >= center + threshold) return 1;
+  if (value <= center - threshold) return -1;
+  return 0;
+}
+
+/// True when `states` (length 16, wrapped) contains `arc` contiguous
+/// entries equal to `sign`; also accumulates the FAST score (sum of |diff|
+/// over the best arc) into `score`.
+bool has_arc(const int (&states)[16], const int (&diffs)[16], int arc, int sign,
+             float& score) {
+  int run = 0;
+  int best_run = 0;
+  float run_sum = 0.0f;
+  float best_sum = 0.0f;
+  // Walk the circle twice to handle wrap-around.
+  for (int i = 0; i < 32; ++i) {
+    const int k = i & 15;
+    if (states[k] == sign) {
+      ++run;
+      run_sum += static_cast<float>(std::abs(diffs[k]));
+      if (run > best_run) {
+        best_run = run;
+        best_sum = run_sum;
+      }
+      if (run >= 16) break;  // full circle
+    } else {
+      run = 0;
+      run_sum = 0.0f;
+    }
+  }
+  if (best_run >= arc) {
+    score = std::max(score, best_sum);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FastKeypoint> fast_detect(const ImageU8& img, const FastParams& params,
+                                      const ImageU8* mask) {
+  std::vector<FastKeypoint> out;
+  if (img.width() < 7 || img.height() < 7) return out;
+
+  const auto& offsets = fast_circle_offsets();
+  ImageF32 scores(img.width(), img.height(), 0.0f);
+  std::vector<Candidate> candidates;
+
+  for (int y = 3; y < img.height() - 3; ++y) {
+    for (int x = 3; x < img.width() - 3; ++x) {
+      if (mask != nullptr && mask->at(x, y) == 0) continue;
+      const int center = img.at(x, y);
+
+      // Quick rejection on the 4 compass points (standard FAST speedup).
+      // An arc of `arc_length` pixels spans arc_length/16 of the circle and
+      // must contain at least floor(arc_length / 4) of the compass points
+      // (they are 4 circle-pixels apart): 2 for FAST-9, 3 for FAST-12.
+      const int required = params.arc_length >= 12 ? 3 : 2;
+      int bright4 = 0;
+      int dark4 = 0;
+      for (int k : {0, 4, 8, 12}) {
+        const int v = img.at(x + static_cast<int>(offsets[static_cast<std::size_t>(k)].x),
+                             y + static_cast<int>(offsets[static_cast<std::size_t>(k)].y));
+        const int s = classify(v, center, params.threshold);
+        if (s > 0) ++bright4;
+        if (s < 0) ++dark4;
+      }
+      if (bright4 < required && dark4 < required) continue;
+
+      int states[16];
+      int diffs[16];
+      for (int k = 0; k < 16; ++k) {
+        const int v = img.at(x + static_cast<int>(offsets[static_cast<std::size_t>(k)].x),
+                             y + static_cast<int>(offsets[static_cast<std::size_t>(k)].y));
+        diffs[k] = v - center;
+        states[k] = classify(v, center, params.threshold);
+      }
+      float score = 0.0f;
+      const bool corner = has_arc(states, diffs, params.arc_length, 1, score) ||
+                          has_arc(states, diffs, params.arc_length, -1, score);
+      if (!corner) continue;
+      scores.at(x, y) = score;
+      candidates.push_back({x, y, score});
+    }
+  }
+
+  // 3x3 non-maximum suppression on the score map.
+  std::vector<Candidate> kept;
+  if (params.nonmax_suppression) {
+    for (const Candidate& c : candidates) {
+      bool is_max = true;
+      for (int dy = -1; dy <= 1 && is_max; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (scores.at_clamped(c.x + dx, c.y + dy) > c.score) {
+            is_max = false;
+            break;
+          }
+        }
+      }
+      if (is_max) kept.push_back(c);
+    }
+  } else {
+    kept = std::move(candidates);
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+  if (static_cast<int>(kept.size()) > params.max_corners) {
+    kept.resize(static_cast<std::size_t>(params.max_corners));
+  }
+  out.reserve(kept.size());
+  for (const Candidate& c : kept) {
+    out.push_back({{static_cast<float>(c.x), static_cast<float>(c.y)}, c.score});
+  }
+  return out;
+}
+
+}  // namespace adavp::vision

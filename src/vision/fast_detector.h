@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geometry/point.h"
+#include "vision/image.h"
+
+namespace adavp::vision {
+
+/// Parameters of the FAST (Features from Accelerated Segment Test) corner
+/// detector — one of the feature extractors the paper evaluated against
+/// *good features to track* (§IV-C).
+struct FastParams {
+  int threshold = 20;        ///< intensity difference to count as brighter/darker
+  int arc_length = 9;        ///< contiguous circle pixels required (FAST-9)
+  bool nonmax_suppression = true;
+  int max_corners = 500;     ///< keep at most this many, strongest first
+};
+
+/// A FAST keypoint: position plus the corner score (sum of absolute
+/// differences of the contiguous arc, the standard FAST score).
+struct FastKeypoint {
+  geometry::Point2f position;
+  float score = 0.0f;
+};
+
+/// Detects FAST corners on a 16-pixel Bresenham circle of radius 3.
+///
+/// A pixel p is a corner when `arc_length` contiguous circle pixels are
+/// all brighter than p + threshold or all darker than p - threshold.
+/// When `mask` is given, only pixels with mask != 0 are candidates.
+std::vector<FastKeypoint> fast_detect(const ImageU8& img, const FastParams& params,
+                                      const ImageU8* mask = nullptr);
+
+/// The 16 circle offsets (radius-3 Bresenham), exposed for tests.
+const std::array<geometry::Point2f, 16>& fast_circle_offsets();
+
+}  // namespace adavp::vision

@@ -1,0 +1,132 @@
+#include "vision/good_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vision/image_ops.h"
+
+namespace adavp::vision {
+
+ImageF32 min_eigenvalue_map(const ImageF32& img, int block_size) {
+  const int w = img.width();
+  const int h = img.height();
+  ImageF32 gx;
+  ImageF32 gy;
+  sobel(img, gx, gy);
+
+  const int radius = std::max(1, block_size / 2);
+  ImageF32 out(w, h, 0.0f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float sxx = 0.0f;
+      float sxy = 0.0f;
+      float syy = 0.0f;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const float ix = gx.at_clamped(x + dx, y + dy);
+          const float iy = gy.at_clamped(x + dx, y + dy);
+          sxx += ix * ix;
+          sxy += ix * iy;
+          syy += iy * iy;
+        }
+      }
+      // Smaller eigenvalue of [[sxx, sxy], [sxy, syy]].
+      const float tr = 0.5f * (sxx + syy);
+      const float det = sxx * syy - sxy * sxy;
+      const float disc = std::sqrt(std::max(0.0f, tr * tr - det));
+      out.at(x, y) = tr - disc;
+    }
+  }
+  return out;
+}
+
+std::vector<geometry::Point2f> good_features_to_track(
+    const ImageU8& img, const GoodFeaturesParams& params, const ImageU8* mask) {
+  std::vector<geometry::Point2f> corners;
+  if (img.empty() || params.max_corners <= 0) return corners;
+
+  const ImageF32 scores = min_eigenvalue_map(to_float(img), params.block_size);
+
+  float best = 0.0f;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (mask != nullptr && mask->at(x, y) == 0) continue;
+      best = std::max(best, scores.at(x, y));
+    }
+  }
+  if (best <= 0.0f) return corners;
+  const float threshold = static_cast<float>(params.quality_level) * best;
+
+  // Local-maximum candidates above the quality threshold.
+  struct Candidate {
+    float score;
+    int x;
+    int y;
+  };
+  std::vector<Candidate> candidates;
+  for (int y = 1; y < img.height() - 1; ++y) {
+    for (int x = 1; x < img.width() - 1; ++x) {
+      if (mask != nullptr && mask->at(x, y) == 0) continue;
+      const float s = scores.at(x, y);
+      if (s < threshold) continue;
+      bool is_max = true;
+      for (int dy = -1; dy <= 1 && is_max; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (scores.at_clamped(x + dx, y + dy) > s) {
+            is_max = false;
+            break;
+          }
+        }
+      }
+      if (is_max) candidates.push_back({s, x, y});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+
+  // Greedy min-distance suppression, strongest first.
+  const float min_dist2 =
+      static_cast<float>(params.min_distance * params.min_distance);
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(corners.size()) >= params.max_corners) break;
+    bool ok = true;
+    const geometry::Point2f p(static_cast<float>(c.x), static_cast<float>(c.y));
+    for (const auto& kept : corners) {
+      const geometry::Point2f d = kept - p;
+      if (d.x * d.x + d.y * d.y < min_dist2) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) corners.push_back(p);
+  }
+  return corners;
+}
+
+ImageU8 boxes_mask(const geometry::Size& size,
+                   const std::vector<geometry::BoundingBox>& boxes,
+                   float shrink) {
+  ImageU8 mask(size.width, size.height, 0);
+  for (const auto& raw : boxes) {
+    geometry::BoundingBox box = raw;
+    if (shrink > 0.0f) {
+      box = {box.left + shrink, box.top + shrink,
+             box.width - 2.0f * shrink, box.height - 2.0f * shrink};
+    }
+    box = geometry::clamp_to(box, size);
+    if (box.empty()) continue;
+    const int x0 = static_cast<int>(std::ceil(box.left));
+    const int y0 = static_cast<int>(std::ceil(box.top));
+    const int x1 = static_cast<int>(std::floor(box.right()));
+    const int y1 = static_cast<int>(std::floor(box.bottom()));
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        if (mask.in_bounds(x, y)) mask.at(x, y) = 255;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace adavp::vision

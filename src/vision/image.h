@@ -1,0 +1,68 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace adavp::vision {
+
+/// Single-channel row-major raster image with value semantics.
+///
+/// All video frames in the library are grayscale `Image<std::uint8_t>`;
+/// intermediate results (gradients, scores) use `Image<float>`. Pixel (x,y)
+/// uses the usual raster convention: x grows right, y grows down.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, T fill_value = T{})
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                fill_value) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  geometry::Size size() const { return {width_, height_}; }
+  bool empty() const { return pixels_.empty(); }
+
+  T& at(int x, int y) {
+    assert(in_bounds(x, y));
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& at(int x, int y) const {
+    assert(in_bounds(x, y));
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamped access: coordinates outside the image read the nearest edge
+  /// pixel (replicate border). Safe for any (x,y).
+  T at_clamped(int x, int y) const {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+  }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  void fill(T value) { std::fill(pixels_.begin(), pixels_.end(), value); }
+
+  const std::vector<T>& pixels() const { return pixels_; }
+  std::vector<T>& pixels() { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> pixels_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF32 = Image<float>;
+
+}  // namespace adavp::vision

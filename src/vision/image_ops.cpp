@@ -1,0 +1,147 @@
+#include "vision/image_ops.h"
+
+#include <cmath>
+
+namespace adavp::vision {
+
+namespace {
+
+template <typename T>
+float sample_bilinear_impl(const Image<T>& img, float x, float y) {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+  const float p00 = static_cast<float>(img.at_clamped(x0, y0));
+  const float p10 = static_cast<float>(img.at_clamped(x0 + 1, y0));
+  const float p01 = static_cast<float>(img.at_clamped(x0, y0 + 1));
+  const float p11 = static_cast<float>(img.at_clamped(x0 + 1, y0 + 1));
+  const float top = p00 + fx * (p10 - p00);
+  const float bot = p01 + fx * (p11 - p01);
+  return top + fy * (bot - top);
+}
+
+/// Separable smoothing with a symmetric odd kernel normalized by `norm`.
+ImageF32 separable(const ImageF32& img, const float* kernel, int radius,
+                   float norm) {
+  const int w = img.width();
+  const int h = img.height();
+  ImageF32 tmp(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[k + radius] * img.at_clamped(x + k, y);
+      }
+      tmp.at(x, y) = acc / norm;
+    }
+  }
+  ImageF32 out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[k + radius] * tmp.at_clamped(x, y + k);
+      }
+      out.at(x, y) = acc / norm;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+float sample_bilinear(const ImageF32& img, float x, float y) {
+  return sample_bilinear_impl(img, x, y);
+}
+
+float sample_bilinear(const ImageU8& img, float x, float y) {
+  return sample_bilinear_impl(img, x, y);
+}
+
+ImageF32 to_float(const ImageU8& img) {
+  ImageF32 out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.at(x, y) = static_cast<float>(img.at(x, y));
+    }
+  }
+  return out;
+}
+
+ImageU8 to_u8(const ImageF32& img) {
+  ImageU8 out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float v = std::clamp(img.at(x, y), 0.0f, 255.0f);
+      out.at(x, y) = static_cast<std::uint8_t>(std::lround(v));
+    }
+  }
+  return out;
+}
+
+ImageF32 smooth3(const ImageF32& img) {
+  static const float kKernel[3] = {1.0f, 2.0f, 1.0f};
+  return separable(img, kKernel, 1, 4.0f);
+}
+
+ImageF32 smooth5(const ImageF32& img) {
+  static const float kKernel[5] = {1.0f, 4.0f, 6.0f, 4.0f, 1.0f};
+  return separable(img, kKernel, 2, 16.0f);
+}
+
+void sobel(const ImageF32& img, ImageF32& grad_x, ImageF32& grad_y) {
+  const int w = img.width();
+  const int h = img.height();
+  grad_x = ImageF32(w, h);
+  grad_y = ImageF32(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float tl = img.at_clamped(x - 1, y - 1);
+      const float tc = img.at_clamped(x, y - 1);
+      const float tr = img.at_clamped(x + 1, y - 1);
+      const float ml = img.at_clamped(x - 1, y);
+      const float mr = img.at_clamped(x + 1, y);
+      const float bl = img.at_clamped(x - 1, y + 1);
+      const float bc = img.at_clamped(x, y + 1);
+      const float br = img.at_clamped(x + 1, y + 1);
+      grad_x.at(x, y) = ((tr + 2.0f * mr + br) - (tl + 2.0f * ml + bl)) / 8.0f;
+      grad_y.at(x, y) = ((bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr)) / 8.0f;
+    }
+  }
+}
+
+ImageF32 downsample2(const ImageF32& img) {
+  if (img.width() < 2 || img.height() < 2) return img;
+  const ImageF32 smoothed = smooth3(img);
+  const int w = (img.width() + 1) / 2;
+  const int h = (img.height() + 1) / 2;
+  ImageF32 out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int sx = 2 * x;
+      const int sy = 2 * y;
+      const float sum = smoothed.at_clamped(sx, sy) +
+                        smoothed.at_clamped(sx + 1, sy) +
+                        smoothed.at_clamped(sx, sy + 1) +
+                        smoothed.at_clamped(sx + 1, sy + 1);
+      out.at(x, y) = sum / 4.0f;
+    }
+  }
+  return out;
+}
+
+double mean_abs_diff(const ImageU8& a, const ImageU8& b) {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    acc += std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i]));
+  }
+  return acc / static_cast<double>(pa.size());
+}
+
+}  // namespace adavp::vision

@@ -1,0 +1,125 @@
+#include "vision/optical_flow.h"
+
+#include <cmath>
+
+#include "vision/image_ops.h"
+
+namespace adavp::vision {
+
+namespace {
+
+struct GradientWindow {
+  // Spatial gradient (structure tensor) accumulated over the window.
+  float gxx = 0.0f;
+  float gxy = 0.0f;
+  float gyy = 0.0f;
+  bool valid = false;
+};
+
+/// Central-difference derivative of `img` sampled bilinearly at (x, y).
+inline void sample_gradient(const ImageF32& img, float x, float y, float& dx,
+                            float& dy) {
+  dx = (sample_bilinear(img, x + 1.0f, y) - sample_bilinear(img, x - 1.0f, y)) * 0.5f;
+  dy = (sample_bilinear(img, x, y + 1.0f) - sample_bilinear(img, x, y - 1.0f)) * 0.5f;
+}
+
+}  // namespace
+
+void calc_optical_flow_pyr_lk(const ImagePyramid& prev, const ImagePyramid& next,
+                              const std::vector<geometry::Point2f>& points,
+                              std::vector<geometry::Point2f>& out_points,
+                              std::vector<FlowStatus>& out_status,
+                              const LucasKanadeParams& params) {
+  out_points.assign(points.size(), {});
+  out_status.assign(points.size(), {});
+  if (prev.empty() || next.empty()) return;
+
+  const int levels = std::min(prev.levels(), next.levels());
+  const int r = params.window_radius;
+  const float window_count = static_cast<float>((2 * r + 1) * (2 * r + 1));
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const geometry::Point2f p0 = points[i];
+    geometry::Point2f g{0.0f, 0.0f};  // flow guess carried across levels
+    bool ok = true;
+    float residual = 0.0f;
+
+    for (int level = levels - 1; level >= 0; --level) {
+      const ImageF32& I = prev.level(level);
+      const ImageF32& J = next.level(level);
+      const float scale = 1.0f / static_cast<float>(1 << level);
+      const geometry::Point2f p{p0.x * scale, p0.y * scale};
+
+      // Structure tensor of the previous image around p, plus per-pixel
+      // gradients cached for the iterative update.
+      GradientWindow gw;
+      std::vector<float> ivals(static_cast<std::size_t>(window_count));
+      std::vector<float> ixs(static_cast<std::size_t>(window_count));
+      std::vector<float> iys(static_cast<std::size_t>(window_count));
+      std::size_t idx = 0;
+      for (int wy = -r; wy <= r; ++wy) {
+        for (int wx = -r; wx <= r; ++wx, ++idx) {
+          const float sx = p.x + static_cast<float>(wx);
+          const float sy = p.y + static_cast<float>(wy);
+          float ix = 0.0f;
+          float iy = 0.0f;
+          sample_gradient(I, sx, sy, ix, iy);
+          ivals[idx] = sample_bilinear(I, sx, sy);
+          ixs[idx] = ix;
+          iys[idx] = iy;
+          gw.gxx += ix * ix;
+          gw.gxy += ix * iy;
+          gw.gyy += iy * iy;
+        }
+      }
+      const float tr = 0.5f * (gw.gxx + gw.gyy);
+      const float det = gw.gxx * gw.gyy - gw.gxy * gw.gxy;
+      const float min_eig =
+          (tr - std::sqrt(std::max(0.0f, tr * tr - det))) / window_count;
+      if (min_eig < params.min_eigen_threshold || det <= 0.0f) {
+        ok = false;
+        break;
+      }
+
+      // Iterative Newton refinement of the flow at this level.
+      geometry::Point2f nu{0.0f, 0.0f};
+      for (int iter = 0; iter < params.max_iterations; ++iter) {
+        float bx = 0.0f;
+        float by = 0.0f;
+        residual = 0.0f;
+        idx = 0;
+        for (int wy = -r; wy <= r; ++wy) {
+          for (int wx = -r; wx <= r; ++wx, ++idx) {
+            const float jx = p.x + g.x + nu.x + static_cast<float>(wx);
+            const float jy = p.y + g.y + nu.y + static_cast<float>(wy);
+            const float diff = ivals[idx] - sample_bilinear(J, jx, jy);
+            bx += diff * ixs[idx];
+            by += diff * iys[idx];
+            residual += std::abs(diff);
+          }
+        }
+        const float vx = (gw.gyy * bx - gw.gxy * by) / det;
+        const float vy = (gw.gxx * by - gw.gxy * bx) / det;
+        nu += {vx, vy};
+        if (std::sqrt(vx * vx + vy * vy) < params.epsilon) break;
+      }
+
+      if (level > 0) {
+        g = (g + nu) * 2.0f;
+      } else {
+        g += nu;
+      }
+    }
+
+    geometry::Point2f result = p0 + g;
+    const ImageF32& base = next.level(0);
+    const bool inside = result.x >= 0.0f && result.y >= 0.0f &&
+                        result.x < static_cast<float>(base.width()) &&
+                        result.y < static_cast<float>(base.height());
+    out_points[i] = result;
+    out_status[i].tracked = ok && inside;
+    out_status[i].error = residual / window_count;
+  }
+}
+
+}  // namespace adavp::vision

@@ -1,0 +1,33 @@
+#include "vision/pgm.h"
+
+#include <fstream>
+
+namespace adavp::vision {
+
+bool write_pgm(const ImageU8& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.pixels().data()),
+            static_cast<std::streamsize>(img.pixels().size()));
+  return static_cast<bool>(out);
+}
+
+ImageU8 read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string magic;
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  if (magic != "P5" || w <= 0 || h <= 0 || maxval != 255) return {};
+  in.get();  // single whitespace after header
+  ImageU8 img(w, h);
+  in.read(reinterpret_cast<char*>(img.pixels().data()),
+          static_cast<std::streamsize>(img.pixels().size()));
+  if (!in) return {};
+  return img;
+}
+
+}  // namespace adavp::vision

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "vision/image.h"
+
+namespace adavp::vision {
+
+/// Writes `img` as a binary PGM (P5) file. Returns false on I/O failure.
+/// Used by examples to dump overlaid frames for visual inspection.
+bool write_pgm(const ImageU8& img, const std::string& path);
+
+/// Reads a binary PGM (P5) file; returns an empty image on failure.
+ImageU8 read_pgm(const std::string& path);
+
+}  // namespace adavp::vision

@@ -1,0 +1,19 @@
+#include "vision/pyramid.h"
+
+#include "vision/image_ops.h"
+
+namespace adavp::vision {
+
+ImagePyramid::ImagePyramid(const ImageU8& base, int levels, int min_dimension) {
+  if (base.empty() || levels <= 0) return;
+  levels_.push_back(to_float(base));
+  for (int i = 1; i < levels; ++i) {
+    const ImageF32& prev = levels_.back();
+    if (prev.width() / 2 < min_dimension || prev.height() / 2 < min_dimension) {
+      break;
+    }
+    levels_.push_back(downsample2(prev));
+  }
+}
+
+}  // namespace adavp::vision

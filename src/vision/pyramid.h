@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "vision/image.h"
+
+namespace adavp::vision {
+
+/// Gaussian image pyramid used by pyramidal Lucas-Kanade optical flow.
+///
+/// Level 0 is the full-resolution image (converted to float); each higher
+/// level halves both dimensions. Construction stops early when a level
+/// would drop below `min_dimension` pixels on either side.
+class ImagePyramid {
+ public:
+  ImagePyramid() = default;
+
+  /// Builds a pyramid with at most `levels` levels.
+  ImagePyramid(const ImageU8& base, int levels, int min_dimension = 16);
+
+  int levels() const { return static_cast<int>(levels_.size()); }
+  const ImageF32& level(int i) const { return levels_.at(static_cast<std::size_t>(i)); }
+  bool empty() const { return levels_.empty(); }
+
+ private:
+  std::vector<ImageF32> levels_;
+};
+
+}  // namespace adavp::vision

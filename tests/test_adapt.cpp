@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "adapt/adapter.h"
+#include "adapt/threshold_trainer.h"
+#include "adapt/velocity.h"
+#include "util/rng.h"
+
+namespace adavp::adapt {
+namespace {
+
+using detect::ModelSetting;
+
+// ----------------------------------------------------------- Velocity ----
+
+track::TrackStepStats step(double displacement_sum, int features, int gap) {
+  track::TrackStepStats s;
+  s.displacement_sum = displacement_sum;
+  s.features_tracked = features;
+  s.frame_gap = gap;
+  return s;
+}
+
+TEST(VelocityEstimatorTest, Eq3SingleStep) {
+  // 10 features moved a total of 25 px across a 1-frame gap: v = 2.5.
+  EXPECT_DOUBLE_EQ(VelocityEstimator::step_velocity(step(25.0, 10, 1)), 2.5);
+}
+
+TEST(VelocityEstimatorTest, Eq3NormalizesByFrameGap) {
+  // Same displacement across a 5-frame gap: per-adjacent-frame v = 0.5.
+  EXPECT_DOUBLE_EQ(VelocityEstimator::step_velocity(step(25.0, 10, 5)), 0.5);
+}
+
+TEST(VelocityEstimatorTest, NoFeaturesIsZero) {
+  EXPECT_DOUBLE_EQ(VelocityEstimator::step_velocity(step(25.0, 0, 1)), 0.0);
+}
+
+TEST(VelocityEstimatorTest, MeanOverCycle) {
+  VelocityEstimator estimator;
+  estimator.add_step(step(10.0, 10, 1));  // v = 1.0
+  estimator.add_step(step(30.0, 10, 1));  // v = 3.0
+  estimator.add_step(step(0.0, 0, 1));    // ignored: nothing tracked
+  EXPECT_EQ(estimator.step_count(), 2);
+  EXPECT_DOUBLE_EQ(estimator.mean_velocity(), 2.0);
+}
+
+TEST(VelocityEstimatorTest, ResetClears) {
+  VelocityEstimator estimator;
+  estimator.add_step(step(10.0, 10, 1));
+  estimator.reset();
+  EXPECT_EQ(estimator.step_count(), 0);
+  EXPECT_DOUBLE_EQ(estimator.mean_velocity(), 0.0);
+}
+
+// ----------------------------------------------------- ThresholdSet ------
+
+TEST(ThresholdSetTest, ClassifiesByBand) {
+  const ThresholdSet set{1.0, 2.0, 3.0};
+  EXPECT_EQ(set.classify(0.5), ModelSetting::kYolov3_608);
+  EXPECT_EQ(set.classify(1.0), ModelSetting::kYolov3_608);  // inclusive
+  EXPECT_EQ(set.classify(1.5), ModelSetting::kYolov3_512);
+  EXPECT_EQ(set.classify(2.5), ModelSetting::kYolov3_416);
+  EXPECT_EQ(set.classify(9.0), ModelSetting::kYolov3_320);
+}
+
+// -------------------------------------------------- ThresholdTrainer -----
+
+std::vector<TrainingSample> planted_samples(double v1, double v2, double v3,
+                                            int per_class, double noise,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<TrainingSample> samples;
+  auto emit = [&](double lo, double hi, ModelSetting label) {
+    for (int i = 0; i < per_class; ++i) {
+      double v = rng.uniform(lo, hi) + rng.gaussian(0.0, noise);
+      samples.push_back({std::max(0.0, v), label});
+    }
+  };
+  emit(0.0, v1, ModelSetting::kYolov3_608);
+  emit(v1, v2, ModelSetting::kYolov3_512);
+  emit(v2, v3, ModelSetting::kYolov3_416);
+  emit(v3, v3 + 2.0, ModelSetting::kYolov3_320);
+  return samples;
+}
+
+TEST(ThresholdTrainerTest, RecoversPlantedThresholdsCleanData) {
+  const auto samples = planted_samples(1.0, 2.0, 3.0, 200, 0.0, 42);
+  const ThresholdSet set = ThresholdTrainer::train(samples);
+  EXPECT_NEAR(set.v1, 1.0, 0.1);
+  EXPECT_NEAR(set.v2, 2.0, 0.1);
+  EXPECT_NEAR(set.v3, 3.0, 0.1);
+  EXPECT_GT(ThresholdTrainer::training_accuracy(set, samples), 0.98);
+}
+
+TEST(ThresholdTrainerTest, ToleratesLabelNoise) {
+  const auto samples = planted_samples(1.0, 2.0, 3.0, 300, 0.15, 7);
+  const ThresholdSet set = ThresholdTrainer::train(samples);
+  EXPECT_NEAR(set.v1, 1.0, 0.25);
+  EXPECT_NEAR(set.v2, 2.0, 0.25);
+  EXPECT_NEAR(set.v3, 3.0, 0.25);
+  EXPECT_GT(ThresholdTrainer::training_accuracy(set, samples), 0.8);
+}
+
+TEST(ThresholdTrainerTest, MonotoneBoundaries) {
+  // Adversarial: shuffled labels can produce crossing splits; the trainer
+  // must still emit v1 <= v2 <= v3.
+  util::Rng rng(11);
+  std::vector<TrainingSample> samples;
+  const ModelSetting labels[] = {
+      ModelSetting::kYolov3_320, ModelSetting::kYolov3_416,
+      ModelSetting::kYolov3_512, ModelSetting::kYolov3_608};
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back({rng.uniform(0.0, 4.0), labels[rng.uniform_int(0, 3)]});
+  }
+  const ThresholdSet set = ThresholdTrainer::train(samples);
+  EXPECT_LE(set.v1, set.v2);
+  EXPECT_LE(set.v2, set.v3);
+}
+
+TEST(ThresholdTrainerTest, EmptyTrainingDefaultsToLargestSize) {
+  const ThresholdSet set = ThresholdTrainer::train({});
+  EXPECT_EQ(set.classify(1e9), ModelSetting::kYolov3_608);
+}
+
+TEST(ThresholdTrainerTest, SingleClassData) {
+  std::vector<TrainingSample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back({0.1 * i, ModelSetting::kYolov3_512});
+  }
+  const ThresholdSet set = ThresholdTrainer::train(samples);
+  EXPECT_EQ(ThresholdTrainer::training_accuracy(set, samples), 1.0);
+}
+
+// ------------------------------------------------------- ModelAdapter ----
+
+TEST(ModelAdapterTest, SharedThresholds) {
+  const ModelAdapter adapter(ThresholdSet{1.0, 2.0, 3.0});
+  EXPECT_EQ(adapter.next_setting(0.5, ModelSetting::kYolov3_320),
+            ModelSetting::kYolov3_608);
+  EXPECT_EQ(adapter.next_setting(2.5, ModelSetting::kYolov3_608),
+            ModelSetting::kYolov3_416);
+  EXPECT_EQ(adapter.next_setting(10.0, ModelSetting::kYolov3_512),
+            ModelSetting::kYolov3_320);
+}
+
+TEST(ModelAdapterTest, PerSizeThresholdsSelectedByCurrentSetting) {
+  std::array<ThresholdSet, 4> per_size;
+  per_size[0] = {10.0, 20.0, 30.0};  // thresholds when current is 320
+  per_size[1] = {1.0, 2.0, 3.0};
+  per_size[2] = {1.0, 2.0, 3.0};
+  per_size[3] = {0.1, 0.2, 0.3};     // thresholds when current is 608
+  const ModelAdapter adapter(per_size);
+  // Velocity 5: under 320's thresholds that is "slow" -> 608.
+  EXPECT_EQ(adapter.next_setting(5.0, ModelSetting::kYolov3_320),
+            ModelSetting::kYolov3_608);
+  // Same velocity under 608's thresholds is "fast" -> 320.
+  EXPECT_EQ(adapter.next_setting(5.0, ModelSetting::kYolov3_608),
+            ModelSetting::kYolov3_320);
+}
+
+TEST(ModelAdapterTest, HysteresisDampsBoundaryOscillation) {
+  ModelAdapter adapter(ThresholdSet{1.0, 2.0, 3.0});
+  adapter.set_hysteresis_margin(0.2);
+  // Just over v1 (1.0): inside the 20% band -> stay at 608.
+  EXPECT_EQ(adapter.next_setting(1.05, ModelSetting::kYolov3_608),
+            ModelSetting::kYolov3_608);
+  // Clearly over the band -> switch.
+  EXPECT_EQ(adapter.next_setting(1.5, ModelSetting::kYolov3_608),
+            ModelSetting::kYolov3_512);
+  // No hysteresis: even the marginal value switches.
+  adapter.set_hysteresis_margin(0.0);
+  EXPECT_EQ(adapter.next_setting(1.05, ModelSetting::kYolov3_608),
+            ModelSetting::kYolov3_512);
+}
+
+TEST(ModelAdapterTest, HysteresisNeverBlocksSameSetting) {
+  ModelAdapter adapter(ThresholdSet{1.0, 2.0, 3.0});
+  adapter.set_hysteresis_margin(0.5);
+  EXPECT_EQ(adapter.next_setting(0.2, ModelSetting::kYolov3_608),
+            ModelSetting::kYolov3_608);
+}
+
+}  // namespace
+}  // namespace adavp::adapt

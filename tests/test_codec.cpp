@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "vision/good_features.h"
+#include "video/scene.h"
+#include "vision/codec.h"
+
+namespace adavp::vision {
+namespace {
+
+ImageU8 test_frame(int w = 128, int h = 96) {
+  video::SceneConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.frame_count = 1;
+  cfg.seed = 9;
+  cfg.initial_objects = 3;
+  return video::SyntheticVideo(cfg).render(0);
+}
+
+TEST(Dct, RoundTripIsIdentity) {
+  util::Rng rng(3);
+  float block[64];
+  for (float& v : block) v = static_cast<float>(rng.uniform(-128.0, 127.0));
+  float coeffs[64];
+  float back[64];
+  dct8x8(block, coeffs);
+  idct8x8(coeffs, back);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(back[i], block[i], 1e-2f) << "index " << i;
+  }
+}
+
+TEST(Dct, ConstantBlockIsPureDc) {
+  float block[64];
+  for (float& v : block) v = 50.0f;
+  float coeffs[64];
+  dct8x8(block, coeffs);
+  EXPECT_NEAR(coeffs[0], 50.0f * 8.0f, 1e-2f);  // DC = N * mean
+  for (int i = 1; i < 64; ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0f, 1e-3f);
+  }
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  util::Rng rng(5);
+  float block[64];
+  float coeffs[64];
+  for (float& v : block) v = static_cast<float>(rng.uniform(-100.0, 100.0));
+  dct8x8(block, coeffs);
+  double spatial = 0.0;
+  double spectral = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    spatial += block[i] * block[i];
+    spectral += coeffs[i] * coeffs[i];
+  }
+  EXPECT_NEAR(spectral / spatial, 1.0, 1e-3);
+}
+
+TEST(Codec, RoundTripHighQualityIsNearLossless) {
+  const ImageU8 frame = test_frame();
+  const auto encoded = encode_frame(frame, 95);
+  const ImageU8 decoded = decode_frame(encoded);
+  ASSERT_EQ(decoded.width(), frame.width());
+  ASSERT_EQ(decoded.height(), frame.height());
+  EXPECT_GT(psnr(frame, decoded), 38.0);
+}
+
+TEST(Codec, CompressesBelowRawSize) {
+  const ImageU8 frame = test_frame();
+  const std::size_t raw = frame.pixels().size();
+  EXPECT_LT(encode_frame(frame, 75).size(), raw);
+  EXPECT_LT(encode_frame(frame, 30).size(), raw / 2);
+}
+
+TEST(Codec, QualityTradesSizeForPsnr) {
+  const ImageU8 frame = test_frame();
+  const auto q30 = encode_frame(frame, 30);
+  const auto q90 = encode_frame(frame, 90);
+  EXPECT_LT(q30.size(), q90.size());
+  EXPECT_LT(psnr(frame, decode_frame(q30)), psnr(frame, decode_frame(q90)));
+  EXPECT_GT(psnr(frame, decode_frame(q30)), 24.0);  // still usable
+}
+
+TEST(Codec, NonMultipleOfEightDimensions) {
+  const ImageU8 frame = test_frame(61, 45);
+  const ImageU8 decoded = decode_frame(encode_frame(frame, 85));
+  ASSERT_EQ(decoded.width(), 61);
+  ASSERT_EQ(decoded.height(), 45);
+  EXPECT_GT(psnr(frame, decoded), 30.0);
+}
+
+TEST(Codec, EmptyAndMalformedInputs) {
+  EXPECT_TRUE(encode_frame(ImageU8{}, 75).empty());
+  EXPECT_TRUE(decode_frame({}).empty());
+  const std::vector<std::uint8_t> garbage = {'X', 'Y', 1, 0, 1, 0, 75};
+  EXPECT_TRUE(decode_frame(garbage).empty());
+  // Truncated valid stream.
+  auto encoded = encode_frame(test_frame(32, 32), 75);
+  encoded.resize(encoded.size() / 2);
+  EXPECT_TRUE(decode_frame(encoded).empty());
+}
+
+TEST(Codec, PsnrBasics) {
+  const ImageU8 frame = test_frame(32, 32);
+  EXPECT_DOUBLE_EQ(psnr(frame, frame), 99.0);
+  ImageU8 other = frame;
+  other.at(0, 0) = static_cast<std::uint8_t>(other.at(0, 0) ^ 0xFF);
+  EXPECT_LT(psnr(frame, other), 99.0);
+  EXPECT_DOUBLE_EQ(psnr(frame, ImageU8(16, 16)), 0.0);
+}
+
+TEST(Codec, DecodedFrameStillTrackable) {
+  // The codec must preserve enough texture for the vision substrate: the
+  // offload path detects/tracks on decoded frames.
+  video::SceneConfig cfg;
+  cfg.width = 128;
+  cfg.height = 96;
+  cfg.frame_count = 2;
+  cfg.seed = 21;
+  const video::SyntheticVideo video(cfg);
+  const ImageU8 decoded = decode_frame(encode_frame(video.render(0), 80));
+  GoodFeaturesParams params;  // from good_features.h via codec test TU
+  const auto corners = good_features_to_track(decoded, params);
+  EXPECT_GT(corners.size(), 5u);
+}
+
+TEST(Codec, TypicalCompressedSizeMatchesOffloadModel) {
+  // The offload baseline assumes ~40 kB per compressed 384x216 frame; the
+  // real codec at default quality should be in that ballpark (within 3x).
+  video::SceneConfig cfg;
+  cfg.frame_count = 1;
+  cfg.seed = 33;
+  const video::SyntheticVideo video(cfg);
+  const auto encoded = encode_frame(video.render(0), 75);
+  EXPECT_GT(encoded.size(), 13000u);
+  EXPECT_LT(encoded.size(), 120000u);
+}
+
+}  // namespace
+}  // namespace adavp::vision

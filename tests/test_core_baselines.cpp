@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/mpdt_pipeline.h"
+#include "core/scoring.h"
+#include "metrics/accuracy.h"
+#include "util/stats.h"
+
+namespace adavp::core {
+namespace {
+
+video::SceneConfig scene(std::uint64_t seed = 3, int frames = 200,
+                         double speed = 1.2, double pan = 0.5) {
+  video::SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 160;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 4;
+  cfg.speed_mean = speed;
+  cfg.camera_pan = pan;
+  return cfg;
+}
+
+// -------------------------------------------------------------- MARLIN ---
+
+TEST(MarlinBaseline, CoversAllFrames) {
+  const video::SyntheticVideo video(scene());
+  MarlinOptions options;
+  const RunResult run = run_marlin(video, options);
+  ASSERT_EQ(run.frames.size(), static_cast<std::size_t>(video.frame_count()));
+  for (const auto& frame : run.frames) {
+    EXPECT_NE(frame.source, ResultSource::kNone);
+  }
+}
+
+TEST(MarlinBaseline, SequentialTimelineNeverOverlaps) {
+  // In MARLIN the tracker pauses during detection, so detections are
+  // strictly ordered and frames between them are tracker/reuse outputs.
+  const video::SyntheticVideo video(scene(5));
+  const RunResult run = run_marlin(video, {});
+  int prev_detected = -1;
+  for (const auto& cycle : run.cycles) {
+    EXPECT_GT(cycle.detected_frame, prev_detected);
+    prev_detected = cycle.detected_frame;
+  }
+}
+
+TEST(MarlinBaseline, FastContentTriggersMoreDetections) {
+  const video::SyntheticVideo slow(scene(7, 240, 0.25, 0.0));
+  const video::SyntheticVideo fast(scene(7, 240, 2.8, 2.0));
+  MarlinOptions options;
+  const std::size_t slow_detections = run_marlin(slow, options).cycles.size();
+  const std::size_t fast_detections = run_marlin(fast, options).cycles.size();
+  EXPECT_GT(fast_detections, slow_detections);
+}
+
+TEST(MarlinBaseline, KeyframeGuardBoundsCycleLength) {
+  // Even a static scene must re-detect within max_cycle_ms.
+  const video::SyntheticVideo video(scene(9, 300, 0.1, 0.0));
+  MarlinOptions options;
+  options.displacement_trigger_px = 1e9;  // drift never triggers
+  options.min_feature_fraction = 0.0;
+  options.max_cycle_ms = 1500.0;
+  const RunResult run = run_marlin(video, options);
+  // 10 s of video / 1.5 s guard -> at least ~5 detections.
+  EXPECT_GE(run.cycles.size(), 5u);
+}
+
+TEST(MarlinBaseline, DeterministicGivenSeed) {
+  const video::SyntheticVideo video(scene(11, 150));
+  MarlinOptions options;
+  options.seed = 42;
+  const RunResult a = run_marlin(video, options);
+  const RunResult b = run_marlin(video, options);
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].boxes.size(), b.frames[i].boxes.size());
+  }
+}
+
+TEST(MarlinBaseline, MpdtBeatsMarlinOnChallengingVideo) {
+  // The paper's §VI-C: parallel detection+tracking outperforms sequential
+  // MARLIN, especially on fast-changing content.
+  const video::SyntheticVideo video(scene(13, 300, 2.2, 1.5));
+  MpdtOptions mpdt;
+  mpdt.setting = detect::ModelSetting::kYolov3_512;
+  MarlinOptions marlin;
+  marlin.setting = detect::ModelSetting::kYolov3_512;
+  const double mpdt_acc =
+      metrics::video_accuracy(score_run(run_mpdt(video, mpdt), video, 0.5), 0.7);
+  const double marlin_acc = metrics::video_accuracy(
+      score_run(run_marlin(video, marlin), video, 0.5), 0.7);
+  EXPECT_GE(mpdt_acc, marlin_acc);
+}
+
+// --------------------------------------------------------- DetectOnly ----
+
+TEST(DetectOnlyBaseline, CoversAllFramesWithReuse) {
+  const video::SyntheticVideo video(scene(15));
+  const RunResult run = run_detect_only(video, {});
+  int detected = 0;
+  int reused = 0;
+  for (const auto& frame : run.frames) {
+    EXPECT_NE(frame.source, ResultSource::kNone);
+    EXPECT_NE(frame.source, ResultSource::kTracker);  // no tracker here
+    if (frame.source == ResultSource::kDetector) ++detected;
+    if (frame.source == ResultSource::kReused) ++reused;
+  }
+  EXPECT_GT(detected, 0);
+  EXPECT_GT(reused, detected);  // detection latency >> frame interval
+}
+
+TEST(DetectOnlyBaseline, DetectionSpacingFollowsLatency) {
+  const video::SyntheticVideo video(scene(17, 300));
+  DetectOnlyOptions options;
+  options.setting = detect::ModelSetting::kYolov3_320;
+  const RunResult run = run_detect_only(video, options);
+  // 230 ms / 33.3 ms ~ 7 frames between detections.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < run.cycles.size(); ++i) {
+    gaps.push_back(static_cast<double>(run.cycles[i].detected_frame -
+                                       run.cycles[i - 1].detected_frame));
+  }
+  EXPECT_NEAR(util::mean(gaps), 7.0, 1.5);
+}
+
+TEST(DetectOnlyBaseline, TrackingHelpsOnMovingContent) {
+  // §VI-C: MPDT beats the no-tracking scheme because reused results go
+  // stale as objects move.
+  const video::SyntheticVideo video(scene(19, 300, 1.8, 1.0));
+  MpdtOptions mpdt;
+  mpdt.setting = detect::ModelSetting::kYolov3_512;
+  DetectOnlyOptions detect_only;
+  detect_only.setting = detect::ModelSetting::kYolov3_512;
+  const double mpdt_acc =
+      metrics::video_accuracy(score_run(run_mpdt(video, mpdt), video, 0.5), 0.7);
+  const double only_acc = metrics::video_accuracy(
+      score_run(run_detect_only(video, detect_only), video, 0.5), 0.7);
+  EXPECT_GT(mpdt_acc, only_acc);
+}
+
+// --------------------------------------------------------- Continuous ----
+
+TEST(ContinuousBaseline, ProcessesEveryFrame) {
+  const video::SyntheticVideo video(scene(21, 100));
+  const RunResult run = run_continuous(video, {});
+  for (const auto& frame : run.frames) {
+    EXPECT_EQ(frame.source, ResultSource::kDetector);
+  }
+  EXPECT_EQ(run.cycles.size(), 100u);
+}
+
+TEST(ContinuousBaseline, LatencyMultiplierMatchesPaper) {
+  const video::SyntheticVideo video(scene(23, 100));
+  DetectOnlyOptions options;
+  options.setting = detect::ModelSetting::kYolov3_320;
+  const RunResult run = run_continuous(video, options);
+  // Table III: YOLOv3-320 without skipping has ~7x latency (230/33.3).
+  EXPECT_NEAR(run.latency_multiplier, 6.9, 0.5);
+
+  options.setting = detect::ModelSetting::kYolov3Tiny_320;
+  const RunResult tiny = run_continuous(video, options);
+  // YOLOv3-tiny-320: ~1.8x.
+  EXPECT_NEAR(tiny.latency_multiplier, 1.7, 0.3);
+}
+
+TEST(ContinuousBaseline, HighestAccuracyButHugeEnergy) {
+  const video::SyntheticVideo video(scene(25, 150));
+  DetectOnlyOptions continuous;
+  continuous.setting = detect::ModelSetting::kYolov3_608;
+  const RunResult cont = run_continuous(video, continuous);
+
+  MpdtOptions mpdt;
+  mpdt.setting = detect::ModelSetting::kYolov3_512;
+  const RunResult pipeline = run_mpdt(video, mpdt);
+
+  const double cont_acc =
+      metrics::video_accuracy(score_run(cont, video, 0.5), 0.7);
+  const double mpdt_acc =
+      metrics::video_accuracy(score_run(pipeline, video, 0.5), 0.7);
+  EXPECT_GT(cont_acc, mpdt_acc);                      // Table III: 0.89 vs 0.52
+  EXPECT_GT(cont.energy.total_wh(), pipeline.energy.total_wh() * 5.0);
+}
+
+TEST(ContinuousBaseline, EnergyRailOrderingMatchesTableIII) {
+  const video::SyntheticVideo video(scene(27, 120));
+  DetectOnlyOptions options;
+  options.setting = detect::ModelSetting::kYolov3_608;
+  const RunResult run = run_continuous(video, options);
+  // GPU dominates, then DDR, then CPU, then SoC (Table III column shape).
+  EXPECT_GT(run.energy.gpu_wh, run.energy.ddr_wh);
+  EXPECT_GT(run.energy.ddr_wh, run.energy.cpu_wh);
+  EXPECT_GT(run.energy.cpu_wh, run.energy.soc_wh);
+}
+
+}  // namespace
+}  // namespace adavp::core

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "core/mpdt_pipeline.h"
+#include "core/scoring.h"
+#include "core/training.h"
+#include "metrics/accuracy.h"
+#include "util/stats.h"
+
+namespace adavp::core {
+namespace {
+
+video::SceneConfig pipeline_scene(std::uint64_t seed = 3, int frames = 150,
+                                  double speed = 1.0, double pan = 0.0) {
+  video::SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 160;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 4;
+  cfg.max_objects = 5;
+  cfg.speed_mean = speed;
+  cfg.camera_pan = pan;
+  return cfg;
+}
+
+TEST(MpdtPipeline, EveryFrameGetsExactlyOneResult) {
+  const video::SyntheticVideo video(pipeline_scene());
+  MpdtOptions options;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  const RunResult run = run_mpdt(video, options);
+
+  ASSERT_EQ(run.frames.size(), static_cast<std::size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    const FrameResult& frame = run.frames[static_cast<std::size_t>(i)];
+    EXPECT_EQ(frame.frame_index, i);
+    EXPECT_NE(frame.source, ResultSource::kNone) << "frame " << i;
+  }
+}
+
+TEST(MpdtPipeline, CyclesAreTimeOrderedAndDetectForward) {
+  const video::SyntheticVideo video(pipeline_scene(5));
+  MpdtOptions options;
+  const RunResult run = run_mpdt(video, options);
+  ASSERT_GT(run.cycles.size(), 2u);
+  for (std::size_t i = 1; i < run.cycles.size(); ++i) {
+    EXPECT_GT(run.cycles[i].detected_frame, run.cycles[i - 1].detected_frame);
+    EXPECT_GE(run.cycles[i].start_ms, run.cycles[i - 1].end_ms - 1e-6);
+    EXPECT_GT(run.cycles[i].end_ms, run.cycles[i].start_ms);
+  }
+}
+
+TEST(MpdtPipeline, DetectionCadenceMatchesLatency) {
+  // With ~412 ms detection at 30 FPS a cycle spans ~12-13 frames, so the
+  // number of cycles is about frame_count / 12.
+  const video::SyntheticVideo video(pipeline_scene(7, 300));
+  MpdtOptions options;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  const RunResult run = run_mpdt(video, options);
+  const double expected = 300.0 / (412.0 / 33.3);
+  EXPECT_NEAR(static_cast<double>(run.cycles.size()), expected, expected * 0.35);
+}
+
+TEST(MpdtPipeline, SmallerSettingDetectsMoreOften) {
+  const video::SyntheticVideo video(pipeline_scene(9, 240));
+  MpdtOptions small;
+  small.setting = detect::ModelSetting::kYolov3_320;
+  MpdtOptions large;
+  large.setting = detect::ModelSetting::kYolov3_608;
+  EXPECT_GT(run_mpdt(video, small).cycles.size(),
+            run_mpdt(video, large).cycles.size());
+}
+
+TEST(MpdtPipeline, TrackedFramesComeFromTracker) {
+  const video::SyntheticVideo video(pipeline_scene(11, 200));
+  MpdtOptions options;
+  const RunResult run = run_mpdt(video, options);
+  int detected = 0;
+  int tracked = 0;
+  int reused = 0;
+  for (const auto& frame : run.frames) {
+    switch (frame.source) {
+      case ResultSource::kDetector: ++detected; break;
+      case ResultSource::kTracker: ++tracked; break;
+      case ResultSource::kReused: ++reused; break;
+      case ResultSource::kNone: break;
+    }
+  }
+  EXPECT_EQ(detected, static_cast<int>(run.cycles.size()));
+  EXPECT_GT(tracked, 0);
+  // Observation 4: tracking+overlay > frame interval, so some frames are
+  // necessarily reused.
+  EXPECT_GT(reused, 0);
+}
+
+TEST(MpdtPipeline, RealTimeByConstruction) {
+  const video::SyntheticVideo video(pipeline_scene(13, 150));
+  MpdtOptions options;
+  const RunResult run = run_mpdt(video, options);
+  // The pipeline may finish the last detection slightly after the video
+  // ends, but must not accumulate latency beyond one cycle.
+  EXPECT_LT(run.latency_multiplier, 1.2);
+}
+
+TEST(MpdtPipeline, StalenessWithinPaperBounds) {
+  const video::SyntheticVideo video(pipeline_scene(15, 200));
+  MpdtOptions options;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  const RunResult run = run_mpdt(video, options);
+  // §IV-D3: AdaVP's result latency is one DNN detection time minus one
+  // frame time (200-470 ms); allow tracker catch-up slack. The very last
+  // detection may land after the video ends (its target frame is clamped
+  // to the final frame), so exclude the tail.
+  for (const auto& frame : run.frames) {
+    if (frame.source == ResultSource::kDetector &&
+        frame.frame_index < video.frame_count() - 20) {
+      EXPECT_LT(frame.staleness_ms, 600.0);
+      EXPECT_GT(frame.staleness_ms, 100.0);
+    }
+  }
+}
+
+TEST(MpdtPipeline, AccuracyBeatsDetectorFloor) {
+  // With tracking calibrated by detections, MPDT should clearly beat an
+  // "empty result" strawman and land in a plausible F1 band.
+  const video::SyntheticVideo video(pipeline_scene(17, 200, 0.8));
+  MpdtOptions options;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  const RunResult run = run_mpdt(video, options);
+  const std::vector<double> f1 = score_run(run, video, 0.5);
+  EXPECT_GT(util::mean(f1), 0.4);
+}
+
+TEST(MpdtPipeline, DeterministicGivenSeed) {
+  const video::SyntheticVideo video(pipeline_scene(19, 120));
+  MpdtOptions options;
+  options.seed = 77;
+  const RunResult a = run_mpdt(video, options);
+  const RunResult b = run_mpdt(video, options);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].boxes.size(), b.frames[i].boxes.size());
+    EXPECT_EQ(a.frames[i].source, b.frames[i].source);
+  }
+}
+
+TEST(MpdtPipeline, CycleVelocityTracksContentSpeed) {
+  const video::SyntheticVideo slow(pipeline_scene(21, 200, 0.3));
+  const video::SyntheticVideo fast(pipeline_scene(21, 200, 2.2, 1.5));
+  MpdtOptions options;
+  auto mean_cycle_velocity = [](const RunResult& run) {
+    util::RunningStats stats;
+    for (const auto& c : run.cycles) {
+      if (c.mean_velocity > 0.0) stats.add(c.mean_velocity);
+    }
+    return stats.mean();
+  };
+  EXPECT_GT(mean_cycle_velocity(run_mpdt(fast, options)),
+            mean_cycle_velocity(run_mpdt(slow, options)) * 1.5);
+}
+
+TEST(MpdtPipeline, FixedSettingNeverSwitches) {
+  const video::SyntheticVideo video(pipeline_scene(23, 150));
+  MpdtOptions options;
+  options.setting = detect::ModelSetting::kYolov3_416;
+  const RunResult run = run_mpdt(video, options);
+  EXPECT_EQ(run.setting_switches, 0);
+  for (const auto& cycle : run.cycles) {
+    EXPECT_EQ(cycle.setting, detect::ModelSetting::kYolov3_416);
+  }
+}
+
+TEST(AdaVpPipeline, AdapterDrivesSettingSwitches) {
+  // Content whose velocity hovers around the trained 608|512 boundary
+  // (~4.5 px/frame) forces runtime switching.
+  video::SceneConfig cfg = pipeline_scene(25, 400, 3.5, 2.0);
+  const video::SyntheticVideo video(cfg);
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  MpdtOptions options;
+  options.adapter = &adapter;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  const RunResult run = run_mpdt(video, options);
+  // The fast video should pull AdaVP away from 608 at least sometimes.
+  const auto usage = setting_usage(run);
+  EXPECT_LT(usage[3], 1.0);  // not pinned to 608
+  EXPECT_GT(run.cycles.size(), 4u);
+}
+
+TEST(AdaVpPipeline, SlowVideoPrefersLargeSizes) {
+  const video::SyntheticVideo video(pipeline_scene(27, 300, 0.25));
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  MpdtOptions options;
+  options.adapter = &adapter;
+  const RunResult run = run_mpdt(video, options);
+  const auto usage = setting_usage(run);
+  // 512 + 608 dominate on slow content (Fig. 8's shape).
+  EXPECT_GT(usage[2] + usage[3], 0.6);
+}
+
+TEST(AdaVpPipeline, FastVideoPrefersSmallSizes) {
+  // Very fast content (apparent motion ~8 px/frame) must pull AdaVP below
+  // the 608 setting most of the time (the trained thresholds put the
+  // 608|512 boundary near 4.5 px/frame).
+  const video::SyntheticVideo fast(pipeline_scene(29, 300, 4.5, 3.5));
+  const video::SyntheticVideo slow(pipeline_scene(29, 300, 0.3, 0.0));
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  MpdtOptions options;
+  options.adapter = &adapter;
+  const auto fast_usage = setting_usage(run_mpdt(fast, options));
+  const auto slow_usage = setting_usage(run_mpdt(slow, options));
+  // The fast video must spend strictly less time at 608 and strictly more
+  // at the smaller settings than the slow one.
+  EXPECT_LT(fast_usage[3], slow_usage[3]);
+  EXPECT_GT(fast_usage[0] + fast_usage[1] + fast_usage[2],
+            slow_usage[0] + slow_usage[1] + slow_usage[2]);
+  EXPECT_GT(fast_usage[0] + fast_usage[1] + fast_usage[2], 0.1);
+}
+
+TEST(Scoring, CyclesPerSwitchAndUsageInvariants) {
+  const video::SyntheticVideo video(pipeline_scene(31, 300, 1.8, 1.0));
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  MpdtOptions options;
+  options.adapter = &adapter;
+  const RunResult run = run_mpdt(video, options);
+
+  const auto gaps = cycles_per_switch(run);
+  ASSERT_FALSE(gaps.empty());
+  double total_gap = 0.0;
+  for (double g : gaps) {
+    EXPECT_GE(g, 1.0);
+    total_gap += g;
+  }
+  EXPECT_LE(total_gap, static_cast<double>(run.cycles.size()));
+
+  const auto usage = setting_usage(run);
+  double total_usage = 0.0;
+  for (double u : usage) total_usage += u;
+  EXPECT_NEAR(total_usage, 1.0, 1e-9);
+}
+
+TEST(Scoring, RescoringAtStricterIouIsLower) {
+  const video::SyntheticVideo video(pipeline_scene(33, 150));
+  MpdtOptions options;
+  const RunResult run = run_mpdt(video, options);
+  const double acc05 = metrics::video_accuracy(score_run(run, video, 0.5), 0.7);
+  const double acc06 = metrics::video_accuracy(score_run(run, video, 0.6), 0.7);
+  EXPECT_LE(acc06, acc05 + 1e-9);
+}
+
+TEST(MpdtPipeline, SelectionPolicyKnob) {
+  const video::SyntheticVideo video(pipeline_scene(41, 200, 1.2));
+  auto accuracy_for = [&](SelectionPolicy policy) {
+    MpdtOptions options;
+    options.setting = detect::ModelSetting::kYolov3_512;
+    options.selection = policy;
+    const RunResult run = run_mpdt(video, options);
+    for (const auto& frame : run.frames) {
+      EXPECT_NE(frame.source, ResultSource::kNone);
+    }
+    return metrics::video_accuracy(score_run(run, video, 0.5), 0.7);
+  };
+  const double adaptive = accuracy_for(SelectionPolicy::kAdaptiveFraction);
+  const double newest_only = accuracy_for(SelectionPolicy::kNewestOnly);
+  // The paper's scheme tracks several frames per cycle; newest-only leaves
+  // most frames on stale reuse and cannot do better.
+  EXPECT_GE(adaptive, newest_only - 0.02);
+}
+
+TEST(MpdtPipeline, DescriptorBackendRunsEndToEnd) {
+  const video::SyntheticVideo video(pipeline_scene(43, 150, 1.0));
+  MpdtOptions options;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  options.backend = TrackerBackend::kDescriptor;
+  const RunResult run = run_mpdt(video, options);
+  int tracked = 0;
+  for (const auto& frame : run.frames) {
+    EXPECT_NE(frame.source, ResultSource::kNone);
+    if (frame.source == ResultSource::kTracker) ++tracked;
+  }
+  EXPECT_GT(tracked, 0);
+  const std::vector<double> f1 = score_run(run, video, 0.5);
+  EXPECT_GT(util::mean(f1), 0.3);
+}
+
+TEST(MpdtPipeline, EmptyVideoHandled) {
+  video::SceneConfig cfg = pipeline_scene(35, 1);
+  const video::SyntheticVideo video(cfg);
+  MpdtOptions options;
+  const RunResult run = run_mpdt(video, options);
+  EXPECT_EQ(run.frames.size(), 1u);
+  EXPECT_EQ(run.frames[0].source, ResultSource::kDetector);
+}
+
+}  // namespace
+}  // namespace adavp::core

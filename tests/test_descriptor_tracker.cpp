@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "track/descriptor_tracker.h"
+#include "video/scene.h"
+
+namespace adavp::track {
+namespace {
+
+video::SceneConfig tracking_scene(std::uint64_t seed = 3, int frames = 30,
+                                  double speed = 1.0) {
+  video::SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 160;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 3;
+  cfg.max_objects = 4;
+  cfg.speed_mean = speed;
+  cfg.speed_jitter = 0.05;
+  return cfg;
+}
+
+std::vector<detect::Detection> truth_as_detections(
+    const video::SyntheticVideo& video, int frame) {
+  std::vector<detect::Detection> dets;
+  for (const auto& gt : video.ground_truth(frame)) {
+    dets.push_back({gt.box, gt.cls, 1.0f});
+  }
+  return dets;
+}
+
+TEST(DescriptorTrackerTest, ExtractsKeypointsInsideBoxes) {
+  const video::SyntheticVideo video(tracking_scene());
+  DescriptorTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  EXPECT_EQ(tracker.object_count(),
+            static_cast<int>(video.ground_truth(0).size()));
+  EXPECT_GT(tracker.live_feature_count(), 0);
+}
+
+TEST(DescriptorTrackerTest, TracksAcrossFrames) {
+  const video::SyntheticVideo video(tracking_scene(5, 20, 1.2));
+  DescriptorTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  int total_tracked = 0;
+  for (int f = 1; f <= 5; ++f) {
+    total_tracked += tracker.track_to(video.render(f), 1).features_tracked;
+  }
+  EXPECT_GT(total_tracked, 0);
+  const double f1 =
+      metrics::score_boxes(tracker.current_boxes(), video.ground_truth(5), 0.5)
+          .f1();
+  EXPECT_GT(f1, 0.4);
+}
+
+TEST(DescriptorTrackerTest, HandlesLargeFrameGaps) {
+  // Descriptor matching searches an inflated window, so even a 6-frame
+  // jump (where LK would struggle without a deep pyramid) can match.
+  const video::SyntheticVideo video(tracking_scene(7, 20, 1.5));
+  DescriptorTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  const TrackStepStats stats = tracker.track_to(video.render(6), 6);
+  EXPECT_EQ(stats.frame_gap, 6);
+  EXPECT_GT(stats.features_tracked, 0);
+}
+
+TEST(DescriptorTrackerTest, EmptyDetectionsHarmless) {
+  const video::SyntheticVideo video(tracking_scene());
+  DescriptorTracker tracker;
+  tracker.set_reference(video.render(0), {});
+  EXPECT_EQ(tracker.object_count(), 0);
+  const TrackStepStats stats = tracker.track_to(video.render(1), 1);
+  EXPECT_EQ(stats.features_tracked, 0);
+  EXPECT_TRUE(tracker.current_boxes().empty());
+}
+
+TEST(DescriptorTrackerTest, VelocitySignalScalesWithSpeed) {
+  const video::SyntheticVideo slow(tracking_scene(13, 10, 0.3));
+  const video::SyntheticVideo fast(tracking_scene(13, 10, 2.5));
+  auto step_velocity = [](const video::SyntheticVideo& video) {
+    DescriptorTracker tracker;
+    std::vector<detect::Detection> dets;
+    for (const auto& gt : video.ground_truth(0)) {
+      dets.push_back({gt.box, gt.cls, 1.0f});
+    }
+    tracker.set_reference(video.render(0), dets);
+    const TrackStepStats stats =
+        tracker.track_to(video.render(2), 2);  // 2-frame gap: clearer signal
+    if (stats.features_tracked == 0) return 0.0;
+    return stats.displacement_sum / stats.features_tracked;
+  };
+  const double vs = step_velocity(slow);
+  const double vf = step_velocity(fast);
+  ASSERT_GT(vf, 0.0);
+  EXPECT_GT(vf, vs);
+}
+
+TEST(DescriptorTrackerTest, WorksThroughTrackerInterface) {
+  const video::SyntheticVideo video(tracking_scene(17));
+  DescriptorTracker concrete;
+  TrackerInterface& tracker = concrete;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  tracker.track_to(video.render(1), 1);
+  EXPECT_FALSE(tracker.current_boxes().empty());
+}
+
+}  // namespace
+}  // namespace adavp::track

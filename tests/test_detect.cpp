@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "detect/calibration.h"
+#include "detect/detector.h"
+#include "metrics/matching.h"
+#include "util/stats.h"
+#include "video/scene.h"
+
+namespace adavp::detect {
+namespace {
+
+using video::GroundTruthObject;
+using video::ObjectClass;
+
+std::vector<GroundTruthObject> sample_truth() {
+  return {
+      {0, ObjectClass::kCar, {40, 40, 50, 36}},
+      {1, ObjectClass::kTruck, {150, 60, 64, 48}},
+      {2, ObjectClass::kPerson, {260, 100, 30, 54}},
+      {3, ObjectClass::kCar, {90, 140, 44, 32}},
+      {4, ObjectClass::kBus, {200, 150, 70, 44}},
+  };
+}
+
+// ------------------------------------------------------- ModelSetting ----
+
+TEST(ModelSettingTest, InputSizes) {
+  EXPECT_EQ(input_size(ModelSetting::kYolov3_320), 320);
+  EXPECT_EQ(input_size(ModelSetting::kYolov3_416), 416);
+  EXPECT_EQ(input_size(ModelSetting::kYolov3_512), 512);
+  EXPECT_EQ(input_size(ModelSetting::kYolov3_608), 608);
+  EXPECT_EQ(input_size(ModelSetting::kYolov3Tiny_320), 320);
+  EXPECT_EQ(input_size(ModelSetting::kYolov3_704_Oracle), 704);
+}
+
+TEST(ModelSettingTest, AdaptiveSetMembership) {
+  for (ModelSetting s : kAdaptiveSettings) {
+    EXPECT_TRUE(is_adaptive(s));
+  }
+  EXPECT_FALSE(is_adaptive(ModelSetting::kYolov3Tiny_320));
+  EXPECT_FALSE(is_adaptive(ModelSetting::kYolov3_704_Oracle));
+  EXPECT_EQ(adaptive_index(ModelSetting::kYolov3_320), 0);
+  EXPECT_EQ(adaptive_index(ModelSetting::kYolov3_608), 3);
+  EXPECT_FALSE(adaptive_index(ModelSetting::kYolov3Tiny_320).has_value());
+}
+
+TEST(ModelSettingTest, NamesMatchPaper) {
+  EXPECT_EQ(setting_name(ModelSetting::kYolov3_512), "YOLOv3-512");
+  EXPECT_EQ(setting_name(ModelSetting::kYolov3Tiny_320), "YOLOv3-tiny-320");
+}
+
+// ------------------------------------------------------- LatencyModel ----
+
+TEST(LatencyModelTest, MeansMatchFigure1Anchors) {
+  // Fig. 1 / Table II: latency grows 230 -> 500 ms with the frame size.
+  EXPECT_NEAR(LatencyModel::mean_latency_ms(ModelSetting::kYolov3_320), 230.0, 1.0);
+  EXPECT_NEAR(LatencyModel::mean_latency_ms(ModelSetting::kYolov3_608), 500.0, 1.0);
+  EXPECT_LT(LatencyModel::mean_latency_ms(ModelSetting::kYolov3Tiny_320), 60.0);
+  // Monotone in input size.
+  double prev = 0.0;
+  for (ModelSetting s : kAdaptiveSettings) {
+    const double mean = LatencyModel::mean_latency_ms(s);
+    EXPECT_GT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(LatencyModelTest, SamplesClusterAroundMean) {
+  LatencyModel model(3);
+  util::RunningStats stats;
+  for (int i = 0; i < 3000; ++i) {
+    stats.add(model.sample_ms(ModelSetting::kYolov3_512));
+  }
+  EXPECT_NEAR(stats.mean(), 412.0, 4.0);
+  EXPECT_GT(stats.min(), 206.0);  // clamped at half the mean
+}
+
+TEST(LatencyModelTest, Deterministic) {
+  LatencyModel a(9);
+  LatencyModel b(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample_ms(ModelSetting::kYolov3_320),
+                     b.sample_ms(ModelSetting::kYolov3_320));
+  }
+}
+
+// ------------------------------------------------------ AccuracyModel ----
+
+TEST(AccuracyModelTest, OracleReturnsGroundTruth) {
+  AccuracyModel model(1);
+  const auto truth = sample_truth();
+  const auto detections =
+      model.detect(truth, {384, 216}, ModelSetting::kYolov3_704_Oracle);
+  ASSERT_EQ(detections.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(detections[i].cls, truth[i].cls);
+    EXPECT_FLOAT_EQ(geometry::iou(detections[i].box, truth[i].box), 1.0f);
+  }
+}
+
+TEST(AccuracyModelTest, EmptySceneYieldsOnlyBackgroundFalsePositives) {
+  AccuracyModel model(2);
+  util::RunningStats fp;
+  for (int i = 0; i < 500; ++i) {
+    fp.add(static_cast<double>(
+        model.detect({}, {384, 216}, ModelSetting::kYolov3_512).size()));
+  }
+  // Poisson(bg_fp_per_frame = 0.30).
+  EXPECT_NEAR(fp.mean(), 0.30, 0.07);
+}
+
+/// Empirical F1 of a setting over many synthetic frames must land on the
+/// paper's Fig. 1 anchors -- this pins the whole calibration.
+class DetectorCalibrationTest : public ::testing::TestWithParam<ModelSetting> {};
+
+TEST_P(DetectorCalibrationTest, EmpiricalF1MatchesAnchor) {
+  const ModelSetting setting = GetParam();
+  const ModelProfile& profile = model_profile(setting);
+
+  video::SceneConfig cfg;
+  cfg.frame_count = 400;
+  cfg.seed = 1234;
+  cfg.initial_objects = 5;
+  const video::SyntheticVideo video(cfg);
+
+  SimulatedDetector detector(77);
+  util::RunningStats f1;
+  for (int f = 0; f < video.frame_count(); ++f) {
+    const DetectionResult result = detector.detect(video, f, setting);
+    f1.add(metrics::score_frame(result.detections, video.ground_truth(f), 0.5)
+               .f1());
+  }
+  EXPECT_NEAR(f1.mean(), profile.f1_anchor, 0.06)
+      << setting_name(setting) << " calibration drifted";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSettings, DetectorCalibrationTest,
+                         ::testing::Values(ModelSetting::kYolov3_320,
+                                           ModelSetting::kYolov3_416,
+                                           ModelSetting::kYolov3_512,
+                                           ModelSetting::kYolov3_608,
+                                           ModelSetting::kYolov3Tiny_320));
+
+TEST(AccuracyModelTest, LargerSettingsAreMoreAccurate) {
+  video::SceneConfig cfg;
+  cfg.frame_count = 250;
+  cfg.seed = 99;
+  const video::SyntheticVideo video(cfg);
+
+  double prev = -1.0;
+  for (ModelSetting setting : kAdaptiveSettings) {
+    SimulatedDetector detector(5);
+    util::RunningStats f1;
+    for (int f = 0; f < video.frame_count(); ++f) {
+      const auto result = detector.detect(video, f, setting);
+      f1.add(metrics::score_frame(result.detections, video.ground_truth(f), 0.5)
+                 .f1());
+    }
+    EXPECT_GT(f1.mean(), prev) << setting_name(setting);
+    prev = f1.mean();
+  }
+}
+
+TEST(AccuracyModelTest, StricterIouLowersF1) {
+  video::SceneConfig cfg;
+  cfg.frame_count = 200;
+  cfg.seed = 7;
+  const video::SyntheticVideo video(cfg);
+  SimulatedDetector detector(11);
+  util::RunningStats at05;
+  util::RunningStats at06;
+  for (int f = 0; f < video.frame_count(); ++f) {
+    const auto result = detector.detect(video, f, ModelSetting::kYolov3_320);
+    at05.add(
+        metrics::score_frame(result.detections, video.ground_truth(f), 0.5).f1());
+    at06.add(
+        metrics::score_frame(result.detections, video.ground_truth(f), 0.6).f1());
+  }
+  EXPECT_LT(at06.mean(), at05.mean());
+}
+
+TEST(AccuracyModelTest, DetectionsStayInsideFrame) {
+  AccuracyModel model(13);
+  const geometry::Size size{384, 216};
+  for (int i = 0; i < 200; ++i) {
+    for (const auto& det :
+         model.detect(sample_truth(), size, ModelSetting::kYolov3_320)) {
+      EXPECT_GE(det.box.left, 0.0f);
+      EXPECT_GE(det.box.top, 0.0f);
+      EXPECT_LE(det.box.right(), 384.0f + 1e-3f);
+      EXPECT_LE(det.box.bottom(), 216.0f + 1e-3f);
+    }
+  }
+}
+
+TEST(SimulatedDetectorTest, ReportsSettingFrameAndLatency) {
+  video::SceneConfig cfg;
+  cfg.frame_count = 3;
+  const video::SyntheticVideo video(cfg);
+  SimulatedDetector detector(21);
+  const DetectionResult result =
+      detector.detect(video, 2, ModelSetting::kYolov3_416);
+  EXPECT_EQ(result.frame_index, 2);
+  EXPECT_EQ(result.setting, ModelSetting::kYolov3_416);
+  EXPECT_GT(result.latency_ms, 150.0);
+  EXPECT_LT(result.latency_ms, 500.0);
+}
+
+TEST(CalibrationConstants, TableIIValues) {
+  EXPECT_DOUBLE_EQ(kFeatureExtractionMs, 40.0);
+  EXPECT_DOUBLE_EQ(kTrackingMinMs, 7.0);
+  EXPECT_DOUBLE_EQ(kTrackingMaxMs, 20.0);
+  EXPECT_DOUBLE_EQ(kOverlayMs, 50.0);
+  EXPECT_LT(kMotionFeatureExtractMs + kSettingSwitchMs, 1.0);
+}
+
+}  // namespace
+}  // namespace adavp::detect

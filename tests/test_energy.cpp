@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_meter.h"
+#include "energy/power_model.h"
+
+namespace adavp::energy {
+namespace {
+
+using detect::ModelSetting;
+
+TEST(PowerModelTest, ContinuousDrawsMoreThanPipelined) {
+  for (ModelSetting s :
+       {ModelSetting::kYolov3_320, ModelSetting::kYolov3_512,
+        ModelSetting::kYolov3_608}) {
+    EXPECT_GT(PowerModel::gpu_detect_w(s, true), PowerModel::gpu_detect_w(s, false));
+  }
+}
+
+TEST(PowerModelTest, GpuPowerGrowsWithInputSize) {
+  double prev = 0.0;
+  for (ModelSetting s :
+       {ModelSetting::kYolov3_320, ModelSetting::kYolov3_416,
+        ModelSetting::kYolov3_512, ModelSetting::kYolov3_608}) {
+    const double w = PowerModel::gpu_detect_w(s, false);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(PowerModelTest, TinyIsCheapest) {
+  EXPECT_LT(PowerModel::gpu_detect_w(ModelSetting::kYolov3Tiny_320, true),
+            PowerModel::gpu_detect_w(ModelSetting::kYolov3_320, true));
+}
+
+TEST(PowerModelTest, IdleBelowBusy) {
+  EXPECT_LT(PowerModel::gpu_idle_w(),
+            PowerModel::gpu_detect_w(ModelSetting::kYolov3_320, false));
+  EXPECT_LT(PowerModel::cpu_idle_w(), PowerModel::cpu_track_w());
+}
+
+TEST(EnergyMeterTest, PureIdleRun) {
+  EnergyMeter meter;
+  // One hour fully idle.
+  const RailEnergy energy = meter.finish(3'600'000.0);
+  EXPECT_NEAR(energy.gpu_wh, PowerModel::gpu_idle_w(), 1e-9);
+  EXPECT_NEAR(energy.cpu_wh, PowerModel::cpu_idle_w(), 1e-9);
+}
+
+TEST(EnergyMeterTest, BusySegmentsIntegrate) {
+  EnergyMeter meter;
+  // 30 minutes GPU at 4 W, 30 minutes idle (0.15 W): 2.075 Wh.
+  meter.add_gpu_busy(4.0, 1'800'000.0);
+  const RailEnergy energy = meter.finish(3'600'000.0);
+  EXPECT_NEAR(energy.gpu_wh, 4.0 * 0.5 + 0.15 * 0.5, 1e-9);
+}
+
+TEST(EnergyMeterTest, SocDdrFollowAffineModel) {
+  EnergyMeter meter;
+  meter.add_gpu_busy(3.0, 3'600'000.0);
+  meter.add_cpu_busy(1.5, 3'600'000.0);
+  const RailEnergy energy = meter.finish(3'600'000.0);
+  EXPECT_NEAR(energy.gpu_wh, 3.0, 1e-9);
+  EXPECT_NEAR(energy.cpu_wh, 1.5, 1e-9);
+  EXPECT_NEAR(energy.soc_wh,
+              PowerModel::kSocBaseW + PowerModel::kSocPerGpu * 3.0 +
+                  PowerModel::kSocPerCpu * 1.5,
+              1e-9);
+  EXPECT_NEAR(energy.ddr_wh,
+              PowerModel::kDdrBaseW + PowerModel::kDdrPerGpu * 3.0 +
+                  PowerModel::kDdrPerCpu * 1.5,
+              1e-9);
+}
+
+TEST(EnergyMeterTest, TotalIsRailSum) {
+  EnergyMeter meter;
+  meter.add_gpu_busy(2.0, 1'000'000.0);
+  meter.add_cpu_busy(1.0, 500'000.0);
+  const RailEnergy energy = meter.finish(2'000'000.0);
+  EXPECT_NEAR(energy.total_wh(),
+              energy.gpu_wh + energy.cpu_wh + energy.soc_wh + energy.ddr_wh,
+              1e-12);
+}
+
+TEST(EnergyMeterTest, ZeroDurationSegmentsIgnored) {
+  EnergyMeter meter;
+  meter.add_gpu_busy(5.0, 0.0);
+  meter.add_gpu_busy(5.0, -10.0);
+  EXPECT_DOUBLE_EQ(meter.gpu_busy_ms(), 0.0);
+}
+
+TEST(EnergyMeterTest, ScaledPreservesRatios) {
+  const RailEnergy energy{2.0, 1.0, 0.5, 0.25};
+  const RailEnergy scaled = energy.scaled(3.0);
+  EXPECT_DOUBLE_EQ(scaled.gpu_wh, 6.0);
+  EXPECT_DOUBLE_EQ(scaled.total_wh(), energy.total_wh() * 3.0);
+}
+
+TEST(EnergyMeterTest, TableIIIShapeContinuous608MostExpensive) {
+  // Continuous YOLOv3-608 on 1 h of video runs for ~15 h and must dominate
+  // every rail, as in Table III's last column.
+  const double video_ms = 3'600'000.0;
+  EnergyMeter pipeline;
+  pipeline.add_gpu_busy(PowerModel::gpu_detect_w(ModelSetting::kYolov3_512, false),
+                        video_ms);
+  pipeline.add_cpu_busy(PowerModel::cpu_track_w(), video_ms);
+  const RailEnergy mpdt = pipeline.finish(video_ms);
+
+  const double continuous_ms = video_ms * 15.0;
+  EnergyMeter continuous;
+  continuous.add_gpu_busy(
+      PowerModel::gpu_detect_w(ModelSetting::kYolov3_608, true), continuous_ms);
+  continuous.add_cpu_busy(PowerModel::cpu_feed_w(ModelSetting::kYolov3_608),
+                          continuous_ms);
+  const RailEnergy cont = continuous.finish(continuous_ms);
+
+  EXPECT_GT(cont.gpu_wh, mpdt.gpu_wh * 10.0);
+  EXPECT_GT(cont.total_wh(), mpdt.total_wh() * 8.0);
+}
+
+}  // namespace
+}  // namespace adavp::energy

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "util/rng.h"
+
+namespace adavp::geometry {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point2f a{1.0f, 2.0f};
+  const Point2f b{3.0f, -1.0f};
+  EXPECT_EQ(a + b, Point2f(4.0f, 1.0f));
+  EXPECT_EQ(a - b, Point2f(-2.0f, 3.0f));
+  EXPECT_EQ(a * 2.0f, Point2f(2.0f, 4.0f));
+  EXPECT_FLOAT_EQ(Point2f(3.0f, 4.0f).norm(), 5.0f);
+}
+
+TEST(SizeTest, Area) {
+  EXPECT_EQ((Size{1280, 720}).area(), 921600);
+  EXPECT_EQ((Size{0, 10}).area(), 0);
+}
+
+TEST(Box, BasicAccessors) {
+  const BoundingBox box{10.0f, 20.0f, 30.0f, 40.0f};
+  EXPECT_FLOAT_EQ(box.right(), 40.0f);
+  EXPECT_FLOAT_EQ(box.bottom(), 60.0f);
+  EXPECT_FLOAT_EQ(box.area(), 1200.0f);
+  EXPECT_EQ(box.center(), Point2f(25.0f, 40.0f));
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE((BoundingBox{0, 0, 0, 5}).empty());
+  EXPECT_FLOAT_EQ((BoundingBox{0, 0, -2, 5}).area(), 0.0f);
+}
+
+TEST(Box, ContainsIsHalfOpen) {
+  const BoundingBox box{0.0f, 0.0f, 10.0f, 10.0f};
+  EXPECT_TRUE(box.contains({0.0f, 0.0f}));
+  EXPECT_TRUE(box.contains({9.99f, 9.99f}));
+  EXPECT_FALSE(box.contains({10.0f, 5.0f}));
+  EXPECT_FALSE(box.contains({-0.01f, 5.0f}));
+}
+
+TEST(Box, ShiftMovesWithoutResizing) {
+  const BoundingBox box{1.0f, 2.0f, 3.0f, 4.0f};
+  const BoundingBox shifted = box.shifted({5.0f, -1.0f});
+  EXPECT_FLOAT_EQ(shifted.left, 6.0f);
+  EXPECT_FLOAT_EQ(shifted.top, 1.0f);
+  EXPECT_FLOAT_EQ(shifted.width, 3.0f);
+  EXPECT_FLOAT_EQ(shifted.height, 4.0f);
+}
+
+TEST(Intersect, OverlappingBoxes) {
+  const BoundingBox a{0, 0, 10, 10};
+  const BoundingBox b{5, 5, 10, 10};
+  const BoundingBox inter = intersect(a, b);
+  EXPECT_FLOAT_EQ(inter.left, 5.0f);
+  EXPECT_FLOAT_EQ(inter.top, 5.0f);
+  EXPECT_FLOAT_EQ(inter.area(), 25.0f);
+}
+
+TEST(Intersect, DisjointBoxesAreEmpty) {
+  EXPECT_TRUE(intersect({0, 0, 2, 2}, {5, 5, 2, 2}).empty());
+}
+
+TEST(Iou, IdenticalBoxesIsOne) {
+  const BoundingBox a{3, 4, 10, 20};
+  EXPECT_FLOAT_EQ(iou(a, a), 1.0f);
+}
+
+TEST(Iou, KnownOverlap) {
+  // Half-overlapping unit squares: inter 0.5, union 1.5.
+  const BoundingBox a{0, 0, 1, 1};
+  const BoundingBox b{0.5f, 0, 1, 1};
+  EXPECT_NEAR(iou(a, b), 0.5f / 1.5f, 1e-6f);
+}
+
+TEST(Iou, DisjointIsZero) {
+  EXPECT_FLOAT_EQ(iou({0, 0, 1, 1}, {2, 2, 1, 1}), 0.0f);
+}
+
+TEST(Iou, EmptyBoxIsZero) {
+  EXPECT_FLOAT_EQ(iou({0, 0, 0, 0}, {0, 0, 1, 1}), 0.0f);
+}
+
+TEST(Iou, ShiftedSquareMatchesClosedForm) {
+  // A square of side s shifted by t*s along one axis has
+  // IoU = (1 - t) / (1 + t).
+  const float s = 20.0f;
+  for (float t : {0.1f, 0.25f, 1.0f / 3.0f, 0.5f}) {
+    const BoundingBox a{0, 0, s, s};
+    const BoundingBox b{t * s, 0, s, s};
+    EXPECT_NEAR(iou(a, b), (1.0f - t) / (1.0f + t), 1e-5f) << "t=" << t;
+  }
+}
+
+TEST(ClampTo, InsideUnchanged) {
+  const BoundingBox box{5, 5, 10, 10};
+  EXPECT_EQ(clamp_to(box, {100, 100}), box);
+}
+
+TEST(ClampTo, CutsAtBorders) {
+  const BoundingBox box{-5, -5, 20, 20};
+  const BoundingBox clamped = clamp_to(box, {100, 100});
+  EXPECT_FLOAT_EQ(clamped.left, 0.0f);
+  EXPECT_FLOAT_EQ(clamped.top, 0.0f);
+  EXPECT_FLOAT_EQ(clamped.width, 15.0f);
+  EXPECT_FLOAT_EQ(clamped.height, 15.0f);
+}
+
+TEST(ClampTo, FullyOutsideBecomesEmpty) {
+  EXPECT_TRUE(clamp_to({200, 200, 10, 10}, {100, 100}).empty());
+}
+
+// ------------------------------------------------- property-style sweeps --
+
+class IouPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IouPropertyTest, SymmetricBoundedAndConsistent) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const BoundingBox a{static_cast<float>(rng.uniform(-50, 50)),
+                        static_cast<float>(rng.uniform(-50, 50)),
+                        static_cast<float>(rng.uniform(1, 60)),
+                        static_cast<float>(rng.uniform(1, 60))};
+    const BoundingBox b{static_cast<float>(rng.uniform(-50, 50)),
+                        static_cast<float>(rng.uniform(-50, 50)),
+                        static_cast<float>(rng.uniform(1, 60)),
+                        static_cast<float>(rng.uniform(1, 60))};
+    const float ab = iou(a, b);
+    const float ba = iou(b, a);
+    EXPECT_FLOAT_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0f);
+    EXPECT_LE(ab, 1.0f);
+    // IoU == 1 iff the boxes coincide.
+    if (ab > 0.9999f) {
+      EXPECT_NEAR(a.left, b.left, 1e-3f);
+      EXPECT_NEAR(a.top, b.top, 1e-3f);
+    }
+    // Intersection area is bounded by each box's area.
+    const float inter = intersect(a, b).area();
+    EXPECT_LE(inter, a.area() + 1e-3f);
+    EXPECT_LE(inter, b.area() + 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace adavp::geometry

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scoring.h"
+#include "core/training.h"
+#include "metrics/accuracy.h"
+
+namespace adavp::core {
+namespace {
+
+/// A small but diverse test set: slow, medium, fast content.
+std::vector<video::SceneConfig> mini_dataset(int frames = 200) {
+  auto scene = [&](std::uint64_t seed, double speed, double pan) {
+    video::SceneConfig cfg;
+    cfg.width = 256;
+    cfg.height = 160;
+    cfg.frame_count = frames;
+    cfg.seed = seed;
+    cfg.initial_objects = 4;
+    cfg.speed_mean = speed;
+    cfg.camera_pan = pan;
+    return cfg;
+  };
+  return {scene(301, 0.25, 0.0), scene(302, 1.2, 0.5), scene(303, 2.6, 1.8)};
+}
+
+TEST(MethodSpecTest, NamesMatchPaperStyle) {
+  EXPECT_EQ(method_name({MethodKind::kAdaVP, {}}), "AdaVP");
+  EXPECT_EQ(method_name({MethodKind::kMpdt, detect::ModelSetting::kYolov3_512}),
+            "MPDT-YOLOv3-512");
+  EXPECT_EQ(
+      method_name({MethodKind::kMarlin, detect::ModelSetting::kYolov3_320}),
+      "MARLIN-YOLOv3-320");
+  EXPECT_EQ(method_name({MethodKind::kContinuous,
+                         detect::ModelSetting::kYolov3Tiny_320}),
+            "YOLOv3-tiny-320-continuous");
+}
+
+TEST(RunDataset, OneRunPerVideo) {
+  const auto configs = mini_dataset(120);
+  const DatasetRun dataset =
+      run_dataset({MethodKind::kMpdt, detect::ModelSetting::kYolov3_512},
+                  configs, nullptr, 7);
+  ASSERT_EQ(dataset.runs.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(dataset.runs[i].frames.size(),
+              static_cast<std::size_t>(configs[i].frame_count));
+  }
+}
+
+TEST(RunDataset, AccuraciesInUnitRange) {
+  const auto configs = mini_dataset(120);
+  const DatasetRun dataset =
+      run_dataset({MethodKind::kMpdt, detect::ModelSetting::kYolov3_512},
+                  configs, nullptr, 7);
+  const auto accuracies = dataset_video_accuracies(dataset, configs, 0.7, 0.5);
+  ASSERT_EQ(accuracies.size(), configs.size());
+  for (double a : accuracies) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(Integration, AdaVpCompetitiveWithBestFixedSetting) {
+  // The headline claim (Fig. 6): AdaVP >= every fixed-setting MPDT.
+  // On this miniature dataset we require AdaVP to be at least close to the
+  // best fixed setting (within noise) and strictly better than the worst.
+  const auto configs = mini_dataset(250);
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+
+  const double adavp = dataset_accuracy(
+      run_dataset({MethodKind::kAdaVP, detect::ModelSetting::kYolov3_512},
+                  configs, &adapter, 11),
+      configs);
+
+  double best_fixed = 0.0;
+  double worst_fixed = 1.0;
+  for (detect::ModelSetting setting : detect::kAdaptiveSettings) {
+    const double acc = dataset_accuracy(
+        run_dataset({MethodKind::kMpdt, setting}, configs, nullptr, 11), configs);
+    best_fixed = std::max(best_fixed, acc);
+    worst_fixed = std::min(worst_fixed, acc);
+  }
+  EXPECT_GE(adavp, worst_fixed);
+  EXPECT_GE(adavp, best_fixed - 0.08);
+}
+
+TEST(Integration, MpdtBeatsMarlinOnAverage) {
+  const auto configs = mini_dataset(250);
+  const detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
+  const double mpdt = dataset_accuracy(
+      run_dataset({MethodKind::kMpdt, setting}, configs, nullptr, 13), configs);
+  const double marlin = dataset_accuracy(
+      run_dataset({MethodKind::kMarlin, setting}, configs, nullptr, 13), configs);
+  EXPECT_GE(mpdt, marlin - 0.02);
+}
+
+TEST(Integration, EnergyScalingToReferenceDuration) {
+  const auto configs = mini_dataset(120);
+  const DatasetRun dataset =
+      run_dataset({MethodKind::kMpdt, detect::ModelSetting::kYolov3_512},
+                  configs, nullptr, 17);
+  const energy::RailEnergy raw = dataset_energy(dataset, 0.0);
+  const energy::RailEnergy scaled = dataset_energy(dataset, 1.31);
+  EXPECT_GT(scaled.total_wh(), raw.total_wh());
+  // 3 videos x 120 frames = 12 s of video scaled to 1.31 h: factor ~393.
+  EXPECT_NEAR(scaled.total_wh() / raw.total_wh(), 1.31 * 3600.0 / 12.0, 40.0);
+}
+
+TEST(Integration, ContinuousLatencyMultiplierSurfaces) {
+  const auto configs = mini_dataset(60);
+  const DatasetRun dataset = run_dataset(
+      {MethodKind::kContinuous, detect::ModelSetting::kYolov3_608}, configs,
+      nullptr, 19);
+  EXPECT_GT(dataset_latency_multiplier(dataset), 10.0);
+}
+
+}  // namespace
+}  // namespace adavp::core

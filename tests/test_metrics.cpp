@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "metrics/accuracy.h"
+#include "metrics/matching.h"
+
+namespace adavp::metrics {
+namespace {
+
+using detect::Detection;
+using video::GroundTruthObject;
+using video::ObjectClass;
+
+Detection det(float l, float t, float w, float h, ObjectClass cls) {
+  return {{l, t, w, h}, cls, 0.9f};
+}
+
+GroundTruthObject gt(int id, float l, float t, float w, float h,
+                     ObjectClass cls) {
+  return {id, cls, {l, t, w, h}};
+}
+
+TEST(FrameScoreTest, PerfectMatch) {
+  const std::vector<Detection> dets = {det(0, 0, 10, 10, ObjectClass::kCar)};
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  const FrameScore score = score_frame(dets, truth);
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_positives, 0);
+  EXPECT_EQ(score.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(score.f1(), 1.0);
+}
+
+TEST(FrameScoreTest, WrongLabelIsFpPlusFn) {
+  const std::vector<Detection> dets = {det(0, 0, 10, 10, ObjectClass::kTruck)};
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  const FrameScore score = score_frame(dets, truth);
+  EXPECT_EQ(score.true_positives, 0);
+  EXPECT_EQ(score.false_positives, 1);
+  EXPECT_EQ(score.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(score.f1(), 0.0);
+}
+
+TEST(FrameScoreTest, InsufficientOverlapFails) {
+  // IoU of unit squares shifted by 0.6 of the side = 0.4/1.6 = 0.25 < 0.5.
+  const std::vector<Detection> dets = {det(6, 0, 10, 10, ObjectClass::kCar)};
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  const FrameScore score = score_frame(dets, truth, 0.5);
+  EXPECT_EQ(score.true_positives, 0);
+}
+
+TEST(FrameScoreTest, IouThresholdIsRespected) {
+  // Shift 2 px of 10: IoU = 8/12 = 0.667.
+  const std::vector<Detection> dets = {det(2, 0, 10, 10, ObjectClass::kCar)};
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  EXPECT_EQ(score_frame(dets, truth, 0.5).true_positives, 1);
+  EXPECT_EQ(score_frame(dets, truth, 0.7).true_positives, 0);
+}
+
+TEST(FrameScoreTest, GreedyMatchingPrefersBestIou) {
+  // Two detections compete for one ground truth; the closer one wins, the
+  // other counts as a false positive.
+  const std::vector<Detection> dets = {
+      det(1, 0, 10, 10, ObjectClass::kCar),  // IoU ~0.82
+      det(3, 0, 10, 10, ObjectClass::kCar),  // IoU ~0.54
+  };
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  const FrameScore score = score_frame(dets, truth);
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_positives, 1);
+  EXPECT_EQ(score.false_negatives, 0);
+}
+
+TEST(FrameScoreTest, EachGtMatchedOnce) {
+  const std::vector<Detection> dets = {
+      det(0, 0, 10, 10, ObjectClass::kCar),
+      det(0, 0, 10, 10, ObjectClass::kCar),
+  };
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  const FrameScore score = score_frame(dets, truth);
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_positives, 1);
+}
+
+TEST(FrameScoreTest, MultiObjectMixedOutcome) {
+  const std::vector<Detection> dets = {
+      det(0, 0, 10, 10, ObjectClass::kCar),      // TP
+      det(50, 50, 10, 10, ObjectClass::kTruck),  // TP
+      det(90, 90, 8, 8, ObjectClass::kDog),      // FP (nothing there)
+  };
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar),
+      gt(1, 50, 50, 10, 10, ObjectClass::kTruck),
+      gt(2, 120, 20, 10, 10, ObjectClass::kPerson),  // FN (missed)
+  };
+  const FrameScore score = score_frame(dets, truth);
+  EXPECT_EQ(score.true_positives, 2);
+  EXPECT_EQ(score.false_positives, 1);
+  EXPECT_EQ(score.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(score.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(score.recall(), 2.0 / 3.0);
+  EXPECT_NEAR(score.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(FrameScoreTest, EmptyFrameEmptyDetectionsIsPerfect) {
+  const FrameScore score = score_frame({}, {});
+  EXPECT_DOUBLE_EQ(score.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(score.precision(), 0.0);  // no detections
+}
+
+TEST(FrameScoreTest, DetectionsOnEmptyFrameScoreZero) {
+  const std::vector<Detection> dets = {det(0, 0, 10, 10, ObjectClass::kCar)};
+  EXPECT_DOUBLE_EQ(score_frame(dets, {}).f1(), 0.0);
+}
+
+TEST(FrameScoreTest, MissingAllObjectsScoresZero) {
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  EXPECT_DOUBLE_EQ(score_frame({}, truth).f1(), 0.0);
+}
+
+TEST(ScoreBoxesTest, MatchesDetectionOverload) {
+  const std::vector<LabeledBox> boxes = {{{0, 0, 10, 10}, ObjectClass::kCar}};
+  const std::vector<GroundTruthObject> truth = {
+      gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  EXPECT_DOUBLE_EQ(score_boxes(boxes, truth).f1(), 1.0);
+}
+
+// ------------------------------------------------------------ Accuracy ---
+
+TEST(VideoAccuracy, CountsFramesAboveThreshold) {
+  const std::vector<double> f1 = {0.9, 0.8, 0.6, 0.71, 0.2};
+  EXPECT_DOUBLE_EQ(video_accuracy(f1, 0.7), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(video_accuracy(f1, 0.75), 2.0 / 5.0);
+}
+
+TEST(VideoAccuracy, EmptyIsZero) { EXPECT_DOUBLE_EQ(video_accuracy({}, 0.7), 0.0); }
+
+TEST(VideoAccuracy, ThresholdIsInclusive) {
+  const std::vector<double> f1 = {0.7};
+  EXPECT_DOUBLE_EQ(video_accuracy(f1, 0.7), 1.0);
+}
+
+TEST(DatasetAccuracy, AveragesPerVideo) {
+  const std::vector<std::vector<double>> videos = {
+      {1.0, 1.0},        // accuracy 1.0
+      {0.0, 0.0, 0.0},   // accuracy 0.0
+  };
+  EXPECT_DOUBLE_EQ(dataset_accuracy(videos, 0.7), 0.5);
+}
+
+TEST(RelativeGain, MatchesPaperConvention) {
+  // "improves accuracy by 43.9%": (ours - base) / base.
+  EXPECT_NEAR(relative_gain(0.59, 0.41), 0.439, 0.001);
+  EXPECT_DOUBLE_EQ(relative_gain(0.5, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace adavp::metrics

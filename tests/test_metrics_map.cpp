@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "metrics/map.h"
+
+namespace adavp::metrics {
+namespace {
+
+using detect::Detection;
+using video::GroundTruthObject;
+using video::ObjectClass;
+
+Detection det(float l, float t, float w, float h, ObjectClass cls, float score) {
+  return {{l, t, w, h}, cls, score};
+}
+
+GroundTruthObject gt(int id, float l, float t, float w, float h,
+                     ObjectClass cls) {
+  return {id, cls, {l, t, w, h}};
+}
+
+TEST(AveragePrecision, PerfectDetectorScoresOne) {
+  std::vector<FrameDetections> frames(3);
+  for (int f = 0; f < 3; ++f) {
+    frames[static_cast<std::size_t>(f)].truth = {
+        gt(0, 10.0f * f, 0, 10, 10, ObjectClass::kCar)};
+    frames[static_cast<std::size_t>(f)].detections = {
+        det(10.0f * f, 0, 10, 10, ObjectClass::kCar, 0.9f)};
+  }
+  const ApResult result = average_precision(frames, ObjectClass::kCar);
+  EXPECT_DOUBLE_EQ(result.ap, 1.0);
+  EXPECT_EQ(result.gt_count, 3);
+}
+
+TEST(AveragePrecision, NoDetectionsScoresZero) {
+  std::vector<FrameDetections> frames(1);
+  frames[0].truth = {gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  const ApResult result = average_precision(frames, ObjectClass::kCar);
+  EXPECT_DOUBLE_EQ(result.ap, 0.0);
+  EXPECT_EQ(result.detections, 0);
+}
+
+TEST(AveragePrecision, NoGroundTruthScoresZero) {
+  std::vector<FrameDetections> frames(1);
+  frames[0].detections = {det(0, 0, 10, 10, ObjectClass::kCar, 0.9f)};
+  EXPECT_DOUBLE_EQ(average_precision(frames, ObjectClass::kCar).ap, 0.0);
+}
+
+TEST(AveragePrecision, HighRankedFalsePositiveHurtsMore) {
+  // Two GT objects; one TP. A false positive ranked ABOVE the TP drags the
+  // whole precision envelope; ranked below it does not affect AP.
+  auto make_frames = [](float fp_score) {
+    std::vector<FrameDetections> frames(1);
+    frames[0].truth = {gt(0, 0, 0, 10, 10, ObjectClass::kCar),
+                       gt(1, 50, 50, 10, 10, ObjectClass::kCar)};
+    frames[0].detections = {
+        det(0, 0, 10, 10, ObjectClass::kCar, 0.9f),     // TP
+        det(100, 100, 8, 8, ObjectClass::kCar, fp_score)  // FP
+    };
+    return frames;
+  };
+  const double ap_fp_low =
+      average_precision(make_frames(0.1f), ObjectClass::kCar).ap;
+  const double ap_fp_high =
+      average_precision(make_frames(0.99f), ObjectClass::kCar).ap;
+  EXPECT_GT(ap_fp_low, ap_fp_high);
+  EXPECT_DOUBLE_EQ(ap_fp_low, 0.5);   // recall caps at 0.5 with precision 1
+  EXPECT_DOUBLE_EQ(ap_fp_high, 0.25); // TP arrives at precision 0.5
+}
+
+TEST(AveragePrecision, DoubleDetectionCountsOneTp) {
+  std::vector<FrameDetections> frames(1);
+  frames[0].truth = {gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  frames[0].detections = {det(0, 0, 10, 10, ObjectClass::kCar, 0.9f),
+                          det(1, 0, 10, 10, ObjectClass::kCar, 0.8f)};
+  const ApResult result = average_precision(frames, ObjectClass::kCar);
+  // Second detection of the same object is a FP, but ranked below the TP,
+  // so AP stays 1.0 (recall already complete).
+  EXPECT_DOUBLE_EQ(result.ap, 1.0);
+}
+
+TEST(AveragePrecision, IouThresholdGates) {
+  std::vector<FrameDetections> frames(1);
+  frames[0].truth = {gt(0, 0, 0, 10, 10, ObjectClass::kCar)};
+  frames[0].detections = {det(4, 0, 10, 10, ObjectClass::kCar, 0.9f)};  // IoU 0.43
+  EXPECT_DOUBLE_EQ(average_precision(frames, ObjectClass::kCar, 0.4).ap, 1.0);
+  EXPECT_DOUBLE_EQ(average_precision(frames, ObjectClass::kCar, 0.5).ap, 0.0);
+}
+
+TEST(MeanAp, AveragesOverGroundTruthClasses) {
+  std::vector<FrameDetections> frames(1);
+  frames[0].truth = {gt(0, 0, 0, 10, 10, ObjectClass::kCar),
+                     gt(1, 50, 50, 10, 10, ObjectClass::kPerson)};
+  frames[0].detections = {det(0, 0, 10, 10, ObjectClass::kCar, 0.9f)};
+  // Car AP = 1, person AP = 0 -> mAP = 0.5.
+  EXPECT_DOUBLE_EQ(mean_average_precision(frames), 0.5);
+}
+
+TEST(MeanAp, EmptyInput) { EXPECT_DOUBLE_EQ(mean_average_precision({}), 0.0); }
+
+TEST(MeanAp, LargerSettingScoresHigherOnSyntheticVideo) {
+  video::SceneConfig cfg;
+  cfg.frame_count = 120;
+  cfg.seed = 4;
+  const video::SyntheticVideo video(cfg);
+  auto map_for = [&](detect::ModelSetting setting) {
+    detect::SimulatedDetector detector(7);
+    std::vector<FrameDetections> frames;
+    for (int f = 0; f < video.frame_count(); ++f) {
+      FrameDetections fd;
+      fd.truth = video.ground_truth(f);
+      fd.detections = detector.detect(video, f, setting).detections;
+      frames.push_back(std::move(fd));
+    }
+    return mean_average_precision(frames);
+  };
+  EXPECT_GT(map_for(detect::ModelSetting::kYolov3_608),
+            map_for(detect::ModelSetting::kYolov3_320));
+}
+
+}  // namespace
+}  // namespace adavp::metrics

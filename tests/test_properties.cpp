@@ -1,0 +1,238 @@
+// Cross-module property tests: parameterized sweeps asserting the system
+// invariants that must hold for EVERY configuration, not just the ones the
+// unit tests probe.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "adapt/threshold_trainer.h"
+#include "core/baselines.h"
+#include "core/experiment.h"
+#include "core/mpdt_pipeline.h"
+#include "core/scoring.h"
+#include "core/trace.h"
+#include "core/training.h"
+#include "detect/calibration.h"
+#include "detect/detector.h"
+#include "metrics/matching.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "video/profiles.h"
+
+namespace adavp {
+namespace {
+
+video::SceneConfig property_scene(std::uint64_t seed, int frames, double speed,
+                                  double pan = 0.0) {
+  video::SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 160;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 4;
+  cfg.speed_mean = speed;
+  cfg.camera_pan = pan;
+  return cfg;
+}
+
+// ------------------------------------------------------------------------
+// Pipeline invariants over (method x setting x content speed).
+// ------------------------------------------------------------------------
+
+using PipelineParam = std::tuple<core::MethodKind, detect::ModelSetting, double>;
+
+class PipelineInvariantTest : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(PipelineInvariantTest, HoldsForAllConfigurations) {
+  const auto [kind, setting, speed] = GetParam();
+  const video::SyntheticVideo video(property_scene(97, 150, speed, speed * 0.4));
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+  const core::RunResult run =
+      core::run_method({kind, setting}, video, &adapter, 7);
+
+  // 1. Exactly one result slot per frame, indices consistent, all covered.
+  ASSERT_EQ(run.frames.size(), static_cast<std::size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    EXPECT_EQ(run.frames[static_cast<std::size_t>(i)].frame_index, i);
+    EXPECT_NE(run.frames[static_cast<std::size_t>(i)].source,
+              core::ResultSource::kNone);
+  }
+  // 2. Cycles strictly advance and never overlap in time.
+  for (std::size_t c = 1; c < run.cycles.size(); ++c) {
+    EXPECT_GT(run.cycles[c].detected_frame, run.cycles[c - 1].detected_frame);
+    EXPECT_GE(run.cycles[c].start_ms, run.cycles[c - 1].start_ms);
+  }
+  // 3. Every reported box lies inside the frame.
+  for (const auto& frame : run.frames) {
+    for (const auto& box : frame.boxes) {
+      EXPECT_GE(box.box.left, -1e-3f);
+      EXPECT_GE(box.box.top, -1e-3f);
+      EXPECT_LE(box.box.right(), 256.0f + 1e-3f);
+      EXPECT_LE(box.box.bottom(), 160.0f + 1e-3f);
+    }
+  }
+  // 4. Scores are valid probabilities-of-sorts; energy and timeline sane.
+  const auto f1 = core::score_run(run, video, 0.5);
+  for (double v : f1) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_GT(run.timeline_ms, 0.0);
+  EXPECT_GT(run.energy.total_wh(), 0.0);
+  EXPECT_GE(run.latency_multiplier, 0.99);
+  // 5. Traces round-trip for every configuration.
+  std::stringstream buffer;
+  ASSERT_TRUE(core::write_trace(run, buffer));
+  const auto loaded = core::read_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->frames.size(), run.frames.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndSpeeds, PipelineInvariantTest,
+    ::testing::Combine(
+        ::testing::Values(core::MethodKind::kAdaVP, core::MethodKind::kMpdt,
+                          core::MethodKind::kMarlin, core::MethodKind::kDetectOnly),
+        ::testing::Values(detect::ModelSetting::kYolov3_320,
+                          detect::ModelSetting::kYolov3_608),
+        ::testing::Values(0.4, 2.4)));
+
+// ------------------------------------------------------------------------
+// Detector monotonicity across the full setting ladder and IoU thresholds.
+// ------------------------------------------------------------------------
+
+class DetectorIouSweep
+    : public ::testing::TestWithParam<detect::ModelSetting> {};
+
+TEST_P(DetectorIouSweep, F1MonotoneInIouThreshold) {
+  const detect::ModelSetting setting = GetParam();
+  const video::SyntheticVideo video(property_scene(31, 120, 1.0));
+  detect::SimulatedDetector detector(5);
+  double prev = 1.0;
+  for (double iou : {0.3, 0.5, 0.7}) {
+    util::RunningStats f1;
+    detect::SimulatedDetector fresh(5);  // same stream per threshold
+    for (int f = 0; f < video.frame_count(); ++f) {
+      const auto result = fresh.detect(video, f, setting);
+      f1.add(metrics::score_frame(result.detections, video.ground_truth(f), iou)
+                 .f1());
+    }
+    EXPECT_LE(f1.mean(), prev + 1e-9) << "iou " << iou;
+    prev = f1.mean();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Settings, DetectorIouSweep,
+                         ::testing::Values(detect::ModelSetting::kYolov3_320,
+                                           detect::ModelSetting::kYolov3_416,
+                                           detect::ModelSetting::kYolov3_512,
+                                           detect::ModelSetting::kYolov3_608,
+                                           detect::ModelSetting::kYolov3Tiny_320));
+
+// ------------------------------------------------------------------------
+// Scene generator invariants across the whole scenario library.
+// ------------------------------------------------------------------------
+
+class ScenarioSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioSweep, GroundTruthAlwaysValid) {
+  const auto& scenario =
+      video::scenario_library()[static_cast<std::size_t>(GetParam())];
+  const video::SceneConfig cfg = video::make_scene(scenario, 1234, 90);
+  const video::SyntheticVideo video(cfg);
+  for (int f = 0; f < video.frame_count(); ++f) {
+    for (const auto& gt : video.ground_truth(f)) {
+      EXPECT_FALSE(gt.box.empty());
+      EXPECT_GE(gt.box.left, 0.0f);
+      EXPECT_GE(gt.box.top, 0.0f);
+      EXPECT_LE(gt.box.right(), static_cast<float>(cfg.width) + 1e-3f);
+      EXPECT_LE(gt.box.bottom(), static_cast<float>(cfg.height) + 1e-3f);
+      EXPECT_GE(gt.object_id, 0);
+    }
+  }
+}
+
+TEST_P(ScenarioSweep, RenderingIsDeterministicAndCacheConsistent) {
+  const auto& scenario =
+      video::scenario_library()[static_cast<std::size_t>(GetParam())];
+  const video::SceneConfig cfg = video::make_scene(scenario, 77, 12);
+  video::SyntheticVideo a(cfg);
+  video::SyntheticVideo b(cfg);
+  b.precache();
+  for (int f = 0; f < 12; f += 5) {
+    EXPECT_EQ(a.render(f).pixels(), b.render(f).pixels()) << "frame " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioSweep,
+                         ::testing::Range(0, 14));
+
+// ------------------------------------------------------------------------
+// Threshold trainer recovers planted boundaries across a parameter grid.
+// ------------------------------------------------------------------------
+
+using TrainerParam = std::tuple<double, double>;  // (v1, band width)
+
+class TrainerRecoveryTest : public ::testing::TestWithParam<TrainerParam> {};
+
+TEST_P(TrainerRecoveryTest, RecoversPlantedBoundaries) {
+  const auto [v1, band] = GetParam();
+  const double v2 = v1 + band;
+  const double v3 = v2 + band;
+  util::Rng rng(static_cast<std::uint64_t>(v1 * 1000 + band * 10));
+  std::vector<adapt::TrainingSample> samples;
+  auto emit = [&](double lo, double hi, detect::ModelSetting label) {
+    for (int i = 0; i < 150; ++i) {
+      samples.push_back({rng.uniform(lo, hi), label});
+    }
+  };
+  emit(0.0, v1, detect::ModelSetting::kYolov3_608);
+  emit(v1, v2, detect::ModelSetting::kYolov3_512);
+  emit(v2, v3, detect::ModelSetting::kYolov3_416);
+  emit(v3, v3 + band, detect::ModelSetting::kYolov3_320);
+  const adapt::ThresholdSet set = adapt::ThresholdTrainer::train(samples);
+  const double tol = band * 0.15 + 0.02;
+  EXPECT_NEAR(set.v1, v1, tol);
+  EXPECT_NEAR(set.v2, v2, tol);
+  EXPECT_NEAR(set.v3, v3, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundaryGrid, TrainerRecoveryTest,
+    ::testing::Combine(::testing::Values(0.5, 1.5, 4.0),
+                       ::testing::Values(0.5, 1.5)));
+
+// ------------------------------------------------------------------------
+// Latency model consistency: cycle spacing follows the setting's latency.
+// ------------------------------------------------------------------------
+
+class CycleSpacingTest
+    : public ::testing::TestWithParam<detect::ModelSetting> {};
+
+TEST_P(CycleSpacingTest, MatchesLatencyOverFrameInterval) {
+  const detect::ModelSetting setting = GetParam();
+  const video::SyntheticVideo video(property_scene(53, 240, 1.0));
+  core::MpdtOptions options;
+  options.setting = setting;
+  const core::RunResult run = run_mpdt(video, options);
+  ASSERT_GT(run.cycles.size(), 3u);
+  util::RunningStats gaps;
+  for (std::size_t c = 1; c < run.cycles.size(); ++c) {
+    gaps.add(static_cast<double>(run.cycles[c].detected_frame -
+                                 run.cycles[c - 1].detected_frame));
+  }
+  const double expected =
+      detect::LatencyModel::mean_latency_ms(setting) / detect::kFrameIntervalMs;
+  EXPECT_NEAR(gaps.mean(), expected, expected * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Settings, CycleSpacingTest,
+                         ::testing::Values(detect::ModelSetting::kYolov3_320,
+                                           detect::ModelSetting::kYolov3_416,
+                                           detect::ModelSetting::kYolov3_512,
+                                           detect::ModelSetting::kYolov3_608));
+
+}  // namespace
+}  // namespace adavp

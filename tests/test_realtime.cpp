@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/realtime_pipeline.h"
+#include "core/scoring.h"
+#include "core/training.h"
+#include "metrics/accuracy.h"
+#include "util/stats.h"
+
+namespace adavp::core {
+namespace {
+
+video::SceneConfig scene(std::uint64_t seed = 3, int frames = 90,
+                         double speed = 1.0) {
+  video::SceneConfig cfg;
+  cfg.width = 192;
+  cfg.height = 120;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 3;
+  cfg.speed_mean = speed;
+  return cfg;
+}
+
+TEST(RealtimePipeline, CompletesAndCoversAllFrames) {
+  video::SyntheticVideo video(scene());
+  video.precache();
+  RealtimeOptions options;
+  options.time_scale = 30.0;
+  const RealtimeResult result = run_realtime(video, options);
+
+  EXPECT_EQ(result.stats.frames_captured, video.frame_count());
+  ASSERT_EQ(result.run.frames.size(),
+            static_cast<std::size_t>(video.frame_count()));
+  int with_result = 0;
+  for (const auto& frame : result.run.frames) {
+    if (frame.source != ResultSource::kNone) ++with_result;
+  }
+  // Everything after the first completed detection must carry a result.
+  EXPECT_GT(with_result, video.frame_count() * 2 / 3);
+}
+
+TEST(RealtimePipeline, DetectorAndTrackerBothContribute) {
+  video::SyntheticVideo video(scene(5, 120));
+  video.precache();
+  RealtimeOptions options;
+  options.time_scale = 30.0;
+  const RealtimeResult result = run_realtime(video, options);
+  EXPECT_GT(result.stats.frames_detected, 1);
+  EXPECT_GT(result.stats.frames_tracked, 0);
+  // The detector can only process a small share of 30 FPS input.
+  EXPECT_LT(result.stats.frames_detected, video.frame_count() / 3);
+}
+
+TEST(RealtimePipeline, DetectionsAdvanceMonotonically) {
+  video::SyntheticVideo video(scene(7, 120));
+  video.precache();
+  RealtimeOptions options;
+  options.time_scale = 30.0;
+  const RealtimeResult result = run_realtime(video, options);
+  int prev = -1;
+  for (const auto& cycle : result.run.cycles) {
+    EXPECT_GT(cycle.detected_frame, prev);
+    prev = cycle.detected_frame;
+  }
+}
+
+TEST(RealtimePipeline, ProducesReasonableAccuracy) {
+  video::SyntheticVideo video(scene(9, 120, 0.8));
+  video.precache();
+  RealtimeOptions options;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  options.time_scale = 20.0;
+  const RealtimeResult result = run_realtime(video, options);
+  const std::vector<double> f1 = score_run(result.run, video, 0.5);
+  // Skip the start-up frames that precede the first detection.
+  std::vector<double> steady(f1.begin() + 30, f1.end());
+  EXPECT_GT(util::mean(steady), 0.3);
+}
+
+TEST(RealtimePipeline, AdapterSwitchesUnderRealThreads) {
+  // Start at the smallest setting on calm content: the adapter must switch
+  // up toward the large sizes as soon as it has a velocity measurement.
+  video::SyntheticVideo video(scene(11, 150, 0.8));
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  video.precache();
+  RealtimeOptions options;
+  options.adapter = &adapter;
+  options.setting = detect::ModelSetting::kYolov3_320;
+  options.time_scale = 30.0;
+  const RealtimeResult result = run_realtime(video, options);
+  EXPECT_GE(result.stats.setting_switches, 1);
+  // And the final cycles should sit at a larger size than the start.
+  ASSERT_FALSE(result.run.cycles.empty());
+  EXPECT_NE(result.run.cycles.back().setting, detect::ModelSetting::kYolov3_320);
+}
+
+TEST(RealtimePipeline, RunsBackToBackWithoutLeakingThreads) {
+  video::SyntheticVideo video(scene(13, 45));
+  video.precache();
+  RealtimeOptions options;
+  options.time_scale = 45.0;
+  for (int i = 0; i < 3; ++i) {
+    const RealtimeResult result = run_realtime(video, options);
+    EXPECT_EQ(result.stats.frames_captured, 45);
+  }
+}
+
+}  // namespace
+}  // namespace adavp::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/mpdt_pipeline.h"
+#include "core/scoring.h"
+#include "core/trace.h"
+
+namespace adavp::core {
+namespace {
+
+video::SceneConfig scene(std::uint64_t seed = 3, int frames = 90) {
+  video::SceneConfig cfg;
+  cfg.width = 192;
+  cfg.height = 120;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 3;
+  return cfg;
+}
+
+RunResult sample_run(const video::SyntheticVideo& video) {
+  MpdtOptions options;
+  options.seed = 11;
+  return run_mpdt(video, options);
+}
+
+TEST(Trace, RoundTripPreservesEverything) {
+  const video::SyntheticVideo video(scene());
+  const RunResult original = sample_run(video);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(original, buffer));
+  const auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  ASSERT_EQ(loaded->frames.size(), original.frames.size());
+  ASSERT_EQ(loaded->cycles.size(), original.cycles.size());
+  EXPECT_EQ(loaded->setting_switches, original.setting_switches);
+  EXPECT_NEAR(loaded->timeline_ms, original.timeline_ms, 1e-3);
+  for (std::size_t i = 0; i < original.frames.size(); ++i) {
+    const FrameResult& a = original.frames[i];
+    const FrameResult& b = loaded->frames[i];
+    EXPECT_EQ(a.frame_index, b.frame_index);
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.setting, b.setting);
+    ASSERT_EQ(a.boxes.size(), b.boxes.size());
+    for (std::size_t k = 0; k < a.boxes.size(); ++k) {
+      EXPECT_EQ(a.boxes[k].cls, b.boxes[k].cls);
+      EXPECT_NEAR(a.boxes[k].box.left, b.boxes[k].box.left, 1e-3f);
+      EXPECT_NEAR(a.boxes[k].box.width, b.boxes[k].box.width, 1e-3f);
+    }
+  }
+  for (std::size_t i = 0; i < original.cycles.size(); ++i) {
+    EXPECT_EQ(loaded->cycles[i].detected_frame, original.cycles[i].detected_frame);
+    EXPECT_EQ(loaded->cycles[i].setting, original.cycles[i].setting);
+    EXPECT_NEAR(loaded->cycles[i].mean_velocity, original.cycles[i].mean_velocity,
+                1e-4);
+  }
+}
+
+TEST(Trace, OfflineScoringMatchesLiveScoring) {
+  // The paper's workflow: save at runtime, compute accuracy offline.
+  const video::SyntheticVideo video(scene(7));
+  const RunResult original = sample_run(video);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(original, buffer));
+  const auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  const auto live = score_run(original, video, 0.5);
+  const auto offline = score_run(*loaded, video, 0.5);
+  ASSERT_EQ(live.size(), offline.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_NEAR(live[i], offline[i], 1e-6) << "frame " << i;
+  }
+}
+
+TEST(Trace, FileRoundTrip) {
+  const video::SyntheticVideo video(scene(9, 45));
+  const RunResult original = sample_run(video);
+  const std::string path = ::testing::TempDir() + "/adavp_trace_test.txt";
+  ASSERT_TRUE(write_trace_file(original, path));
+  const auto loaded = read_trace_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->frames.size(), original.frames.size());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RejectsMissingHeader) {
+  std::stringstream buffer("video 10 0 1 0\n");
+  EXPECT_FALSE(read_trace(buffer).has_value());
+}
+
+TEST(Trace, RejectsUnknownRecord) {
+  std::stringstream buffer;
+  buffer << "# adavp-trace v1\nvideo 1 0 1 0\nbogus 1 2 3\n";
+  EXPECT_FALSE(read_trace(buffer).has_value());
+}
+
+TEST(Trace, RejectsOutOfRangeFrameIndex) {
+  std::stringstream buffer;
+  buffer << "# adavp-trace v1\nvideo 2 0 1 0\nframe 5 detector 512 0 0\n";
+  EXPECT_FALSE(read_trace(buffer).has_value());
+}
+
+TEST(Trace, RejectsBadClassId) {
+  std::stringstream buffer;
+  buffer << "# adavp-trace v1\nvideo 1 0 1 0\n"
+         << "frame 0 detector 512 0 1 99 0 0 10 10\n";
+  EXPECT_FALSE(read_trace(buffer).has_value());
+}
+
+TEST(Trace, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_trace_file("/nonexistent/path/trace.txt").has_value());
+}
+
+}  // namespace
+}  // namespace adavp::core

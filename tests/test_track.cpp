@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "detect/calibration.h"
+#include "metrics/matching.h"
+#include "track/frame_selection.h"
+#include "track/latency.h"
+#include "track/tracker.h"
+#include "video/scene.h"
+
+namespace adavp::track {
+namespace {
+
+video::SceneConfig tracking_scene(std::uint64_t seed = 3, int frames = 40,
+                                  double speed = 1.0) {
+  video::SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 160;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 3;
+  cfg.max_objects = 4;
+  cfg.speed_mean = speed;
+  cfg.speed_jitter = 0.05;  // near-constant velocity: easy to track
+  return cfg;
+}
+
+std::vector<detect::Detection> truth_as_detections(
+    const video::SyntheticVideo& video, int frame) {
+  std::vector<detect::Detection> dets;
+  for (const auto& gt : video.ground_truth(frame)) {
+    dets.push_back({gt.box, gt.cls, 1.0f});
+  }
+  return dets;
+}
+
+// ------------------------------------------------------------ Tracker ----
+
+TEST(ObjectTrackerTest, StartsWithoutReference) {
+  ObjectTracker tracker;
+  EXPECT_FALSE(tracker.has_reference());
+  EXPECT_EQ(tracker.object_count(), 0);
+  // Tracking without a reference is a harmless no-op.
+  const vision::ImageU8 frame(64, 64, 100);
+  const TrackStepStats stats = tracker.track_to(frame, 1);
+  EXPECT_EQ(stats.features_tracked, 0);
+}
+
+TEST(ObjectTrackerTest, ExtractsFeaturesInsideBoxes) {
+  const video::SyntheticVideo video(tracking_scene());
+  ObjectTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  EXPECT_TRUE(tracker.has_reference());
+  EXPECT_EQ(tracker.object_count(),
+            static_cast<int>(video.ground_truth(0).size()));
+  EXPECT_GT(tracker.live_feature_count(), 0);
+}
+
+TEST(ObjectTrackerTest, TracksObjectsAcrossFrames) {
+  const video::SyntheticVideo video(tracking_scene(5, 20, 1.2));
+  ObjectTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+
+  for (int f = 1; f <= 6; ++f) {
+    const TrackStepStats stats = tracker.track_to(video.render(f), 1);
+    EXPECT_GT(stats.features_tracked, 0) << "frame " << f;
+  }
+  // After 6 frames the tracked boxes should still match ground truth well.
+  const auto boxes = tracker.current_boxes();
+  const double f1 = metrics::score_boxes(boxes, video.ground_truth(6), 0.5).f1();
+  EXPECT_GT(f1, 0.6);
+}
+
+TEST(ObjectTrackerTest, TrackingQualityDegradesOverTime) {
+  const video::SyntheticVideo video(tracking_scene(7, 60, 1.8));
+  ObjectTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+
+  double early = -1.0;
+  double late = -1.0;
+  for (int f = 1; f < 45; ++f) {
+    tracker.track_to(video.render(f), 1);
+    const double f1 =
+        metrics::score_boxes(tracker.current_boxes(), video.ground_truth(f), 0.5)
+            .f1();
+    if (f == 4) early = f1;
+    if (f == 44) late = f1;
+  }
+  // Observation 3: accuracy decays with tracked distance (new objects
+  // appear, drift accumulates).
+  EXPECT_LE(late, early + 0.05);
+}
+
+TEST(ObjectTrackerTest, HandlesFrameGaps) {
+  const video::SyntheticVideo video(tracking_scene(9, 20, 1.0));
+  ObjectTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  const TrackStepStats stats = tracker.track_to(video.render(4), 4);
+  EXPECT_EQ(stats.frame_gap, 4);
+  EXPECT_GT(stats.features_tracked, 0);
+  const double f1 =
+      metrics::score_boxes(tracker.current_boxes(), video.ground_truth(4), 0.5)
+          .f1();
+  EXPECT_GT(f1, 0.5);
+}
+
+TEST(ObjectTrackerTest, ReferenceResetsState) {
+  const video::SyntheticVideo video(tracking_scene(11, 30, 1.0));
+  ObjectTracker tracker;
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  for (int f = 1; f < 10; ++f) tracker.track_to(video.render(f), 1);
+  // Re-calibrate from frame 10's exact boxes: accuracy returns to ~1.
+  tracker.set_reference(video.render(10), truth_as_detections(video, 10));
+  const double f1 =
+      metrics::score_boxes(tracker.current_boxes(), video.ground_truth(10), 0.5)
+          .f1();
+  EXPECT_GT(f1, 0.99);
+}
+
+TEST(ObjectTrackerTest, EmptyDetectionsTrackNothing) {
+  const video::SyntheticVideo video(tracking_scene());
+  ObjectTracker tracker;
+  tracker.set_reference(video.render(0), {});
+  EXPECT_EQ(tracker.object_count(), 0);
+  const TrackStepStats stats = tracker.track_to(video.render(1), 1);
+  EXPECT_EQ(stats.features_tracked, 0);
+  EXPECT_TRUE(tracker.current_boxes().empty());
+}
+
+TEST(ObjectTrackerTest, DisplacementSumTracksMotionSpeed) {
+  // Faster scene => larger per-step displacement sum per feature.
+  const video::SyntheticVideo slow(tracking_scene(13, 12, 0.3));
+  const video::SyntheticVideo fast(tracking_scene(13, 12, 2.5));
+  double slow_v = 0.0;
+  double fast_v = 0.0;
+  {
+    ObjectTracker tracker;
+    tracker.set_reference(slow.render(0), truth_as_detections(slow, 0));
+    const auto stats = tracker.track_to(slow.render(1), 1);
+    ASSERT_GT(stats.features_tracked, 0);
+    slow_v = stats.displacement_sum / stats.features_tracked;
+  }
+  {
+    ObjectTracker tracker;
+    tracker.set_reference(fast.render(0), truth_as_detections(fast, 0));
+    const auto stats = tracker.track_to(fast.render(1), 1);
+    ASSERT_GT(stats.features_tracked, 0);
+    fast_v = stats.displacement_sum / stats.features_tracked;
+  }
+  EXPECT_GT(fast_v, slow_v * 1.5);
+}
+
+TEST(ObjectTrackerTest, RespectsFeatureBudgets) {
+  TrackerParams params;
+  params.max_features = 20;
+  params.max_features_per_box = 4;
+  const video::SyntheticVideo video(tracking_scene(15));
+  ObjectTracker tracker(params);
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  EXPECT_LE(tracker.live_feature_count(), 20);
+  EXPECT_LE(tracker.live_feature_count(), 4 * tracker.object_count());
+}
+
+// ----------------------------------------------------- FrameSelection ----
+
+TEST(FrameSelection, SelectsFractionAtRegularIntervals) {
+  TrackingFrameSelector selector(0.5);
+  const auto offsets = selector.select(10);
+  EXPECT_EQ(offsets.size(), 5u);
+  EXPECT_EQ(offsets.back(), 10);  // newest frame always tracked
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_GT(offsets[i], offsets[i - 1]);  // strictly increasing
+  }
+}
+
+TEST(FrameSelection, FullFractionTracksEverything) {
+  TrackingFrameSelector selector(1.0);
+  const auto offsets = selector.select(5);
+  EXPECT_EQ(offsets, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(FrameSelection, AlwaysTracksAtLeastOne) {
+  TrackingFrameSelector selector(0.05);
+  const auto offsets = selector.select(3);
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(offsets[0], 3);
+}
+
+TEST(FrameSelection, EmptyBufferSelectsNothing) {
+  TrackingFrameSelector selector(0.5);
+  EXPECT_TRUE(selector.select(0).empty());
+  EXPECT_TRUE(selector.select(-3).empty());
+}
+
+TEST(FrameSelection, UpdateFollowsMeasuredThroughput) {
+  TrackingFrameSelector selector(1.0);
+  selector.update(3, 12);  // tracked 3 of 12 last cycle
+  EXPECT_NEAR(selector.fraction(), 0.25, 1e-12);
+  const auto offsets = selector.select(12);
+  EXPECT_EQ(offsets.size(), 3u);
+}
+
+TEST(FrameSelection, UpdateIgnoresDegenerateCycles) {
+  TrackingFrameSelector selector(0.5);
+  selector.update(0, 10);
+  selector.update(5, 0);
+  EXPECT_NEAR(selector.fraction(), 0.5, 1e-12);
+}
+
+TEST(FrameSelection, FractionClamped) {
+  TrackingFrameSelector selector(0.5);
+  selector.update(20, 10);  // nonsense ratio > 1
+  EXPECT_LE(selector.fraction(), 1.0);
+}
+
+// ------------------------------------------------------- LatencyModel ----
+
+TEST(TrackLatency, WithinTableIIRanges) {
+  TrackLatencyModel model(3);
+  for (int i = 0; i < 200; ++i) {
+    const double extract = model.feature_extraction_ms();
+    EXPECT_GT(extract, 20.0);
+    EXPECT_LT(extract, 60.0);
+    const double track = model.tracking_ms(4, 40);
+    EXPECT_GE(track, detect::kTrackingMinMs);
+    EXPECT_LE(track, detect::kTrackingMaxMs);
+    const double overlay = model.overlay_ms();
+    EXPECT_GT(overlay, 30.0);
+    EXPECT_LT(overlay, 70.0);
+  }
+}
+
+TEST(TrackLatency, GrowsWithLoad) {
+  EXPECT_LT(TrackLatencyModel::mean_track_and_overlay_ms(1, 5),
+            TrackLatencyModel::mean_track_and_overlay_ms(8, 80));
+  // The paper's §I: tracking+rendering of one frame is 57-70 ms.
+  EXPECT_GE(TrackLatencyModel::mean_track_and_overlay_ms(0, 0), 57.0);
+  EXPECT_LE(TrackLatencyModel::mean_track_and_overlay_ms(8, 80), 70.0);
+}
+
+TEST(ObjectTrackerTest, SinglePointModeUsesOneFeaturePerBox) {
+  // §V fast path: one feature per bounding box.
+  TrackerParams params;
+  params.single_point_per_box = true;
+  const video::SyntheticVideo video(tracking_scene(21));
+  ObjectTracker tracker(params);
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  EXPECT_LE(tracker.live_feature_count(), tracker.object_count());
+  EXPECT_GT(tracker.live_feature_count(), 0);
+  // Tracking still works, just with less redundancy.
+  const TrackStepStats stats = tracker.track_to(video.render(1), 1);
+  EXPECT_GT(stats.features_tracked, 0);
+}
+
+TEST(ObjectTrackerTest, ForwardBackwardCheckKeepsGoodFeatures) {
+  // On a clean translating scene FB validation should pass most features
+  // (their round trip lands back home), so tracking still works...
+  TrackerParams params;
+  params.forward_backward_check = true;
+  params.fb_threshold = 1.0f;
+  const video::SyntheticVideo video(tracking_scene(23, 12, 0.8));
+  ObjectTracker tracker(params);
+  tracker.set_reference(video.render(0), truth_as_detections(video, 0));
+  const TrackStepStats stats = tracker.track_to(video.render(1), 1);
+  EXPECT_GT(stats.features_tracked, 0);
+  // ...and it can only ever *reduce* the surviving set vs no check.
+  ObjectTracker baseline;
+  baseline.set_reference(video.render(0), truth_as_detections(video, 0));
+  const TrackStepStats base = baseline.track_to(video.render(1), 1);
+  EXPECT_LE(stats.features_tracked, base.features_tracked);
+}
+
+TEST(TrackLatency, ExceedsFrameInterval) {
+  // Observation 4: per-frame tracking + overlay cannot keep 30 FPS.
+  EXPECT_GT(TrackLatencyModel::mean_track_and_overlay_ms(3, 30),
+            detect::kFrameIntervalMs);
+}
+
+}  // namespace
+}  // namespace adavp::track

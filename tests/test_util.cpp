@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace adavp::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShiftScale) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.06);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.06);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng parent(77);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+// -------------------------------------------------------------- Stats ----
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.7) * 3 + i * 0.01;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Percentile, ClampsQueryRange) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200.0), 3.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Cdf, StepStructure) {
+  const std::vector<double> xs = {1.0, 1.0, 2.0, 3.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].cumulative, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative, 1.0);
+}
+
+TEST(Cdf, EmptyInput) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-5.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+}
+
+// ---------------------------------------------------------------- Csv ----
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/adavp_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b"});
+    csv.row(std::vector<std::string>{"1", "x,y"});
+    csv.row(std::vector<double>{2.5, 3.0});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,3");
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- Table ----
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"name", "v"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22 |"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, PadsMissingCells) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  EXPECT_NE(table.to_string().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pct(0.439, 1), "43.9%");
+}
+
+// --------------------------------------------------------------- Args ----
+
+TEST(ArgsTest, ParsesAllForms) {
+  // Note: a bare "--flag" consumes the following token as its value, so
+  // positionals must precede flags (documented Args behaviour).
+  const char* argv[] = {"prog", "pos1", "--alpha=0.7", "--frames", "300",
+                        "--verbose"};
+  Args args(6, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.7);
+  EXPECT_EQ(args.get_int("frames", 0), 300);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(ArgsTest, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get("x", "def"), "def");
+  EXPECT_EQ(args.get_int("x", 5), 5);
+  EXPECT_FALSE(args.get_bool("x", false));
+}
+
+TEST(ArgsTest, ExplicitFalse) {
+  const char* argv[] = {"prog", "--flag=false"};
+  Args args(2, argv);
+  EXPECT_FALSE(args.get_bool("flag", true));
+}
+
+}  // namespace
+}  // namespace adavp::util

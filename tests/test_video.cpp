@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "video/camera.h"
+#include "video/frame_buffer.h"
+#include "video/object_class.h"
+#include "video/profiles.h"
+#include "video/scene.h"
+#include "vision/image_ops.h"
+
+namespace adavp::video {
+namespace {
+
+SceneConfig small_config(std::uint64_t seed = 5, int frames = 40) {
+  SceneConfig cfg;
+  cfg.width = 160;
+  cfg.height = 120;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 3;
+  return cfg;
+}
+
+// --------------------------------------------------------- ObjectClass ---
+
+TEST(ObjectClassTest, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumObjectClasses; ++i) {
+    names.insert(class_name(static_cast<ObjectClass>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumObjectClasses));
+}
+
+TEST(ObjectClassTest, ConfusablePairsAreSymmetricForVehicles) {
+  EXPECT_EQ(confusable_class(ObjectClass::kCar), ObjectClass::kTruck);
+  EXPECT_EQ(confusable_class(ObjectClass::kTruck), ObjectClass::kCar);
+  // A person has no confusable peer.
+  EXPECT_EQ(confusable_class(ObjectClass::kPerson), ObjectClass::kPerson);
+}
+
+// ------------------------------------------------------- SyntheticVideo --
+
+TEST(SyntheticVideoTest, DeterministicRendering) {
+  const SceneConfig cfg = small_config();
+  SyntheticVideo a(cfg);
+  SyntheticVideo b(cfg);
+  for (int f : {0, 10, 39}) {
+    EXPECT_EQ(a.render(f).pixels(), b.render(f).pixels()) << "frame " << f;
+    ASSERT_EQ(a.ground_truth(f).size(), b.ground_truth(f).size());
+  }
+}
+
+TEST(SyntheticVideoTest, DifferentSeedsDiffer) {
+  SceneConfig cfg = small_config(1);
+  SyntheticVideo a(cfg);
+  cfg.seed = 2;
+  SyntheticVideo b(cfg);
+  EXPECT_NE(a.render(5).pixels(), b.render(5).pixels());
+}
+
+TEST(SyntheticVideoTest, GroundTruthBoxesInsideFrame) {
+  SyntheticVideo video(small_config(7, 60));
+  for (int f = 0; f < video.frame_count(); ++f) {
+    for (const auto& gt : video.ground_truth(f)) {
+      EXPECT_GE(gt.box.left, 0.0f);
+      EXPECT_GE(gt.box.top, 0.0f);
+      EXPECT_LE(gt.box.right(), 160.0f + 1e-3f);
+      EXPECT_LE(gt.box.bottom(), 120.0f + 1e-3f);
+      EXPECT_FALSE(gt.box.empty());
+    }
+  }
+}
+
+TEST(SyntheticVideoTest, SceneNeverEmpty) {
+  SceneConfig cfg = small_config(11, 120);
+  cfg.initial_objects = 1;
+  cfg.max_objects = 2;
+  cfg.speed_mean = 3.0;  // objects exit quickly, respawn must kick in
+  SyntheticVideo video(cfg);
+  int empty_frames = 0;
+  for (int f = 0; f < video.frame_count(); ++f) {
+    if (video.ground_truth(f).empty()) ++empty_frames;
+  }
+  // Brief gaps are allowed while a respawned object enters the viewport,
+  // but the scene must repopulate.
+  EXPECT_LT(empty_frames, video.frame_count() / 2);
+}
+
+TEST(SyntheticVideoTest, ObjectsActuallyMove) {
+  SceneConfig cfg = small_config(13, 30);
+  cfg.speed_mean = 2.0;
+  SyntheticVideo video(cfg);
+  const auto& first = video.ground_truth(0);
+  const auto& later = video.ground_truth(20);
+  ASSERT_FALSE(first.empty());
+  // Find a persistent object and check it moved.
+  for (const auto& a : first) {
+    for (const auto& b : later) {
+      if (a.object_id == b.object_id) {
+        EXPECT_GT((b.box.center() - a.box.center()).norm(), 1.0f);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no persistent object across 20 frames";
+}
+
+TEST(SyntheticVideoTest, FasterConfigHasHigherTrueSpeed) {
+  SceneConfig slow = small_config(17, 60);
+  slow.speed_mean = 0.3;
+  slow.camera_pan = 0.0;
+  SceneConfig fast = small_config(17, 60);
+  fast.speed_mean = 2.5;
+  fast.camera_pan = 1.5;
+  EXPECT_GT(SyntheticVideo(fast).mean_true_speed(),
+            SyntheticVideo(slow).mean_true_speed() * 2.0);
+}
+
+TEST(SyntheticVideoTest, ConsecutiveFramesAreSimilarButNotIdentical) {
+  SyntheticVideo video(small_config(19, 10));
+  const auto f0 = video.render(0);
+  const auto f1 = video.render(1);
+  const double diff = vision::mean_abs_diff(f0, f1);
+  EXPECT_GT(diff, 0.01);   // something moved
+  EXPECT_LT(diff, 30.0);   // temporal coherence (paper's premise for LK)
+}
+
+TEST(SyntheticVideoTest, CameraPanShiftsBackground) {
+  SceneConfig cfg = small_config(23, 10);
+  cfg.camera_pan = 3.0;
+  cfg.initial_objects = 0;
+  cfg.max_objects = 0;
+  cfg.spawn_per_second = 0.0;
+  cfg.noise_sigma = 0.0;
+  SyntheticVideo video(cfg);
+  const auto f0 = video.render(0);
+  const auto f1 = video.render(1);
+  // Background at frame 1, column x should equal frame 0 at column x+pan.
+  // (Spot-check away from any respawn-inserted object.)
+  int matches = 0;
+  int checks = 0;
+  for (int y = 10; y < 110; y += 13) {
+    for (int x = 10; x < 140; x += 17) {
+      ++checks;
+      if (std::abs(static_cast<int>(f1.at(x, y)) -
+                   static_cast<int>(f0.at_clamped(x + 3, y))) <= 2) {
+        ++matches;
+      }
+    }
+  }
+  EXPECT_GT(matches, checks * 7 / 10);
+}
+
+TEST(SyntheticVideoTest, TimestampsFollowFps) {
+  SyntheticVideo video(small_config());
+  EXPECT_DOUBLE_EQ(video.timestamp_ms(0), 0.0);
+  EXPECT_NEAR(video.timestamp_ms(30), 1000.0, 1e-9);
+  EXPECT_NEAR(video.frame_interval_ms(), 1000.0 / 30.0, 1e-12);
+}
+
+// ------------------------------------------------------------ Profiles ---
+
+TEST(Profiles, LibraryHasFourteenScenarios) {
+  EXPECT_EQ(scenario_library().size(), 14u);
+}
+
+TEST(Profiles, TrainingAndTestSetsAreDisjointSeeds) {
+  const auto train = make_training_set(1, 60);
+  const auto test = make_test_set(1, 60);
+  EXPECT_EQ(train.size(), 28u);
+  EXPECT_EQ(test.size(), 14u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& cfg : train) seeds.insert(cfg.seed);
+  for (const auto& cfg : test) {
+    EXPECT_EQ(seeds.count(cfg.seed), 0u) << cfg.name;
+  }
+}
+
+TEST(Profiles, ScenariosSpanSlowAndFastContent) {
+  double min_speed = 1e9;
+  double max_speed = 0.0;
+  for (const auto& s : scenario_library()) {
+    const double apparent = s.speed_mean + s.camera_pan;
+    min_speed = std::min(min_speed, apparent);
+    max_speed = std::max(max_speed, apparent);
+  }
+  EXPECT_LT(min_speed, 0.5);  // meeting-room-like
+  EXPECT_GT(max_speed, 3.0);  // racetrack / car-mounted
+}
+
+TEST(Profiles, MakeSceneAppliesScale) {
+  const auto& scenario = scenario_library()[0];
+  const SceneConfig base = make_scene(scenario, 1, 100, 1.0);
+  const SceneConfig scaled = make_scene(scenario, 1, 100, 2.0);
+  EXPECT_NEAR(scaled.speed_mean, base.speed_mean * 2.0, 1e-12);
+  EXPECT_NEAR(scaled.camera_pan, base.camera_pan * 2.0, 1e-12);
+  EXPECT_EQ(scaled.frame_count, 100);
+}
+
+// --------------------------------------------------------- FrameBuffer ---
+
+Frame make_frame(int index) {
+  Frame f;
+  f.index = index;
+  f.timestamp_ms = index * 33.3;
+  f.image = vision::ImageU8(4, 4);
+  return f;
+}
+
+TEST(FrameBufferTest, NewestReturnsLatest) {
+  FrameBuffer buffer;
+  buffer.push(make_frame(0));
+  buffer.push(make_frame(1));
+  buffer.push(make_frame(2));
+  const auto newest = buffer.wait_newest();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->index, 2);
+  EXPECT_EQ(buffer.size(), 3u);  // non-destructive
+}
+
+TEST(FrameBufferTest, DrainRemovesPrefix) {
+  FrameBuffer buffer;
+  for (int i = 0; i < 5; ++i) buffer.push(make_frame(i));
+  const auto drained = buffer.drain_up_to(2);
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].index, 0);
+  EXPECT_EQ(drained[2].index, 2);
+  EXPECT_EQ(buffer.size(), 2u);
+}
+
+TEST(FrameBufferTest, CapacityDropsOldest) {
+  FrameBuffer buffer(3);
+  for (int i = 0; i < 5; ++i) buffer.push(make_frame(i));
+  EXPECT_EQ(buffer.size(), 3u);
+  const auto drained = buffer.drain_up_to(100);
+  EXPECT_EQ(drained.front().index, 2);
+}
+
+TEST(FrameBufferTest, CloseWakesWaiters) {
+  FrameBuffer buffer;
+  std::thread waiter([&] {
+    const auto frame = buffer.wait_newest();
+    EXPECT_FALSE(frame.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  buffer.close();
+  waiter.join();
+  EXPECT_TRUE(buffer.closed());
+}
+
+TEST(FrameBufferTest, WaitNewerBlocksUntilNewerFrame) {
+  FrameBuffer buffer;
+  buffer.push(make_frame(0));
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    buffer.push(make_frame(1));
+  });
+  const auto frame = buffer.wait_newer(0);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->index, 1);
+  producer.join();
+}
+
+TEST(FrameBufferTest, WaitNewerReturnsNulloptWhenClosedStale) {
+  FrameBuffer buffer;
+  buffer.push(make_frame(3));
+  buffer.close();
+  EXPECT_FALSE(buffer.wait_newer(3).has_value());
+  EXPECT_TRUE(buffer.wait_newer(2).has_value());
+}
+
+// -------------------------------------------------------- CameraSource ---
+
+TEST(CameraSourceTest, PushesAllFramesAndCloses) {
+  SceneConfig cfg = small_config(29, 12);
+  SyntheticVideo video(cfg);
+  FrameBuffer buffer(64);
+  CameraSource camera(video, buffer, /*time_scale=*/100.0);
+  camera.start();
+  while (!buffer.closed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  camera.stop();
+  EXPECT_EQ(camera.frames_captured(), 12);
+  EXPECT_TRUE(buffer.closed());
+  const auto frames = buffer.drain_up_to(1000);
+  EXPECT_EQ(frames.size(), 12u);
+  EXPECT_EQ(frames.back().index, 11);
+}
+
+TEST(CameraSourceTest, StopInterruptsEarly) {
+  SceneConfig cfg = small_config(31, 3000);
+  SyntheticVideo video(cfg);
+  FrameBuffer buffer(16);
+  CameraSource camera(video, buffer, /*time_scale=*/1.0);  // 100 s of video
+  camera.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  camera.stop();
+  EXPECT_LT(camera.frames_captured(), 3000);
+  EXPECT_TRUE(buffer.closed());
+}
+
+}  // namespace
+}  // namespace adavp::video

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "vision/brief.h"
+#include "vision/fast_detector.h"
+#include "vision/good_features.h"
+#include "vision/image_ops.h"
+
+namespace adavp::vision {
+namespace {
+
+ImageU8 bright_square(int size, int left, int top, int side) {
+  ImageU8 img(size, size, 20);
+  for (int y = top; y < top + side; ++y) {
+    for (int x = left; x < left + side; ++x) img.at(x, y) = 220;
+  }
+  return img;
+}
+
+ImageU8 noise_image(int size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ImageU8 img(size, size);
+  for (auto& px : img.pixels()) {
+    px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return img;
+}
+
+// ----------------------------------------------------------------- FAST --
+
+TEST(FastDetector, CircleOffsetsAreRadiusThree) {
+  for (const auto& offset : fast_circle_offsets()) {
+    const float r = offset.norm();
+    EXPECT_GE(r, 2.2f);
+    EXPECT_LE(r, 3.2f);
+  }
+  EXPECT_EQ(fast_circle_offsets().size(), 16u);
+}
+
+TEST(FastDetector, FindsSquareCorners) {
+  const ImageU8 img = bright_square(48, 12, 14, 18);
+  FastParams params;
+  params.threshold = 30;
+  const auto keypoints = fast_detect(img, params);
+  ASSERT_GE(keypoints.size(), 4u);
+  // Every keypoint sits near one of the 4 square corners.
+  const float cx[] = {12, 30};
+  const float cy[] = {14, 32};
+  for (const auto& kp : keypoints) {
+    bool near_corner = false;
+    for (float x : cx) {
+      for (float y : cy) {
+        if (std::abs(kp.position.x - x) <= 3 && std::abs(kp.position.y - y) <= 3) {
+          near_corner = true;
+        }
+      }
+    }
+    EXPECT_TRUE(near_corner) << kp.position.x << "," << kp.position.y;
+  }
+}
+
+TEST(FastDetector, FlatImageHasNoCorners) {
+  const ImageU8 img(32, 32, 100);
+  EXPECT_TRUE(fast_detect(img, {}).empty());
+}
+
+TEST(FastDetector, StepEdgeIsNotACorner) {
+  // A long straight vertical edge: at most ~8 contiguous circle pixels can
+  // be on the bright side, so FAST-9 must reject every edge pixel.
+  ImageU8 img(48, 48, 20);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 24; x < 48; ++x) img.at(x, y) = 220;
+  }
+  FastParams params;
+  params.threshold = 30;
+  for (const auto& kp : fast_detect(img, params)) {
+    // Only image-border artifacts are tolerated, not mid-edge responses.
+    EXPECT_TRUE(kp.position.y < 5 || kp.position.y > 42)
+        << kp.position.x << "," << kp.position.y;
+  }
+}
+
+TEST(FastDetector, MaskRestrictsDetection) {
+  ImageU8 img = bright_square(64, 8, 8, 12);
+  for (int y = 40; y < 52; ++y) {
+    for (int x = 40; x < 52; ++x) img.at(x, y) = 220;
+  }
+  const ImageU8 mask = boxes_mask({64, 64}, {{0, 0, 30, 30}});
+  FastParams params;
+  params.threshold = 30;
+  for (const auto& kp : fast_detect(img, params, &mask)) {
+    EXPECT_LT(kp.position.x, 30.0f);
+    EXPECT_LT(kp.position.y, 30.0f);
+  }
+}
+
+TEST(FastDetector, MaxCornersKeepsStrongest) {
+  const ImageU8 img = noise_image(64, 5);
+  FastParams few;
+  few.max_corners = 5;
+  FastParams many;
+  many.max_corners = 500;
+  const auto top5 = fast_detect(img, few);
+  const auto all = fast_detect(img, many);
+  ASSERT_EQ(top5.size(), 5u);
+  ASSERT_GT(all.size(), 5u);
+  // The kept 5 have scores >= every remaining keypoint.
+  float min_kept = 1e9f;
+  for (const auto& kp : top5) min_kept = std::min(min_kept, kp.score);
+  for (std::size_t i = 5; i < all.size(); ++i) {
+    EXPECT_LE(all[i].score, min_kept + 1e-3f);
+  }
+}
+
+TEST(FastDetector, TinyImageHandled) {
+  EXPECT_TRUE(fast_detect(ImageU8(5, 5, 0), {}).empty());
+}
+
+// ---------------------------------------------------------------- BRIEF --
+
+TEST(Brief, HammingDistanceBasics) {
+  BriefDescriptor a;
+  BriefDescriptor b;
+  EXPECT_EQ(hamming_distance(a, b), 0);
+  b.bits[0] = 0b1011;
+  EXPECT_EQ(hamming_distance(a, b), 3);
+  a.bits[3] = ~0ULL;
+  EXPECT_EQ(hamming_distance(a, b), 3 + 64);
+}
+
+TEST(Brief, SamePatchSameDescriptor) {
+  const ImageU8 img = noise_image(64, 9);
+  const std::vector<geometry::Point2f> pts = {{32, 32}};
+  const auto d1 = brief_describe(img, pts);
+  const auto d2 = brief_describe(img, pts);
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0], d2[0]);
+}
+
+TEST(Brief, DescriptorSurvivesTranslation) {
+  // Shift the image by a whole pixel: the descriptor at the shifted point
+  // must stay very close (BRIEF is translation-covariant).
+  const ImageU8 img = noise_image(96, 11);
+  ImageU8 shifted(96, 96);
+  for (int y = 0; y < 96; ++y) {
+    for (int x = 0; x < 96; ++x) {
+      shifted.at(x, y) = img.at_clamped(x - 5, y - 3);
+    }
+  }
+  const auto d1 = brief_describe(img, {{40, 40}});
+  const auto d2 = brief_describe(shifted, {{45, 43}});
+  EXPECT_LT(hamming_distance(d1[0], d2[0]), 30);
+}
+
+TEST(Brief, DifferentPatchesFarApart) {
+  const ImageU8 img = noise_image(96, 13);
+  const auto d = brief_describe(img, {{30, 30}, {70, 70}});
+  // Random 256-bit descriptors differ in ~128 bits.
+  EXPECT_GT(hamming_distance(d[0], d[1]), 60);
+}
+
+TEST(BriefMatch, FindsCorrespondencesAcrossShift) {
+  const ImageU8 img = noise_image(128, 17);
+  ImageU8 shifted(128, 128);
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      shifted.at(x, y) = img.at_clamped(x - 7, y);
+    }
+  }
+  std::vector<geometry::Point2f> pts;
+  for (int i = 0; i < 8; ++i) {
+    pts.push_back({20.0f + 10.0f * i, 30.0f + 7.0f * i});
+  }
+  std::vector<geometry::Point2f> shifted_pts;
+  for (const auto& p : pts) shifted_pts.push_back({p.x + 7.0f, p.y});
+
+  const auto query = brief_describe(img, pts);
+  const auto train = brief_describe(shifted, shifted_pts);
+  const auto matches = match_descriptors(query, train, 40, 0.9);
+  int correct = 0;
+  for (const auto& m : matches) {
+    if (m.query_index == m.train_index) ++correct;
+  }
+  EXPECT_GE(correct, 6);
+}
+
+TEST(BriefMatch, EmptyTrainSet) {
+  BriefDescriptor d;
+  EXPECT_TRUE(match_descriptors({d}, {}, 64, 0.8).empty());
+}
+
+TEST(BriefMatch, MaxDistanceGate) {
+  BriefDescriptor a;
+  BriefDescriptor far;
+  for (auto& w : far.bits) w = ~0ULL;
+  const auto matches = match_descriptors({a}, {far}, 64, 0.8);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(BriefMatch, RatioTestRejectsAmbiguity) {
+  BriefDescriptor q;
+  BriefDescriptor near1;
+  BriefDescriptor near2;
+  near1.bits[0] = 0b11;     // distance 2
+  near2.bits[0] = 0b111;    // distance 3 -> ratio 2/3 > 0.5
+  EXPECT_TRUE(match_descriptors({q}, {near1, near2}, 64, 0.5).empty());
+  EXPECT_EQ(match_descriptors({q}, {near1, near2}, 64, 0.9).size(), 1u);
+}
+
+}  // namespace
+}  // namespace adavp::vision

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "vision/good_features.h"
+#include "vision/image_ops.h"
+
+namespace adavp::vision {
+namespace {
+
+/// A bright square on dark background: its 4 corners are ideal Shi-Tomasi
+/// features.
+ImageU8 square_image(int size, int left, int top, int side) {
+  ImageU8 img(size, size, 20);
+  for (int y = top; y < top + side; ++y) {
+    for (int x = left; x < left + side; ++x) img.at(x, y) = 220;
+  }
+  return img;
+}
+
+bool near_any_corner(const geometry::Point2f& p, int left, int top, int side,
+                     float tol) {
+  const float xs[] = {static_cast<float>(left), static_cast<float>(left + side)};
+  const float ys[] = {static_cast<float>(top), static_cast<float>(top + side)};
+  for (float cx : xs) {
+    for (float cy : ys) {
+      if (std::abs(p.x - cx) <= tol && std::abs(p.y - cy) <= tol) return true;
+    }
+  }
+  return false;
+}
+
+TEST(MinEigenvalue, FlatImageIsZero) {
+  const ImageF32 img(16, 16, 50.0f);
+  const ImageF32 scores = min_eigenvalue_map(img, 3);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) EXPECT_NEAR(scores.at(x, y), 0.0f, 1e-4f);
+  }
+}
+
+TEST(MinEigenvalue, EdgeScoresLowCornerScoresHigh) {
+  // A vertical step edge has strong Ix but no Iy: min eigenvalue ~ 0.
+  ImageF32 edge(16, 16, 0.0f);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) edge.at(x, y) = 100.0f;
+  }
+  const ImageF32 edge_scores = min_eigenvalue_map(edge, 3);
+  EXPECT_NEAR(edge_scores.at(8, 8), 0.0f, 1e-2f);
+
+  // A corner (quarter-plane) has both gradients: min eigenvalue >> 0.
+  ImageF32 corner(16, 16, 0.0f);
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) corner.at(x, y) = 100.0f;
+  }
+  const ImageF32 corner_scores = min_eigenvalue_map(corner, 3);
+  EXPECT_GT(corner_scores.at(8, 8), 10.0f);
+}
+
+TEST(GoodFeatures, FindsSquareCorners) {
+  const ImageU8 img = square_image(40, 10, 12, 16);
+  GoodFeaturesParams params;
+  params.max_corners = 8;
+  params.quality_level = 0.2;
+  params.min_distance = 4.0;
+  const auto corners = good_features_to_track(img, params);
+  ASSERT_GE(corners.size(), 4u);
+  int near_corners = 0;
+  for (const auto& c : corners) {
+    if (near_any_corner(c, 10, 12, 16, 2.5f)) ++near_corners;
+  }
+  EXPECT_GE(near_corners, 4);
+}
+
+TEST(GoodFeatures, RespectsMaxCorners) {
+  util::Rng rng(3);
+  ImageU8 img(64, 64);
+  for (auto& px : img.pixels()) {
+    px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  GoodFeaturesParams params;
+  params.max_corners = 10;
+  params.quality_level = 0.01;
+  const auto corners = good_features_to_track(img, params);
+  EXPECT_LE(corners.size(), 10u);
+  EXPECT_GT(corners.size(), 0u);
+}
+
+TEST(GoodFeatures, MinDistanceEnforced) {
+  util::Rng rng(4);
+  ImageU8 img(64, 64);
+  for (auto& px : img.pixels()) {
+    px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  GoodFeaturesParams params;
+  params.max_corners = 50;
+  params.min_distance = 8.0;
+  const auto corners = good_features_to_track(img, params);
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    for (std::size_t j = i + 1; j < corners.size(); ++j) {
+      EXPECT_GE((corners[i] - corners[j]).norm(), 8.0f);
+    }
+  }
+}
+
+TEST(GoodFeatures, MaskRestrictsDetection) {
+  // Two squares; mask covers only the left one.
+  ImageU8 img = square_image(64, 8, 8, 12);
+  for (int y = 40; y < 52; ++y) {
+    for (int x = 40; x < 52; ++x) img.at(x, y) = 220;
+  }
+  const ImageU8 mask = boxes_mask({64, 64}, {{4, 4, 22, 22}});
+  GoodFeaturesParams params;
+  params.max_corners = 20;
+  params.quality_level = 0.1;
+  const auto corners = good_features_to_track(img, params, &mask);
+  ASSERT_FALSE(corners.empty());
+  for (const auto& c : corners) {
+    EXPECT_LT(c.x, 30.0f);
+    EXPECT_LT(c.y, 30.0f);
+  }
+}
+
+TEST(GoodFeatures, EmptyImageOrZeroBudget) {
+  EXPECT_TRUE(good_features_to_track(ImageU8{}, {}).empty());
+  GoodFeaturesParams params;
+  params.max_corners = 0;
+  EXPECT_TRUE(good_features_to_track(square_image(32, 8, 8, 10), params).empty());
+}
+
+TEST(GoodFeatures, FlatImageHasNoFeatures) {
+  const ImageU8 img(32, 32, 128);
+  EXPECT_TRUE(good_features_to_track(img, {}).empty());
+}
+
+TEST(BoxesMask, MarksInteriorOnly) {
+  const ImageU8 mask = boxes_mask({20, 20}, {{5, 5, 6, 6}});
+  EXPECT_EQ(mask.at(7, 7), 255);
+  EXPECT_EQ(mask.at(4, 4), 0);
+  EXPECT_EQ(mask.at(12, 7), 0);
+}
+
+TEST(BoxesMask, ShrinkInsetsBox) {
+  const ImageU8 mask = boxes_mask({20, 20}, {{5, 5, 8, 8}}, 2.0f);
+  EXPECT_EQ(mask.at(9, 9), 255);   // deep interior
+  EXPECT_EQ(mask.at(5, 5), 0);     // original border now outside
+  EXPECT_EQ(mask.at(6, 6), 0);     // within shrink margin
+}
+
+TEST(BoxesMask, ClampsToImage) {
+  const ImageU8 mask = boxes_mask({10, 10}, {{-5, -5, 10, 10}});
+  EXPECT_EQ(mask.at(0, 0), 255);
+  EXPECT_EQ(mask.at(6, 6), 0);
+}
+
+TEST(BoxesMask, MultipleBoxesUnion) {
+  const ImageU8 mask = boxes_mask({30, 30}, {{2, 2, 5, 5}, {20, 20, 5, 5}});
+  EXPECT_EQ(mask.at(4, 4), 255);
+  EXPECT_EQ(mask.at(22, 22), 255);
+  EXPECT_EQ(mask.at(12, 12), 0);
+}
+
+}  // namespace
+}  // namespace adavp::vision
