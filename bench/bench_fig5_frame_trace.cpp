@@ -4,9 +4,12 @@
 // accuracy but re-calibrates sooner; the 608 pipeline starts near-perfect
 // but its tracking decays over the longer cycle.
 
+#include <fstream>
+
 #include "bench_common.h"
 #include "core/mpdt_pipeline.h"
 #include "core/scoring.h"
+#include "obs/telemetry.h"
 
 int main(int argc, char** argv) {
   using namespace adavp;
@@ -30,8 +33,17 @@ int main(int argc, char** argv) {
   core::MpdtOptions large = small;
   large.setting = detect::ModelSetting::kYolov3_608;
 
+  // Telemetry rides along with the figure: the same two runs that plot
+  // Fig. 5 also produce the metrics snapshot dumped next to the CSV, so
+  // figure and metrics share one source of truth.
+  obs::Telemetry::set_enabled(true);
+  obs::Telemetry::instance().reset();
+  const obs::MetricsSnapshot before = obs::Telemetry::instance().snapshot();
   const core::RunResult run320 = run_mpdt(video, small);
+  const obs::MetricsSnapshot after320 = obs::Telemetry::instance().snapshot();
   const core::RunResult run608 = run_mpdt(video, large);
+  const obs::MetricsSnapshot after608 = obs::Telemetry::instance().snapshot();
+  obs::Telemetry::set_enabled(false);
   const auto f1_320 = score_run(run320, video, 0.5);
   const auto f1_608 = score_run(run608, video, 0.5);
 
@@ -72,6 +84,13 @@ int main(int argc, char** argv) {
       csv.row({static_cast<double>(f), f1_320[static_cast<std::size_t>(f)],
                f1_608[static_cast<std::size_t>(f)]});
     }
+
+    // Per-run telemetry next to the figure data: cycle counts, modeled
+    // detector latencies, tracker activity — everything the Fig. 5
+    // narrative argues from.
+    std::ofstream json(config.csv_dir + "/fig5_telemetry.json");
+    json << "{\"mpdt320\":" << after320.since(before).to_json()
+         << ",\"mpdt608\":" << after608.since(after320).to_json() << "}\n";
   }
   return 0;
 }

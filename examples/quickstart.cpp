@@ -2,19 +2,28 @@
 // the pipeline did.
 //
 //   $ ./quickstart [--frames 300] [--speed 1.5] [--pan 0.8] [--seed 7]
+//                  [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // Walks the public API in the order a new user meets it:
 //   1. describe a video        (video::SceneConfig / SyntheticVideo)
 //   2. get the trained adapter (core::pretrained_adapter)
 //   3. run the pipeline        (core::run_mpdt with an adapter == AdaVP)
 //   4. score the result        (core::score_run + metrics::video_accuracy)
+//   5. (--trace-out) rerun on the real three-thread pipeline with
+//      telemetry on and export a Chrome trace-event JSON of the
+//      camera / detector / tracker schedule — open it in Perfetto
+//      (https://ui.perfetto.dev) or chrome://tracing. See
+//      docs/OBSERVABILITY.md.
 
+#include <fstream>
 #include <iostream>
 
 #include "core/mpdt_pipeline.h"
+#include "core/realtime_pipeline.h"
 #include "core/scoring.h"
 #include "core/training.h"
 #include "metrics/accuracy.h"
+#include "obs/telemetry.h"
 #include "util/args.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -32,7 +41,7 @@ int main(int argc, char** argv) {
   scene.camera_pan = args.get_double("pan", 0.8);
   scene.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   scene.initial_objects = 5;
-  const video::SyntheticVideo video(scene);
+  video::SyntheticVideo video(scene);  // non-const: --trace-out precaches
   std::cout << "Video: " << video.frame_count() << " frames @ " << video.fps()
             << " FPS, " << video.frame_size().width << "x"
             << video.frame_size().height << "\n";
@@ -79,5 +88,49 @@ int main(int argc, char** argv) {
     std::cout << detect::input_size(cycle.setting) << " ";
   }
   std::cout << "\n";
+
+  // 5. Telemetry: rerun on the actual three-thread pipeline (§IV-B) with
+  //    the obs subsystem enabled and dump the schedule as a trace.
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::Telemetry& telemetry = obs::Telemetry::instance();
+    obs::Telemetry::set_enabled(true);
+    telemetry.reset();
+
+    video.precache();  // render outside the timed run
+    core::RealtimeOptions rt;
+    rt.adapter = &adapter;
+    rt.setting = detect::ModelSetting::kYolov3_512;
+    rt.time_scale = args.get_double("time-scale", 10.0);
+    rt.seed = scene.seed;
+    const core::RealtimeResult realtime = run_realtime(video, rt);
+    obs::Telemetry::set_enabled(false);
+
+    std::cout << "\nRealtime rerun: " << realtime.stats.frames_detected
+              << " detections, " << realtime.stats.frames_tracked
+              << " tracked frames, " << realtime.stats.tracking_tasks_cancelled
+              << " cancelled tasks\n";
+    std::cout << realtime.metrics.to_text();
+    if (!trace_out.empty()) {
+      try {
+        telemetry.write_trace_file(trace_out);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+      }
+      std::cout << "Chrome trace written to " << trace_out
+                << " (open in Perfetto or chrome://tracing)\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << realtime.metrics.to_json() << "\n";
+      if (!out) {
+        std::cerr << "error: cannot write metrics file: " << metrics_out << "\n";
+        return 1;
+      }
+      std::cout << "Metrics snapshot written to " << metrics_out << "\n";
+    }
+  }
   return 0;
 }

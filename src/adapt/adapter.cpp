@@ -1,6 +1,27 @@
 #include "adapt/adapter.h"
 
+#include "obs/telemetry.h"
+
 namespace adavp::adapt {
+
+namespace {
+/// Telemetry for one adaptation decision: counts evaluations, and when the
+/// decision is a switch records it as an instantaneous trace event whose
+/// arg packs old→new as `old_size * 1000 + new_size` (e.g. 512320 reads
+/// "512 → 320") plus per-direction counters.
+void record_decision(detect::ModelSetting current, detect::ModelSetting chosen) {
+  if (!obs::Telemetry::enabled()) return;
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.counter("adapter", "evaluations").add();
+  if (chosen == current) return;
+  const int from = detect::input_size(current);
+  const int to = detect::input_size(chosen);
+  reg.counter("adapter", to > from ? "switches_up" : "switches_down").add();
+  obs::trace_instant("adapt_switch", "adapter",
+                     static_cast<std::int64_t>(from) * 1000 + to,
+                     "old_to_new");
+}
+}  // namespace
 
 ModelAdapter::ModelAdapter(const ThresholdSet& shared)
     : per_size_{shared, shared, shared, shared} {}
@@ -18,7 +39,10 @@ detect::ModelSetting ModelAdapter::next_setting(double velocity,
                                                 detect::ModelSetting current) const {
   const ThresholdSet& set = thresholds_for(current);
   const detect::ModelSetting proposed = set.classify(velocity);
-  if (hysteresis_margin_ <= 0.0 || proposed == current) return proposed;
+  if (hysteresis_margin_ <= 0.0 || proposed == current) {
+    record_decision(current, proposed);
+    return proposed;
+  }
 
   // Hysteresis extension: keep the current setting unless the velocity
   // clears the boundary between `current` and `proposed` by the margin.
@@ -38,8 +62,10 @@ detect::ModelSetting ModelAdapter::next_setting(double velocity,
   const double boundary = boundary_between(current, proposed);
   const double margin = boundary * hysteresis_margin_;
   if (velocity > boundary + margin || velocity < boundary - margin) {
+    record_decision(current, proposed);
     return proposed;
   }
+  record_decision(current, current);
   return current;
 }
 

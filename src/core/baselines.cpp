@@ -6,6 +6,7 @@
 #include "adapt/velocity.h"
 #include "detect/detector.h"
 #include "energy/power_model.h"
+#include "obs/telemetry.h"
 #include "track/latency.h"
 
 namespace adavp::core {
@@ -43,6 +44,7 @@ RunResult run_marlin(const video::SyntheticVideo& video,
   const int frame_count = video.frame_count();
   const double interval = video.frame_interval_ms();
   const int last = frame_count - 1;
+  obs::ScopedSpan run_span("run_marlin", "pipeline", frame_count, "frames");
 
   RunResult run;
   run.frames.resize(static_cast<std::size_t>(frame_count));
@@ -171,6 +173,13 @@ RunResult run_marlin(const video::SyntheticVideo& video,
                           cycle_velocity.mean_velocity() > 0.0
                               ? cycle_velocity.mean_velocity()
                               : trigger_velocity});
+    if (obs::Telemetry::enabled()) {
+      obs::MetricsRegistry& reg = obs::metrics();
+      reg.counter("marlin", "cycles").add();
+      reg.counter("marlin", "frames_tracked")
+          .add(static_cast<std::uint64_t>(tracked_in_cycle));
+      reg.latency_histogram("marlin", "cycle_ms").record(t - cycle_track_start);
+    }
   }
 
   fill_reused_frames(run.frames);
@@ -186,6 +195,7 @@ RunResult run_detect_only(const video::SyntheticVideo& video,
   const int frame_count = video.frame_count();
   const double interval = video.frame_interval_ms();
   const int last = frame_count - 1;
+  obs::ScopedSpan run_span("run_detect_only", "pipeline", frame_count, "frames");
 
   RunResult run;
   run.frames.resize(static_cast<std::size_t>(frame_count));
@@ -230,6 +240,7 @@ RunResult run_detect_only(const video::SyntheticVideo& video,
 RunResult run_continuous(const video::SyntheticVideo& video,
                          const DetectOnlyOptions& options) {
   const int frame_count = video.frame_count();
+  obs::ScopedSpan run_span("run_continuous", "pipeline", frame_count, "frames");
 
   RunResult run;
   run.frames.resize(static_cast<std::size_t>(frame_count));

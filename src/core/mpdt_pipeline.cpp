@@ -8,6 +8,7 @@
 #include "adapt/velocity.h"
 #include "detect/calibration.h"
 #include "energy/power_model.h"
+#include "obs/telemetry.h"
 #include "track/descriptor_tracker.h"
 
 namespace adavp::core {
@@ -48,6 +49,7 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
   const int frame_count = video.frame_count();
   const double interval = video.frame_interval_ms();
   const int last = frame_count - 1;
+  obs::ScopedSpan run_span("run_mpdt", "pipeline", frame_count, "frames");
 
   RunResult run;
   run.frames.resize(static_cast<std::size_t>(frame_count));
@@ -103,6 +105,9 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
           options.adapter->next_setting(previous_velocity, setting);
       if (next_setting != setting) {
         ++run.setting_switches;
+        if (obs::Telemetry::enabled()) {
+          obs::metrics().counter("adapter", "switches").add();
+        }
         setting = next_setting;
       }
     }
@@ -180,6 +185,17 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
                           frames_between, tracked,
                           velocity.step_count() > 0 ? velocity.mean_velocity()
                                                     : previous_velocity});
+    if (obs::Telemetry::enabled()) {
+      // Virtual-time pipeline: cycle durations are modeled, not wall-clock,
+      // so they land in metrics (not the span tracer, which is steady-clock).
+      obs::MetricsRegistry& reg = obs::metrics();
+      reg.counter("mpdt", "cycles").add();
+      reg.counter("mpdt", "frames_tracked").add(static_cast<std::uint64_t>(tracked));
+      reg.latency_histogram("mpdt", "cycle_ms").record(cycle_end - cycle_start);
+      reg.histogram("mpdt", "backlog_frames",
+                    {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64})
+          .record(static_cast<double>(frames_between));
+    }
     ref = detection;
     ref_index = next_index;
     t = cycle_end;

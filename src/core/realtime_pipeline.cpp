@@ -10,6 +10,7 @@
 
 #include "adapt/velocity.h"
 #include "detect/detector.h"
+#include "obs/telemetry.h"
 #include "track/frame_selection.h"
 #include "track/latency.h"
 #include "track/tracker.h"
@@ -42,6 +43,37 @@ class PacedSection {
 
  private:
   std::chrono::steady_clock::time_point deadline_;
+};
+
+/// Instrument handles resolved once per run, so the per-frame hot paths
+/// never touch the registry map. All null when telemetry is disabled —
+/// call sites reduce to one pointer test.
+struct RealtimeInstruments {
+  obs::Counter* detector_cycles = nullptr;
+  obs::Counter* tracker_frames = nullptr;
+  obs::Counter* tracker_batches = nullptr;
+  obs::Counter* tracker_cancelled = nullptr;
+  obs::Counter* adapter_switches = nullptr;
+  obs::Gauge* buffer_depth = nullptr;
+  obs::FixedHistogram* detect_occupancy_ms = nullptr;  ///< modeled GPU busy
+  obs::FixedHistogram* batch_frames = nullptr;  ///< catch-up batch sizes
+
+  static RealtimeInstruments resolve() {
+    RealtimeInstruments ins;
+    if (!obs::Telemetry::enabled()) return ins;
+    obs::MetricsRegistry& reg = obs::metrics();
+    ins.detector_cycles = &reg.counter("detector", "cycles");
+    ins.tracker_frames = &reg.counter("tracker", "frames");
+    ins.tracker_batches = &reg.counter("tracker", "batches");
+    ins.tracker_cancelled = &reg.counter("tracker", "cancellations");
+    ins.adapter_switches = &reg.counter("adapter", "switches");
+    ins.buffer_depth = &reg.gauge("buffer", "depth");
+    ins.detect_occupancy_ms =
+        &reg.latency_histogram("detector", "occupancy_ms");
+    ins.batch_frames = &reg.histogram(
+        "tracker", "batch_frames", {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64});
+    return ins;
+  }
 };
 
 /// A finished detection handed from the detector thread to the tracker
@@ -123,6 +155,15 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   if (frame_count == 0) return result;
   const double scale = options.time_scale;
 
+  // Telemetry: resolve instruments once and remember the registry state so
+  // the result carries this run's deltas only. (Runs are not re-entrant
+  // with respect to the global registry; concurrent runs would sum.)
+  const bool telemetry_on = obs::Telemetry::enabled();
+  obs::MetricsSnapshot metrics_before;
+  if (telemetry_on) metrics_before = obs::Telemetry::instance().snapshot();
+  const RealtimeInstruments ins = RealtimeInstruments::resolve();
+  obs::ScopedSpan run_span("run_realtime", "pipeline", frame_count, "frames");
+
   video::FrameBuffer buffer;
   video::CameraSource camera(video, buffer, scale);
   EventQueue events;
@@ -141,6 +182,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   // detection is delivered to the tracker the moment the next fetch
   // happens, so both sides of the cycle run concurrently.
   std::thread detector_thread([&] {
+    obs::name_thread("detector");
     detect::SimulatedDetector detector(options.seed);
     detect::ModelSetting setting = options.setting;
     adapt::ModelAdapter const* adapter = options.adapter;
@@ -149,8 +191,15 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
     int switches = 0;
 
     while (true) {
-      const std::optional<video::Frame> frame = buffer.wait_newer(last_detected);
+      std::optional<video::Frame> frame;
+      {
+        obs::ScopedSpan wait_span("wait_frame", "detector");
+        frame = buffer.wait_newer(last_detected);
+      }
       if (!frame.has_value()) break;
+      if (ins.buffer_depth != nullptr) {
+        ins.buffer_depth->set(static_cast<double>(buffer.size()));
+      }
 
       // Fetching a new frame cancels the tracker's in-flight batch (§IV-B)
       // and releases the previous detection for tracking up to this frame.
@@ -166,13 +215,23 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
             adapter->next_setting(latest_velocity.load(), setting);
         if (next != setting) {
           ++switches;
+          if (ins.adapter_switches != nullptr) ins.adapter_switches->add();
+          obs::trace_instant("setting_switch", "adapter",
+                             detect::input_size(next), "to_size");
           setting = next;
         }
       }
 
-      const detect::DetectionResult det =
-          detector.detect(video, frame->index, setting);
-      scaled_sleep(det.latency_ms, scale);  // the GPU is busy this long
+      detect::DetectionResult det;
+      {
+        obs::ScopedSpan detect_span("detect", "detector", frame->index);
+        det = detector.detect(video, frame->index, setting);
+        scaled_sleep(det.latency_ms, scale);  // the GPU is busy this long
+      }
+      if (ins.detector_cycles != nullptr) {
+        ins.detector_cycles->add();
+        ins.detect_occupancy_ms->record(det.latency_ms);
+      }
 
       FrameResult fr;
       fr.frame_index = frame->index;
@@ -206,33 +265,48 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   // ---- Tracker thread: real feature extraction + LK on rendered frames,
   // with the modelled CPU latencies for pacing.
   std::thread tracker_thread([&] {
+    obs::name_thread("tracker");
     track::ObjectTracker tracker;
     track::TrackingFrameSelector selector;
     track::TrackLatencyModel latency(options.seed ^ 0x77777ULL);
 
     while (true) {
-      const std::optional<DetectionEvent> event = events.pop();
+      std::optional<DetectionEvent> event;
+      {
+        obs::ScopedSpan wait_span("wait_detection", "tracker");
+        event = events.pop();
+      }
       if (!event.has_value()) break;
       const int my_generation = fetch_generation.load();
+      obs::ScopedSpan batch_span("catchup_batch", "tracker", event->ref_index,
+                                 "ref_frame");
+      if (ins.tracker_batches != nullptr) ins.tracker_batches->add();
 
       {
+        obs::ScopedSpan extract_span("extract_features", "tracker",
+                                     event->ref_index);
         PacedSection pace(latency.feature_extraction_ms(), scale);
         tracker.set_reference(video.render(event->ref_index), event->detections);
       }
 
       adapt::VelocityEstimator velocity;
       const int frames_between = event->track_upto - event->ref_index;
+      if (ins.batch_frames != nullptr && frames_between > 0) {
+        ins.batch_frames->record(frames_between);
+      }
       const std::vector<int> offsets = selector.select(frames_between);
       int tracked = 0;
       int prev_offset = 0;
       for (int offset : offsets) {
         if (fetch_generation.load() != my_generation) {
           cancelled.fetch_add(1);
+          if (ins.tracker_cancelled != nullptr) ins.tracker_cancelled->add();
           break;
         }
         const int frame_index = event->ref_index + offset;
         track::TrackStepStats stats;
         {
+          obs::ScopedSpan step_span("track_frame", "tracker", frame_index);
           PacedSection pace(latency.tracking_ms(tracker.object_count(),
                                                 tracker.live_feature_count()) +
                                 latency.overlay_ms(),
@@ -245,6 +319,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
           // Task finished after the detector moved on: per §IV-B the result
           // is not displayed (it would move the display backwards).
           cancelled.fetch_add(1);
+          if (ins.tracker_cancelled != nullptr) ins.tracker_cancelled->add();
           break;
         }
         FrameResult fr;
@@ -254,6 +329,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
         fr.boxes = tracker.current_boxes();
         board.record(std::move(fr));
         frames_tracked.fetch_add(1);
+        if (ins.tracker_frames != nullptr) ins.tracker_frames->add();
         ++tracked;
         prev_offset = offset;
       }
@@ -296,6 +372,10 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   result.run.setting_switches = result.stats.setting_switches;
   result.run.timeline_ms =
       static_cast<double>(frame_count) * video.frame_interval_ms();
+  if (telemetry_on) {
+    result.metrics =
+        obs::Telemetry::instance().snapshot().since(metrics_before);
+  }
   return result;
 }
 

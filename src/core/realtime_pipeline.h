@@ -4,6 +4,7 @@
 
 #include "adapt/adapter.h"
 #include "core/run_result.h"
+#include "obs/metrics.h"
 #include "video/scene.h"
 
 namespace adavp::core {
@@ -37,6 +38,12 @@ struct RealtimeStats {
 struct RealtimeResult {
   RunResult run;
   RealtimeStats stats;
+  /// Telemetry recorded during this run only (global snapshot diffed
+  /// against the run's start). Empty when obs::Telemetry is disabled. The
+  /// legacy counters above are kept for API compatibility; the two views
+  /// must agree (e.g. `stats.frames_detected` == counter "detector.cycles"
+  /// — test_realtime asserts this).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Runs the paper's actual three-thread implementation: a camera thread

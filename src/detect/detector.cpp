@@ -1,5 +1,7 @@
 #include "detect/detector.h"
 
+#include "obs/telemetry.h"
+
 namespace adavp::detect {
 
 DetectionResult SimulatedDetector::detect(const video::SyntheticVideo& video,
@@ -11,11 +13,20 @@ DetectionResult SimulatedDetector::detect(const video::SyntheticVideo& video,
 DetectionResult SimulatedDetector::detect(
     const std::vector<video::GroundTruthObject>& truth,
     const geometry::Size& frame_size, int frame_index, ModelSetting setting) {
+  obs::ScopedSpan span("model_infer", "detector", frame_index);
   DetectionResult result;
   result.frame_index = frame_index;
   result.setting = setting;
   result.latency_ms = latency_.sample_ms(setting);
   result.detections = accuracy_.detect(truth, frame_size, setting, frame_index);
+  if (obs::Telemetry::enabled()) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.counter("detector", "invocations").add();
+    // Modeled TX2 inference latency — the virtual-time pipelines have no
+    // wall-clock spans, so this histogram is their latency ground truth.
+    reg.latency_histogram("detector", "latency_ms").record(result.latency_ms);
+    reg.counter("detector", "detections").add(result.detections.size());
+  }
   return result;
 }
 

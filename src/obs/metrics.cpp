@@ -1,0 +1,347 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace adavp::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_number(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+/// Shared bucket-interpolation quantile: `buckets` has edges.size() + 1
+/// entries (overflow last); the open-ended edge buckets interpolate toward
+/// `lo_bound` / `hi_bound` (observed min/max).
+double percentile_from_buckets(const std::vector<double>& edges,
+                               const std::vector<std::uint64_t>& buckets,
+                               double q, double lo_bound, double hi_bound) {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const double target = q / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lo = i == 0 ? lo_bound : edges[i - 1];
+      const double hi = i == edges.size() ? hi_bound : edges[i];
+      const double fraction =
+          std::clamp((target - static_cast<double>(cumulative)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      // Clamp to the observed range: the exact min/max are tracked, so no
+      // interpolated quantile should fall outside them (interior-bucket
+      // interpolation can otherwise overshoot a max that sits low in its
+      // bucket).
+      return std::clamp(lo + (hi - lo) * fraction, lo_bound, hi_bound);
+    }
+    cumulative += in_bucket;
+  }
+  return hi_bound;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Gauge
+
+void Gauge::set(double v) {
+  value_.store(v, std::memory_order_relaxed);
+  atomic_max_double(max_, v);
+}
+
+void Gauge::reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- FixedHistogram
+
+FixedHistogram::FixedHistogram(std::vector<double> edges)
+    : edges_(std::move(edges)), buckets_(edges_.size() + 1) {
+  std::sort(edges_.begin(), edges_.end());
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+void FixedHistogram::record(double value) {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::distance(edges_.begin(), it));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+  atomic_min_double(min_, value);
+  atomic_max_double(max_, value);
+}
+
+double FixedHistogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double FixedHistogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double FixedHistogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double FixedHistogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::uint64_t FixedHistogram::bucket_count(std::size_t i) const {
+  return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+double FixedHistogram::percentile(double q) const {
+  if (count() == 0) return 0.0;
+  std::vector<std::uint64_t> buckets(buckets_.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] = bucket_count(i);
+  // The open-ended edge buckets interpolate toward the observed min/max so
+  // extreme quantiles stay finite.
+  return percentile_from_buckets(edges_, buckets, q, min(), max());
+}
+
+void FixedHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::vector<double> FixedHistogram::default_latency_edges_ms() {
+  std::vector<double> edges;
+  for (double e = 0.25; e <= 4096.0; e *= 2.0) edges.push_back(e);
+  return edges;
+}
+
+// ------------------------------------------------------ MetricsSnapshot
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramEntry* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& before) const {
+  MetricsSnapshot delta = *this;
+  for (auto& c : delta.counters) c.value -= before.counter(c.name);
+  for (auto& h : delta.histograms) {
+    const HistogramEntry* prev = before.histogram(h.name);
+    if (prev == nullptr) continue;
+    h.count -= std::min(prev->count, h.count);
+    h.sum -= prev->sum;
+    for (std::size_t i = 0;
+         i < h.buckets.size() && i < prev->buckets.size(); ++i) {
+      h.buckets[i] -= std::min(prev->buckets[i], h.buckets[i]);
+    }
+    // Percentiles over the delta period, from the subtracted buckets. The
+    // edge buckets fall back to the later snapshot's min/max — the best
+    // bound available without per-period extrema.
+    h.p50 = percentile_from_buckets(h.edges, h.buckets, 50, h.min, h.max);
+    h.p90 = percentile_from_buckets(h.edges, h.buckets, 90, h.min, h.max);
+    h.p99 = percentile_from_buckets(h.edges, h.buckets, 99, h.min, h.max);
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream out;
+  for (const auto& c : counters) {
+    out << "counter   " << c.name << " = " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    out << "gauge     " << g.name << " = " << g.value << " (max " << g.max
+        << ")\n";
+  }
+  for (const auto& h : histograms) {
+    out << "histogram " << h.name << ": n=" << h.count << " mean="
+        << (h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0)
+        << " min=" << h.min << " p50=" << h.p50 << " p90=" << h.p90
+        << " p99=" << h.p99 << " max=" << h.max << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << counters[i].name << "\":" << counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << gauges[i].name << "\":{\"value\":"
+        << format_number(gauges[i].value)
+        << ",\"max\":" << format_number(gauges[i].max) << "}";
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i > 0) out << ",";
+    out << "\"" << h.name << "\":{\"count\":" << h.count
+        << ",\"sum\":" << format_number(h.sum)
+        << ",\"min\":" << format_number(h.min)
+        << ",\"max\":" << format_number(h.max)
+        << ",\"p50\":" << format_number(h.p50)
+        << ",\"p90\":" << format_number(h.p90)
+        << ",\"p99\":" << format_number(h.p99) << ",\"edges\":[";
+    for (std::size_t j = 0; j < h.edges.size(); ++j) {
+      if (j > 0) out << ",";
+      out << format_number(h.edges[j]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j > 0) out << ",";
+      out << h.buckets[j];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsSnapshot::write_csv(util::CsvWriter& csv) const {
+  csv.header({"kind", "name", "field", "value"});
+  for (const auto& c : counters) {
+    csv.row({"counter", c.name, "value", std::to_string(c.value)});
+  }
+  for (const auto& g : gauges) {
+    csv.row({"gauge", g.name, "value", format_number(g.value)});
+    csv.row({"gauge", g.name, "max", format_number(g.max)});
+  }
+  for (const auto& h : histograms) {
+    csv.row({"histogram", h.name, "count", std::to_string(h.count)});
+    csv.row({"histogram", h.name, "sum", format_number(h.sum)});
+    csv.row({"histogram", h.name, "min", format_number(h.min)});
+    csv.row({"histogram", h.name, "max", format_number(h.max)});
+    csv.row({"histogram", h.name, "p50", format_number(h.p50)});
+    csv.row({"histogram", h.name, "p90", format_number(h.p90)});
+    csv.row({"histogram", h.name, "p99", format_number(h.p99)});
+  }
+}
+
+// ------------------------------------------------------ MetricsRegistry
+
+namespace {
+std::string full_name(const std::string& component, const std::string& name) {
+  return component + "." + name;
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& component,
+                                  const std::string& name) {
+  const std::string key = full_name(component, name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& component,
+                              const std::string& name) {
+  const std::string key = full_name(component, name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& component,
+                                           const std::string& name,
+                                           std::vector<double> edges) {
+  const std::string key = full_name(component, name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<FixedHistogram>(std::move(edges));
+  return *slot;
+}
+
+FixedHistogram& MetricsRegistry::latency_histogram(const std::string& component,
+                                                   const std::string& name) {
+  return histogram(component, name, FixedHistogram::default_latency_edges_ms());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), g->max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.count = h->count();
+    entry.sum = h->sum();
+    entry.min = h->min();
+    entry.max = h->max();
+    entry.p50 = h->percentile(50);
+    entry.p90 = h->percentile(90);
+    entry.p99 = h->percentile(99);
+    entry.edges = h->edges();
+    entry.buckets.resize(entry.edges.size() + 1);
+    for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+      entry.buckets[i] = h->bucket_count(i);
+    }
+    snap.histograms.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace adavp::obs

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adavp::util {
+class CsvWriter;
+}
+
+namespace adavp::obs {
+
+/// Monotonically increasing event count. All operations are lock-free and
+/// safe to call from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (buffer depth, live features, ...).
+/// Also tracks the maximum ever set, which is what capacity questions ask.
+class Gauge {
+ public:
+  void set(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts samples in
+/// `[edges[i-1], edges[i])` (bucket 0 is `(-inf, edges[0])`; the implicit
+/// overflow bucket is `[edges.back(), +inf)`). Recording is lock-free;
+/// percentiles are extracted from the bucket counts by linear interpolation
+/// inside the containing bucket, so they are approximations whose error is
+/// bounded by the bucket width.
+class FixedHistogram {
+ public:
+  explicit FixedHistogram(std::vector<double> edges);
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// `q` in [0, 100]. Returns 0 when empty.
+  double percentile(double q) const;
+
+  const std::vector<double>& edges() const { return edges_; }
+  /// Count in bucket `i`, i in [0, edges().size()] (last = overflow).
+  std::uint64_t bucket_count(std::size_t i) const;
+
+  void reset();
+
+  /// Default latency edges: 0.25 ms to 4096 ms, doubling — wide enough for
+  /// every per-stage latency in this codebase at ~2x resolution.
+  static std::vector<double> default_latency_edges_ms();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // edges_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  // Sum/min/max stored as atomics updated with CAS loops; doubles keep the
+  // units of the recorded values (ms, px, ...).
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every instrument in a registry, safe to read,
+/// diff, and serialize with no locks held.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;  ///< "component.metric"
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+    double max = 0.0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    std::vector<double> edges;
+    std::vector<std::uint64_t> buckets;  ///< edges.size() + 1 (overflow last)
+  };
+
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  /// Counter value by full name; 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  /// Histogram entry by full name; nullptr when absent.
+  const HistogramEntry* histogram(const std::string& name) const;
+
+  /// Per-run deltas against an earlier snapshot of the same registry:
+  /// counters and histogram counts/sums/buckets subtract, and percentiles
+  /// are recomputed from the subtracted buckets so they describe the delta
+  /// period only. Gauges and histogram min/max keep the later (`this`)
+  /// values since they are not subtractable. Instruments absent from
+  /// `before` pass through unchanged.
+  MetricsSnapshot since(const MetricsSnapshot& before) const;
+
+  /// Human-readable report, one instrument per line.
+  std::string to_text() const;
+  /// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Long-form rows: kind,name,field,value.
+  void write_csv(util::CsvWriter& csv) const;
+};
+
+/// Thread-safe named-instrument registry. Instrument creation takes a lock;
+/// returned references stay valid for the registry's lifetime, so hot paths
+/// resolve once and then update lock-free.
+class MetricsRegistry {
+ public:
+  /// Instruments are keyed `component.metric` (e.g. "detector.cycles").
+  Counter& counter(const std::string& component, const std::string& name);
+  Gauge& gauge(const std::string& component, const std::string& name);
+  /// Registers with explicit bucket edges; subsequent lookups of the same
+  /// key ignore `edges` and return the existing instrument.
+  FixedHistogram& histogram(const std::string& component, const std::string& name,
+                            std::vector<double> edges);
+  /// Latency-bucket shorthand (default_latency_edges_ms).
+  FixedHistogram& latency_histogram(const std::string& component,
+                                    const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every instrument (instruments themselves stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+}  // namespace adavp::obs

@@ -1,0 +1,220 @@
+#include "obs/span_tracer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "util/thread_id.h"
+
+namespace adavp::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+std::uint64_t next_tracer_id() { return g_next_tracer_id.fetch_add(1); }
+
+/// JSON string escaping for names (static literals in practice, but thread
+/// names come from user strings).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+SpanTracer::SpanTracer()
+    : tracer_id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t SpanTracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+SpanTracer::ThreadBuffer& SpanTracer::local_buffer() {
+  // One buffer per (thread, tracer). The thread-local map keeps the buffer
+  // alive even if the tracer dies first; the tracer id (never reused)
+  // prevents a new tracer at a recycled address from inheriting it.
+  thread_local std::map<std::uint64_t, std::shared_ptr<ThreadBuffer>> buffers;
+  auto& slot = buffers[tracer_id_];
+  if (slot == nullptr) {
+    slot = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers_.push_back(slot);
+  }
+  return *slot;
+}
+
+void SpanTracer::record(const SpanEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(event);
+}
+
+void SpanTracer::instant(const char* name, const char* category,
+                         std::int64_t arg, const char* arg_name) {
+  SpanEvent event;
+  event.name = name;
+  event.category = category;
+  event.tid = util::compact_thread_id();
+  event.depth = local_buffer().depth;
+  event.begin_us = now_us();
+  event.end_us = event.begin_us;
+  event.arg = arg;
+  event.arg_name = arg_name;
+  record(event);
+}
+
+std::uint32_t& SpanTracer::thread_depth() { return local_buffer().depth; }
+
+void SpanTracer::name_current_thread(const std::string& name) {
+  util::set_thread_name(name);
+  const std::uint32_t tid = util::compact_thread_id();
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& [known_tid, known_name] : thread_names_) {
+    if (known_tid == tid) {
+      known_name = name;
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, name);
+}
+
+std::vector<SpanEvent> SpanTracer::flush() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+    buffer->events.clear();
+  }
+  return events;
+}
+
+void SpanTracer::clear() { (void)flush(); }
+
+std::size_t SpanTracer::buffered() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::size_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string SpanTracer::to_chrome_trace_json(std::vector<SpanEvent> events) const {
+  // Split each span into a begin and an end record, ordered so a trace
+  // viewer sees valid nesting. Sorting B/E records by timestamp alone
+  // cannot do this: a span often ends in the same microsecond its sibling
+  // begins, and at equal (tid, ts, depth) the correct B/E order depends on
+  // whether the records belong to the same span. So instead each thread's
+  // stream is rebuilt with an explicit span stack — spans are walked
+  // parents-before-children, a begin record closes every stacked span that
+  // ended at or before it (same-ts children stay open under depth order),
+  // and leftover spans close LIFO at the end.
+  struct Record {
+    const SpanEvent* span;
+    bool is_end;
+    std::int64_t ts;
+    std::size_t seq;  ///< per-thread emission rank (ties: construction order)
+  };
+  std::map<std::uint32_t, std::vector<const SpanEvent*>> by_tid;
+  for (const SpanEvent& e : events) by_tid[e.tid].push_back(&e);
+
+  std::vector<Record> records;
+  records.reserve(events.size() * 2);
+  for (auto& [tid, spans] : by_tid) {
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanEvent* a, const SpanEvent* b) {
+                if (a->begin_us != b->begin_us) return a->begin_us < b->begin_us;
+                return a->depth < b->depth;  // parents open first
+              });
+    std::size_t seq = 0;
+    std::vector<const SpanEvent*> stack;
+    for (const SpanEvent* s : spans) {
+      while (!stack.empty() &&
+             (stack.back()->end_us < s->begin_us ||
+              (stack.back()->end_us == s->begin_us &&
+               stack.back()->depth >= s->depth))) {
+        records.push_back({stack.back(), true, stack.back()->end_us, seq++});
+        stack.pop_back();
+      }
+      records.push_back({s, false, s->begin_us, seq++});
+      stack.push_back(s);
+    }
+    while (!stack.empty()) {
+      records.push_back({stack.back(), true, stack.back()->end_us, seq++});
+      stack.pop_back();
+    }
+  }
+  // Interleave threads by timestamp for the viewer, preserving each
+  // thread's constructed order at equal timestamps.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (a.span->tid != b.span->tid) {
+                       return a.span->tid < b.span->tid;
+                     }
+                     return a.seq < b.seq;
+                   });
+
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    names = thread_names_;
+  }
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const Record& r : records) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"" << (r.is_end ? "E" : "B") << "\",\"name\":\""
+        << json_escape(r.span->name) << "\",\"cat\":\""
+        << json_escape(r.span->category) << "\",\"pid\":1,\"tid\":"
+        << r.span->tid << ",\"ts\":" << r.ts;
+    if (!r.is_end && r.span->arg != SpanEvent::kInvalidArg) {
+      out << ",\"args\":{\"" << json_escape(r.span->arg_name)
+          << "\":" << r.span->arg << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace adavp::obs

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adavp::obs {
+
+class SpanTracer;
+
+/// One completed span as recorded by a thread: begin/end steady-clock
+/// timestamps plus enough identity to rebuild the three-thread schedule.
+struct SpanEvent {
+  const char* name = "";      ///< static string — spans must use literals
+  const char* category = "";  ///< component: "detector", "tracker", ...
+  std::uint32_t tid = 0;      ///< util::compact_thread_id of the recorder
+  std::uint32_t depth = 0;    ///< nesting depth at begin (0 = top level)
+  std::int64_t begin_us = 0;  ///< microseconds since the tracer epoch
+  std::int64_t end_us = 0;
+  /// Optional small payload rendered into the trace `args` (e.g. frame
+  /// index); kInvalidArg means absent.
+  std::int64_t arg = kInvalidArg;
+  const char* arg_name = "";
+
+  static constexpr std::int64_t kInvalidArg =
+      std::numeric_limits<std::int64_t>::min();
+};
+
+/// Collects spans into per-thread buffers. Each thread appends to its own
+/// buffer under a dedicated, uncontended mutex (taken elsewhere only during
+/// a flush), so recording never blocks on other threads — the "lock-free-ish"
+/// design the realtime pipeline needs. Buffers live until `flush`/`clear`.
+class SpanTracer {
+ public:
+  SpanTracer();
+
+  /// Microseconds since this tracer's construction (steady clock).
+  std::int64_t now_us() const;
+
+  /// Appends one finished span to the calling thread's buffer.
+  void record(const SpanEvent& event);
+
+  /// Records an instantaneous event (zero-duration span), e.g. an adapter
+  /// switch decision.
+  void instant(const char* name, const char* category,
+               std::int64_t arg = SpanEvent::kInvalidArg,
+               const char* arg_name = "");
+
+  /// Current nesting depth counter for the calling thread (managed by
+  /// ScopedSpan; exposed for tests).
+  std::uint32_t& thread_depth();
+
+  /// Remembers the calling thread's display name for trace export (worker
+  /// threads are usually joined before the trace is written, so the name
+  /// must outlive the thread). Also applies util::set_thread_name.
+  void name_current_thread(const std::string& name);
+
+  /// Moves every buffered event out of all thread buffers, oldest tracer
+  /// first. Safe to call while other threads keep recording (their new
+  /// events land in the next flush).
+  std::vector<SpanEvent> flush();
+
+  /// Drops all buffered events.
+  void clear();
+
+  /// Total buffered events across threads (approximate under concurrency).
+  std::size_t buffered() const;
+
+  /// Serializes `events` as Chrome trace-event JSON (the
+  /// chrome://tracing / Perfetto "JSON Array Format"): duration events as
+  /// "B"/"E" pairs ordered so nesting is valid, plus one "M" thread_name
+  /// metadata record per thread named via `name_current_thread`. Pass the
+  /// result of `flush()`.
+  std::string to_chrome_trace_json(std::vector<SpanEvent> events) const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+    std::uint32_t depth = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  const std::uint64_t tracer_id_;  ///< keys per-thread buffer lookup
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+};
+
+}  // namespace adavp::obs

@@ -1,0 +1,107 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/thread_id.h"
+
+namespace adavp::obs {
+
+std::atomic<bool> Telemetry::g_enabled{false};
+
+Telemetry& Telemetry::instance() {
+  static Telemetry* telemetry = new Telemetry();  // leaked: outlive everything
+  return *telemetry;
+}
+
+void Telemetry::write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  out << export_trace_json() << "\n";
+}
+
+void Telemetry::reset() {
+  metrics_.reset();
+  tracer_.clear();
+}
+
+// ----------------------------------------------------------- ScopedSpan
+
+ScopedSpan::ScopedSpan(const char* name, const char* category,
+                       std::int64_t arg, const char* arg_name)
+    : active_(Telemetry::enabled()) {
+  if (!active_) return;
+  SpanTracer& t = tracer();
+  event_.name = name;
+  event_.category = category;
+  event_.tid = util::compact_thread_id();
+  event_.depth = t.thread_depth()++;
+  event_.arg = arg;
+  event_.arg_name = arg_name;
+  event_.begin_us = t.now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  SpanTracer& t = tracer();
+  event_.end_us = t.now_us();
+  --t.thread_depth();
+  t.record(event_);
+}
+
+void trace_instant(const char* name, const char* category, std::int64_t arg,
+                   const char* arg_name) {
+  if (!Telemetry::enabled()) return;
+  tracer().instant(name, category, arg, arg_name);
+}
+
+// -------------------------------------------------------- StatsReporter
+
+namespace {
+// Interruptible sleep shared by all reporters (a single cv is plenty: stop
+// is rare and spurious wakeups only re-check the flag).
+std::mutex g_reporter_mutex;
+std::condition_variable g_reporter_cv;
+}  // namespace
+
+void StatsReporter::start(int period_ms, Callback callback) {
+  if (running_.load()) return;
+  callback_ = callback ? std::move(callback) : [](const MetricsSnapshot& snap) {
+    ADAVP_LOG_INFO << "telemetry report\n" << snap.to_text();
+  };
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this, period_ms] {
+    util::set_thread_name("stats-reporter");
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(g_reporter_mutex);
+        g_reporter_cv.wait_for(lock, std::chrono::milliseconds(period_ms),
+                               [this] { return stop_requested_.load(); });
+      }
+      if (stop_requested_.load()) break;
+      callback_(Telemetry::instance().snapshot());
+    }
+  });
+}
+
+void StatsReporter::stop() {
+  if (!running_.load()) return;
+  {
+    std::lock_guard<std::mutex> lock(g_reporter_mutex);
+    stop_requested_.store(true);
+  }
+  g_reporter_cv.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+  // Final report: short runs stop before the first period elapses.
+  callback_(Telemetry::instance().snapshot());
+}
+
+}  // namespace adavp::obs

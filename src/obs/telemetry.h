@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
+
+namespace adavp::obs {
+
+/// Process-wide telemetry: one metrics registry plus one span tracer behind
+/// a runtime on/off switch.
+///
+/// Telemetry is OFF by default. While off, every instrumentation site in
+/// the pipelines reduces to one relaxed atomic load (see `enabled()` and
+/// ScopedSpan), so benchmarks measure the same code they did before this
+/// subsystem existed. Turn it on with `Telemetry::set_enabled(true)` before
+/// starting a run, then read `snapshot()` / `export_trace_json()` after.
+///
+/// A singleton (rather than a context object threaded through every API) is
+/// deliberate: instruments are keyed by component name, and hot paths as
+/// deep as the LK tracker must be reachable without widening public
+/// signatures.
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  /// One relaxed atomic load — the entire cost of a disabled call site.
+  static bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    g_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  SpanTracer& tracer() { return tracer_; }
+
+  MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+
+  /// Flushes all span buffers and serializes them as Chrome trace-event
+  /// JSON (open in Perfetto or chrome://tracing).
+  std::string export_trace_json() { return tracer_.to_chrome_trace_json(tracer_.flush()); }
+
+  /// `export_trace_json` straight to a file. Throws std::runtime_error on
+  /// I/O failure.
+  void write_trace_file(const std::string& path);
+
+  /// Zeroes all metrics and drops buffered spans.
+  void reset();
+
+ private:
+  Telemetry() = default;
+
+  static std::atomic<bool> g_enabled;
+  MetricsRegistry metrics_;
+  SpanTracer tracer_;
+};
+
+/// Shorthand for the global registry / tracer.
+inline MetricsRegistry& metrics() { return Telemetry::instance().metrics(); }
+inline SpanTracer& tracer() { return Telemetry::instance().tracer(); }
+
+/// Names the calling thread in both logs and exported traces.
+inline void name_thread(const std::string& name) {
+  Telemetry::instance().tracer().name_current_thread(name);
+}
+
+/// RAII span over the global tracer. When telemetry is disabled at
+/// construction the object is inert: one atomic load in the constructor,
+/// one branch in the destructor. Name/category must be string literals
+/// (kept by pointer, never copied).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category,
+             std::int64_t arg = SpanEvent::kInvalidArg,
+             const char* arg_name = "frame");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  SpanEvent event_;
+};
+
+/// Emits an instantaneous trace event (no-op when disabled).
+void trace_instant(const char* name, const char* category,
+                   std::int64_t arg = SpanEvent::kInvalidArg,
+                   const char* arg_name = "value");
+
+/// Periodically invokes a callback with a fresh metrics snapshot on a
+/// background thread — the hook a long-running deployment points at its
+/// stats sink. The default callback logs `snapshot.to_text()` at INFO.
+class StatsReporter {
+ public:
+  using Callback = std::function<void(const MetricsSnapshot&)>;
+
+  StatsReporter() = default;
+  ~StatsReporter() { stop(); }
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Starts reporting every `period_ms`. No-op when already running.
+  void start(int period_ms, Callback callback = {});
+
+  /// Stops and joins the reporter thread; emits one final report so short
+  /// runs still produce output.
+  void stop();
+
+  bool running() const { return running_.load(); }
+
+ private:
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  Callback callback_;
+};
+
+}  // namespace adavp::obs

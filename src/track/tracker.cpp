@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.h"
+
 namespace adavp::track {
 
 ObjectTracker::ObjectTracker(TrackerParams params) : params_(std::move(params)) {}
 
 void ObjectTracker::set_reference(const vision::ImageU8& frame,
                                   const std::vector<detect::Detection>& detections) {
+  obs::ScopedSpan span("set_reference", "tracker",
+                       static_cast<std::int64_t>(detections.size()), "boxes");
   objects_.clear();
   features_.clear();
   alive_.clear();
@@ -67,9 +71,17 @@ void ObjectTracker::set_reference(const vision::ImageU8& frame,
 
   prev_pyramid_ = vision::ImagePyramid(frame, params_.pyramid_levels);
   frame_size_ = frame.size();
+
+  if (obs::Telemetry::enabled()) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.counter("tracker", "references").add();
+    reg.gauge("tracker", "live_features")
+        .set(static_cast<double>(live_feature_count()));
+  }
 }
 
 TrackStepStats ObjectTracker::track_to(const vision::ImageU8& frame, int frame_gap) {
+  obs::ScopedSpan span("track_to", "tracker", frame_gap, "frame_gap");
   TrackStepStats stats;
   stats.frame_gap = std::max(1, frame_gap);
   stats.live_objects = object_count();
@@ -184,6 +196,20 @@ TrackStepStats ObjectTracker::track_to(const vision::ImageU8& frame, int frame_g
 
   prev_pyramid_ = std::move(next_pyramid);
   frame_size_ = frame_size;
+
+  if (obs::Telemetry::enabled()) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.counter("tracker", "steps").add();
+    reg.gauge("tracker", "live_features")
+        .set(static_cast<double>(live_feature_count()));
+    if (stats.features_tracked > 0) {
+      // Per-step mean feature motion in pixels — the Eq.-3 velocity input.
+      reg.histogram("tracker", "step_motion_px",
+                    {0.5, 1, 2, 4, 8, 16, 32, 64, 128})
+          .record(stats.displacement_sum /
+                  static_cast<double>(stats.features_tracked));
+    }
+  }
   return stats;
 }
 

@@ -1,14 +1,22 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
 #include <iostream>
 #include <mutex>
+#include <stdexcept>
+
+#include "util/thread_id.h"
 
 namespace adavp::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+std::ofstream g_file_sink;  // guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,10 +32,46 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_file_sink.is_open()) g_file_sink.close();
+  if (path.empty()) return;
+  g_file_sink.open(path, std::ios::app);
+  if (!g_file_sink.is_open()) {
+    throw std::runtime_error("cannot open log file: " + path);
+  }
+}
+
+void close_log_file() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_file_sink.is_open()) g_file_sink.close();
+}
+
+std::string format_wall_clock_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char text[64];
+  std::snprintf(text, sizeof(text), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis));
+  return text;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::string line = std::string("[") + level_name(level) + "] [" +
+                           format_wall_clock_now() + "] [" + thread_tag() +
+                           "] " + message;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  std::cerr << line << "\n";
+  if (g_file_sink.is_open()) g_file_sink << line << "\n" << std::flush;
 }
 
 }  // namespace adavp::util

@@ -11,9 +11,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one log line (thread-safe) to stderr as
-/// `[LEVEL] message`. Prefer the LOG_* macros below.
+/// Mirrors every emitted log line into `path` (append mode) in addition to
+/// stderr. Throws std::runtime_error when the file cannot be opened. An
+/// empty path closes any open sink.
+void set_log_file(const std::string& path);
+
+/// Closes the file sink opened by `set_log_file`, if any.
+void close_log_file();
+
+/// Emits one log line (thread-safe) to stderr (and the file sink, when
+/// configured) as `[LEVEL] [wall-clock ts] [tid] message`. The tid field is
+/// the thread's name when `set_thread_name` was called, otherwise its
+/// compact numeric id. Prefer the LOG_* macros below.
 void log_message(LogLevel level, const std::string& message);
+
+/// Formats the current wall-clock time as `YYYY-MM-DD HH:MM:SS.mmm`
+/// (exposed for testing).
+std::string format_wall_clock_now();
 
 namespace detail {
 /// Stream-style collector that emits on destruction.

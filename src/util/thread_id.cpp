@@ -1,0 +1,32 @@
+#include "util/thread_id.h"
+
+#include <atomic>
+
+namespace adavp::util {
+
+namespace {
+std::atomic<std::uint32_t> g_next_thread_id{1};
+
+struct ThreadInfo {
+  std::uint32_t id = 0;
+  std::string name;
+};
+
+ThreadInfo& local_info() {
+  thread_local ThreadInfo info{g_next_thread_id.fetch_add(1), {}};
+  return info;
+}
+}  // namespace
+
+std::uint32_t compact_thread_id() { return local_info().id; }
+
+void set_thread_name(const std::string& name) { local_info().name = name; }
+
+std::string thread_name() { return local_info().name; }
+
+std::string thread_tag() {
+  const ThreadInfo& info = local_info();
+  return info.name.empty() ? std::to_string(info.id) : info.name;
+}
+
+}  // namespace adavp::util

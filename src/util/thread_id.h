@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adavp::util {
+
+/// Small, stable, process-unique id for the calling thread. Ids are handed
+/// out in first-use order starting at 1 (the thread that asks first — in
+/// practice main — gets 1), so they are readable in logs and compact enough
+/// for trace-viewer `tid` fields, unlike std::thread::id.
+std::uint32_t compact_thread_id();
+
+/// Names the calling thread ("camera", "detector", ...). The name shows up
+/// in log lines in place of the numeric id and as thread metadata in
+/// exported traces. Empty string clears the name.
+void set_thread_name(const std::string& name);
+
+/// Name of the calling thread, or "" when unnamed.
+std::string thread_name();
+
+/// Display tag for the calling thread: its name when set, otherwise the
+/// decimal compact id.
+std::string thread_tag();
+
+}  // namespace adavp::util

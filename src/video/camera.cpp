@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/telemetry.h"
+
 namespace adavp::video {
 
 CameraSource::CameraSource(const SyntheticVideo& video, FrameBuffer& buffer,
@@ -23,6 +25,13 @@ void CameraSource::stop() {
 
 void CameraSource::run() {
   using clock = std::chrono::steady_clock;
+  obs::name_thread("camera");
+  obs::Counter* frames_counter =
+      obs::Telemetry::enabled() ? &obs::metrics().counter("camera", "frames")
+                                : nullptr;
+  obs::Gauge* depth_gauge =
+      obs::Telemetry::enabled() ? &obs::metrics().gauge("buffer", "depth")
+                                : nullptr;
   const auto start = clock::now();
   for (int i = 0; i < video_.frame_count(); ++i) {
     if (stop_requested_.load()) break;
@@ -32,12 +41,19 @@ void CameraSource::run() {
                     std::chrono::duration<double, std::milli>(
                         video_.timestamp_ms(i) / time_scale_));
     std::this_thread::sleep_until(deadline);
-    Frame frame;
-    frame.index = i;
-    frame.timestamp_ms = video_.timestamp_ms(i);
-    frame.image = video_.render(i);
-    buffer_.push(std::move(frame));
+    {
+      obs::ScopedSpan span("capture", "camera", i);
+      Frame frame;
+      frame.index = i;
+      frame.timestamp_ms = video_.timestamp_ms(i);
+      frame.image = video_.render(i);
+      buffer_.push(std::move(frame));
+    }
     frames_captured_.fetch_add(1);
+    if (frames_counter != nullptr) {
+      frames_counter->add();
+      depth_gauge->set(static_cast<double>(buffer_.size()));
+    }
   }
   buffer_.close();
 }

@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "util/csv.h"
+#include "util/thread_id.h"
+
+namespace adavp::obs {
+namespace {
+
+// ------------------------------------------------------------------------
+// Minimal JSON parser, enough to validate exported documents by parsing
+// them back (the trace/metrics golden checks below).
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JsonValue::kString; return string(out.str);
+      case 't': out.kind = JsonValue::kBool; out.boolean = true; return literal("true");
+      case 'f': out.kind = JsonValue::kBool; out.boolean = false; return literal("false");
+      case 'n': out.kind = JsonValue::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': pos_ += 4; out += '?'; break;  // good enough for checks
+          default: out += text_[pos_];
+        }
+      } else {
+        out += text_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.kind = JsonValue::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue element;
+      if (!value(element)) return false;
+      out.object.emplace(std::move(key), std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Tests share the global telemetry singleton; each one starts from a
+/// clean, enabled slate and disables on exit.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Telemetry::set_enabled(true);
+    Telemetry::instance().reset();
+  }
+  void TearDown() override {
+    Telemetry::instance().reset();
+    Telemetry::set_enabled(false);
+  }
+};
+
+// ------------------------------------------------------------- counters
+
+TEST_F(ObsTest, CounterConcurrentHammerExactTotal) {
+  Counter& counter = metrics().counter("test", "hammer");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameInstrumentForSameKey) {
+  Counter& a = metrics().counter("detector", "cycles");
+  Counter& b = metrics().counter("detector", "cycles");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(ObsTest, GaugeTracksValueAndMax) {
+  Gauge& gauge = metrics().gauge("buffer", "depth");
+  gauge.set(4.0);
+  gauge.set(9.0);
+  gauge.set(2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 9.0);
+}
+
+// ----------------------------------------------------------- histograms
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+  FixedHistogram hist({10.0, 20.0, 30.0});
+  hist.record(5.0);    // (-inf, 10)   -> bucket 0
+  hist.record(10.0);   // [10, 20)     -> bucket 1 (left-closed)
+  hist.record(19.99);  // [10, 20)     -> bucket 1
+  hist.record(20.0);   // [20, 30)     -> bucket 2
+  hist.record(30.0);   // [30, +inf)   -> overflow bucket 3
+  hist.record(1000.0); // overflow
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(1), 2u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 2u);
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_DOUBLE_EQ(hist.min(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 1000.0);
+}
+
+TEST_F(ObsTest, HistogramPercentileSingleValueInterpolates) {
+  FixedHistogram hist({0.0, 10.0});
+  hist.record(5.0);
+  // One sample in [0, 10): interpolation stays inside the bucket, and no
+  // percentile can leave the observed [min, max] range.
+  EXPECT_GE(hist.percentile(50), 0.0);
+  EXPECT_LE(hist.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0), 5.0);
+}
+
+TEST_F(ObsTest, HistogramPercentilesOfUniformSamples) {
+  std::vector<double> edges;
+  for (double e = 0.0; e <= 100.0; e += 10.0) edges.push_back(e);
+  FixedHistogram hist(edges);
+  for (int i = 0; i < 1000; ++i) hist.record(static_cast<double>(i) * 0.1);
+  // Uniform on [0, 100): percentile error is bounded by the bucket width.
+  EXPECT_NEAR(hist.percentile(50), 50.0, 10.0);
+  EXPECT_NEAR(hist.percentile(90), 90.0, 10.0);
+  EXPECT_NEAR(hist.percentile(99), 99.0, 10.0);
+  EXPECT_NEAR(hist.mean(), 49.95, 0.01);
+}
+
+TEST_F(ObsTest, HistogramEmptyPercentileIsZero) {
+  FixedHistogram hist({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecordExactCount) {
+  FixedHistogram& hist = metrics().latency_histogram("test", "lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<double>(t) + 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(hist.sum(), 50000.0 * (1 + 2 + 3 + 4));
+}
+
+// ------------------------------------------------------------ snapshots
+
+TEST_F(ObsTest, SnapshotSinceComputesDeltas) {
+  Counter& counter = metrics().counter("detector", "cycles");
+  counter.add(7);
+  const MetricsSnapshot before = Telemetry::instance().snapshot();
+  counter.add(5);
+  const MetricsSnapshot delta =
+      Telemetry::instance().snapshot().since(before);
+  EXPECT_EQ(delta.counter("detector.cycles"), 5u);
+}
+
+TEST_F(ObsTest, SnapshotJsonParsesBack) {
+  metrics().counter("detector", "cycles").add(3);
+  metrics().gauge("buffer", "depth").set(4.5);
+  metrics().latency_histogram("detector", "latency_ms").record(250.0);
+  const MetricsSnapshot snap = Telemetry::instance().snapshot();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(snap.to_json()).parse(doc)) << snap.to_json();
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  const JsonValue* counters = doc.get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->get("detector.cycles")->number, 3.0);
+  const JsonValue* hist = doc.get("histograms")->get("detector.latency_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->get("count")->number, 1.0);
+  // buckets has one more entry than edges (overflow bucket).
+  EXPECT_EQ(hist->get("buckets")->array.size(),
+            hist->get("edges")->array.size() + 1);
+}
+
+TEST_F(ObsTest, SnapshotCsvHasHeaderAndRows) {
+  metrics().counter("detector", "cycles").add(2);
+  const MetricsSnapshot snap = Telemetry::instance().snapshot();
+  const std::string path = ::testing::TempDir() + "obs_snapshot.csv";
+  {
+    util::CsvWriter csv(path);
+    snap.write_csv(csv);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "kind,name,field,value");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "counter,detector.cycles,value,2");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST_F(ObsTest, ScopedSpanRecordsNesting) {
+  {
+    ScopedSpan outer("outer", "test");
+    ScopedSpan inner("inner", "test");
+  }
+  std::vector<SpanEvent> events = tracer().flush();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  const SpanEvent& inner = events[0];
+  const SpanEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_LE(outer.begin_us, inner.begin_us);
+  EXPECT_LE(inner.end_us, outer.end_us);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST_F(ObsTest, SpansDisabledCostNothingAndRecordNothing) {
+  Telemetry::set_enabled(false);
+  {
+    ScopedSpan span("ghost", "test");
+    trace_instant("ghost_instant", "test");
+  }
+  EXPECT_EQ(tracer().buffered(), 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonParsesBackWithPairedBeginEnd) {
+  // Spans from two threads, with nesting on each.
+  {
+    ScopedSpan outer("main_outer", "test", 42, "frame");
+    ScopedSpan inner("main_inner", "test");
+  }
+  std::thread worker([] {
+    name_thread("worker");
+    ScopedSpan outer("worker_outer", "test");
+    { ScopedSpan inner("worker_inner", "test"); }
+  });
+  worker.join();
+
+  const std::string json = Telemetry::instance().export_trace_json();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << json;
+  const JsonValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+
+  // Walk the events: per-tid stack discipline — every E closes the
+  // matching B, timestamps never go backwards, all stacks drain.
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<int, double> last_ts;
+  int begin_count = 0;
+  int end_count = 0;
+  bool saw_thread_name_meta = false;
+  for (const JsonValue& event : events->array) {
+    const std::string ph = event.get("ph")->str;
+    if (ph == "M") {
+      saw_thread_name_meta = true;
+      continue;
+    }
+    const int tid = static_cast<int>(event.get("tid")->number);
+    const double ts = event.get("ts")->number;
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      ++begin_count;
+      stacks[tid].push_back(event.get("name")->str);
+    } else {
+      ASSERT_EQ(ph, "E");
+      ++end_count;
+      ASSERT_FALSE(stacks[tid].empty())
+          << "E event with no open span on tid " << tid;
+      EXPECT_EQ(stacks[tid].back(), event.get("name")->str)
+          << "E closes a span other than the innermost open one";
+      stacks[tid].pop_back();
+    }
+  }
+  EXPECT_EQ(begin_count, 4);
+  EXPECT_EQ(end_count, 4);
+  EXPECT_TRUE(saw_thread_name_meta);
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  // Two distinct span-emitting threads.
+  EXPECT_EQ(last_ts.size(), 2u);
+}
+
+TEST_F(ObsTest, ChromeTraceOrdersSameTimestampSiblingsCorrectly) {
+  // Regression: with microsecond timestamps a span often ends in the same
+  // tick its sibling begins, and a child can share its parent's edge
+  // timestamps. The exported B/E stream must still nest.
+  auto span = [](const char* name, std::uint32_t depth, std::int64_t b,
+                 std::int64_t e) {
+    SpanEvent ev;
+    ev.name = name;
+    ev.category = "test";
+    ev.tid = 7;
+    ev.depth = depth;
+    ev.begin_us = b;
+    ev.end_us = e;
+    return ev;
+  };
+  tracer().record(span("child_of_a", 1, 150, 200));   // ends with its parent
+  tracer().record(span("a", 0, 100, 200));
+  tracer().record(span("child_of_b", 1, 200, 250));   // begins with parent
+  tracer().record(span("b", 0, 200, 300));            // begins as `a` ends
+
+  const std::string json = tracer().to_chrome_trace_json(tracer().flush());
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << json;
+  std::vector<std::string> sequence;
+  for (const JsonValue& event : doc.get("traceEvents")->array) {
+    if (event.get("ph")->str == "M") continue;
+    sequence.push_back(event.get("ph")->str + ":" + event.get("name")->str);
+  }
+  const std::vector<std::string> expected = {
+      "B:a",          "B:child_of_a", "E:child_of_a", "E:a",
+      "B:b",          "B:child_of_b", "E:child_of_b", "E:b"};
+  EXPECT_EQ(sequence, expected);
+}
+
+TEST_F(ObsTest, InstantEventsExportAsZeroDurationSpans) {
+  trace_instant("switch", "adapter", 512320, "old_to_new");
+  std::vector<SpanEvent> events = tracer().flush();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].begin_us, events[0].end_us);
+  EXPECT_EQ(events[0].arg, 512320);
+}
+
+// ------------------------------------------------------- stats reporter
+
+TEST_F(ObsTest, StatsReporterDeliversSnapshots) {
+  metrics().counter("test", "events").add(11);
+  std::atomic<int> reports{0};
+  std::atomic<std::uint64_t> last_value{0};
+  StatsReporter reporter;
+  reporter.start(5, [&](const MetricsSnapshot& snap) {
+    last_value.store(snap.counter("test.events"));
+    reports.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  reporter.stop();
+  EXPECT_FALSE(reporter.running());
+  EXPECT_GE(reports.load(), 1);  // stop() emits a final report at minimum
+  EXPECT_EQ(last_value.load(), 11u);
+}
+
+}  // namespace
+}  // namespace adavp::obs

@@ -4,10 +4,31 @@
 #include "core/scoring.h"
 #include "core/training.h"
 #include "metrics/accuracy.h"
+#include "obs/telemetry.h"
 #include "util/stats.h"
+
+// Sanitizers inflate real compute (feature extraction, LK tracking) ~10x
+// while scaled sleeps stay wall-clock accurate, so aggressive time
+// compression starves the pipeline of schedule headroom. Timing-sensitive
+// tests compress less when a sanitizer is active.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define ADAVP_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define ADAVP_UNDER_SANITIZER 1
+#endif
+#endif
 
 namespace adavp::core {
 namespace {
+
+double timing_sensitive_scale(double normal) {
+#ifdef ADAVP_UNDER_SANITIZER
+  return normal / 5.0;
+#else
+  return normal;
+#endif
+}
 
 video::SceneConfig scene(std::uint64_t seed = 3, int frames = 90,
                          double speed = 1.0) {
@@ -86,12 +107,57 @@ TEST(RealtimePipeline, AdapterSwitchesUnderRealThreads) {
   RealtimeOptions options;
   options.adapter = &adapter;
   options.setting = detect::ModelSetting::kYolov3_320;
-  options.time_scale = 30.0;
+  options.time_scale = timing_sensitive_scale(30.0);
   const RealtimeResult result = run_realtime(video, options);
   EXPECT_GE(result.stats.setting_switches, 1);
   // And the final cycles should sit at a larger size than the start.
   ASSERT_FALSE(result.run.cycles.empty());
   EXPECT_NE(result.run.cycles.back().setting, detect::ModelSetting::kYolov3_320);
+}
+
+TEST(RealtimePipeline, LegacyStatsAgreeWithTelemetrySnapshot) {
+  // The legacy RealtimeStats counters and the obs metrics layer observe the
+  // same run; any disagreement means an instrumentation site drifted.
+  video::SyntheticVideo video(scene(17, 120));
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  video.precache();
+  obs::Telemetry::set_enabled(true);
+  obs::Telemetry::instance().reset();
+  RealtimeOptions options;
+  options.adapter = &adapter;
+  options.setting = detect::ModelSetting::kYolov3_320;
+  options.time_scale = 30.0;
+  const RealtimeResult result = run_realtime(video, options);
+  obs::Telemetry::set_enabled(false);
+
+  const obs::MetricsSnapshot& snap = result.metrics;
+  EXPECT_EQ(snap.counter("detector.cycles"),
+            static_cast<std::uint64_t>(result.stats.frames_detected));
+  EXPECT_EQ(snap.counter("tracker.frames"),
+            static_cast<std::uint64_t>(result.stats.frames_tracked));
+  EXPECT_EQ(snap.counter("tracker.cancellations"),
+            static_cast<std::uint64_t>(result.stats.tracking_tasks_cancelled));
+  EXPECT_EQ(snap.counter("adapter.switches"),
+            static_cast<std::uint64_t>(result.stats.setting_switches));
+  EXPECT_EQ(snap.counter("camera.frames"),
+            static_cast<std::uint64_t>(result.stats.frames_captured));
+  // The modeled-GPU-occupancy histogram saw exactly one sample per cycle.
+  const obs::MetricsSnapshot::HistogramEntry* occupancy =
+      snap.histogram("detector.occupancy_ms");
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_EQ(occupancy->count,
+            static_cast<std::uint64_t>(result.stats.frames_detected));
+}
+
+TEST(RealtimePipeline, TelemetryDisabledLeavesResultSnapshotEmpty) {
+  video::SyntheticVideo video(scene(19, 45));
+  video.precache();
+  obs::Telemetry::set_enabled(false);
+  RealtimeOptions options;
+  options.time_scale = 45.0;
+  const RealtimeResult result = run_realtime(video, options);
+  EXPECT_TRUE(result.metrics.counters.empty());
+  EXPECT_TRUE(result.metrics.histograms.empty());
 }
 
 TEST(RealtimePipeline, RunsBackToBackWithoutLeakingThreads) {

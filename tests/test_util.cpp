@@ -3,15 +3,91 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <regex>
+#include <thread>
 
 #include "util/args.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_id.h"
 
 namespace adavp::util {
 namespace {
+
+// ------------------------------------------------------------ threads ----
+
+TEST(ThreadId, StablePerThreadAndUniqueAcrossThreads) {
+  const std::uint32_t mine = compact_thread_id();
+  EXPECT_EQ(compact_thread_id(), mine);  // stable on repeat calls
+  std::uint32_t other = 0;
+  std::thread worker([&] { other = compact_thread_id(); });
+  worker.join();
+  EXPECT_NE(other, 0u);
+  EXPECT_NE(other, mine);
+}
+
+TEST(ThreadId, ThreadTagPrefersName) {
+  std::string tag_before;
+  std::string tag_after;
+  std::thread worker([&] {
+    tag_before = thread_tag();
+    set_thread_name("worker-thread");
+    tag_after = thread_tag();
+    set_thread_name("");
+  });
+  worker.join();
+  EXPECT_NE(tag_before, "worker-thread");  // numeric before naming
+  EXPECT_EQ(tag_after, "worker-thread");
+}
+
+// ------------------------------------------------------------ logging ----
+
+TEST(Logging, WallClockFormat) {
+  const std::string ts = format_wall_clock_now();
+  EXPECT_TRUE(std::regex_match(
+      ts, std::regex(R"(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3})")))
+      << ts;
+}
+
+TEST(Logging, FileSinkMirrorsFormattedLines) {
+  const std::string path = ::testing::TempDir() + "adavp_log_sink.txt";
+  std::remove(path.c_str());
+  set_log_file(path);
+  ADAVP_LOG_INFO << "hello from the sink";
+  close_log_file();
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  // `[LEVEL] [ts] [tid] msg` with a wall-clock timestamp and a thread tag.
+  EXPECT_TRUE(std::regex_match(
+      line,
+      std::regex(
+          R"(\[INFO\] \[\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3}\] \[[^\]]+\] hello from the sink)")))
+      << line;
+  std::remove(path.c_str());
+}
+
+TEST(Logging, LevelFilterDropsBelowMinimum) {
+  const std::string path = ::testing::TempDir() + "adavp_log_filter.txt";
+  std::remove(path.c_str());
+  set_log_file(path);
+  set_log_level(LogLevel::kError);
+  ADAVP_LOG_INFO << "filtered out";
+  ADAVP_LOG_ERROR << "kept";
+  set_log_level(LogLevel::kInfo);
+  close_log_file();
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("kept"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
 
 // ---------------------------------------------------------------- Rng ----
 
