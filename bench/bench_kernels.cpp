@@ -1,0 +1,178 @@
+// Microbenchmark of the vision kernel engine: pyramid build, smoothing,
+// Sobel, Shi-Tomasi good-features, and pyramidal LK at 1/2/4/N threads on
+// synthetic frames. Writes BENCH_KERNELS.json (ns/op and speedup vs the
+// serial path) so successive PRs have a perf trajectory to compare
+// against.
+//
+//   ./bench_kernels [--width=1280] [--height=720] [--points=240]
+//                   [--reps=9] [--out=BENCH_KERNELS.json]
+//
+// Speedups depend on the host: on a single-core CI runner every thread
+// count degenerates to the serial path and speedup hovers around 1.0; on a
+// 4+-core machine pyramid build and LK are expected to clear 2x at 4
+// threads.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/args.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "vision/good_features.h"
+#include "vision/image_ops.h"
+#include "vision/optical_flow.h"
+#include "vision/pyramid.h"
+
+namespace {
+
+using namespace adavp;
+
+vision::ImageU8 make_frame(int w, int h, std::uint32_t seed) {
+  vision::ImageU8 img(w, h);
+  std::uint32_t s = seed;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      s = s * 1664525u + 1013904223u;
+      img.at(x, y) = static_cast<std::uint8_t>(
+          (x * 3 + y * 5 + static_cast<int>((s >> 24) & 63)) % 256);
+    }
+  }
+  return img;
+}
+
+/// Best-of-`reps` wall time of `fn`, in nanoseconds.
+double time_ns(int reps, const std::function<void()>& fn) {
+  fn();  // warm-up: pool startup, arena growth, page faults
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                      .count()));
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  int threads;
+  double ns;
+  double speedup;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int width = args.get_int("width", 1280);
+  const int height = args.get_int("height", 720);
+  const int n_points = args.get_int("points", 240);
+  const int reps = args.get_int("reps", 9);
+  const std::string out_path = args.get("out", "BENCH_KERNELS.json");
+
+  const int hw = util::ThreadPool::default_concurrency();
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) thread_counts.push_back(hw);
+
+  std::cout << "==== bench_kernels ====\n"
+            << "frame " << width << "x" << height << ", " << n_points
+            << " LK points, best of " << reps << " reps, hardware threads: "
+            << hw << "\n\n";
+
+  const vision::ImageU8 frame_a = make_frame(width, height, 1);
+  vision::ImageU8 frame_b = make_frame(width, height, 1);
+  // Shift a block so LK has real motion to converge on.
+  for (int y = height / 4; y < height / 2; ++y) {
+    for (int x = width / 4; x < width / 2; ++x) {
+      frame_b.at(x + 3, y + 2) = frame_a.at(x, y);
+    }
+  }
+  const vision::ImageF32 frame_f = vision::to_float(frame_a);
+
+  std::vector<geometry::Point2f> points;
+  for (int i = 0; i < n_points; ++i) {
+    points.push_back({16.0f + static_cast<float>((i * 37) % (width - 32)),
+                      16.0f + static_cast<float>((i * 61) % (height - 32))});
+  }
+
+  std::vector<Row> rows;
+  auto bench = [&](const std::string& name,
+                   const std::function<void(const vision::KernelConfig&)>& op) {
+    double serial_ns = 0.0;
+    for (int threads : thread_counts) {
+      vision::KernelConfig cfg;
+      cfg.num_threads = threads;
+      const double ns = time_ns(reps, [&] { op(cfg); });
+      if (threads == 1) serial_ns = ns;
+      rows.push_back({name, threads, ns, serial_ns > 0.0 ? serial_ns / ns : 1.0});
+    }
+  };
+
+  bench("pyramid_build", [&](const vision::KernelConfig& cfg) {
+    vision::ImagePyramid pyr(frame_a, 3, 16, cfg);
+    if (pyr.levels() == 0) std::abort();
+  });
+  bench("smooth3", [&](const vision::KernelConfig& cfg) {
+    volatile float sink = vision::smooth3(frame_f, cfg).at(1, 1);
+    (void)sink;
+  });
+  bench("smooth5", [&](const vision::KernelConfig& cfg) {
+    volatile float sink = vision::smooth5(frame_f, cfg).at(1, 1);
+    (void)sink;
+  });
+  bench("sobel", [&](const vision::KernelConfig& cfg) {
+    vision::ImageF32 gx, gy;
+    vision::sobel(frame_f, gx, gy, cfg);
+  });
+  bench("downsample2", [&](const vision::KernelConfig& cfg) {
+    volatile float sink = vision::downsample2(frame_f, cfg).at(1, 1);
+    (void)sink;
+  });
+  bench("good_features", [&](const vision::KernelConfig& cfg) {
+    vision::GoodFeaturesParams gf;
+    gf.kernels = cfg;
+    volatile std::size_t sink = vision::good_features_to_track(frame_a, gf).size();
+    (void)sink;
+  });
+  {
+    // LK is benchmarked on prebuilt pyramids: the pyramid cost is its own
+    // row above, and this isolates the point-parallel flow loop.
+    const vision::ImagePyramid pa(frame_a, 3);
+    const vision::ImagePyramid pb(frame_b, 3);
+    bench("lk_flow", [&](const vision::KernelConfig& cfg) {
+      std::vector<geometry::Point2f> out;
+      std::vector<vision::FlowStatus> status;
+      vision::calc_optical_flow_pyr_lk(pa, pb, points, out, status, {}, cfg);
+    });
+  }
+
+  util::Table table({"kernel", "threads", "ms/op", "speedup vs serial"});
+  for (const Row& r : rows) {
+    table.add_row({r.kernel, std::to_string(r.threads), util::fmt(r.ns / 1e6, 3),
+                   util::fmt(r.speedup, 2)});
+  }
+  table.print();
+
+  std::ofstream json(out_path);
+  json << "{\"frame\":{\"width\":" << width << ",\"height\":" << height
+       << "},\"points\":" << n_points << ",\"hardware_threads\":" << hw
+       << ",\"results\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) json << ",";
+    json << "{\"kernel\":\"" << rows[i].kernel
+         << "\",\"threads\":" << rows[i].threads << ",\"ns_per_op\":" << rows[i].ns
+         << ",\"speedup_vs_serial\":" << rows[i].speedup << "}";
+  }
+  json << "]}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

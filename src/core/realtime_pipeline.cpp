@@ -266,7 +266,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   // with the modelled CPU latencies for pacing.
   std::thread tracker_thread([&] {
     obs::name_thread("tracker");
-    track::ObjectTracker tracker;
+    track::ObjectTracker tracker(options.tracker);
     track::TrackingFrameSelector selector;
     track::TrackLatencyModel latency(options.seed ^ 0x77777ULL);
 

@@ -5,6 +5,7 @@
 #include "adapt/adapter.h"
 #include "core/run_result.h"
 #include "obs/metrics.h"
+#include "track/tracker.h"
 #include "video/scene.h"
 
 namespace adavp::core {
@@ -20,6 +21,9 @@ struct RealtimeOptions {
   /// the schedule is shape-preserving.
   double time_scale = 1.0;
   std::uint64_t seed = 1234;
+  /// Tracker tuning, including the vision-kernel parallelism
+  /// (`tracker.kernels.num_threads`) used on the tracker thread.
+  track::TrackerParams tracker;
 };
 
 /// Counters exposed by a realtime run, used by tests to check the

@@ -27,6 +27,7 @@ void ObjectTracker::set_reference(const vision::ImageU8& frame,
   gf.max_corners = params_.max_features;
   gf.quality_level = params_.quality_level;
   gf.min_distance = params_.min_feature_distance;
+  gf.kernels = params_.kernels;
   const std::vector<geometry::Point2f> corners =
       vision::good_features_to_track(frame, gf, &mask);
 
@@ -69,7 +70,7 @@ void ObjectTracker::set_reference(const vision::ImageU8& frame,
     if (obj.features.empty()) obj.lost = true;
   }
 
-  prev_pyramid_ = vision::ImagePyramid(frame, params_.pyramid_levels);
+  adopt_reference_pyramid(frame);
   frame_size_ = frame.size();
 
   if (obs::Telemetry::enabled()) {
@@ -87,7 +88,8 @@ TrackStepStats ObjectTracker::track_to(const vision::ImageU8& frame, int frame_g
   stats.live_objects = object_count();
   if (prev_pyramid_.empty() || features_.empty()) return stats;
 
-  vision::ImagePyramid next_pyramid(frame, params_.pyramid_levels);
+  vision::ImagePyramid next_pyramid(frame, params_.pyramid_levels,
+                                    /*min_dimension=*/16, params_.kernels);
 
   // Gather live features for the flow call.
   std::vector<std::size_t> live_idx;
@@ -103,7 +105,7 @@ TrackStepStats ObjectTracker::track_to(const vision::ImageU8& frame, int frame_g
   std::vector<geometry::Point2f> next_pts;
   std::vector<vision::FlowStatus> status;
   vision::calc_optical_flow_pyr_lk(prev_pyramid_, next_pyramid, pts, next_pts,
-                                   status, params_.lk);
+                                   status, params_.lk, params_.kernels);
 
   // Forward-backward validation (optional): a correctly tracked feature
   // must come home when tracked back into the previous frame.
@@ -111,7 +113,8 @@ TrackStepStats ObjectTracker::track_to(const vision::ImageU8& frame, int frame_g
     std::vector<geometry::Point2f> back_pts;
     std::vector<vision::FlowStatus> back_status;
     vision::calc_optical_flow_pyr_lk(next_pyramid, prev_pyramid_, next_pts,
-                                     back_pts, back_status, params_.lk);
+                                     back_pts, back_status, params_.lk,
+                                     params_.kernels);
     for (std::size_t k = 0; k < pts.size(); ++k) {
       if (!back_status[k].tracked ||
           (back_pts[k] - pts[k]).norm() > params_.fb_threshold) {
@@ -195,6 +198,7 @@ TrackStepStats ObjectTracker::track_to(const vision::ImageU8& frame, int frame_g
   }
 
   prev_pyramid_ = std::move(next_pyramid);
+  prev_frame_ = frame;
   frame_size_ = frame_size;
 
   if (obs::Telemetry::enabled()) {
@@ -211,6 +215,27 @@ TrackStepStats ObjectTracker::track_to(const vision::ImageU8& frame, int frame_g
     }
   }
   return stats;
+}
+
+void ObjectTracker::adopt_reference_pyramid(const vision::ImageU8& frame) {
+  // The frame a reference detection ran on has usually just been tracked
+  // (track_to moved its pyramid into prev_pyramid_); a byte-compare is two
+  // orders of magnitude cheaper than rebuilding the pyramid, so probe
+  // before recomputing.
+  const bool reusable = !prev_pyramid_.empty() &&
+                        prev_frame_.width() == frame.width() &&
+                        prev_frame_.height() == frame.height() &&
+                        prev_frame_.pixels() == frame.pixels();
+  if (!reusable) {
+    prev_pyramid_ = vision::ImagePyramid(frame, params_.pyramid_levels,
+                                         /*min_dimension=*/16, params_.kernels);
+  }
+  prev_frame_ = frame;
+  if (obs::Telemetry::enabled()) {
+    obs::metrics()
+        .counter("tracker", reusable ? "pyramid_reused" : "pyramid_rebuilt")
+        .add();
+  }
 }
 
 std::vector<metrics::LabeledBox> ObjectTracker::current_boxes() const {

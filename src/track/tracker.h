@@ -30,6 +30,10 @@ struct TrackerParams {
   bool forward_backward_check = false;
   float fb_threshold = 1.0f;
   vision::LucasKanadeParams lk;
+  /// Parallelism of the vision kernels on the tracking hot path (pyramid
+  /// build, Shi-Tomasi, LK). `num_threads = 1` forces the bit-exact serial
+  /// path; the default uses the shared kernel pool at hardware width.
+  vision::KernelConfig kernels;
 };
 
 /// Statistics of one tracking step, consumed by the latency model and by
@@ -82,11 +86,17 @@ class ObjectTracker : public TrackerInterface {
     bool lost = false;
   };
 
+  /// Pyramid for `frame`, reusing `prev_pyramid_` when `frame` is
+  /// byte-identical to the frame it was built from (the common
+  /// set_reference-after-track_to case). Updates `prev_frame_`.
+  void adopt_reference_pyramid(const vision::ImageU8& frame);
+
   TrackerParams params_;
   std::vector<TrackedObject> objects_;
   std::vector<geometry::Point2f> features_;
   std::vector<bool> alive_;
   vision::ImagePyramid prev_pyramid_;
+  vision::ImageU8 prev_frame_;   // frame prev_pyramid_ was built from
   geometry::Size frame_size_{};  // of the last processed frame
 };
 

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace adavp::util {
+
+/// Chunked bump allocator for short-lived per-kernel workspaces.
+///
+/// The vision kernels need a few small arrays per task (the LK gradient
+/// caches, rolling filter rows, ...) whose sizes repeat call after call.
+/// Allocating them from the heap inside the hot loop costs more than the
+/// arithmetic they cache, so each thread keeps one arena alive and bumps a
+/// cursor instead: `alloc` is pointer arithmetic once the arena has warmed
+/// up to its steady-state footprint, and `rewind`/`Scope` make the memory
+/// reusable without ever returning it to the heap.
+///
+/// Growth never moves existing allocations (new blocks are chained, not
+/// reallocated), so pointers handed out before a grow stay valid until the
+/// arena rewinds past them.
+class ScratchArena {
+ public:
+  explicit ScratchArena(std::size_t initial_capacity = 16 * 1024);
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The calling thread's private arena (lazily created, lives for the
+  /// thread's lifetime). Kernels running on pool workers each get their
+  /// own; no locking anywhere.
+  static ScratchArena& thread_local_arena();
+
+  /// `count` default-aligned elements of uninitialized storage. Valid until
+  /// the enclosing `Scope` ends (or `rewind` to an earlier mark).
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(alloc_bytes(count * sizeof(T), alignof(T)));
+  }
+
+  void* alloc_bytes(std::size_t bytes, std::size_t alignment);
+
+  /// Opaque position in the arena; see `rewind`.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+  Mark mark() const { return {block_index_, offset_}; }
+
+  /// Releases everything allocated after `m` for reuse (capacity is kept).
+  void rewind(Mark m);
+
+  /// RAII rewind: allocations made while a Scope is alive are reclaimed
+  /// when it is destroyed. Scopes nest.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena) : arena_(arena), mark_(arena.mark()) {}
+    ~Scope() { arena_.rewind(mark_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    Mark mark_;
+  };
+
+  /// Total bytes of backing storage across all blocks.
+  std::size_t capacity() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;  ///< block currently being bumped
+  std::size_t offset_ = 0;       ///< bump cursor within that block
+};
+
+}  // namespace adavp::util

@@ -7,36 +7,60 @@
 
 namespace adavp::vision {
 
-ImageF32 min_eigenvalue_map(const ImageF32& img, int block_size) {
+ImageF32 min_eigenvalue_map(const ImageF32& img, int block_size,
+                            const KernelConfig& config) {
   const int w = img.width();
   const int h = img.height();
   ImageF32 gx;
   ImageF32 gy;
-  sobel(img, gx, gy);
+  sobel(img, gx, gy, config);
 
   const int radius = std::max(1, block_size / 2);
   ImageF32 out(w, h, 0.0f);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float sxx = 0.0f;
-      float sxy = 0.0f;
-      float syy = 0.0f;
-      for (int dy = -radius; dy <= radius; ++dy) {
-        for (int dx = -radius; dx <= radius; ++dx) {
-          const float ix = gx.at_clamped(x + dx, y + dy);
-          const float iy = gy.at_clamped(x + dx, y + dy);
-          sxx += ix * ix;
-          sxy += ix * iy;
-          syy += iy * iy;
+  const float* gxp = gx.pixels().data();
+  const float* gyp = gy.pixels().data();
+  float* dst = out.pixels().data();
+  parallel_rows(h, config, [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      const bool row_interior = y >= radius && y < h - radius;
+      for (int x = 0; x < w; ++x) {
+        float sxx = 0.0f;
+        float sxy = 0.0f;
+        float syy = 0.0f;
+        if (row_interior && x >= radius && x < w - radius) {
+          // Interior: the block never clamps => raw row-pointer walks.
+          for (int dy = -radius; dy <= radius; ++dy) {
+            const std::size_t row = static_cast<std::size_t>(y + dy) * w;
+            for (int dx = -radius; dx <= radius; ++dx) {
+              const float ix = gxp[row + x + dx];
+              const float iy = gyp[row + x + dx];
+              sxx += ix * ix;
+              sxy += ix * iy;
+              syy += iy * iy;
+            }
+          }
+        } else {
+          for (int dy = -radius; dy <= radius; ++dy) {
+            const std::size_t row =
+                static_cast<std::size_t>(std::clamp(y + dy, 0, h - 1)) * w;
+            for (int dx = -radius; dx <= radius; ++dx) {
+              const std::size_t i = row + std::clamp(x + dx, 0, w - 1);
+              const float ix = gxp[i];
+              const float iy = gyp[i];
+              sxx += ix * ix;
+              sxy += ix * iy;
+              syy += iy * iy;
+            }
+          }
         }
+        // Smaller eigenvalue of [[sxx, sxy], [sxy, syy]].
+        const float tr = 0.5f * (sxx + syy);
+        const float det = sxx * syy - sxy * sxy;
+        const float disc = std::sqrt(std::max(0.0f, tr * tr - det));
+        dst[static_cast<std::size_t>(y) * w + x] = tr - disc;
       }
-      // Smaller eigenvalue of [[sxx, sxy], [sxy, syy]].
-      const float tr = 0.5f * (sxx + syy);
-      const float det = sxx * syy - sxy * sxy;
-      const float disc = std::sqrt(std::max(0.0f, tr * tr - det));
-      out.at(x, y) = tr - disc;
     }
-  }
+  });
   return out;
 }
 
@@ -45,7 +69,8 @@ std::vector<geometry::Point2f> good_features_to_track(
   std::vector<geometry::Point2f> corners;
   if (img.empty() || params.max_corners <= 0) return corners;
 
-  const ImageF32 scores = min_eigenvalue_map(to_float(img), params.block_size);
+  const ImageF32 scores = min_eigenvalue_map(to_float(img, params.kernels),
+                                             params.block_size, params.kernels);
 
   float best = 0.0f;
   for (int y = 0; y < img.height(); ++y) {

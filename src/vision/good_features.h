@@ -6,6 +6,7 @@
 #include "geometry/box.h"
 #include "geometry/point.h"
 #include "vision/image.h"
+#include "vision/kernel_config.h"
 
 namespace adavp::vision {
 
@@ -16,12 +17,14 @@ struct GoodFeaturesParams {
   double quality_level = 0.01;  ///< accept score >= quality * best score
   double min_distance = 7.0;    ///< minimum spacing between kept corners
   int block_size = 3;           ///< structure-tensor window radius-ish (3 => 3x3)
+  KernelConfig kernels;         ///< parallelism of the score-map kernels
 };
 
 /// Shi-Tomasi corner response: the smaller eigenvalue of the 2x2 structure
 /// tensor accumulated over a block around each pixel. Exposed for tests and
 /// for reuse by the feature extractor.
-ImageF32 min_eigenvalue_map(const ImageF32& img, int block_size);
+ImageF32 min_eigenvalue_map(const ImageF32& img, int block_size,
+                            const KernelConfig& config = {});
 
 /// Detects good features to track in `img`.
 ///

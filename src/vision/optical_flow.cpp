@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/telemetry.h"
+#include "util/scratch_arena.h"
 #include "vision/image_ops.h"
 
 namespace adavp::vision {
@@ -13,7 +15,6 @@ struct GradientWindow {
   float gxx = 0.0f;
   float gxy = 0.0f;
   float gyy = 0.0f;
-  bool valid = false;
 };
 
 /// Central-difference derivative of `img` sampled bilinearly at (x, y).
@@ -23,40 +24,91 @@ inline void sample_gradient(const ImageF32& img, float x, float y, float& dx,
   dy = (sample_bilinear(img, x, y + 1.0f) - sample_bilinear(img, x, y - 1.0f)) * 0.5f;
 }
 
-}  // namespace
+/// Bilinear sample with no clamping. Precondition: 0 <= x < w-1 and
+/// 0 <= y < h-1, so all four taps are in bounds and truncation equals
+/// floor. Operand order matches `sample_bilinear` exactly => identical
+/// floats on interior coordinates.
+inline float bilinear_unchecked(const float* pix, int w, float x, float y) {
+  const int x0 = static_cast<int>(x);
+  const int y0 = static_cast<int>(y);
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+  const float* p = pix + static_cast<std::size_t>(y0) * w + x0;
+  const float p00 = p[0];
+  const float p10 = p[1];
+  const float p01 = p[w];
+  const float p11 = p[w + 1];
+  const float top = p00 + fx * (p10 - p00);
+  const float bot = p01 + fx * (p11 - p01);
+  return top + fy * (bot - top);
+}
 
-void calc_optical_flow_pyr_lk(const ImagePyramid& prev, const ImagePyramid& next,
-                              const std::vector<geometry::Point2f>& points,
-                              std::vector<geometry::Point2f>& out_points,
-                              std::vector<FlowStatus>& out_status,
-                              const LucasKanadeParams& params) {
-  out_points.assign(points.size(), {});
-  out_status.assign(points.size(), {});
-  if (prev.empty() || next.empty()) return;
+inline void gradient_unchecked(const float* pix, int w, float x, float y,
+                               float& dx, float& dy) {
+  dx = (bilinear_unchecked(pix, w, x + 1.0f, y) -
+        bilinear_unchecked(pix, w, x - 1.0f, y)) * 0.5f;
+  dy = (bilinear_unchecked(pix, w, x, y + 1.0f) -
+        bilinear_unchecked(pix, w, x, y - 1.0f)) * 0.5f;
+}
 
-  const int levels = std::min(prev.levels(), next.levels());
-  const int r = params.window_radius;
+/// True when every bilinear tap within `margin` of (x, y) is strictly
+/// interior. Conservative by one extra pixel so float rounding in the
+/// callers' coordinate arithmetic can never escape the unchecked window.
+inline bool window_interior(float x, float y, float margin, int w, int h) {
+  return x - margin >= 0.0f && y - margin >= 0.0f &&
+         x + margin <= static_cast<float>(w - 2) &&
+         y + margin <= static_cast<float>(h - 2);
+}
+
+/// Tracks one point through the pyramid. `kRadius >= 0` is the
+/// compile-time fixed-radius fast path (fully unrolled window loops for
+/// the default radius); `kRadius == -1` reads the radius from `params`.
+/// `ivals`/`ixs`/`iys` are caller-provided scratch of (2r+1)^2 floats.
+template <int kRadius>
+void track_point(const ImagePyramid& prev, const ImagePyramid& next, int levels,
+                 const LucasKanadeParams& params, const geometry::Point2f& p0,
+                 float* ivals, float* ixs, float* iys,
+                 geometry::Point2f& out_point, FlowStatus& out_status) {
+  const int r = kRadius >= 0 ? kRadius : params.window_radius;
   const float window_count = static_cast<float>((2 * r + 1) * (2 * r + 1));
 
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const geometry::Point2f p0 = points[i];
-    geometry::Point2f g{0.0f, 0.0f};  // flow guess carried across levels
-    bool ok = true;
-    float residual = 0.0f;
+  geometry::Point2f g{0.0f, 0.0f};  // flow guess carried across levels
+  bool ok = true;
+  float residual = 0.0f;
 
-    for (int level = levels - 1; level >= 0; --level) {
-      const ImageF32& I = prev.level(level);
-      const ImageF32& J = next.level(level);
-      const float scale = 1.0f / static_cast<float>(1 << level);
-      const geometry::Point2f p{p0.x * scale, p0.y * scale};
+  for (int level = levels - 1; level >= 0; --level) {
+    const ImageF32& I = prev.level(level);
+    const ImageF32& J = next.level(level);
+    const int iw = I.width();
+    const int ih = I.height();
+    const int jw = J.width();
+    const int jh = J.height();
+    const float* ipix = I.pixels().data();
+    const float* jpix = J.pixels().data();
+    const float scale = 1.0f / static_cast<float>(1 << level);
+    const geometry::Point2f p{p0.x * scale, p0.y * scale};
 
-      // Structure tensor of the previous image around p, plus per-pixel
-      // gradients cached for the iterative update.
-      GradientWindow gw;
-      std::vector<float> ivals(static_cast<std::size_t>(window_count));
-      std::vector<float> ixs(static_cast<std::size_t>(window_count));
-      std::vector<float> iys(static_cast<std::size_t>(window_count));
-      std::size_t idx = 0;
+    // Structure tensor of the previous image around p, plus per-pixel
+    // gradients cached for the iterative update.
+    GradientWindow gw;
+    std::size_t idx = 0;
+    if (window_interior(p.x, p.y, static_cast<float>(r + 2), iw, ih)) {
+      for (int wy = -r; wy <= r; ++wy) {
+        for (int wx = -r; wx <= r; ++wx, ++idx) {
+          const float sx = p.x + static_cast<float>(wx);
+          const float sy = p.y + static_cast<float>(wy);
+          float ix = 0.0f;
+          float iy = 0.0f;
+          gradient_unchecked(ipix, iw, sx, sy, ix, iy);
+          ivals[idx] = bilinear_unchecked(ipix, iw, sx, sy);
+          ixs[idx] = ix;
+          iys[idx] = iy;
+          gw.gxx += ix * ix;
+          gw.gxy += ix * iy;
+          gw.gyy += iy * iy;
+        }
+      }
+    } else {
       for (int wy = -r; wy <= r; ++wy) {
         for (int wx = -r; wx <= r; ++wx, ++idx) {
           const float sx = p.x + static_cast<float>(wx);
@@ -72,22 +124,37 @@ void calc_optical_flow_pyr_lk(const ImagePyramid& prev, const ImagePyramid& next
           gw.gyy += iy * iy;
         }
       }
-      const float tr = 0.5f * (gw.gxx + gw.gyy);
-      const float det = gw.gxx * gw.gyy - gw.gxy * gw.gxy;
-      const float min_eig =
-          (tr - std::sqrt(std::max(0.0f, tr * tr - det))) / window_count;
-      if (min_eig < params.min_eigen_threshold || det <= 0.0f) {
-        ok = false;
-        break;
-      }
+    }
+    const float tr = 0.5f * (gw.gxx + gw.gyy);
+    const float det = gw.gxx * gw.gyy - gw.gxy * gw.gxy;
+    const float min_eig =
+        (tr - std::sqrt(std::max(0.0f, tr * tr - det))) / window_count;
+    if (min_eig < params.min_eigen_threshold || det <= 0.0f) {
+      ok = false;
+      break;
+    }
 
-      // Iterative Newton refinement of the flow at this level.
-      geometry::Point2f nu{0.0f, 0.0f};
-      for (int iter = 0; iter < params.max_iterations; ++iter) {
-        float bx = 0.0f;
-        float by = 0.0f;
-        residual = 0.0f;
-        idx = 0;
+    // Iterative Newton refinement of the flow at this level.
+    geometry::Point2f nu{0.0f, 0.0f};
+    for (int iter = 0; iter < params.max_iterations; ++iter) {
+      float bx = 0.0f;
+      float by = 0.0f;
+      residual = 0.0f;
+      const float base_x = p.x + g.x + nu.x;
+      const float base_y = p.y + g.y + nu.y;
+      idx = 0;
+      if (window_interior(base_x, base_y, static_cast<float>(r + 1), jw, jh)) {
+        for (int wy = -r; wy <= r; ++wy) {
+          for (int wx = -r; wx <= r; ++wx, ++idx) {
+            const float jx = p.x + g.x + nu.x + static_cast<float>(wx);
+            const float jy = p.y + g.y + nu.y + static_cast<float>(wy);
+            const float diff = ivals[idx] - bilinear_unchecked(jpix, jw, jx, jy);
+            bx += diff * ixs[idx];
+            by += diff * iys[idx];
+            residual += std::abs(diff);
+          }
+        }
+      } else {
         for (int wy = -r; wy <= r; ++wy) {
           for (int wx = -r; wx <= r; ++wx, ++idx) {
             const float jx = p.x + g.x + nu.x + static_cast<float>(wx);
@@ -98,28 +165,82 @@ void calc_optical_flow_pyr_lk(const ImagePyramid& prev, const ImagePyramid& next
             residual += std::abs(diff);
           }
         }
-        const float vx = (gw.gyy * bx - gw.gxy * by) / det;
-        const float vy = (gw.gxx * by - gw.gxy * bx) / det;
-        nu += {vx, vy};
-        if (std::sqrt(vx * vx + vy * vy) < params.epsilon) break;
       }
-
-      if (level > 0) {
-        g = (g + nu) * 2.0f;
-      } else {
-        g += nu;
-      }
+      const float vx = (gw.gyy * bx - gw.gxy * by) / det;
+      const float vy = (gw.gxx * by - gw.gxy * bx) / det;
+      nu += {vx, vy};
+      if (std::sqrt(vx * vx + vy * vy) < params.epsilon) break;
     }
 
-    geometry::Point2f result = p0 + g;
-    const ImageF32& base = next.level(0);
-    const bool inside = result.x >= 0.0f && result.y >= 0.0f &&
-                        result.x < static_cast<float>(base.width()) &&
-                        result.y < static_cast<float>(base.height());
-    out_points[i] = result;
-    out_status[i].tracked = ok && inside;
-    out_status[i].error = residual / window_count;
+    if (level > 0) {
+      g = (g + nu) * 2.0f;
+    } else {
+      g += nu;
+    }
   }
+
+  geometry::Point2f result = p0 + g;
+  const ImageF32& base = next.level(0);
+  const bool inside = result.x >= 0.0f && result.y >= 0.0f &&
+                      result.x < static_cast<float>(base.width()) &&
+                      result.y < static_cast<float>(base.height());
+  out_point = result;
+  out_status.tracked = ok && inside;
+  out_status.error = residual / window_count;
+}
+
+using TrackPointFn = void (*)(const ImagePyramid&, const ImagePyramid&, int,
+                              const LucasKanadeParams&, const geometry::Point2f&,
+                              float*, float*, float*, geometry::Point2f&,
+                              FlowStatus&);
+
+TrackPointFn select_track_fn(int radius) {
+  switch (radius) {
+    case 3:
+      return &track_point<3>;
+    case 5:
+      return &track_point<5>;
+    case 7:  // the default window — fully unrolled fast path
+      return &track_point<7>;
+    default:
+      return &track_point<-1>;
+  }
+}
+
+}  // namespace
+
+void calc_optical_flow_pyr_lk(const ImagePyramid& prev, const ImagePyramid& next,
+                              const std::vector<geometry::Point2f>& points,
+                              std::vector<geometry::Point2f>& out_points,
+                              std::vector<FlowStatus>& out_status,
+                              const LucasKanadeParams& params,
+                              const KernelConfig& kernels) {
+  out_points.assign(points.size(), {});
+  out_status.assign(points.size(), {});
+  if (prev.empty() || next.empty()) return;
+
+  obs::ScopedSpan span("lk_flow", "vision",
+                       static_cast<std::int64_t>(points.size()), "points");
+  const int levels = std::min(prev.levels(), next.levels());
+  const std::size_t window_count = static_cast<std::size_t>(
+      (2 * params.window_radius + 1) * (2 * params.window_radius + 1));
+  const TrackPointFn track = select_track_fn(params.window_radius);
+
+  parallel_points(static_cast<int>(points.size()), kernels, [&](int i0, int i1) {
+    // Per-thread gradient caches, reused across every point and level in
+    // the chunk — the hot loop never touches the heap.
+    util::ScratchArena& arena = util::ScratchArena::thread_local_arena();
+    util::ScratchArena::Scope scope(arena);
+    float* ivals = arena.alloc<float>(window_count);
+    float* ixs = arena.alloc<float>(window_count);
+    float* iys = arena.alloc<float>(window_count);
+    for (int i = i0; i < i1; ++i) {
+      track(prev, next, levels, params, points[static_cast<std::size_t>(i)],
+            ivals, ixs, iys, out_points[static_cast<std::size_t>(i)],
+            out_status[static_cast<std::size_t>(i)]);
+    }
+  });
+  publish_pool_metrics();
 }
 
 }  // namespace adavp::vision

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "geometry/point.h"
+#include "vision/kernel_config.h"
 #include "vision/pyramid.h"
 
 namespace adavp::vision {
@@ -29,10 +30,17 @@ struct FlowStatus {
 /// window drifts outside the image, or whose spatial-gradient matrix is
 /// ill-conditioned (textureless window), are flagged `tracked == false`;
 /// their output position is the best estimate reached before failure.
+///
+/// Points are independent, so the work is split across the shared kernel
+/// pool per `kernels`; every thread count (including the serial
+/// `num_threads == 1` path) produces bit-identical results. Per-thread
+/// gradient caches come from the thread's ScratchArena — the level loop
+/// performs no heap allocation.
 void calc_optical_flow_pyr_lk(const ImagePyramid& prev, const ImagePyramid& next,
                               const std::vector<geometry::Point2f>& points,
                               std::vector<geometry::Point2f>& out_points,
                               std::vector<FlowStatus>& out_status,
-                              const LucasKanadeParams& params = {});
+                              const LucasKanadeParams& params = {},
+                              const KernelConfig& kernels = {});
 
 }  // namespace adavp::vision

@@ -1,19 +1,23 @@
 #include "vision/pyramid.h"
 
+#include "obs/telemetry.h"
 #include "vision/image_ops.h"
 
 namespace adavp::vision {
 
-ImagePyramid::ImagePyramid(const ImageU8& base, int levels, int min_dimension) {
+ImagePyramid::ImagePyramid(const ImageU8& base, int levels, int min_dimension,
+                           const KernelConfig& config) {
   if (base.empty() || levels <= 0) return;
-  levels_.push_back(to_float(base));
+  obs::ScopedSpan span("pyramid_build", "vision", levels, "levels");
+  levels_.push_back(to_float(base, config));
   for (int i = 1; i < levels; ++i) {
     const ImageF32& prev = levels_.back();
     if (prev.width() / 2 < min_dimension || prev.height() / 2 < min_dimension) {
       break;
     }
-    levels_.push_back(downsample2(prev));
+    levels_.push_back(downsample2(prev, config));
   }
+  publish_pool_metrics();
 }
 
 }  // namespace adavp::vision

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "vision/image.h"
+#include "vision/kernel_config.h"
 
 namespace adavp::vision {
 
@@ -15,8 +16,11 @@ class ImagePyramid {
  public:
   ImagePyramid() = default;
 
-  /// Builds a pyramid with at most `levels` levels.
-  ImagePyramid(const ImageU8& base, int levels, int min_dimension = 16);
+  /// Builds a pyramid with at most `levels` levels. Levels depend on each
+  /// other, so parallelism comes from the row-parallel conversion and
+  /// downsampling kernels configured by `config`.
+  explicit ImagePyramid(const ImageU8& base, int levels, int min_dimension = 16,
+                        const KernelConfig& config = {});
 
   int levels() const { return static_cast<int>(levels_.size()); }
   const ImageF32& level(int i) const { return levels_.at(static_cast<std::size_t>(i)); }

@@ -1,0 +1,207 @@
+// Parallel-vs-serial equivalence of the vision kernel engine.
+//
+// Every kernel on the tracking hot path is row- or point-parallel with no
+// cross-chunk reductions, so `num_threads = 1` and `num_threads = 4` must
+// produce bit-identical images, flow vectors, and tracker boxes. These
+// tests pin that invariant (and the fused downsample2 against a literal
+// transcription of the historical smooth3-then-decimate formulation) so a
+// future kernel change that breaks reproducibility fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/detection.h"
+#include "track/tracker.h"
+#include "video/scene.h"
+#include "vision/good_features.h"
+#include "vision/image_ops.h"
+#include "vision/optical_flow.h"
+#include "vision/pyramid.h"
+
+namespace adavp::vision {
+namespace {
+
+KernelConfig serial() { return {.num_threads = 1}; }
+KernelConfig parallel4() {
+  // Force splitting even on the small test images: four threads, tiny
+  // grains, so chunk boundaries land in the middle of rows/points.
+  KernelConfig cfg;
+  cfg.num_threads = 4;
+  cfg.min_rows_per_task = 4;
+  cfg.min_points_per_task = 1;
+  return cfg;
+}
+
+ImageU8 test_frame(int w, int h, std::uint32_t seed) {
+  ImageU8 img(w, h);
+  std::uint32_t s = seed;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      s = s * 1664525u + 1013904223u;
+      img.at(x, y) = static_cast<std::uint8_t>(
+          (x * 5 + y * 3 + static_cast<int>((s >> 24) & 63)) % 256);
+    }
+  }
+  return img;
+}
+
+template <typename T>
+void expect_identical(const Image<T>& a, const Image<T>& b) {
+  ASSERT_EQ(a.width(), b.width());
+  ASSERT_EQ(a.height(), b.height());
+  // operator== on the pixel vectors is an exact byte comparison.
+  EXPECT_TRUE(a.pixels() == b.pixels());
+}
+
+TEST(KernelEquivalence, RowParallelKernelsAreBitExact) {
+  // Odd dimensions on one of the images exercise the clamped border taps.
+  for (const auto& frame : {test_frame(128, 96, 1), test_frame(131, 77, 2)}) {
+    const ImageF32 fs = to_float(frame, serial());
+    const ImageF32 fp = to_float(frame, parallel4());
+    expect_identical(fs, fp);
+
+    expect_identical(smooth3(fs, serial()), smooth3(fs, parallel4()));
+    expect_identical(smooth5(fs, serial()), smooth5(fs, parallel4()));
+    expect_identical(downsample2(fs, serial()), downsample2(fs, parallel4()));
+
+    ImageF32 gxs, gys, gxp, gyp;
+    sobel(fs, gxs, gys, serial());
+    sobel(fs, gxp, gyp, parallel4());
+    expect_identical(gxs, gxp);
+    expect_identical(gys, gyp);
+
+    expect_identical(min_eigenvalue_map(fs, 3, serial()),
+                     min_eigenvalue_map(fs, 3, parallel4()));
+  }
+}
+
+/// Literal transcription of the pre-engine downsample2 (full smooth3 pass,
+/// then 2x2 mean) — the reference the fused kernel must match bit for bit.
+ImageF32 reference_downsample2(const ImageF32& img) {
+  if (img.width() < 2 || img.height() < 2) return img;
+  const ImageF32 smoothed = smooth3(img, KernelConfig{.num_threads = 1});
+  const int w = (img.width() + 1) / 2;
+  const int h = (img.height() + 1) / 2;
+  ImageF32 out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int sx = 2 * x;
+      const int sy = 2 * y;
+      const float sum = smoothed.at_clamped(sx, sy) +
+                        smoothed.at_clamped(sx + 1, sy) +
+                        smoothed.at_clamped(sx, sy + 1) +
+                        smoothed.at_clamped(sx + 1, sy + 1);
+      out.at(x, y) = sum / 4.0f;
+    }
+  }
+  return out;
+}
+
+TEST(KernelEquivalence, FusedDownsampleMatchesUnfusedReference) {
+  const std::pair<int, int> sizes[] = {{128, 96}, {131, 77}, {33, 34}, {2, 2}};
+  for (const auto& [w, h] : sizes) {
+    const ImageF32 img = to_float(test_frame(w, h, 7u));
+    expect_identical(reference_downsample2(img), downsample2(img, serial()));
+    expect_identical(reference_downsample2(img), downsample2(img, parallel4()));
+  }
+}
+
+TEST(KernelEquivalence, PyramidAndFlowAreBitExactAcrossThreadCounts) {
+  const ImageU8 a = test_frame(160, 120, 11);
+  ImageU8 b = test_frame(160, 120, 11);
+  // Shift a patch so the flow has something to chase.
+  for (int y = 20; y < 60; ++y) {
+    for (int x = 20; x < 60; ++x) {
+      b.at(x + 3, y + 2) = a.at(x, y);
+    }
+  }
+  const ImagePyramid pas(a, 3, 16, serial());
+  const ImagePyramid pap(a, 3, 16, parallel4());
+  ASSERT_EQ(pas.levels(), pap.levels());
+  for (int l = 0; l < pas.levels(); ++l) {
+    expect_identical(pas.level(l), pap.level(l));
+  }
+
+  const ImagePyramid pbs(b, 3, 16, serial());
+  std::vector<geometry::Point2f> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({6.0f + static_cast<float>(i % 6) * 28.0f,
+                   8.0f + static_cast<float>(i / 6) * 22.0f});
+  }
+  pts.push_back({0.5f, 0.5f});       // border window: clamped path
+  pts.push_back({158.5f, 118.5f});   // border window: clamped path
+
+  std::vector<geometry::Point2f> out_s, out_p;
+  std::vector<FlowStatus> st_s, st_p;
+  calc_optical_flow_pyr_lk(pas, pbs, pts, out_s, st_s, {}, serial());
+  calc_optical_flow_pyr_lk(pas, pbs, pts, out_p, st_p, {}, parallel4());
+  ASSERT_EQ(out_s.size(), out_p.size());
+  for (std::size_t i = 0; i < out_s.size(); ++i) {
+    EXPECT_EQ(out_s[i].x, out_p[i].x) << "point " << i;
+    EXPECT_EQ(out_s[i].y, out_p[i].y) << "point " << i;
+    EXPECT_EQ(st_s[i].tracked, st_p[i].tracked) << "point " << i;
+    EXPECT_EQ(st_s[i].error, st_p[i].error) << "point " << i;
+  }
+}
+
+TEST(KernelEquivalence, TrackerOutputsAreIdenticalSerialVsParallel) {
+  video::SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 160;
+  cfg.frame_count = 24;
+  cfg.seed = 3;
+  cfg.initial_objects = 3;
+  cfg.max_objects = 4;
+  cfg.speed_mean = 1.2;
+  cfg.speed_jitter = 0.05;
+  const video::SyntheticVideo video(cfg);
+
+  auto run = [&](const KernelConfig& kernels) {
+    track::TrackerParams params;
+    params.kernels = kernels;
+    track::ObjectTracker tracker(params);
+    std::vector<detect::Detection> dets;
+    for (const auto& gt : video.ground_truth(0)) {
+      dets.push_back({gt.box, gt.cls, 1.0f});
+    }
+    tracker.set_reference(video.render(0), dets);
+    std::vector<metrics::LabeledBox> boxes;
+    for (int f = 1; f < cfg.frame_count; ++f) {
+      tracker.track_to(video.render(f), 1);
+      for (const auto& lb : tracker.current_boxes()) boxes.push_back(lb);
+    }
+    return boxes;
+  };
+
+  const auto serial_boxes = run(serial());
+  const auto parallel_boxes = run(parallel4());
+  ASSERT_EQ(serial_boxes.size(), parallel_boxes.size());
+  for (std::size_t i = 0; i < serial_boxes.size(); ++i) {
+    EXPECT_EQ(serial_boxes[i].box.left, parallel_boxes[i].box.left);
+    EXPECT_EQ(serial_boxes[i].box.top, parallel_boxes[i].box.top);
+    EXPECT_EQ(serial_boxes[i].box.width, parallel_boxes[i].box.width);
+    EXPECT_EQ(serial_boxes[i].box.height, parallel_boxes[i].box.height);
+    EXPECT_EQ(serial_boxes[i].cls, parallel_boxes[i].cls);
+  }
+}
+
+TEST(KernelEquivalence, TrackerReusesPyramidForRepeatedReferenceFrame) {
+  const ImageU8 frame = test_frame(160, 120, 21);
+  track::TrackerParams params;
+  track::ObjectTracker tracker(params);
+  std::vector<detect::Detection> dets;
+  detect::Detection d;
+  d.box = {30.0f, 30.0f, 40.0f, 40.0f};
+  dets.push_back(d);
+  tracker.set_reference(frame, dets);
+  // Same frame again: the stored pyramid must be reused; behaviour (boxes,
+  // features) is unchanged either way.
+  tracker.set_reference(frame, dets);
+  EXPECT_TRUE(tracker.has_reference());
+  const auto boxes = tracker.current_boxes();
+  ASSERT_EQ(boxes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adavp::vision
