@@ -98,7 +98,9 @@ int main(int argc, char** argv) {
     obs::Telemetry::set_enabled(true);
     telemetry.reset();
 
-    video.precache();  // render outside the timed run
+    // Render outside the timed run (parallel over frames on the shared
+    // thread pool); the FrameStore then aliases the cache with zero copies.
+    video.precache();
     core::RealtimeOptions rt;
     rt.adapter = &adapter;
     rt.setting = detect::ModelSetting::kYolov3_512;

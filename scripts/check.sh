@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-stop local gate: configure, build, run the test suite, and smoke the
+# end-to-end pipeline benchmark. Mirrors what CI runs.
+#
+#   scripts/check.sh             # release preset
+#   scripts/check.sh tsan        # TSan build + `concurrency`-labeled tests
+#   scripts/check.sh debug
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+preset="${1:-release}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "==> configure (preset: $preset)"
+cmake --preset "$preset"
+
+echo "==> build"
+cmake --build --preset "$preset" -j "$jobs"
+
+echo "==> ctest"
+ctest --preset "$preset" -j "$jobs"
+
+if [ "$preset" = "release" ]; then
+  echo "==> bench_pipeline --smoke"
+  ./build/bench/bench_pipeline --smoke --out=build/BENCH_PIPELINE.smoke.json
+fi
+
+echo "==> OK"

@@ -53,6 +53,7 @@ RunResult run_marlin(const video::SyntheticVideo& video,
   }
   if (frame_count == 0) return run;
 
+  video::FrameStore store(video, options.frame_store);
   detect::SimulatedDetector detector(options.seed);
   track::ObjectTracker tracker(options.tracker);
   track::TrackLatencyModel latency(options.seed ^ 0xABCDULL);
@@ -70,7 +71,7 @@ RunResult run_marlin(const video::SyntheticVideo& video,
                    det.latency_ms};
   run.cycles.push_back({0, setting, video.timestamp_ms(0), t, 0, 0, 0.0});
 
-  tracker.set_reference(video.render(0), det.detections);
+  tracker.set_reference(store.get(0).image(), det.detections);
   const double extract0 = latency.feature_extraction_ms();
   meter.add_cpu_busy(cpu_w, extract0);
   t += extract0;  // sequential: extraction blocks the single pipeline
@@ -110,8 +111,9 @@ RunResult run_marlin(const video::SyntheticVideo& video,
           latency.tracking_ms(tracker.object_count(),
                               tracker.live_feature_count()) +
           latency.overlay_ms();
+      const video::FrameRef frame = store.get(next_frame);
       const track::TrackStepStats stats =
-          tracker.track_to(video.render(next_frame), gap);
+          tracker.track_to(frame.image(), gap);
       t += step_cost;
       meter.add_cpu_busy(cpu_w, step_cost);
       cycle_velocity.add_step(stats);
@@ -161,7 +163,8 @@ RunResult run_marlin(const video::SyntheticVideo& video,
     result.setting = setting;
     result.staleness_ms = t - video.timestamp_ms(target);
 
-    tracker.set_reference(video.render(target), det.detections);
+    store.trim_below(position);  // the old cycle's frames are done
+    tracker.set_reference(store.get(target).image(), det.detections);
     const double extract = latency.feature_extraction_ms();
     meter.add_cpu_busy(cpu_w, extract);
     t += extract;
@@ -187,6 +190,7 @@ RunResult run_marlin(const video::SyntheticVideo& video,
   run.timeline_ms = std::max(video_duration, t);
   run.latency_multiplier = run.timeline_ms / video_duration;
   run.energy = meter.finish(run.timeline_ms);
+  run.frame_store = store.stats();
   return run;
 }
 

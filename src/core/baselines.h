@@ -4,6 +4,7 @@
 
 #include "core/run_result.h"
 #include "track/tracker.h"
+#include "video/frame_store.h"
 #include "video/scene.h"
 
 namespace adavp::core {
@@ -28,6 +29,8 @@ struct MarlinOptions {
   double max_cycle_ms = 3000.0;
   std::uint64_t seed = 1234;
   track::TrackerParams tracker;
+  /// Zero-copy frame path tuning (see MpdtOptions::frame_store).
+  video::FrameStoreOptions frame_store;
 };
 
 /// Runs the sequential MARLIN baseline over a synthetic video.

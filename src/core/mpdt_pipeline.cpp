@@ -56,6 +56,7 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
   for (int i = 0; i < frame_count; ++i) run.frames[static_cast<std::size_t>(i)].frame_index = i;
   if (frame_count == 0) return run;
 
+  video::FrameStore store(video, options.frame_store);
   detect::SimulatedDetector detector(options.seed);
   std::unique_ptr<track::TrackerInterface> tracker_owner;
   if (options.backend == TrackerBackend::kDescriptor) {
@@ -122,8 +123,11 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
     // --- Tracker side of the cycle (parallel, on the CPU) ---------------
     // Re-arm the tracker from the reference detection, then propagate it
     // across the frames accumulated between the reference and the frame
-    // the detector is now busy with.
-    tracker.set_reference(video.render(ref_index), ref.detections);
+    // the detector is now busy with. All frame pixels come from the shared
+    // store: one render per frame per run, shared by reference.
+    store.trim_below(ref_index);  // frames behind the reference are done
+    const video::FrameRef ref_frame = store.get(ref_index);
+    tracker.set_reference(ref_frame.image(), ref.detections);
     const double extract_ms = latency.feature_extraction_ms();
     double cpu_clock = cycle_start + extract_ms;
     meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), extract_ms);
@@ -154,8 +158,9 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
         break;
       }
       const int frame_index = ref_index + offset;
+      const video::FrameRef frame = store.get(frame_index);
       const track::TrackStepStats stats =
-          tracker.track_to(video.render(frame_index), offset - prev_offset);
+          tracker.track_to(frame.image(), offset - prev_offset);
       velocity.add_step(stats);
       cpu_clock += step_cost;
       meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), step_cost);
@@ -207,6 +212,7 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
   run.timeline_ms = std::max(video_duration, t);
   run.latency_multiplier = run.timeline_ms / video_duration;
   run.energy = meter.finish(run.timeline_ms);
+  run.frame_store = store.stats();
   return run;
 }
 

@@ -8,6 +8,7 @@
 #include "track/frame_selection.h"
 #include "track/latency.h"
 #include "track/tracker.h"
+#include "video/frame_store.h"
 #include "video/scene.h"
 
 namespace adavp::core {
@@ -38,6 +39,13 @@ struct MpdtOptions {
   track::TrackerParams tracker;
   SelectionPolicy selection = SelectionPolicy::kAdaptiveFraction;
   TrackerBackend backend = TrackerBackend::kLucasKanade;
+  /// Zero-copy frame path tuning. The defaults render each frame at most
+  /// once and recycle buffers; `{.window = 0, .pool_buffers = 0}`
+  /// degenerates to the pre-store cost model (render per consumer, alloc
+  /// per render) — outputs are bit-identical either way, which
+  /// tests/test_frame_store.cpp pins as the FrameRef-conversion
+  /// equivalence check.
+  video::FrameStoreOptions frame_store;
 };
 
 /// Runs the Mobile Parallel Detection and Tracking pipeline (§IV-B) over a

@@ -64,6 +64,7 @@ RunResult run_offload(const video::SyntheticVideo& video,
 
   // The server runs the full-size model; its accuracy is YOLOv3-608's.
   const detect::ModelSetting remote_setting = detect::ModelSetting::kYolov3_608;
+  video::FrameStore store(video, options.frame_store);
   detect::SimulatedDetector detector(options.seed);
   track::ObjectTracker tracker(options.tracker);
   track::TrackingFrameSelector selector;
@@ -110,8 +111,11 @@ RunResult run_offload(const video::SyntheticVideo& video,
     const double cycle_end = cycle_start + round_trip;
     meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
 
-    // Local tracking bridges the round trip, as in MPDT.
-    tracker.set_reference(video.render(ref_index), ref.detections);
+    // Local tracking bridges the round trip, as in MPDT; frames come out
+    // of the shared render-once store.
+    store.trim_below(ref_index);
+    const video::FrameRef ref_frame = store.get(ref_index);
+    tracker.set_reference(ref_frame.image(), ref.detections);
     const double extract_ms = latency.feature_extraction_ms();
     double cpu_clock = cycle_start + extract_ms;
     meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), extract_ms);
@@ -128,8 +132,9 @@ RunResult run_offload(const video::SyntheticVideo& video,
           latency.overlay_ms();
       if (cpu_clock + step_cost > cycle_end) break;
       const int frame_index = ref_index + offset;
+      const video::FrameRef frame = store.get(frame_index);
       const track::TrackStepStats stats =
-          tracker.track_to(video.render(frame_index), offset - prev_offset);
+          tracker.track_to(frame.image(), offset - prev_offset);
       velocity.add_step(stats);
       cpu_clock += step_cost;
       meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), step_cost);
@@ -162,6 +167,7 @@ RunResult run_offload(const video::SyntheticVideo& video,
   run.timeline_ms = std::max(video_duration, t);
   run.latency_multiplier = run.timeline_ms / video_duration;
   run.energy = meter.finish(run.timeline_ms);
+  run.frame_store = store.stats();
   return run;
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/run_result.h"
 #include "track/tracker.h"
+#include "video/frame_store.h"
 #include "video/scene.h"
 
 namespace adavp::core {
@@ -24,6 +25,8 @@ struct OffloadOptions {
   double jitter_frac = 0.25;        ///< lognormal-ish RTT jitter fraction
   std::uint64_t seed = 1234;
   track::TrackerParams tracker;
+  /// Zero-copy frame path tuning (see MpdtOptions::frame_store).
+  video::FrameStoreOptions frame_store;
 };
 
 /// Total mean latency of one offloaded detection (transmit + RTT + server).

@@ -16,6 +16,7 @@
 #include "track/tracker.h"
 #include "video/camera.h"
 #include "video/frame_buffer.h"
+#include "video/frame_store.h"
 
 namespace adavp::core {
 
@@ -84,6 +85,11 @@ struct DetectionEvent {
   int track_upto = 0;
   detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
   std::vector<detect::Detection> detections;
+  /// The already-rendered reference frame, carried along so the tracker
+  /// re-arms from the same pixels the camera produced instead of paying a
+  /// second rasterization (the pre-store pipeline rendered every reference
+  /// frame twice).
+  video::FrameRef ref_frame;
 };
 
 /// Mutex + condition-variable mailbox (the paper's "event" communication).
@@ -94,7 +100,8 @@ class EventQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       events_.push_back(std::move(event));
     }
-    cv_.notify_all();
+    // Single consumer (the tracker thread), so one wakeup suffices.
+    cv_.notify_one();
   }
 
   std::optional<DetectionEvent> pop() {
@@ -164,8 +171,9 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   const RealtimeInstruments ins = RealtimeInstruments::resolve();
   obs::ScopedSpan run_span("run_realtime", "pipeline", frame_count, "frames");
 
+  video::FrameStore store(video, options.frame_store);
   video::FrameBuffer buffer;
-  video::CameraSource camera(video, buffer, scale);
+  video::CameraSource camera(store, buffer, scale);
   EventQueue events;
   ResultBoard board(frame_count);
 
@@ -191,7 +199,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
     int switches = 0;
 
     while (true) {
-      std::optional<video::Frame> frame;
+      std::optional<video::FrameRef> frame;
       {
         obs::ScopedSpan wait_span("wait_frame", "detector");
         frame = buffer.wait_newer(last_detected);
@@ -249,7 +257,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
       }
 
       pending = DetectionEvent{frame->index, frame->index, setting,
-                               det.detections};
+                               det.detections, *frame};
       last_detected = frame->index;
       result.stats.frames_detected += 1;
     }
@@ -282,11 +290,16 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
                                  "ref_frame");
       if (ins.tracker_batches != nullptr) ins.tracker_batches->add();
 
+      // Frames behind the reference are finished; let the store recycle
+      // their buffers before this batch pulls fresh ones.
+      store.trim_below(event->ref_index);
       {
         obs::ScopedSpan extract_span("extract_features", "tracker",
                                      event->ref_index);
         PacedSection pace(latency.feature_extraction_ms(), scale);
-        tracker.set_reference(video.render(event->ref_index), event->detections);
+        // The camera already rasterized this frame; re-arm from the shared
+        // pixels instead of rendering a second copy.
+        tracker.set_reference(event->ref_frame.image(), event->detections);
       }
 
       adapt::VelocityEstimator velocity;
@@ -311,8 +324,8 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
                                                 tracker.live_feature_count()) +
                                 latency.overlay_ms(),
                             scale);
-          stats = tracker.track_to(video.render(frame_index),
-                                   offset - prev_offset);
+          const video::FrameRef fr = store.get(frame_index);
+          stats = tracker.track_to(fr.image(), offset - prev_offset);
         }
         velocity.add_step(stats);
         if (fetch_generation.load() != my_generation) {
@@ -349,6 +362,10 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   result.stats.frames_captured = camera.frames_captured();
   result.stats.frames_tracked = frames_tracked.load();
   result.stats.tracking_tasks_cancelled = cancelled.load();
+  result.stats.frames_dropped = static_cast<int>(buffer.dropped());
+  result.run.frame_store = store.stats();
+  result.stats.frames_rendered =
+      static_cast<int>(result.run.frame_store.renders);
 
   result.run.frames = board.take();
   // Fill skipped frames from the previous available result.

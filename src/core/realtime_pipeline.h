@@ -6,6 +6,7 @@
 #include "core/run_result.h"
 #include "obs/metrics.h"
 #include "track/tracker.h"
+#include "video/frame_store.h"
 #include "video/scene.h"
 
 namespace adavp::core {
@@ -24,6 +25,12 @@ struct RealtimeOptions {
   /// Tracker tuning, including the vision-kernel parallelism
   /// (`tracker.kernels.num_threads`) used on the tracker thread.
   track::TrackerParams tracker;
+  /// Zero-copy frame path tuning: the camera publishes FrameRefs out of a
+  /// shared FrameStore, so a frame is rasterized at most once no matter
+  /// how many threads consume it. `{.window = 0, .pool_buffers = 0}`
+  /// reproduces the pre-store cost model (camera render + tracker
+  /// re-render, allocation per frame) for benchmarking.
+  video::FrameStoreOptions frame_store;
 };
 
 /// Counters exposed by a realtime run, used by tests to check the
@@ -34,6 +41,9 @@ struct RealtimeStats {
   int frames_tracked = 0;
   int tracking_tasks_cancelled = 0;  ///< tasks cut short by a detector fetch
   int setting_switches = 0;
+  int frames_dropped = 0;   ///< FrameBuffer overflow drops (obs: buffer.dropped)
+  int frames_rendered = 0;  ///< store rasterizations; <= frames_captured means
+                            ///< the render-once design held (no double render)
 };
 
 /// Result of a realtime run: the per-frame results (same structure the

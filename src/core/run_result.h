@@ -5,6 +5,7 @@
 #include "detect/model_setting.h"
 #include "energy/energy_meter.h"
 #include "metrics/matching.h"
+#include "video/frame_store.h"
 
 namespace adavp::core {
 
@@ -46,6 +47,10 @@ struct RunResult {
   double timeline_ms = 0.0;   ///< total (virtual) duration of the run
   int setting_switches = 0;
   double latency_multiplier = 1.0;  ///< processing time / video duration
+  /// Frame-store counters of the run (renders, hits, pool traffic) — how
+  /// bench_pipeline measures per-frame render and allocation costs.
+  /// Zero-valued for engines that never touch pixels (detect-only).
+  video::FrameStoreStats frame_store;
 };
 
 }  // namespace adavp::core

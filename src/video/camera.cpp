@@ -6,9 +6,9 @@
 
 namespace adavp::video {
 
-CameraSource::CameraSource(const SyntheticVideo& video, FrameBuffer& buffer,
+CameraSource::CameraSource(FrameStore& store, FrameBuffer& buffer,
                            double time_scale)
-    : video_(video), buffer_(buffer), time_scale_(time_scale) {}
+    : store_(store), buffer_(buffer), time_scale_(time_scale) {}
 
 CameraSource::~CameraSource() { stop(); }
 
@@ -26,6 +26,7 @@ void CameraSource::stop() {
 void CameraSource::run() {
   using clock = std::chrono::steady_clock;
   obs::name_thread("camera");
+  const SyntheticVideo& video = store_.video();
   obs::Counter* frames_counter =
       obs::Telemetry::enabled() ? &obs::metrics().counter("camera", "frames")
                                 : nullptr;
@@ -33,21 +34,19 @@ void CameraSource::run() {
       obs::Telemetry::enabled() ? &obs::metrics().gauge("buffer", "depth")
                                 : nullptr;
   const auto start = clock::now();
-  for (int i = 0; i < video_.frame_count(); ++i) {
+  for (int i = 0; i < video.frame_count(); ++i) {
     if (stop_requested_.load()) break;
     // Wall-clock deadline of frame i under the scaled timeline.
     const auto deadline =
         start + std::chrono::duration_cast<clock::duration>(
                     std::chrono::duration<double, std::milli>(
-                        video_.timestamp_ms(i) / time_scale_));
+                        video.timestamp_ms(i) / time_scale_));
     std::this_thread::sleep_until(deadline);
     {
       obs::ScopedSpan span("capture", "camera", i);
-      Frame frame;
-      frame.index = i;
-      frame.timestamp_ms = video_.timestamp_ms(i);
-      frame.image = video_.render(i);
-      buffer_.push(std::move(frame));
+      // Render-once handoff: the store rasterizes (or aliases the
+      // precache) and everyone downstream shares these pixels.
+      buffer_.push(store_.get(i));
     }
     frames_captured_.fetch_add(1);
     if (frames_counter != nullptr) {

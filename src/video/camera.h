@@ -4,7 +4,7 @@
 #include <thread>
 
 #include "video/frame_buffer.h"
-#include "video/scene.h"
+#include "video/frame_store.h"
 
 namespace adavp::video {
 
@@ -12,9 +12,13 @@ namespace adavp::video {
 /// own thread, emulating the mobile camera of the paper's §IV-A. A
 /// `time_scale` > 1 runs faster than real time (used by tests so a
 /// 30-second experiment takes under a second of wall clock).
+///
+/// Frames are published as FrameRefs out of the shared FrameStore: the
+/// capture triggers at most one rasterization per frame, and downstream
+/// consumers (detector, tracker) reuse the exact same pixels.
 class CameraSource {
  public:
-  CameraSource(const SyntheticVideo& video, FrameBuffer& buffer,
+  CameraSource(FrameStore& store, FrameBuffer& buffer,
                double time_scale = 1.0);
   ~CameraSource();
 
@@ -34,7 +38,7 @@ class CameraSource {
  private:
   void run();
 
-  const SyntheticVideo& video_;
+  FrameStore& store_;
   FrameBuffer& buffer_;
   double time_scale_;
   std::thread thread_;

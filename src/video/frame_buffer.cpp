@@ -1,24 +1,36 @@
 #include "video/frame_buffer.h"
 
+#include "obs/telemetry.h"
+
 namespace adavp::video {
 
-void FrameBuffer::push(Frame frame) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (frames_.size() >= capacity_) frames_.pop_front();
-    frames_.push_back(std::move(frame));
+FrameBuffer::FrameBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (obs::Telemetry::enabled()) {
+    dropped_counter_ = &obs::metrics().counter("buffer", "dropped");
   }
-  cv_.notify_all();
 }
 
-std::optional<Frame> FrameBuffer::wait_newest() {
+void FrameBuffer::push(FrameRef frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (frames_.size() >= capacity_) {
+      frames_.pop_front();
+      ++dropped_;
+      if (dropped_counter_ != nullptr) dropped_counter_->add();
+    }
+    frames_.push_back(std::move(frame));
+  }
+  cv_.notify_one();  // single consumer (the detector thread)
+}
+
+std::optional<FrameRef> FrameBuffer::wait_newest() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return !frames_.empty() || closed_; });
   if (frames_.empty()) return std::nullopt;
   return frames_.back();
 }
 
-std::optional<Frame> FrameBuffer::wait_newer(int after_index) {
+std::optional<FrameRef> FrameBuffer::wait_newer(int after_index) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] {
     return (!frames_.empty() && frames_.back().index > after_index) || closed_;
@@ -27,9 +39,9 @@ std::optional<Frame> FrameBuffer::wait_newer(int after_index) {
   return frames_.back();
 }
 
-std::vector<Frame> FrameBuffer::drain_up_to(int up_to_index) {
+std::vector<FrameRef> FrameBuffer::drain_up_to(int up_to_index) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<Frame> out;
+  std::vector<FrameRef> out;
   while (!frames_.empty() && frames_.front().index <= up_to_index) {
     out.push_back(std::move(frames_.front()));
     frames_.pop_front();
@@ -40,6 +52,11 @@ std::vector<Frame> FrameBuffer::drain_up_to(int up_to_index) {
 std::size_t FrameBuffer::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return frames_.size();
+}
+
+std::uint64_t FrameBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 void FrameBuffer::close() {

@@ -1,11 +1,17 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
-#include "video/scene.h"
+#include "video/frame_store.h"
+
+namespace adavp::obs {
+class Counter;
+}  // namespace adavp::obs
 
 namespace adavp::video {
 
@@ -13,34 +19,43 @@ namespace adavp::video {
 /// "implemented by using Queue data structure... we use lock to prevent
 /// data from being operated at the same time").
 ///
-/// The camera thread pushes frames; the detector pops the *newest* frame
-/// (discarding nothing), and the tracker drains the frames accumulated
-/// before it. A bounded capacity drops the oldest frame on overflow, which
-/// is what a real camera ring buffer does.
+/// The camera thread pushes FrameRefs; the detector pops the *newest* ref
+/// (discarding nothing), and the tracker drains the refs accumulated
+/// before it. Handing out refs instead of frames means a push or a fetch
+/// moves one shared_ptr, never pixels. A bounded capacity drops the oldest
+/// ref on overflow — what a real camera ring buffer does — and counts the
+/// drops (`dropped()`, obs counter `buffer.dropped`).
+///
+/// Wakeups assume the paper's single-consumer design (one detector thread
+/// blocked in `wait_newest`/`wait_newer` at a time): `push` uses
+/// notify_one; only `close` broadcasts.
 class FrameBuffer {
  public:
-  explicit FrameBuffer(std::size_t capacity = 256) : capacity_(capacity) {}
+  explicit FrameBuffer(std::size_t capacity = 256);
 
-  /// Appends a frame; drops the oldest when full. Wakes waiters.
-  void push(Frame frame);
+  /// Appends a frame ref; drops the oldest when full. Wakes one waiter.
+  void push(FrameRef frame);
 
-  /// Returns (a copy of) the newest frame without removing older ones, or
-  /// nullopt after `close()` with an empty buffer. Blocks until a frame is
+  /// Returns the newest frame ref without removing older ones, or nullopt
+  /// after `close()` with an empty buffer. Blocks until a frame is
   /// available. This is the detector's "fetch the newest frame".
-  std::optional<Frame> wait_newest();
+  std::optional<FrameRef> wait_newest();
 
   /// Like `wait_newest`, but blocks until the newest frame is strictly
   /// newer than `after_index` (so a fast detector does not re-detect the
   /// same frame). Returns nullopt once closed with nothing newer.
-  std::optional<Frame> wait_newer(int after_index);
+  std::optional<FrameRef> wait_newer(int after_index);
 
   /// Removes and returns all frames with index <= `up_to_index` — the
   /// frames the tracker must handle for the cycle that ended at that
   /// detected frame.
-  std::vector<Frame> drain_up_to(int up_to_index);
+  std::vector<FrameRef> drain_up_to(int up_to_index);
 
   /// Number of buffered frames.
   std::size_t size() const;
+
+  /// Frames discarded on capacity overflow since construction.
+  std::uint64_t dropped() const;
 
   /// Marks the stream finished; wakes all waiters.
   void close();
@@ -49,9 +64,11 @@ class FrameBuffer {
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Frame> frames_;
+  std::deque<FrameRef> frames_;
   std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
   bool closed_ = false;
+  obs::Counter* dropped_counter_ = nullptr;  ///< null when telemetry is off
 };
 
 }  // namespace adavp::video

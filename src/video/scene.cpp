@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace adavp::video {
 
 namespace {
@@ -211,15 +213,18 @@ void SyntheticVideo::precompute_trajectories() {
       speed_samples > 0 ? speed_accum / static_cast<double>(speed_samples) : 0.0;
 }
 
-void SyntheticVideo::rasterize_object(vision::ImageU8& img,
-                                      const ObjectSnapshot& obj) const {
+void SyntheticVideo::rasterize_object_rows(vision::ImageU8& img,
+                                           const ObjectSnapshot& obj,
+                                           int row_begin, int row_end) const {
   const geometry::BoundingBox box{obj.left, obj.top, obj.width, obj.height};
   const geometry::BoundingBox visible = geometry::clamp_to(box, img.size());
   if (visible.empty()) return;
   const int x0 = static_cast<int>(std::floor(visible.left));
-  const int y0 = static_cast<int>(std::floor(visible.top));
+  const int y0 =
+      std::max(static_cast<int>(std::floor(visible.top)), row_begin);
   const int x1 = static_cast<int>(std::ceil(visible.right()));
-  const int y1 = static_cast<int>(std::ceil(visible.bottom()));
+  const int y1 =
+      std::min(static_cast<int>(std::ceil(visible.bottom())), row_end);
 
   // Base tone per object so objects stand out from each other and from the
   // background; texture is sampled in object-local coordinates so it moves
@@ -249,19 +254,57 @@ vision::ImageU8 SyntheticVideo::render(int index) const {
   return rasterize(index);
 }
 
-void SyntheticVideo::precache() {
+void SyntheticVideo::render_into(int index, vision::ImageU8& out,
+                                 int num_threads) const {
+  if (!cache_.empty()) {
+    out = cache_.at(static_cast<std::size_t>(index));
+    return;
+  }
+  out.reset(config_.width, config_.height);
+  if (num_threads == 1) {
+    rasterize_rows(index, out, 0, config_.height);
+    return;
+  }
+  // Row-parallel: every pass is a pure function of (x, y), so slicing the
+  // row range is bit-identical to the serial loop. Grain keeps tiny frames
+  // from paying enqueue costs.
+  util::ThreadPool::shared().parallel_for(
+      0, config_.height, /*grain=*/32, num_threads,
+      [&](std::int64_t row_begin, std::int64_t row_end) {
+        rasterize_rows(index, out, static_cast<int>(row_begin),
+                       static_cast<int>(row_end));
+      });
+}
+
+void SyntheticVideo::precache(int num_threads) {
   if (!cache_.empty()) return;
-  cache_.reserve(static_cast<std::size_t>(config_.frame_count));
-  for (int i = 0; i < config_.frame_count; ++i) cache_.push_back(rasterize(i));
+  std::vector<vision::ImageU8> cache(static_cast<std::size_t>(config_.frame_count));
+  // Frame-parallel: frames are independent lookups into the precomputed
+  // trajectories, so any schedule produces bit-identical caches (pinned by
+  // SyntheticVideoTest.ParallelPrecacheIsBitIdentical).
+  util::ThreadPool::shared().parallel_for(
+      0, config_.frame_count, /*grain=*/1, num_threads,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t f = begin; f < end; ++f) {
+          cache[static_cast<std::size_t>(f)] = rasterize(static_cast<int>(f));
+        }
+      });
+  cache_ = std::move(cache);
 }
 
 vision::ImageU8 SyntheticVideo::rasterize(int index) const {
+  vision::ImageU8 img(config_.width, config_.height);
+  rasterize_rows(index, img, 0, config_.height);
+  return img;
+}
+
+void SyntheticVideo::rasterize_rows(int index, vision::ImageU8& img,
+                                    int row_begin, int row_end) const {
   const auto& snaps = frames_.at(static_cast<std::size_t>(index));
   const auto pan = static_cast<float>(pan_offset_.at(static_cast<std::size_t>(index)));
 
-  vision::ImageU8 img(config_.width, config_.height);
   // Background: world-anchored noise that scrolls with the camera pan.
-  for (int y = 0; y < config_.height; ++y) {
+  for (int y = row_begin; y < row_end; ++y) {
     for (int x = 0; x < config_.width; ++x) {
       const float wx = static_cast<float>(x) + pan;
       const float wy = static_cast<float>(y);
@@ -269,13 +312,15 @@ vision::ImageU8 SyntheticVideo::rasterize(int index) const {
       img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f));
     }
   }
-  for (const auto& obj : snaps) rasterize_object(img, obj);
+  for (const auto& obj : snaps) {
+    rasterize_object_rows(img, obj, row_begin, row_end);
+  }
 
   // Deterministic per-frame sensor noise.
   if (config_.noise_sigma > 0.0) {
     const std::uint64_t noise_seed = hash3(config_.seed, 0x6E6F6973, index);
     const auto sigma = static_cast<float>(config_.noise_sigma);
-    for (int y = 0; y < config_.height; ++y) {
+    for (int y = row_begin; y < row_end; ++y) {
       for (int x = 0; x < config_.width; ++x) {
         const float u = hash_unit(noise_seed, x, y) - 0.5f;
         const float v = static_cast<float>(img.at(x, y)) + 3.4f * sigma * u;
@@ -283,7 +328,6 @@ vision::ImageU8 SyntheticVideo::rasterize(int index) const {
       }
     }
   }
-  return img;
 }
 
 const std::vector<GroundTruthObject>& SyntheticVideo::ground_truth(int index) const {

@@ -19,13 +19,6 @@ struct GroundTruthObject {
   geometry::BoundingBox box;
 };
 
-/// A captured frame: index, capture timestamp and the rendered raster.
-struct Frame {
-  int index = 0;
-  double timestamp_ms = 0.0;
-  vision::ImageU8 image;
-};
-
 /// Parameters of one synthetic video. The defaults approximate a moderate
 /// street scene; `profiles.h` provides the 14 paper scenarios.
 struct SceneConfig {
@@ -94,12 +87,30 @@ class SyntheticVideo {
   /// Renders frame `index` (0-based). Precondition: 0 <= index < frame_count.
   vision::ImageU8 render(int index) const;
 
+  /// Renders frame `index` into `out`, reusing `out`'s pixel storage when
+  /// its capacity suffices (the FrameStore/FramePool zero-allocation path).
+  /// `num_threads` row-parallelizes the rasterization on the shared
+  /// util::ThreadPool (0 = all hardware threads, 1 = serial); every thread
+  /// count is bit-identical — all three passes (background, objects,
+  /// sensor noise) are pure per-pixel functions.
+  void render_into(int index, vision::ImageU8& out, int num_threads = 1) const;
+
   /// Pre-renders every frame into an in-memory cache so subsequent
-  /// `render` calls are O(copy). Call before `run_realtime` so the camera
-  /// thread is not bottlenecked by rasterization on slow machines; the
-  /// cache is read-only afterwards and safe to share across threads.
-  void precache();
+  /// `render` calls are O(copy) and FrameStore refs alias the cache with
+  /// no copy at all. Rasterization is parallelized over frames on the
+  /// shared util::ThreadPool (`num_threads` 0 = all hardware threads, 1 =
+  /// serial; output is bit-identical either way). The cache is read-only
+  /// afterwards and safe to share across threads.
+  void precache(int num_threads = 0);
   bool is_precached() const { return !cache_.empty(); }
+
+  /// The precached raster of frame `index`, or nullptr when not precached.
+  /// The pointer stays valid (and the pixels immutable) for the video's
+  /// lifetime — FrameStore aliases it instead of copying.
+  const vision::ImageU8* cached_frame(int index) const {
+    if (cache_.empty()) return nullptr;
+    return &cache_.at(static_cast<std::size_t>(index));
+  }
 
   /// Ground truth of frame `index` (visible objects only, boxes clamped to
   /// the frame).
@@ -122,7 +133,13 @@ class SyntheticVideo {
   };
 
   void precompute_trajectories();
-  void rasterize_object(vision::ImageU8& img, const ObjectSnapshot& obj) const;
+  /// Rasterizes the rows [row_begin, row_end) of `obj` into `img`.
+  void rasterize_object_rows(vision::ImageU8& img, const ObjectSnapshot& obj,
+                             int row_begin, int row_end) const;
+  /// Full per-pixel pipeline (background, objects, noise) for the rows
+  /// [row_begin, row_end) of frame `index` — the unit of row-parallelism.
+  void rasterize_rows(int index, vision::ImageU8& img, int row_begin,
+                      int row_end) const;
 
   vision::ImageU8 rasterize(int index) const;
 

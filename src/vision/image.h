@@ -53,6 +53,21 @@ class Image {
 
   void fill(T value) { std::fill(pixels_.begin(), pixels_.end(), value); }
 
+  /// Re-dimensions the image in place, reusing the existing pixel storage
+  /// when its capacity suffices (the FramePool recycling path: a returned
+  /// buffer is reshaped for the next frame with zero heap traffic). Pixel
+  /// contents are unspecified afterwards.
+  void reset(int width, int height) {
+    assert(width >= 0 && height >= 0);
+    width_ = width;
+    height_ = height;
+    pixels_.resize(static_cast<std::size_t>(width) *
+                   static_cast<std::size_t>(height));
+  }
+
+  /// Bytes of pixel storage currently reserved (capacity, not size).
+  std::size_t capacity_bytes() const { return pixels_.capacity() * sizeof(T); }
+
   const std::vector<T>& pixels() const { return pixels_; }
   std::vector<T>& pixels() { return pixels_; }
 

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/mpdt_pipeline.h"
+#include "video/frame_store.h"
+#include "video/scene.h"
+
+namespace adavp::video {
+namespace {
+
+SceneConfig small_config(std::uint64_t seed = 5, int frames = 24) {
+  SceneConfig cfg;
+  cfg.width = 160;
+  cfg.height = 120;
+  cfg.frame_count = frames;
+  cfg.seed = seed;
+  cfg.initial_objects = 3;
+  return cfg;
+}
+
+// ----------------------------------------------------------- rendering ---
+
+TEST(FrameStoreTest, GetMatchesDirectRender) {
+  SyntheticVideo video(small_config(3, 8));
+  FrameStore store(video);
+  for (int f = 0; f < 8; ++f) {
+    const FrameRef ref = store.get(f);
+    ASSERT_TRUE(ref.valid());
+    EXPECT_EQ(ref.index, f);
+    EXPECT_DOUBLE_EQ(ref.timestamp_ms, video.timestamp_ms(f));
+    EXPECT_EQ(ref.image().pixels(), video.render(f).pixels()) << "frame " << f;
+  }
+  const FrameStoreStats stats = store.stats();
+  EXPECT_EQ(stats.renders, 8u);
+  EXPECT_EQ(stats.re_renders, 0u);
+}
+
+TEST(FrameStoreTest, RepeatGetSharesPixelsWithoutRerender) {
+  SyntheticVideo video(small_config(5, 6));
+  FrameStore store(video);
+  const FrameRef first = store.get(2);
+  const FrameRef second = store.get(2);
+  // Same raster, by reference: copying a FrameRef never copies pixels.
+  EXPECT_EQ(first.image_ptr.get(), second.image_ptr.get());
+  const FrameStoreStats stats = store.stats();
+  EXPECT_EQ(stats.renders, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(FrameStoreTest, PrecachedVideoIsAliasedNotCopied) {
+  SyntheticVideo video(small_config(7, 6));
+  video.precache();
+  FrameStore store(video);
+  for (int f = 0; f < 6; ++f) {
+    const FrameRef ref = store.get(f);
+    // The ref points INTO the precache: zero-copy, zero-allocation.
+    EXPECT_EQ(ref.image_ptr.get(), video.cached_frame(f)) << "frame " << f;
+  }
+  const FrameStoreStats stats = store.stats();
+  EXPECT_EQ(stats.renders, 0u);
+  EXPECT_EQ(stats.precache_hits, 6u);
+  EXPECT_EQ(stats.pool_allocs, 0u);
+  // Aliases are owned by the video, so the store holds no resident bytes.
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+// ---------------------------------------------------------- concurrency ---
+
+// N threads hammer overlapping frame ranges; the per-slot latch must make
+// every frame render exactly once, and every consumer must observe pixels
+// identical to a serial render. Runs under TSan via the `concurrency` label.
+TEST(FrameStoreTest, ConcurrentGetsRenderEachFrameOnce) {
+  const int kFrames = 16;
+  const int kThreads = 4;
+  SceneConfig cfg = small_config(11, kFrames);
+  SyntheticVideo video(cfg);
+  SyntheticVideo reference(cfg);
+
+  FrameStoreOptions opt;
+  opt.window = kFrames;  // nothing may evict: any re-render is a bug
+  FrameStore store(video, opt);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the whole video from a different start, so slots
+      // see simultaneous first requests from several threads.
+      for (int k = 0; k < kFrames; ++k) {
+        const int f = (k + t * 3) % kFrames;
+        const FrameRef ref = store.get(f);
+        if (ref.image().pixels() != reference.render(f).pixels()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const FrameStoreStats stats = store.stats();
+  EXPECT_EQ(stats.renders, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(stats.re_renders, 0u);
+  // Every get terminates in exactly one render or one hit (waiters become
+  // hits once the rendering thread publishes).
+  EXPECT_EQ(stats.hits + stats.renders,
+            static_cast<std::uint64_t>(kFrames * kThreads));
+}
+
+// ----------------------------------------------------- pool / retention ---
+
+TEST(FrameStoreTest, PoolRecyclesBuffersInSteadyState) {
+  const int kFrames = 64;
+  SyntheticVideo video(small_config(13, kFrames));
+  FrameStoreOptions opt;
+  opt.window = 4;
+  opt.pool_buffers = 16;
+  FrameStore store(video, opt);
+
+  std::uint64_t allocs_mid = 0;
+  for (int f = 0; f < kFrames; ++f) {
+    store.trim_below(f - opt.window);
+    (void)store.get(f);
+    if (f == kFrames / 2) allocs_mid = store.stats().pool_allocs;
+  }
+  const FrameStoreStats stats = store.stats();
+  EXPECT_EQ(stats.renders, static_cast<std::uint64_t>(kFrames));
+  EXPECT_GT(stats.pool_reuses, 0u);
+  // Once the pool is warm, streaming allocates nothing: the second half of
+  // the video must be served entirely by recycled buffers.
+  EXPECT_EQ(stats.pool_allocs, allocs_mid);
+  EXPECT_LE(stats.resident_frames, static_cast<std::size_t>(opt.window + 1));
+}
+
+TEST(FrameStoreTest, TrimReleasesResidency) {
+  SyntheticVideo video(small_config(17, 12));
+  FrameStore store(video);
+  for (int f = 0; f < 12; ++f) (void)store.get(f);
+  const std::size_t before = store.stats().resident_bytes;
+  EXPECT_GT(before, 0u);
+  store.trim_below(12);  // everything is done
+  const FrameStoreStats stats = store.stats();
+  EXPECT_EQ(stats.resident_frames, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+TEST(FrameStoreTest, DegenerateModeReproducesPreStoreCosts) {
+  SyntheticVideo video(small_config(19, 6));
+  FrameStoreOptions opt;
+  opt.window = 0;       // retain nothing behind the newest request
+  opt.pool_buffers = 0; // never recycle
+  FrameStore store(video, opt);
+  (void)store.get(0);
+  (void)store.get(1);  // evicts slot 0
+  const FrameRef again = store.get(0);  // must re-render, like the old code
+  EXPECT_EQ(again.image().pixels(), video.render(0).pixels());
+  const FrameStoreStats stats = store.stats();
+  EXPECT_EQ(stats.renders, 3u);
+  EXPECT_EQ(stats.re_renders, 1u);
+  EXPECT_EQ(stats.pool_reuses, 0u);
+  EXPECT_EQ(stats.pool_allocs, 3u);
+}
+
+TEST(FrameStoreTest, OutstandingRefSurvivesEviction) {
+  SyntheticVideo video(small_config(23, 8));
+  FrameStoreOptions opt;
+  opt.window = 0;
+  FrameStore store(video, opt);
+  const FrameRef kept = store.get(0);
+  const std::vector<std::uint8_t> pixels_before = kept.image().pixels();
+  for (int f = 1; f < 8; ++f) (void)store.get(f);  // slot 0 long evicted
+  // The ref shares ownership: eviction releases the STORE's reference, the
+  // pixels live on (and cannot have been recycled underneath the holder).
+  EXPECT_EQ(kept.image().pixels(), pixels_before);
+}
+
+// ------------------------------------------------- pipeline equivalence ---
+
+/// Bit-exact comparison of two deterministic (virtual-time) runs.
+void expect_same(const core::RunResult& a, const core::RunResult& b) {
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    const auto& fa = a.frames[i];
+    const auto& fb = b.frames[i];
+    EXPECT_EQ(fa.source, fb.source) << "frame " << i;
+    ASSERT_EQ(fa.boxes.size(), fb.boxes.size()) << "frame " << i;
+    for (std::size_t j = 0; j < fa.boxes.size(); ++j) {
+      EXPECT_EQ(fa.boxes[j].cls, fb.boxes[j].cls);
+      EXPECT_EQ(fa.boxes[j].box.left, fb.boxes[j].box.left);
+      EXPECT_EQ(fa.boxes[j].box.top, fb.boxes[j].box.top);
+      EXPECT_EQ(fa.boxes[j].box.width, fb.boxes[j].box.width);
+      EXPECT_EQ(fa.boxes[j].box.height, fb.boxes[j].box.height);
+    }
+  }
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t i = 0; i < a.cycles.size(); ++i) {
+    EXPECT_EQ(a.cycles[i].detected_frame, b.cycles[i].detected_frame);
+    EXPECT_EQ(a.cycles[i].frames_tracked, b.cycles[i].frames_tracked);
+    EXPECT_DOUBLE_EQ(a.cycles[i].end_ms, b.cycles[i].end_ms);
+  }
+}
+
+// The FrameRef conversion must not change pipeline outputs: rendering is
+// deterministic, so runs through the shared store, through the degenerate
+// per-consumer-render mode, and over a precached video must produce
+// bit-identical boxes and cycle schedules.
+TEST(FrameStoreTest, MpdtOutputsIdenticalAcrossStoreModes) {
+  const SceneConfig cfg = small_config(29, 60);
+
+  core::MpdtOptions shared_opts;       // default: render-once shared store
+  core::MpdtOptions degenerate_opts;   // pre-store cost model
+  degenerate_opts.frame_store.window = 0;
+  degenerate_opts.frame_store.pool_buffers = 0;
+
+  SyntheticVideo video_a(cfg);
+  const core::RunResult shared_run = core::run_mpdt(video_a, shared_opts);
+  SyntheticVideo video_b(cfg);
+  const core::RunResult degenerate_run =
+      core::run_mpdt(video_b, degenerate_opts);
+  SyntheticVideo video_c(cfg);
+  video_c.precache();
+  const core::RunResult precached_run = core::run_mpdt(video_c, shared_opts);
+
+  expect_same(shared_run, degenerate_run);
+  expect_same(shared_run, precached_run);
+
+  // And the shared store actually behaved differently under the hood:
+  // no frame rendered more than once vs. the degenerate mode's re-renders.
+  EXPECT_EQ(shared_run.frame_store.re_renders, 0u);
+  EXPECT_EQ(precached_run.frame_store.renders, 0u);
+  EXPECT_GT(precached_run.frame_store.precache_hits, 0u);
+}
+
+TEST(FrameStoreTest, MarlinOutputsIdenticalAcrossStoreModes) {
+  const SceneConfig cfg = small_config(31, 60);
+  core::MarlinOptions shared_opts;
+  core::MarlinOptions degenerate_opts;
+  degenerate_opts.frame_store.window = 0;
+  degenerate_opts.frame_store.pool_buffers = 0;
+  SyntheticVideo video_a(cfg);
+  const core::RunResult shared_run = core::run_marlin(video_a, shared_opts);
+  SyntheticVideo video_b(cfg);
+  const core::RunResult degenerate_run =
+      core::run_marlin(video_b, degenerate_opts);
+  expect_same(shared_run, degenerate_run);
+}
+
+// run_realtime is wall-clock scheduled, so two runs are not comparable
+// frame-by-frame even in the same store mode; its FrameRef-conversion
+// equivalence rests on GetMatchesDirectRender (store pixels == direct
+// render, bit-exact) plus test_realtime's NoFrameRendersTwiceThroughTheStore
+// (the conversion only removed redundant renders, never changed pixels).
+
+}  // namespace
+}  // namespace adavp::video

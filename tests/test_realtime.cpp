@@ -115,6 +115,27 @@ TEST(RealtimePipeline, AdapterSwitchesUnderRealThreads) {
   EXPECT_NE(result.run.cycles.back().setting, detect::ModelSetting::kYolov3_320);
 }
 
+TEST(RealtimePipeline, NoFrameRendersTwiceThroughTheStore) {
+  // The pre-store pipeline rasterized every reference frame twice (once on
+  // the camera thread, again in the tracker's set_reference). The store's
+  // render-once latch plus the FrameRef carried in the detection event must
+  // eliminate that: with eviction disabled, renders == frames captured and
+  // nothing ever re-renders.
+  video::SyntheticVideo video(scene(23, 60));  // deliberately NOT precached
+  RealtimeOptions options;
+  options.time_scale = timing_sensitive_scale(30.0);
+  options.frame_store.window = video.frame_count();  // retain everything
+  const RealtimeResult result = run_realtime(video, options);
+
+  EXPECT_EQ(result.stats.frames_rendered, result.stats.frames_captured);
+  EXPECT_EQ(result.run.frame_store.re_renders, 0u);
+  // Every tracker access (reference re-arm + tracked frames) was a shared
+  // hit on a frame the camera had already rendered.
+  EXPECT_GE(result.run.frame_store.hits,
+            static_cast<std::uint64_t>(result.stats.frames_tracked));
+  EXPECT_GE(result.stats.frames_dropped, 0);
+}
+
 TEST(RealtimePipeline, LegacyStatsAgreeWithTelemetrySnapshot) {
   // The legacy RealtimeStats counters and the obs metrics layer observe the
   // same run; any disagreement means an instrumentation site drifted.
@@ -141,6 +162,10 @@ TEST(RealtimePipeline, LegacyStatsAgreeWithTelemetrySnapshot) {
             static_cast<std::uint64_t>(result.stats.setting_switches));
   EXPECT_EQ(snap.counter("camera.frames"),
             static_cast<std::uint64_t>(result.stats.frames_captured));
+  EXPECT_EQ(snap.counter("buffer.dropped"),
+            static_cast<std::uint64_t>(result.stats.frames_dropped));
+  EXPECT_EQ(snap.counter("framestore.renders"),
+            result.run.frame_store.renders);
   // The modeled-GPU-occupancy histogram saw exactly one sample per cycle.
   const obs::MetricsSnapshot::HistogramEntry* occupancy =
       snap.histogram("detector.occupancy_ms");

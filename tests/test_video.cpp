@@ -5,6 +5,7 @@
 
 #include "video/camera.h"
 #include "video/frame_buffer.h"
+#include "video/frame_store.h"
 #include "video/object_class.h"
 #include "video/profiles.h"
 #include "video/scene.h"
@@ -153,6 +154,35 @@ TEST(SyntheticVideoTest, CameraPanShiftsBackground) {
   EXPECT_GT(matches, checks * 7 / 10);
 }
 
+TEST(SyntheticVideoTest, ParallelPrecacheBitIdenticalToSerial) {
+  const SceneConfig cfg = small_config(37, 24);
+  SyntheticVideo serial(cfg);
+  serial.precache(/*num_threads=*/1);
+  SyntheticVideo parallel(cfg);
+  parallel.precache(/*num_threads=*/0);  // all hardware threads
+  ASSERT_TRUE(serial.is_precached());
+  ASSERT_TRUE(parallel.is_precached());
+  for (int f = 0; f < cfg.frame_count; ++f) {
+    ASSERT_NE(serial.cached_frame(f), nullptr);
+    ASSERT_NE(parallel.cached_frame(f), nullptr);
+    EXPECT_EQ(serial.cached_frame(f)->pixels(),
+              parallel.cached_frame(f)->pixels())
+        << "frame " << f;
+  }
+}
+
+TEST(SyntheticVideoTest, RowParallelRenderBitIdenticalToSerial) {
+  SyntheticVideo video(small_config(41, 4));
+  for (int f = 0; f < 4; ++f) {
+    vision::ImageU8 serial;
+    video.render_into(f, serial, /*num_threads=*/1);
+    vision::ImageU8 threaded;
+    video.render_into(f, threaded, /*num_threads=*/4);
+    EXPECT_EQ(serial.pixels(), threaded.pixels()) << "frame " << f;
+    EXPECT_EQ(serial.pixels(), video.render(f).pixels()) << "frame " << f;
+  }
+}
+
 TEST(SyntheticVideoTest, TimestampsFollowFps) {
   SyntheticVideo video(small_config());
   EXPECT_DOUBLE_EQ(video.timestamp_ms(0), 0.0);
@@ -201,11 +231,11 @@ TEST(Profiles, MakeSceneAppliesScale) {
 
 // --------------------------------------------------------- FrameBuffer ---
 
-Frame make_frame(int index) {
-  Frame f;
+FrameRef make_frame(int index) {
+  FrameRef f;
   f.index = index;
   f.timestamp_ms = index * 33.3;
-  f.image = vision::ImageU8(4, 4);
+  f.image_ptr = std::make_shared<const vision::ImageU8>(4, 4);
   return f;
 }
 
@@ -234,6 +264,7 @@ TEST(FrameBufferTest, CapacityDropsOldest) {
   FrameBuffer buffer(3);
   for (int i = 0; i < 5; ++i) buffer.push(make_frame(i));
   EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 2u);
   const auto drained = buffer.drain_up_to(100);
   EXPECT_EQ(drained.front().index, 2);
 }
@@ -276,8 +307,9 @@ TEST(FrameBufferTest, WaitNewerReturnsNulloptWhenClosedStale) {
 TEST(CameraSourceTest, PushesAllFramesAndCloses) {
   SceneConfig cfg = small_config(29, 12);
   SyntheticVideo video(cfg);
+  FrameStore store(video);
   FrameBuffer buffer(64);
-  CameraSource camera(video, buffer, /*time_scale=*/100.0);
+  CameraSource camera(store, buffer, /*time_scale=*/100.0);
   camera.start();
   while (!buffer.closed()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -293,8 +325,9 @@ TEST(CameraSourceTest, PushesAllFramesAndCloses) {
 TEST(CameraSourceTest, StopInterruptsEarly) {
   SceneConfig cfg = small_config(31, 3000);
   SyntheticVideo video(cfg);
+  FrameStore store(video);
   FrameBuffer buffer(16);
-  CameraSource camera(video, buffer, /*time_scale=*/1.0);  // 100 s of video
+  CameraSource camera(store, buffer, /*time_scale=*/1.0);  // 100 s of video
   camera.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   camera.stop();
