@@ -5,11 +5,21 @@
 #   scripts/check.sh             # release preset
 #   scripts/check.sh tsan        # TSan build + `concurrency`-labeled tests
 #   scripts/check.sh debug
+#   scripts/check.sh --soak      # TSan build + the seeded fault soak only
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
 
 preset="${1:-release}"
+soak_only=0
+if [ "$preset" = "--soak" ]; then
+  # Fault-tolerance gate (docs/ROBUSTNESS.md): run the seeded fault soak
+  # under ThreadSanitizer. The soak drives the supervised realtime pipeline
+  # through a hostile fault plan and asserts it neither deadlocks nor loses
+  # a frame result.
+  preset="tsan"
+  soak_only=1
+fi
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
@@ -21,8 +31,13 @@ cmake --preset "$preset"
 echo "==> build"
 cmake --build --preset "$preset" -j "$jobs"
 
-echo "==> ctest"
-ctest --preset "$preset" -j "$jobs"
+if [ "$soak_only" = "1" ]; then
+  echo "==> ctest (soak label, TSan)"
+  ctest --test-dir build-tsan -L soak --output-on-failure -j "$jobs"
+else
+  echo "==> ctest"
+  ctest --preset "$preset" -j "$jobs"
+fi
 
 if [ "$preset" = "release" ]; then
   echo "==> bench_pipeline --smoke"

@@ -1,0 +1,70 @@
+#include "core/degradation.h"
+
+#include <algorithm>
+
+namespace adavp::core {
+
+DegradationLadder::DegradationLadder(LadderOptions options)
+    : options_(options), probe_backoff_(options.probe_backoff_start) {
+  options_.trip_threshold = std::max(1, options_.trip_threshold);
+  options_.recover_after = std::max(1, options_.recover_after);
+  options_.probe_backoff_start = std::max(1, options_.probe_backoff_start);
+  options_.probe_backoff_max =
+      std::max(options_.probe_backoff_start, options_.probe_backoff_max);
+  probe_backoff_ = options_.probe_backoff_start;
+}
+
+std::optional<detect::ModelSetting> DegradationLadder::cap() const {
+  if (level_ >= kFloorLevel) return std::nullopt;
+  // level 0 allows the largest setting (608), level 3 only the smallest.
+  return detect::kAdaptiveSettings[static_cast<std::size_t>(3 - level_)];
+}
+
+detect::ModelSetting DegradationLadder::apply(detect::ModelSetting base) const {
+  const std::optional<int> base_index = detect::adaptive_index(base);
+  const std::optional<detect::ModelSetting> limit = cap();
+  if (!base_index.has_value() || !limit.has_value()) return base;
+  const int cap_index = *detect::adaptive_index(*limit);
+  return detect::kAdaptiveSettings[static_cast<std::size_t>(
+      std::min(*base_index, cap_index))];
+}
+
+bool DegradationLadder::on_overrun() {
+  ++overruns_;
+  consecutive_successes_ = 0;
+  if (tracker_only()) {
+    // A failed recovery probe: back off harder before the next attempt.
+    probe_backoff_ = std::min(probe_backoff_ * 2, options_.probe_backoff_max);
+    return false;
+  }
+  if (++consecutive_overruns_ < options_.trip_threshold) return false;
+  consecutive_overruns_ = 0;
+  ++level_;
+  ++steps_down_;
+  max_level_seen_ = std::max(max_level_seen_, level_);
+  if (tracker_only()) {
+    probe_backoff_ = options_.probe_backoff_start;
+    coast_cycles_since_probe_ = 0;
+  }
+  return true;
+}
+
+bool DegradationLadder::on_success() {
+  consecutive_overruns_ = 0;
+  if (tracker_only()) probe_backoff_ = options_.probe_backoff_start;
+  if (++consecutive_successes_ < options_.recover_after) return false;
+  if (level_ == 0) return false;
+  consecutive_successes_ = 0;
+  --level_;
+  ++steps_up_;
+  return true;
+}
+
+bool DegradationLadder::should_probe() {
+  if (!tracker_only()) return false;
+  if (++coast_cycles_since_probe_ < probe_backoff_) return false;
+  coast_cycles_since_probe_ = 0;
+  return true;
+}
+
+}  // namespace adavp::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <optional>
+
+#include "detect/model_setting.h"
+
+namespace adavp::core {
+
+/// Tuning of the graceful-degradation ladder.
+struct LadderOptions {
+  /// Consecutive watchdog overruns before stepping one level down.
+  int trip_threshold = 1;
+  /// Consecutive clean cycles before stepping one level up (the hysteresis
+  /// window — a single lucky cycle must not bounce the pipeline back into
+  /// the setting that just stalled).
+  int recover_after = 3;
+  /// Coast cycles before the first recovery probe at the tracker-only
+  /// floor, doubling after every failed probe (bounded retry/backoff).
+  int probe_backoff_start = 2;
+  int probe_backoff_max = 16;
+};
+
+/// The supervisor's graceful-degradation state machine:
+///
+///   level 0      1      2      3      4
+///         608 -> 512 -> 416 -> 320 -> tracker-only
+///
+/// Levels 0..3 *cap* the detector's model setting (composing with the
+/// velocity-based adapt::ModelAdapter, which keeps choosing freely below
+/// the cap); level 4 suspends detection entirely — the pipeline coasts on
+/// the optical-flow tracker with decaying confidence, probing the cheapest
+/// setting on a bounded exponential backoff to find its way back up.
+///
+/// Pure state machine, no clocks or threads: `on_overrun` / `on_success` /
+/// `should_probe` are the only inputs, which is what makes it unit-testable
+/// in isolation (tests/test_degradation.cpp).
+class DegradationLadder {
+ public:
+  static constexpr int kFloorLevel = 4;  ///< tracker-only
+
+  explicit DegradationLadder(LadderOptions options = {});
+
+  int level() const { return level_; }
+  bool tracker_only() const { return level_ == kFloorLevel; }
+
+  /// The largest model setting this level allows; nullopt at the floor
+  /// (no detection at all).
+  std::optional<detect::ModelSetting> cap() const;
+
+  /// `base` capped to this level. Non-adaptive settings (tiny, oracle)
+  /// pass through unchanged. Precondition: not tracker_only().
+  detect::ModelSetting apply(detect::ModelSetting base) const;
+
+  /// A detection cycle overran its watchdog deadline. Steps down after
+  /// `trip_threshold` consecutive overruns; at the floor, doubles the
+  /// probe backoff instead. Returns true when the level changed.
+  bool on_overrun();
+
+  /// A detection cycle completed inside its deadline. Steps up after
+  /// `recover_after` consecutive successes; at the floor, also resets the
+  /// probe backoff. Returns true when the level changed.
+  bool on_success();
+
+  /// At the floor, advances the coast counter and reports whether this
+  /// cycle should attempt a recovery probe. Always false off the floor.
+  bool should_probe();
+
+  // Introspection (mirrored into RealtimeStats / obs by the supervisor).
+  int steps_down() const { return steps_down_; }
+  int steps_up() const { return steps_up_; }
+  int overruns() const { return overruns_; }
+  int max_level_seen() const { return max_level_seen_; }
+  int probe_backoff() const { return probe_backoff_; }
+
+ private:
+  LadderOptions options_;
+  int level_ = 0;
+  int consecutive_overruns_ = 0;
+  int consecutive_successes_ = 0;
+  int coast_cycles_since_probe_ = 0;
+  int probe_backoff_ = 0;
+  int steps_down_ = 0;
+  int steps_up_ = 0;
+  int overruns_ = 0;
+  int max_level_seen_ = 0;
+};
+
+}  // namespace adavp::core

@@ -2,18 +2,19 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
+#include <cmath>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 #include "adapt/velocity.h"
-#include "detect/detector.h"
+#include "detect/faulty_detector.h"
+#include "detect/latency_model.h"
 #include "obs/telemetry.h"
 #include "track/frame_selection.h"
 #include "track/latency.h"
 #include "track/tracker.h"
+#include "util/closable_queue.h"
 #include "video/camera.h"
 #include "video/frame_buffer.h"
 #include "video/frame_store.h"
@@ -55,6 +56,9 @@ struct RealtimeInstruments {
   obs::Counter* tracker_batches = nullptr;
   obs::Counter* tracker_cancelled = nullptr;
   obs::Counter* adapter_switches = nullptr;
+  obs::Counter* watchdog_timeouts = nullptr;
+  obs::Counter* coast_frames = nullptr;
+  obs::Gauge* degrade_level = nullptr;
   obs::Gauge* buffer_depth = nullptr;
   obs::FixedHistogram* detect_occupancy_ms = nullptr;  ///< modeled GPU busy
   obs::FixedHistogram* batch_frames = nullptr;  ///< catch-up batch sizes
@@ -68,6 +72,9 @@ struct RealtimeInstruments {
     ins.tracker_batches = &reg.counter("tracker", "batches");
     ins.tracker_cancelled = &reg.counter("tracker", "cancellations");
     ins.adapter_switches = &reg.counter("adapter", "switches");
+    ins.watchdog_timeouts = &reg.counter("watchdog", "timeouts");
+    ins.coast_frames = &reg.counter("coast", "frames");
+    ins.degrade_level = &reg.gauge("degrade", "level");
     ins.buffer_depth = &reg.gauge("buffer", "depth");
     ins.detect_occupancy_ms =
         &reg.latency_histogram("detector", "occupancy_ms");
@@ -90,42 +97,9 @@ struct DetectionEvent {
   /// second rasterization (the pre-store pipeline rendered every reference
   /// frame twice).
   video::FrameRef ref_frame;
-};
-
-/// Mutex + condition-variable mailbox (the paper's "event" communication).
-class EventQueue {
- public:
-  void push(DetectionEvent event) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      events_.push_back(std::move(event));
-    }
-    // Single consumer (the tracker thread), so one wakeup suffices.
-    cv_.notify_one();
-  }
-
-  std::optional<DetectionEvent> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !events_.empty() || closed_; });
-    if (events_.empty()) return std::nullopt;
-    DetectionEvent event = std::move(events_.front());
-    events_.pop_front();
-    return event;
-  }
-
-  void close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
-    cv_.notify_all();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<DetectionEvent> events_;
-  bool closed_ = false;
+  /// True when the detections are coasted (decayed last-good boxes, not a
+  /// fresh inference) — the supervisor's tracker-only fallback.
+  bool coast = false;
 };
 
 /// Frame results shared between threads, guarded by one lock.
@@ -174,183 +148,347 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   video::FrameStore store(video, options.frame_store);
   video::FrameBuffer buffer;
   video::CameraSource camera(store, buffer, scale);
-  EventQueue events;
+  util::ClosableQueue<DetectionEvent> events;
   ResultBoard board(frame_count);
+
+  // Fault channels (empty when no plan): the camera glitches its captures,
+  // the detector is wrapped in detect::FaultyDetector below.
+  util::FaultChannel detector_faults;
+  if (options.fault_plan != nullptr) {
+    detector_faults = options.fault_plan->channel("detector");
+    camera.set_faults(options.fault_plan->channel("camera"));
+  }
 
   std::atomic<int> fetch_generation{0};
   std::atomic<double> latest_velocity{0.0};
   std::atomic<bool> have_velocity{false};
   std::atomic<int> frames_tracked{0};
   std::atomic<int> cancelled{0};
+  std::atomic<int> coast_frames{0};
+  std::atomic<std::uint64_t> detector_faults_injected{0};
 
   std::mutex cycles_mutex;
   std::vector<CycleRecord> cycles;
 
+  // Error propagation: a worker thread that throws must not tear the
+  // process down (std::terminate) or leave its peers blocked. The first
+  // failure wins; it closes every wait point so all three threads unwind.
+  std::atomic<bool> abort{false};
+  std::mutex status_mutex;
+  auto on_worker_failure = [&](std::string message) {
+    {
+      std::lock_guard<std::mutex> lock(status_mutex);
+      if (!result.status.failed()) {
+        result.status = Status::worker_failure(std::move(message));
+      }
+    }
+    abort.store(true);
+    camera.request_stop();
+    buffer.close();   // wakes a detector blocked in wait_newer
+    events.close();   // wakes a tracker blocked in pop
+  };
+
+  const SupervisorOptions& sup = options.supervisor;
+  auto watchdog_deadline_ms = [&](detect::ModelSetting setting) {
+    return std::max(sup.deadline_floor_ms,
+                    sup.deadline_factor *
+                        detect::LatencyModel::mean_latency_ms(setting));
+  };
+
   // ---- Detector thread: always fetch the newest frame; the previous
   // detection is delivered to the tracker the moment the next fetch
-  // happens, so both sides of the cycle run concurrently.
+  // happens, so both sides of the cycle run concurrently. When supervised,
+  // a cycle that overruns its watchdog deadline is cancelled and the
+  // pipeline coasts on decayed last-good detections while the degradation
+  // ladder steps toward cheaper settings (608→512→416→320→tracker-only).
   std::thread detector_thread([&] {
     obs::name_thread("detector");
-    detect::SimulatedDetector detector(options.seed);
+    detect::FaultyDetector detector(options.seed, detector_faults);
     detect::ModelSetting setting = options.setting;
     adapt::ModelAdapter const* adapter = options.adapter;
+    DegradationLadder ladder(sup.ladder);
     std::optional<DetectionEvent> pending;
     int last_detected = -1;
     int switches = 0;
-
-    while (true) {
-      std::optional<video::FrameRef> frame;
-      {
-        obs::ScopedSpan wait_span("wait_frame", "detector");
-        frame = buffer.wait_newer(last_detected);
+    int watchdog_timeouts = 0;
+    int coast_cycles = 0;
+    // Last successful detection, kept for coasting. While the detector is
+    // degraded, these boxes are re-issued with per-object confidence decay
+    // (score * decay^age); objects fading below the floor drop out.
+    std::vector<detect::Detection> last_good;
+    int last_good_frame = -1;
+    auto coasted_detections = [&](int at_frame) {
+      std::vector<detect::Detection> out;
+      if (last_good_frame < 0) return out;
+      const int age = std::max(1, at_frame - last_good_frame);
+      const double factor = std::pow(sup.coast_decay, age);
+      out.reserve(last_good.size());
+      for (const detect::Detection& d : last_good) {
+        const float score = d.score * static_cast<float>(factor);
+        if (score < sup.coast_score_floor) continue;
+        detect::Detection copy = d;
+        copy.score = score;
+        out.push_back(copy);
       }
-      if (!frame.has_value()) break;
-      if (ins.buffer_depth != nullptr) {
-        ins.buffer_depth->set(static_cast<double>(buffer.size()));
+      return out;
+    };
+    auto ladder_changed = [&](bool stepped) {
+      if (!stepped) return;
+      if (ins.degrade_level != nullptr) {
+        ins.degrade_level->set(static_cast<double>(ladder.level()));
       }
+      obs::trace_instant("degrade_step", "supervisor", ladder.level(),
+                         "level");
+    };
 
-      // Fetching a new frame cancels the tracker's in-flight batch (§IV-B)
-      // and releases the previous detection for tracking up to this frame.
-      fetch_generation.fetch_add(1);
-      if (pending.has_value()) {
-        pending->track_upto = frame->index - 1;
-        events.push(std::move(*pending));
-        pending.reset();
+    try {
+      if (sup.enabled && ins.degrade_level != nullptr) {
+        ins.degrade_level->set(0.0);
       }
-
-      if (adapter != nullptr && have_velocity.load()) {
-        const detect::ModelSetting next =
-            adapter->next_setting(latest_velocity.load(), setting);
-        if (next != setting) {
-          ++switches;
-          if (ins.adapter_switches != nullptr) ins.adapter_switches->add();
-          obs::trace_instant("setting_switch", "adapter",
-                             detect::input_size(next), "to_size");
-          setting = next;
+      while (!abort.load()) {
+        std::optional<video::FrameRef> frame;
+        {
+          obs::ScopedSpan wait_span("wait_frame", "detector");
+          frame = buffer.wait_newer(last_detected);
         }
-      }
+        if (!frame.has_value() || abort.load()) break;
+        if (ins.buffer_depth != nullptr) {
+          ins.buffer_depth->set(static_cast<double>(buffer.size()));
+        }
 
-      detect::DetectionResult det;
-      {
-        obs::ScopedSpan detect_span("detect", "detector", frame->index);
-        det = detector.detect(video, frame->index, setting);
-        scaled_sleep(det.latency_ms, scale);  // the GPU is busy this long
-      }
-      if (ins.detector_cycles != nullptr) {
-        ins.detector_cycles->add();
-        ins.detect_occupancy_ms->record(det.latency_ms);
-      }
+        // Fetching a new frame cancels the tracker's in-flight batch
+        // (§IV-B) and releases the previous detection for tracking up to
+        // this frame.
+        fetch_generation.fetch_add(1);
+        if (pending.has_value()) {
+          pending->track_upto = frame->index - 1;
+          events.push(std::move(*pending));
+          pending.reset();
+        }
 
-      FrameResult fr;
-      fr.frame_index = frame->index;
-      fr.source = ResultSource::kDetector;
-      fr.setting = setting;
-      fr.staleness_ms = det.latency_ms;
-      fr.boxes.reserve(det.detections.size());
-      for (const auto& d : det.detections) fr.boxes.push_back({d.box, d.cls});
-      board.record(std::move(fr));
+        if (adapter != nullptr && have_velocity.load()) {
+          const detect::ModelSetting next =
+              adapter->next_setting(latest_velocity.load(), setting);
+          if (next != setting) {
+            ++switches;
+            if (ins.adapter_switches != nullptr) ins.adapter_switches->add();
+            obs::trace_instant("setting_switch", "adapter",
+                               detect::input_size(next), "to_size");
+            setting = next;
+          }
+        }
 
-      {
-        std::lock_guard<std::mutex> lock(cycles_mutex);
-        cycles.push_back({frame->index, setting, 0.0, 0.0, 0, 0,
-                          latest_velocity.load()});
+        // Supervisor: cap the adapter's choice at the ladder level; at the
+        // tracker-only floor, coast except for bounded-backoff recovery
+        // probes at the cheapest setting.
+        bool coast_cycle = false;
+        detect::ModelSetting effective = setting;
+        if (sup.enabled) {
+          if (ladder.tracker_only()) {
+            if (ladder.should_probe()) {
+              effective = detect::ModelSetting::kYolov3_320;
+            } else {
+              coast_cycle = true;
+            }
+          } else {
+            effective = ladder.apply(setting);
+          }
+        }
+
+        if (!coast_cycle) {
+          detect::DetectionResult det;
+          {
+            obs::ScopedSpan detect_span("detect", "detector", frame->index);
+            det = detector.detect(video, frame->index, effective);
+          }
+          const double deadline_ms = watchdog_deadline_ms(effective);
+          if (sup.enabled && det.latency_ms > deadline_ms) {
+            // Watchdog: the modeled inference blew its budget. The GPU was
+            // occupied until the deadline, where the cycle is cancelled —
+            // the result is discarded and this cycle coasts instead.
+            {
+              obs::ScopedSpan cancel_span("watchdog_cancel", "supervisor",
+                                          frame->index);
+              scaled_sleep(deadline_ms, scale);
+            }
+            ++watchdog_timeouts;
+            if (ins.watchdog_timeouts != nullptr) ins.watchdog_timeouts->add();
+            ladder_changed(ladder.on_overrun());
+            coast_cycle = true;
+          } else {
+            scaled_sleep(det.latency_ms, scale);  // the GPU is busy this long
+            if (ins.detector_cycles != nullptr) {
+              ins.detector_cycles->add();
+              ins.detect_occupancy_ms->record(det.latency_ms);
+            }
+            if (sup.enabled) ladder_changed(ladder.on_success());
+
+            FrameResult fr;
+            fr.frame_index = frame->index;
+            fr.source = ResultSource::kDetector;
+            fr.setting = effective;
+            fr.staleness_ms = det.latency_ms;
+            fr.boxes.reserve(det.detections.size());
+            for (const auto& d : det.detections) {
+              fr.boxes.push_back({d.box, d.cls});
+            }
+            board.record(std::move(fr));
+
+            {
+              std::lock_guard<std::mutex> lock(cycles_mutex);
+              cycles.push_back({frame->index, effective, 0.0, 0.0, 0, 0,
+                                latest_velocity.load()});
+            }
+
+            pending = DetectionEvent{frame->index, frame->index, effective,
+                                     det.detections, *frame};
+            last_good = det.detections;
+            last_good_frame = frame->index;
+            result.stats.frames_detected += 1;
+          }
+        }
+
+        if (coast_cycle) {
+          ++coast_cycles;
+          std::vector<detect::Detection> coasted =
+              coasted_detections(frame->index);
+          FrameResult fr;
+          fr.frame_index = frame->index;
+          fr.source = ResultSource::kTracker;
+          fr.setting = setting;
+          fr.staleness_ms = (last_good_frame >= 0)
+                                ? (frame->index - last_good_frame) *
+                                      video.frame_interval_ms()
+                                : 0.0;
+          fr.boxes.reserve(coasted.size());
+          for (const auto& d : coasted) fr.boxes.push_back({d.box, d.cls});
+          board.record(std::move(fr));
+          coast_frames.fetch_add(1);
+          if (ins.coast_frames != nullptr) ins.coast_frames->add();
+          DetectionEvent ev{frame->index, frame->index, setting,
+                            std::move(coasted), *frame};
+          ev.coast = true;
+          pending = std::move(ev);
+        }
+
+        last_detected = frame->index;
       }
-
-      pending = DetectionEvent{frame->index, frame->index, setting,
-                               det.detections, *frame};
-      last_detected = frame->index;
-      result.stats.frames_detected += 1;
-    }
-    // Stream over: let the tracker finish the tail of the video.
-    if (pending.has_value()) {
-      pending->track_upto = frame_count - 1;
-      events.push(std::move(*pending));
+      // Stream over: let the tracker finish the tail of the video.
+      if (pending.has_value() && !abort.load()) {
+        pending->track_upto = frame_count - 1;
+        events.push(std::move(*pending));
+      }
+    } catch (const std::exception& e) {
+      on_worker_failure(std::string("detector thread: ") + e.what());
+    } catch (...) {
+      on_worker_failure("detector thread: unknown exception");
     }
     events.close();
     result.stats.setting_switches = switches;
+    result.stats.watchdog_timeouts = watchdog_timeouts;
+    result.stats.coast_cycles = coast_cycles;
+    result.stats.degrade_steps_down = ladder.steps_down();
+    result.stats.degrade_steps_up = ladder.steps_up();
+    result.stats.max_degrade_level = ladder.max_level_seen();
+    detector_faults_injected.store(detector.faults_injected());
   });
 
   // ---- Tracker thread: real feature extraction + LK on rendered frames,
   // with the modelled CPU latencies for pacing.
   std::thread tracker_thread([&] {
     obs::name_thread("tracker");
-    track::ObjectTracker tracker(options.tracker);
-    track::TrackingFrameSelector selector;
-    track::TrackLatencyModel latency(options.seed ^ 0x77777ULL);
+    try {
+      track::ObjectTracker tracker(options.tracker);
+      track::TrackingFrameSelector selector;
+      track::TrackLatencyModel latency(options.seed ^ 0x77777ULL);
 
-    while (true) {
-      std::optional<DetectionEvent> event;
-      {
-        obs::ScopedSpan wait_span("wait_detection", "tracker");
-        event = events.pop();
-      }
-      if (!event.has_value()) break;
-      const int my_generation = fetch_generation.load();
-      obs::ScopedSpan batch_span("catchup_batch", "tracker", event->ref_index,
-                                 "ref_frame");
-      if (ins.tracker_batches != nullptr) ins.tracker_batches->add();
-
-      // Frames behind the reference are finished; let the store recycle
-      // their buffers before this batch pulls fresh ones.
-      store.trim_below(event->ref_index);
-      {
-        obs::ScopedSpan extract_span("extract_features", "tracker",
-                                     event->ref_index);
-        PacedSection pace(latency.feature_extraction_ms(), scale);
-        // The camera already rasterized this frame; re-arm from the shared
-        // pixels instead of rendering a second copy.
-        tracker.set_reference(event->ref_frame.image(), event->detections);
-      }
-
-      adapt::VelocityEstimator velocity;
-      const int frames_between = event->track_upto - event->ref_index;
-      if (ins.batch_frames != nullptr && frames_between > 0) {
-        ins.batch_frames->record(frames_between);
-      }
-      const std::vector<int> offsets = selector.select(frames_between);
-      int tracked = 0;
-      int prev_offset = 0;
-      for (int offset : offsets) {
-        if (fetch_generation.load() != my_generation) {
-          cancelled.fetch_add(1);
-          if (ins.tracker_cancelled != nullptr) ins.tracker_cancelled->add();
-          break;
-        }
-        const int frame_index = event->ref_index + offset;
-        track::TrackStepStats stats;
+      while (!abort.load()) {
+        std::optional<DetectionEvent> event;
         {
-          obs::ScopedSpan step_span("track_frame", "tracker", frame_index);
-          PacedSection pace(latency.tracking_ms(tracker.object_count(),
-                                                tracker.live_feature_count()) +
-                                latency.overlay_ms(),
-                            scale);
-          const video::FrameRef fr = store.get(frame_index);
-          stats = tracker.track_to(fr.image(), offset - prev_offset);
+          obs::ScopedSpan wait_span("wait_detection", "tracker");
+          event = events.pop();
         }
-        velocity.add_step(stats);
-        if (fetch_generation.load() != my_generation) {
-          // Task finished after the detector moved on: per §IV-B the result
-          // is not displayed (it would move the display backwards).
-          cancelled.fetch_add(1);
-          if (ins.tracker_cancelled != nullptr) ins.tracker_cancelled->add();
-          break;
+        if (!event.has_value() || abort.load()) break;
+        const int my_generation = fetch_generation.load();
+        obs::ScopedSpan batch_span("catchup_batch", "tracker",
+                                   event->ref_index, "ref_frame");
+        if (ins.tracker_batches != nullptr) ins.tracker_batches->add();
+
+        // Frames behind the reference are finished; let the store recycle
+        // their buffers before this batch pulls fresh ones.
+        store.trim_below(event->ref_index);
+        {
+          obs::ScopedSpan extract_span("extract_features", "tracker",
+                                       event->ref_index);
+          PacedSection pace(latency.feature_extraction_ms(), scale);
+          // The camera already rasterized this frame; re-arm from the
+          // shared pixels instead of rendering a second copy.
+          tracker.set_reference(event->ref_frame.image(), event->detections);
         }
-        FrameResult fr;
-        fr.frame_index = frame_index;
-        fr.source = ResultSource::kTracker;
-        fr.setting = event->setting;
-        fr.boxes = tracker.current_boxes();
-        board.record(std::move(fr));
-        frames_tracked.fetch_add(1);
-        if (ins.tracker_frames != nullptr) ins.tracker_frames->add();
-        ++tracked;
-        prev_offset = offset;
+
+        adapt::VelocityEstimator velocity;
+        const int frames_between = event->track_upto - event->ref_index;
+        if (ins.batch_frames != nullptr && frames_between > 0) {
+          ins.batch_frames->record(frames_between);
+        }
+        const std::vector<int> offsets = selector.select(frames_between);
+        int tracked = 0;
+        int prev_offset = 0;
+        for (int offset : offsets) {
+          if (abort.load()) break;
+          if (fetch_generation.load() != my_generation) {
+            cancelled.fetch_add(1);
+            if (ins.tracker_cancelled != nullptr) ins.tracker_cancelled->add();
+            break;
+          }
+          const int frame_index = event->ref_index + offset;
+          track::TrackStepStats stats;
+          {
+            obs::ScopedSpan step_span("track_frame", "tracker", frame_index);
+            PacedSection pace(
+                latency.tracking_ms(tracker.object_count(),
+                                    tracker.live_feature_count()) +
+                    latency.overlay_ms(),
+                scale);
+            const video::FrameRef fr = store.get(frame_index);
+            stats = tracker.track_to(fr.image(), offset - prev_offset);
+          }
+          velocity.add_step(stats);
+          if (fetch_generation.load() != my_generation) {
+            // Task finished after the detector moved on: per §IV-B the
+            // result is not displayed (it would move the display
+            // backwards).
+            cancelled.fetch_add(1);
+            if (ins.tracker_cancelled != nullptr) ins.tracker_cancelled->add();
+            break;
+          }
+          FrameResult fr;
+          fr.frame_index = frame_index;
+          fr.source = ResultSource::kTracker;
+          fr.setting = event->setting;
+          fr.boxes = tracker.current_boxes();
+          board.record(std::move(fr));
+          frames_tracked.fetch_add(1);
+          if (ins.tracker_frames != nullptr) ins.tracker_frames->add();
+          if (event->coast) {
+            coast_frames.fetch_add(1);
+            if (ins.coast_frames != nullptr) ins.coast_frames->add();
+          }
+          ++tracked;
+          prev_offset = offset;
+        }
+        if (frames_between > 0) {
+          selector.update(std::max(tracked, 1), frames_between);
+        }
+        if (velocity.step_count() > 0) {
+          latest_velocity.store(velocity.mean_velocity());
+          have_velocity.store(true);
+        }
       }
-      if (frames_between > 0) selector.update(std::max(tracked, 1), frames_between);
-      if (velocity.step_count() > 0) {
-        latest_velocity.store(velocity.mean_velocity());
-        have_velocity.store(true);
-      }
+    } catch (const std::exception& e) {
+      on_worker_failure(std::string("tracker thread: ") + e.what());
+    } catch (...) {
+      on_worker_failure("tracker thread: unknown exception");
     }
   });
 
@@ -359,13 +497,37 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   tracker_thread.join();
   camera.stop();
 
+  const std::string camera_error = camera.error();
+  if (!camera_error.empty()) {
+    std::lock_guard<std::mutex> lock(status_mutex);
+    if (!result.status.failed()) {
+      result.status = Status::worker_failure("camera thread: " + camera_error);
+    }
+  }
+
   result.stats.frames_captured = camera.frames_captured();
   result.stats.frames_tracked = frames_tracked.load();
   result.stats.tracking_tasks_cancelled = cancelled.load();
   result.stats.frames_dropped = static_cast<int>(buffer.dropped());
+  result.stats.coast_frames = coast_frames.load();
+  result.stats.faults_injected =
+      static_cast<int>(detector_faults_injected.load() +
+                       camera.faults_injected());
   result.run.frame_store = store.stats();
   result.stats.frames_rendered =
       static_cast<int>(result.run.frame_store.renders);
+
+  // A run that absorbed faults but still completed is degraded, not ok.
+  if (!result.status.failed() &&
+      (result.stats.watchdog_timeouts > 0 || result.stats.faults_injected > 0 ||
+       result.stats.coast_frames > 0)) {
+    result.status = Status::degraded(
+        std::to_string(result.stats.watchdog_timeouts) +
+        " watchdog timeouts, " + std::to_string(result.stats.faults_injected) +
+        " faults injected, " + std::to_string(result.stats.coast_frames) +
+        " coasted frames, max ladder level " +
+        std::to_string(result.stats.max_degrade_level));
+  }
 
   result.run.frames = board.take();
   // Fill skipped frames from the previous available result.

@@ -3,13 +3,39 @@
 #include <cstdint>
 
 #include "adapt/adapter.h"
+#include "core/degradation.h"
 #include "core/run_result.h"
+#include "core/status.h"
 #include "obs/metrics.h"
 #include "track/tracker.h"
+#include "util/fault_plan.h"
 #include "video/frame_store.h"
 #include "video/scene.h"
 
 namespace adavp::core {
+
+/// The pipeline supervisor (docs/ROBUSTNESS.md): a per-cycle detector
+/// watchdog plus the graceful-degradation ladder. Off by default — the
+/// unsupervised pipeline is bit-identical to the pre-supervisor one.
+struct SupervisorOptions {
+  bool enabled = false;
+  /// Watchdog deadline per detection cycle, as a multiple of the
+  /// LatencyModel mean for the cycle's (capped) setting, floored at
+  /// `deadline_floor_ms`. A cycle whose modeled inference exceeds the
+  /// deadline is cancelled at the deadline: the result is discarded, the
+  /// ladder steps, and the cycle coasts on the tracker.
+  double deadline_factor = 2.0;
+  double deadline_floor_ms = 50.0;
+  /// Degradation ladder tuning (trip threshold, recovery hysteresis,
+  /// probe backoff at the tracker-only floor).
+  LadderOptions ladder;
+  /// Per-frame confidence decay applied to the last good detections while
+  /// coasting; an object whose decayed score sinks below
+  /// `coast_score_floor` is dropped, so stale boxes fade out instead of
+  /// lingering forever.
+  double coast_decay = 0.85;
+  double coast_score_floor = 0.1;
+};
 
 /// Options for the real multithreaded pipeline.
 struct RealtimeOptions {
@@ -31,6 +57,12 @@ struct RealtimeOptions {
   /// reproduces the pre-store cost model (camera render + tracker
   /// re-render, allocation per frame) for benchmarking.
   video::FrameStoreOptions frame_store;
+  /// Non-null => deterministic fault injection: the plan's "detector"
+  /// channel wraps the detector (detect::FaultyDetector) and its "camera"
+  /// channel drives capture glitches. The plan must outlive the run.
+  const util::FaultPlan* fault_plan = nullptr;
+  /// Watchdog + degradation-ladder supervision of the detector cycle.
+  SupervisorOptions supervisor;
 };
 
 /// Counters exposed by a realtime run, used by tests to check the
@@ -44,6 +76,14 @@ struct RealtimeStats {
   int frames_dropped = 0;   ///< FrameBuffer overflow drops (obs: buffer.dropped)
   int frames_rendered = 0;  ///< store rasterizations; <= frames_captured means
                             ///< the render-once design held (no double render)
+  // -- supervisor / fault-tolerance counters (zero when unsupervised) ------
+  int watchdog_timeouts = 0;   ///< cycles cancelled at the deadline
+  int coast_cycles = 0;        ///< detector cycles that ran tracker-only
+  int coast_frames = 0;        ///< frame results produced while coasting
+  int degrade_steps_down = 0;  ///< ladder steps toward tracker-only
+  int degrade_steps_up = 0;    ///< ladder recoveries
+  int max_degrade_level = 0;   ///< deepest ladder level reached (0..4)
+  int faults_injected = 0;     ///< detector + camera faults applied
 };
 
 /// Result of a realtime run: the per-frame results (same structure the
@@ -52,6 +92,12 @@ struct RealtimeStats {
 struct RealtimeResult {
   RunResult run;
   RealtimeStats stats;
+  /// kOk for a clean run; kDegraded when the supervisor absorbed faults
+  /// (watchdog timeouts, injected faults, coasting) but every frame still
+  /// got a result; kWorkerFailure when a pipeline thread threw — the run
+  /// shuts down cleanly (queues closed, threads joined) and the partial
+  /// frames are returned.
+  Status status;
   /// Telemetry recorded during this run only (global snapshot diffed
   /// against the run's start). Empty when obs::Telemetry is disabled. The
   /// legacy counters above are kept for API compatibility; the two views
@@ -68,6 +114,13 @@ struct RealtimeResult {
 /// LK on the rendered frames), cancelling its remaining tasks whenever the
 /// detector fetches a new frame. Thread communication uses mutexes and
 /// condition variables ("lock" + "event" in §IV-B).
+///
+/// Worker threads never abort the process: exceptions are converted into
+/// `RealtimeResult::status` and the other threads are shut down cleanly
+/// (buffer + event queue closed, camera stopped). With
+/// `options.supervisor.enabled`, detector overruns are cancelled at the
+/// watchdog deadline and the pipeline degrades down the
+/// 608→512→416→320→tracker-only ladder instead of stalling.
 RealtimeResult run_realtime(const video::SyntheticVideo& video,
                             const RealtimeOptions& options);
 

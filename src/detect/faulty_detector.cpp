@@ -1,0 +1,87 @@
+#include "detect/faulty_detector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/telemetry.h"
+#include "util/rng.h"
+
+namespace adavp::detect {
+
+namespace {
+
+/// N plausible-looking but entirely random boxes — the "model diverged"
+/// failure mode. Deterministic from the decision's own seed.
+std::vector<Detection> garbage_boxes(const geometry::Size& frame_size,
+                                     int count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Detection> boxes;
+  boxes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double w = rng.uniform(12.0, frame_size.width * 0.4);
+    const double h = rng.uniform(12.0, frame_size.height * 0.4);
+    const double left = rng.uniform(0.0, std::max(1.0, frame_size.width - w));
+    const double top = rng.uniform(0.0, std::max(1.0, frame_size.height - h));
+    Detection det;
+    det.box = geometry::BoundingBox(
+        static_cast<float>(left), static_cast<float>(top),
+        static_cast<float>(w), static_cast<float>(h));
+    det.cls = static_cast<video::ObjectClass>(rng.uniform_int(0, 3));
+    det.score = static_cast<float>(rng.uniform(0.3, 0.95));
+    boxes.push_back(det);
+  }
+  return boxes;
+}
+
+}  // namespace
+
+FaultyDetector::FaultyDetector(std::uint64_t seed, util::FaultChannel faults)
+    : inner_(seed), faults_(std::move(faults)) {}
+
+void FaultyDetector::count(util::FaultKind kind) {
+  ++faults_injected_;
+  if (obs::Telemetry::enabled()) {
+    obs::metrics()
+        .counter("fault",
+                 "injected." + std::string(util::fault_kind_name(kind)))
+        .add();
+  }
+}
+
+DetectionResult FaultyDetector::detect(const video::SyntheticVideo& video,
+                                       int frame_index, ModelSetting setting) {
+  DetectionResult result = inner_.detect(video, frame_index, setting);
+  if (faults_.empty()) return result;
+  for (const util::FaultDecision& decision : faults_.decide(frame_index)) {
+    switch (decision.kind) {
+      case util::FaultKind::kLatency:
+        count(decision.kind);
+        result.latency_ms *= decision.magnitude;
+        break;
+      case util::FaultKind::kStall:
+        count(decision.kind);
+        result.latency_ms += decision.magnitude;
+        break;
+      case util::FaultKind::kDrop:
+        count(decision.kind);
+        result.detections.clear();
+        break;
+      case util::FaultKind::kGarbage:
+        count(decision.kind);
+        result.detections = garbage_boxes(
+            video.frame_size(),
+            std::max(1, static_cast<int>(decision.magnitude)),
+            decision.rng_seed);
+        break;
+      case util::FaultKind::kThrow:
+        count(decision.kind);
+        throw InjectedFault("injected detector fault at frame " +
+                            std::to_string(frame_index));
+      default:
+        break;  // camera-channel kinds: not ours to handle
+    }
+  }
+  return result;
+}
+
+}  // namespace adavp::detect

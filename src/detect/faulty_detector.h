@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "detect/detector.h"
+#include "util/fault_plan.h"
+
+namespace adavp::obs {
+class Counter;
+}  // namespace adavp::obs
+
+namespace adavp::detect {
+
+/// Thrown by a `throw`-kind fault rule — lets error-propagation tests
+/// distinguish an injected failure from a real one.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Decorator around SimulatedDetector that injects faults from a
+/// util::FaultChannel (the "detector" section of a FaultPlan):
+///
+///   latency x=K   — multiply the modeled inference latency by K
+///   stall ms=T    — add T ms to the modeled latency (a GPU hang)
+///   drop          — swallow the result (detector returned nothing)
+///   garbage n=N   — replace the boxes with N random plausible-looking ones
+///   throw         — throw InjectedFault (worker-thread error propagation)
+///
+/// Fault decisions and garbage payloads are pure functions of the plan's
+/// seed and the frame index (see FaultChannel), so a faulty run replays
+/// bit-identically; with an empty channel the decorator is a transparent
+/// pass-through — byte-for-byte the results of the inner detector.
+class FaultyDetector {
+ public:
+  explicit FaultyDetector(std::uint64_t seed,
+                          util::FaultChannel faults = {});
+
+  /// Runs the inner detector, then applies every fault that fires for
+  /// `frame_index`. May throw InjectedFault.
+  DetectionResult detect(const video::SyntheticVideo& video, int frame_index,
+                         ModelSetting setting);
+
+  /// Faults applied so far (all kinds). Also exported per kind as
+  /// `fault.injected.<kind>` counters when telemetry is enabled.
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  void count(util::FaultKind kind);
+
+  SimulatedDetector inner_;
+  util::FaultChannel faults_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+}  // namespace adavp::detect

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace adavp::util {
+
+/// Mutex + condition-variable mailbox (the paper's "event" communication),
+/// promoted out of the realtime pipeline so its shutdown semantics can be
+/// unit-tested in isolation.
+///
+/// Shutdown contract: `close()` wakes every blocked `pop` exactly once and
+/// is idempotent; after it, `pop` drains the items that were already
+/// queued and then returns nullopt forever, and `push` drops its value and
+/// returns false — a producer that races a supervisor-initiated abort can
+/// never lose a wakeup or park an item nobody will read.
+template <typename T>
+class ClosableQueue {
+ public:
+  /// Enqueues `value` and wakes one waiter. Returns false (dropping the
+  /// value) when the queue is closed.
+  bool push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    // One item can satisfy one waiter; close() is the only broadcast.
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed. Items
+  /// queued before `close()` are still delivered (drain-then-stop);
+  /// nullopt means closed-and-empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking pop: nullopt when empty (closed or not).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Closes the queue and wakes all waiters. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace adavp::util

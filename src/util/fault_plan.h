@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adavp::util {
+
+/// The fault vocabulary of the injection harness. A FaultPlan is
+/// channel-agnostic: each decorator (detect::FaultyDetector, the camera
+/// glitch path) handles the kinds it understands and ignores the rest, so
+/// one plan can describe a whole pipeline's hostile environment.
+enum class FaultKind {
+  kLatency,  ///< inflate a modeled latency by `magnitude`x (detector)
+  kStall,    ///< add `magnitude` ms to a modeled latency (detector)
+  kDrop,     ///< swallow the result: empty detections (detector)
+  kGarbage,  ///< replace the result with `magnitude` random boxes (detector)
+  kThrow,    ///< throw from inside the component (error-propagation tests)
+  kBlack,    ///< replace the captured frame with an all-black raster (camera)
+  kCorrupt,  ///< overlay a noise band of amplitude `magnitude` (camera)
+  kHiccup,   ///< delay the capture by `magnitude` ms (camera)
+};
+
+/// DSL name of a kind ("latency", "stall", ..., "hiccup") — also the
+/// metric suffix in `fault.injected.<kind>`.
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One fault decision for one event: what to inject and, when the fault
+/// itself needs randomness (garbage boxes, corruption noise), a dedicated
+/// seed so the payload replays bit-identically too.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kLatency;
+  double magnitude = 0.0;
+  std::uint64_t rng_seed = 0;
+};
+
+/// One parsed rule of a fault plan: a kind, exactly one trigger, and an
+/// optional magnitude parameter.
+struct FaultRule {
+  FaultKind kind = FaultKind::kLatency;
+  double probability = -1.0;  ///< `p=` trigger; < 0 when unused
+  int every = 0;              ///< `every=` trigger; 0 when unused
+  std::vector<int> at;        ///< `at=` trigger; empty when unused
+  double magnitude = 0.0;     ///< `x=` / `ms=` / `amp=` / `n=`, kind-specific
+};
+
+/// A stateless per-channel sampler. `decide(i)` is a pure function of
+/// (plan seed, channel name, rule index, event index): it does not consume
+/// shared RNG state, so fault draws are immune to thread interleaving —
+/// the property that makes fault runs replayable. Event indices are frame
+/// indices throughout the pipeline (the detector keys by the frame it
+/// fetched, the camera by the frame it captures).
+class FaultChannel {
+ public:
+  FaultChannel() = default;
+  FaultChannel(std::uint64_t plan_seed, std::string_view name,
+               std::vector<FaultRule> rules);
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  /// Every rule that fires for event `index`, in rule order.
+  std::vector<FaultDecision> decide(int index) const;
+
+ private:
+  std::uint64_t channel_seed_ = 0;  ///< plan seed mixed with the name hash
+  std::vector<FaultRule> rules_;
+};
+
+/// A deterministic, seeded fault-injection schedule, parsed from a small
+/// DSL (docs/ROBUSTNESS.md):
+///
+///   plan    := section ( '|' section )*
+///   section := channel ':' rule ( ';' rule )*
+///   rule    := kind ( key '=' value )*       -- whitespace-separated args
+///
+/// Exactly one trigger per rule: `p=0.1` (per-event Bernoulli), `at=3,9,27`
+/// (explicit event indices), or `every=5` (every Nth event, 0 included).
+/// Magnitudes: `x=` (latency multiplier), `ms=` (stall/hiccup duration),
+/// `amp=` (corruption amplitude), `n=` (garbage box count). Example:
+///
+///   "detector: stall p=0.05 ms=1200; garbage at=3,11 n=5 |
+///    camera: black p=0.02; hiccup every=40 ms=120"
+///
+/// All randomness derives from the plan's own seed (see FaultChannel), so
+/// a (spec, seed) pair replays bit-identically.
+class FaultPlan {
+ public:
+  /// An empty plan: every channel is empty, nothing is ever injected.
+  FaultPlan() = default;
+
+  /// Parses `spec`. Returns nullopt and sets `*error` (when non-null) on a
+  /// malformed spec: unknown kind or key, missing/duplicate trigger, bad
+  /// number, empty section.
+  static std::optional<FaultPlan> parse(std::string_view spec,
+                                        std::uint64_t seed,
+                                        std::string* error = nullptr);
+
+  bool empty() const { return channels_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// The sampler for `name` ("detector", "camera", ...). Returns an empty
+  /// channel when the plan has no section for it.
+  FaultChannel channel(std::string_view name) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<FaultRule> rules;
+  };
+  std::uint64_t seed_ = 0;
+  std::vector<Section> channels_;
+};
+
+}  // namespace adavp::util

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/telemetry.h"
+#include "video/frame_glitch.h"
 
 namespace adavp::video {
 
@@ -11,6 +12,10 @@ CameraSource::CameraSource(FrameStore& store, FrameBuffer& buffer,
     : store_(store), buffer_(buffer), time_scale_(time_scale) {}
 
 CameraSource::~CameraSource() { stop(); }
+
+void CameraSource::set_faults(util::FaultChannel faults) {
+  faults_ = std::move(faults);
+}
 
 void CameraSource::start() {
   if (thread_.joinable()) return;
@@ -23,30 +28,84 @@ void CameraSource::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+std::string CameraSource::error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return error_;
+}
+
 void CameraSource::run() {
-  using clock = std::chrono::steady_clock;
   obs::name_thread("camera");
+  try {
+    capture_loop();
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error_ = e.what();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error_ = "unknown exception";
+  }
+  // Always close, also on failure: a blocked consumer must wake up and see
+  // end-of-stream instead of hanging on a camera that died.
+  buffer_.close();
+}
+
+void CameraSource::capture_loop() {
+  using clock = std::chrono::steady_clock;
   const SyntheticVideo& video = store_.video();
+  const bool telemetry_on = obs::Telemetry::enabled();
   obs::Counter* frames_counter =
-      obs::Telemetry::enabled() ? &obs::metrics().counter("camera", "frames")
-                                : nullptr;
+      telemetry_on ? &obs::metrics().counter("camera", "frames") : nullptr;
   obs::Gauge* depth_gauge =
-      obs::Telemetry::enabled() ? &obs::metrics().gauge("buffer", "depth")
-                                : nullptr;
+      telemetry_on ? &obs::metrics().gauge("buffer", "depth") : nullptr;
   const auto start = clock::now();
+  double hiccup_ms = 0.0;  // accumulated capture delays shift the schedule
   for (int i = 0; i < video.frame_count(); ++i) {
     if (stop_requested_.load()) break;
-    // Wall-clock deadline of frame i under the scaled timeline.
+
+    std::vector<util::FaultDecision> glitches;
+    if (!faults_.empty()) {
+      for (const util::FaultDecision& decision : faults_.decide(i)) {
+        switch (decision.kind) {
+          case util::FaultKind::kHiccup:
+            hiccup_ms += decision.magnitude;
+            faults_injected_.fetch_add(1);
+            if (telemetry_on) {
+              obs::metrics().counter("fault", "injected.hiccup").add();
+            }
+            break;
+          case util::FaultKind::kBlack:
+          case util::FaultKind::kCorrupt:
+            glitches.push_back(decision);
+            break;
+          default:
+            break;  // detector-channel kinds: not ours to handle
+        }
+      }
+    }
+
+    // Wall-clock deadline of frame i under the scaled timeline, pushed
+    // back by any capture hiccups so far.
     const auto deadline =
         start + std::chrono::duration_cast<clock::duration>(
                     std::chrono::duration<double, std::milli>(
-                        video.timestamp_ms(i) / time_scale_));
+                        (video.timestamp_ms(i) + hiccup_ms) / time_scale_));
     std::this_thread::sleep_until(deadline);
     {
       obs::ScopedSpan span("capture", "camera", i);
       // Render-once handoff: the store rasterizes (or aliases the
       // precache) and everyone downstream shares these pixels.
-      buffer_.push(store_.get(i));
+      FrameRef frame = store_.get(i);
+      for (const util::FaultDecision& decision : glitches) {
+        frame = apply_glitch(frame, decision);
+        faults_injected_.fetch_add(1);
+        if (telemetry_on) {
+          obs::metrics()
+              .counter("fault", "injected." + std::string(util::fault_kind_name(
+                                    decision.kind)))
+              .add();
+        }
+      }
+      buffer_.push(std::move(frame));
     }
     frames_captured_.fetch_add(1);
     if (frames_counter != nullptr) {
@@ -54,7 +113,6 @@ void CameraSource::run() {
       depth_gauge->set(static_cast<double>(buffer_.size()));
     }
   }
-  buffer_.close();
 }
 
 }  // namespace adavp::video

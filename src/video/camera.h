@@ -1,8 +1,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
 #include <thread>
 
+#include "util/fault_plan.h"
 #include "video/frame_buffer.h"
 #include "video/frame_store.h"
 
@@ -16,6 +20,17 @@ namespace adavp::video {
 /// Frames are published as FrameRefs out of the shared FrameStore: the
 /// capture triggers at most one rasterization per frame, and downstream
 /// consumers (detector, tracker) reuse the exact same pixels.
+///
+/// Fault injection (`set_faults`, the "camera" channel of a
+/// util::FaultPlan) emulates a hostile capture path: `black` and `corrupt`
+/// rules publish a glitched copy of the frame (the shared raster is never
+/// mutated), `hiccup` delays the capture by its `ms=` magnitude (scaled
+/// like everything else). Decisions are keyed by frame index, so a seeded
+/// glitch schedule replays bit-identically.
+///
+/// The capture thread never lets an exception escape: on failure it closes
+/// the buffer (waking the consumer) and records the message in `error()`,
+/// which is safe to read after `stop()` joined the thread.
 class CameraSource {
  public:
   CameraSource(FrameStore& store, FrameBuffer& buffer,
@@ -25,6 +40,9 @@ class CameraSource {
   CameraSource(const CameraSource&) = delete;
   CameraSource& operator=(const CameraSource&) = delete;
 
+  /// Installs the camera fault channel. Call before `start()`.
+  void set_faults(util::FaultChannel faults);
+
   /// Starts the capture thread. Frames are pushed at fps * time_scale and
   /// the buffer is closed when the video ends (or `stop()` is called).
   void start();
@@ -32,18 +50,35 @@ class CameraSource {
   /// Requests the capture thread to finish early and joins it.
   void stop();
 
+  /// Signals the capture thread to finish without joining — safe to call
+  /// from another pipeline thread (the supervisor's abort path); the
+  /// owning thread still calls `stop()` to join.
+  void request_stop() { stop_requested_.store(true); }
+
   /// Frames pushed so far.
   int frames_captured() const { return frames_captured_.load(); }
 
+  /// Camera faults applied so far (glitched frames + hiccups).
+  std::uint64_t faults_injected() const { return faults_injected_.load(); }
+
+  /// Non-empty when the capture thread died on an exception. Read after
+  /// `stop()` (the join orders the write).
+  std::string error() const;
+
  private:
   void run();
+  void capture_loop();
 
   FrameStore& store_;
   FrameBuffer& buffer_;
   double time_scale_;
+  util::FaultChannel faults_;
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<int> frames_captured_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  mutable std::mutex error_mutex_;
+  std::string error_;
 };
 
 }  // namespace adavp::video

@@ -13,6 +13,10 @@ FrameBuffer::FrameBuffer(std::size_t capacity) : capacity_(capacity) {
 void FrameBuffer::push(FrameRef frame) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // A supervisor-initiated abort closes the buffer while the camera may
+    // still be capturing; frames pushed after close are dropped so a
+    // consumer that already saw end-of-stream never misses them.
+    if (closed_) return;
     if (frames_.size() >= capacity_) {
       frames_.pop_front();
       ++dropped_;

@@ -34,6 +34,8 @@ class FrameBuffer {
   explicit FrameBuffer(std::size_t capacity = 256);
 
   /// Appends a frame ref; drops the oldest when full. Wakes one waiter.
+  /// After `close()` the frame is silently discarded (not counted as a
+  /// drop) — producers may race a mid-run shutdown.
   void push(FrameRef frame);
 
   /// Returns the newest frame ref without removing older ones, or nullopt

@@ -1,0 +1,63 @@
+#include "video/frame_glitch.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/rng.h"
+
+namespace adavp::video {
+
+namespace {
+
+FrameRef with_image(const FrameRef& ref, std::shared_ptr<vision::ImageU8> img) {
+  FrameRef out;
+  out.index = ref.index;
+  out.timestamp_ms = ref.timestamp_ms;
+  out.image_ptr = std::move(img);
+  return out;
+}
+
+}  // namespace
+
+FrameRef glitch_black(const FrameRef& ref) {
+  const vision::ImageU8& src = ref.image();
+  return with_image(
+      ref, std::make_shared<vision::ImageU8>(src.width(), src.height(),
+                                             std::uint8_t{0}));
+}
+
+FrameRef glitch_corrupt(const FrameRef& ref, double amplitude,
+                        std::uint64_t rng_seed) {
+  util::Rng rng(rng_seed);
+  auto img = std::make_shared<vision::ImageU8>(ref.image());
+  const int height = img->height();
+  const int width = img->width();
+  if (height == 0 || width == 0) return with_image(ref, std::move(img));
+  // A contiguous band covering roughly a third of the frame, like a torn
+  // transfer. Placement and per-pixel noise come from the decision's seed.
+  const int band = std::max(1, height / 3);
+  const int row0 = rng.uniform_int(0, std::max(0, height - band));
+  for (int y = row0; y < row0 + band; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double noisy =
+          static_cast<double>(img->at(x, y)) + rng.uniform(-amplitude, amplitude);
+      img->at(x, y) =
+          static_cast<std::uint8_t>(std::clamp(noisy, 0.0, 255.0));
+    }
+  }
+  return with_image(ref, std::move(img));
+}
+
+FrameRef apply_glitch(const FrameRef& ref,
+                      const util::FaultDecision& decision) {
+  switch (decision.kind) {
+    case util::FaultKind::kBlack:
+      return glitch_black(ref);
+    case util::FaultKind::kCorrupt:
+      return glitch_corrupt(ref, decision.magnitude, decision.rng_seed);
+    default:
+      return ref;
+  }
+}
+
+}  // namespace adavp::video

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/fault_plan.h"
+#include "video/frame_store.h"
+
+namespace adavp::video {
+
+/// Camera glitch synthesis for the fault-injection harness. Each function
+/// returns a *new* owning FrameRef (same index/timestamp, fresh pixels) —
+/// frames out of the FrameStore are immutable and shared, so a glitch must
+/// never write through the original ref.
+
+/// An all-black raster of the same size (sensor dropout).
+FrameRef glitch_black(const FrameRef& ref);
+
+/// A copy with a horizontal band of uniform noise in [-amplitude,
+/// +amplitude] added (transfer corruption / tearing). Band placement and
+/// noise derive from `rng_seed` only, so the same decision produces the
+/// same corrupted pixels in every run.
+FrameRef glitch_corrupt(const FrameRef& ref, double amplitude,
+                        std::uint64_t rng_seed);
+
+/// Dispatch on a fault decision; returns `ref` unchanged for kinds that do
+/// not alter pixels (e.g. hiccups, which the camera handles as a delay).
+FrameRef apply_glitch(const FrameRef& ref, const util::FaultDecision& decision);
+
+}  // namespace adavp::video

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/degradation.h"
+
+namespace adavp {
+namespace {
+
+using core::DegradationLadder;
+using core::LadderOptions;
+using detect::ModelSetting;
+
+TEST(DegradationLadder, StartsFullyHealthy) {
+  DegradationLadder ladder;
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_FALSE(ladder.tracker_only());
+  ASSERT_TRUE(ladder.cap().has_value());
+  EXPECT_EQ(*ladder.cap(), ModelSetting::kYolov3_608);
+  EXPECT_FALSE(ladder.should_probe());  // probing is a floor-only behavior
+}
+
+TEST(DegradationLadder, OverrunsStepDownTheFullLadderToTrackerOnly) {
+  DegradationLadder ladder;  // trip_threshold = 1
+  const ModelSetting expected_caps[] = {
+      ModelSetting::kYolov3_512, ModelSetting::kYolov3_416,
+      ModelSetting::kYolov3_320};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ladder.on_overrun());
+    EXPECT_EQ(ladder.level(), i + 1);
+    ASSERT_TRUE(ladder.cap().has_value());
+    EXPECT_EQ(*ladder.cap(), expected_caps[i]);
+  }
+  EXPECT_TRUE(ladder.on_overrun());
+  EXPECT_EQ(ladder.level(), DegradationLadder::kFloorLevel);
+  EXPECT_TRUE(ladder.tracker_only());
+  EXPECT_FALSE(ladder.cap().has_value());
+  EXPECT_EQ(ladder.steps_down(), 4);
+  EXPECT_EQ(ladder.max_level_seen(), 4);
+}
+
+TEST(DegradationLadder, TripThresholdRequiresConsecutiveOverruns) {
+  LadderOptions options;
+  options.trip_threshold = 3;
+  DegradationLadder ladder(options);
+  // Two overruns, then a success: the streak resets, no step.
+  EXPECT_FALSE(ladder.on_overrun());
+  EXPECT_FALSE(ladder.on_overrun());
+  EXPECT_FALSE(ladder.on_success());
+  EXPECT_EQ(ladder.level(), 0);
+  // Three consecutive overruns trip the ladder.
+  EXPECT_FALSE(ladder.on_overrun());
+  EXPECT_FALSE(ladder.on_overrun());
+  EXPECT_TRUE(ladder.on_overrun());
+  EXPECT_EQ(ladder.level(), 1);
+  EXPECT_EQ(ladder.overruns(), 5);
+}
+
+TEST(DegradationLadder, HysteresisWindowGatesRecovery) {
+  LadderOptions options;
+  options.recover_after = 3;
+  DegradationLadder ladder(options);
+  ladder.on_overrun();
+  ladder.on_overrun();
+  ASSERT_EQ(ladder.level(), 2);
+  // One lucky success must not bounce the level back up.
+  EXPECT_FALSE(ladder.on_success());
+  EXPECT_FALSE(ladder.on_success());
+  EXPECT_EQ(ladder.level(), 2);
+  // An overrun inside the window restarts it (and, with trip_threshold=1,
+  // steps further down).
+  EXPECT_TRUE(ladder.on_overrun());
+  ASSERT_EQ(ladder.level(), 3);
+  EXPECT_FALSE(ladder.on_success());
+  EXPECT_FALSE(ladder.on_success());
+  EXPECT_TRUE(ladder.on_success());
+  EXPECT_EQ(ladder.level(), 2);
+  EXPECT_EQ(ladder.steps_up(), 1);
+  // Recovery continues one level per window, never past level 0.
+  for (int i = 0; i < 2 * 3; ++i) ladder.on_success();
+  EXPECT_EQ(ladder.level(), 0);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(ladder.on_success());
+  EXPECT_EQ(ladder.level(), 0);
+}
+
+TEST(DegradationLadder, FloorProbesOnExponentialBackoff) {
+  LadderOptions options;
+  options.recover_after = 1;
+  options.probe_backoff_start = 2;
+  options.probe_backoff_max = 8;
+  DegradationLadder ladder(options);
+  for (int i = 0; i < 4; ++i) ladder.on_overrun();
+  ASSERT_TRUE(ladder.tracker_only());
+
+  // First probe after probe_backoff_start coast cycles.
+  EXPECT_FALSE(ladder.should_probe());
+  EXPECT_TRUE(ladder.should_probe());
+
+  // A failed probe doubles the backoff (2 -> 4): next probe 4 cycles out,
+  // and the level stays at the floor.
+  EXPECT_FALSE(ladder.on_overrun());
+  EXPECT_EQ(ladder.level(), DegradationLadder::kFloorLevel);
+  EXPECT_EQ(ladder.probe_backoff(), 4);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(ladder.should_probe());
+  EXPECT_TRUE(ladder.should_probe());
+
+  // Two more failures: 8, then capped at probe_backoff_max.
+  ladder.on_overrun();
+  EXPECT_EQ(ladder.probe_backoff(), 8);
+  ladder.on_overrun();
+  EXPECT_EQ(ladder.probe_backoff(), 8);
+
+  // A successful probe resets the backoff and climbs off the floor.
+  EXPECT_TRUE(ladder.on_success());
+  EXPECT_EQ(ladder.level(), 3);
+  EXPECT_FALSE(ladder.tracker_only());
+  EXPECT_FALSE(ladder.should_probe());
+}
+
+TEST(DegradationLadder, ApplyCapsAdaptiveSettingsOnly) {
+  DegradationLadder ladder;
+  // Level 0: everything passes through.
+  EXPECT_EQ(ladder.apply(ModelSetting::kYolov3_608), ModelSetting::kYolov3_608);
+  EXPECT_EQ(ladder.apply(ModelSetting::kYolov3_320), ModelSetting::kYolov3_320);
+
+  ladder.on_overrun();
+  ladder.on_overrun();  // level 2 -> cap 416
+  EXPECT_EQ(ladder.apply(ModelSetting::kYolov3_608), ModelSetting::kYolov3_416);
+  EXPECT_EQ(ladder.apply(ModelSetting::kYolov3_416), ModelSetting::kYolov3_416);
+  // The adapter may still choose *below* the cap (composition, not override).
+  EXPECT_EQ(ladder.apply(ModelSetting::kYolov3_320), ModelSetting::kYolov3_320);
+  // Non-adaptive settings are not the ladder's to manage.
+  EXPECT_EQ(ladder.apply(ModelSetting::kYolov3Tiny_320),
+            ModelSetting::kYolov3Tiny_320);
+  EXPECT_EQ(ladder.apply(ModelSetting::kYolov3_704_Oracle),
+            ModelSetting::kYolov3_704_Oracle);
+}
+
+TEST(DegradationLadder, ClampsDegenerateOptions) {
+  LadderOptions options;
+  options.trip_threshold = 0;
+  options.recover_after = -2;
+  options.probe_backoff_start = 0;
+  options.probe_backoff_max = -1;
+  DegradationLadder ladder(options);
+  EXPECT_TRUE(ladder.on_overrun());  // trip_threshold clamped to 1
+  ladder.on_overrun();
+  ladder.on_overrun();
+  ladder.on_overrun();
+  ASSERT_TRUE(ladder.tracker_only());
+  EXPECT_EQ(ladder.probe_backoff(), 1);  // start clamped to 1
+  EXPECT_TRUE(ladder.should_probe());
+  ladder.on_overrun();
+  EXPECT_EQ(ladder.probe_backoff(), 1);  // max clamped to start
+  EXPECT_TRUE(ladder.on_success());      // recover_after clamped to 1
+  EXPECT_EQ(ladder.level(), 3);
+}
+
+}  // namespace
+}  // namespace adavp

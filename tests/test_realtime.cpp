@@ -185,6 +185,26 @@ TEST(RealtimePipeline, TelemetryDisabledLeavesResultSnapshotEmpty) {
   EXPECT_TRUE(result.metrics.histograms.empty());
 }
 
+TEST(RealtimePipeline, UnsupervisedRunReportsCleanStatus) {
+  // The default pipeline (no supervisor, no fault plan) must behave exactly
+  // as before the fault-tolerance work: ok status, zero supervisor counters.
+  video::SyntheticVideo video(scene(21, 60));
+  video.precache();
+  RealtimeOptions options;
+  options.time_scale = 30.0;
+  const RealtimeResult result = run_realtime(video, options);
+  EXPECT_TRUE(result.status.ok()) << result.status.to_string();
+  EXPECT_FALSE(result.status.failed());
+  EXPECT_EQ(result.status.code(), StatusCode::kOk);
+  EXPECT_EQ(result.stats.watchdog_timeouts, 0);
+  EXPECT_EQ(result.stats.coast_cycles, 0);
+  EXPECT_EQ(result.stats.coast_frames, 0);
+  EXPECT_EQ(result.stats.degrade_steps_down, 0);
+  EXPECT_EQ(result.stats.degrade_steps_up, 0);
+  EXPECT_EQ(result.stats.max_degrade_level, 0);
+  EXPECT_EQ(result.stats.faults_injected, 0);
+}
+
 TEST(RealtimePipeline, RunsBackToBackWithoutLeakingThreads) {
   video::SyntheticVideo video(scene(13, 45));
   video.precache();

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -7,6 +9,7 @@
 #include <thread>
 
 #include "util/args.h"
+#include "util/closable_queue.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -342,6 +345,71 @@ TEST(ArgsTest, ExplicitFalse) {
   const char* argv[] = {"prog", "--flag=false"};
   Args args(2, argv);
   EXPECT_FALSE(args.get_bool("flag", true));
+}
+
+// ----------------------------------------------------- ClosableQueue ----
+
+TEST(ClosableQueue, DeliversInFifoOrder) {
+  ClosableQueue<int> queue;
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(ClosableQueue, DrainsQueuedItemsAfterCloseThenStops) {
+  ClosableQueue<int> queue;
+  queue.push(7);
+  queue.push(8);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.pop(), 7);  // drain-then-stop: nothing already queued is lost
+  EXPECT_EQ(queue.pop(), 8);
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());  // and it stays that way
+}
+
+TEST(ClosableQueue, PushAfterCloseDropsAndReportsIt) {
+  ClosableQueue<int> queue;
+  queue.close();
+  queue.close();  // idempotent
+  EXPECT_FALSE(queue.push(5));
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ClosableQueue, CloseWakesABlockedPop) {
+  ClosableQueue<int> queue;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_FALSE(queue.pop().has_value());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());  // genuinely parked in pop
+  queue.close();
+  waiter.join();  // hangs here if close() lost the wakeup
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ClosableQueue, ProducerConsumerHandoffUnderThreads) {
+  ClosableQueue<int> queue;
+  constexpr int kItems = 200;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) EXPECT_TRUE(queue.push(i));
+    queue.close();
+  });
+  int received = 0;
+  int last = -1;
+  while (const auto item = queue.pop()) {
+    EXPECT_EQ(*item, last + 1);  // FIFO preserved across the handoff
+    last = *item;
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kItems);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -320,6 +322,60 @@ TEST(CameraSourceTest, PushesAllFramesAndCloses) {
   const auto frames = buffer.drain_up_to(1000);
   EXPECT_EQ(frames.size(), 12u);
   EXPECT_EQ(frames.back().index, 11);
+}
+
+// ------------------------------------------- FrameBuffer shutdown path ---
+// A mid-run stop must wake every blocked consumer and never hang — the
+// supervisor's abort path closes the buffer from another thread while the
+// detector is parked in wait_newer.
+
+TEST(FrameBufferShutdownTest, CloseWakesABlockedWaiter) {
+  FrameBuffer buffer;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_FALSE(buffer.wait_newest().has_value());
+    // Once closed-and-empty, later waits return immediately too.
+    EXPECT_FALSE(buffer.wait_newer(100).has_value());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());  // genuinely parked, not spinning through
+  buffer.close();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(FrameBufferShutdownTest, PushAfterCloseIsSilentlyDropped) {
+  SyntheticVideo video(small_config(33, 4));
+  FrameStore store(video);
+  FrameBuffer buffer(8);
+  buffer.push(store.get(0));
+  buffer.push(store.get(1));
+  buffer.close();
+  buffer.push(store.get(2));  // producer racing the shutdown
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 0u);  // a shutdown race is not an overflow
+  // What was queued before the close still drains.
+  EXPECT_EQ(buffer.drain_up_to(10).size(), 2u);
+}
+
+TEST(FrameBufferShutdownTest, CloseDuringProductionUnblocksConsumer) {
+  SyntheticVideo video(small_config(35, 60));
+  FrameStore store(video);
+  FrameBuffer buffer(64);
+  std::thread consumer([&] {
+    int last = -1;
+    while (true) {
+      const auto frame = buffer.wait_newer(last);
+      if (!frame.has_value()) break;
+      last = frame->index;
+    }
+    EXPECT_FALSE(buffer.wait_newer(last).has_value());
+  });
+  for (int i = 0; i < 30; ++i) buffer.push(store.get(i));
+  buffer.close();
+  consumer.join();  // hangs here if a wakeup was lost
+  EXPECT_TRUE(buffer.closed());
 }
 
 TEST(CameraSourceTest, StopInterruptsEarly) {
