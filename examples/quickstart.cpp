@@ -3,12 +3,15 @@
 //
 //   $ ./quickstart [--frames 300] [--speed 1.5] [--pan 0.8] [--seed 7]
 //                  [--trace-out trace.json] [--metrics-out metrics.json]
+//                  [--faults "detector: stall p=0.05 ms=900 | tracker: starve p=0.1 frac=0.5"]
 //
 // Walks the public API in the order a new user meets it:
 //   1. describe a video        (video::SceneConfig / SyntheticVideo)
 //   2. get the trained adapter (core::pretrained_adapter)
 //   3. run the pipeline        (core::run_mpdt with an adapter == AdaVP)
 //   4. score the result        (core::score_run + metrics::video_accuracy)
+//      — and check run.status: kOk clean, kDegraded when injected faults
+//      were absorbed (--faults), kWorkerFailure when the engine aborted
 //   5. (--trace-out) rerun on the real three-thread pipeline with
 //      telemetry on and export a Chrome trace-event JSON of the
 //      camera / detector / tracker schedule — open it in Perfetto
@@ -17,6 +20,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/mpdt_pipeline.h"
 #include "core/realtime_pipeline.h"
@@ -25,6 +29,7 @@
 #include "metrics/accuracy.h"
 #include "obs/telemetry.h"
 #include "util/args.h"
+#include "util/fault_plan.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -49,12 +54,29 @@ int main(int argc, char** argv) {
   // 2. The model-setting adaptation module, trained offline (§IV-D3).
   const adapt::ModelAdapter adapter = core::pretrained_adapter();
 
-  // 3. AdaVP = the MPDT parallel pipeline + the adapter.
+  // 3. AdaVP = the MPDT parallel pipeline + the adapter. An optional
+  //    --faults plan exercises the detector / camera / tracker fault
+  //    channels; the run then reports kDegraded instead of kOk.
   core::MpdtOptions options;
   options.adapter = &adapter;
   options.setting = detect::ModelSetting::kYolov3_512;  // initial setting
   options.seed = scene.seed;
+  std::optional<util::FaultPlan> fault_plan;
+  const std::string fault_spec = args.get("faults", "");
+  if (!fault_spec.empty()) {
+    std::string error;
+    fault_plan = util::FaultPlan::parse(fault_spec, scene.seed, &error);
+    if (!fault_plan.has_value()) {
+      std::cerr << "error: bad --faults spec: " << error << "\n";
+      return 2;
+    }
+    options.fault_plan = &*fault_plan;
+  }
   const core::RunResult run = run_mpdt(video, options);
+  if (run.status.failed()) {
+    std::cerr << "error: pipeline failed: " << run.status.to_string() << "\n";
+    return 1;
+  }
 
   // 4. Score frame by frame against ground truth.
   const std::vector<double> f1 = score_run(run, video, /*iou=*/0.5);
@@ -81,6 +103,10 @@ int main(int argc, char** argv) {
   table.add_row({"model-setting switches", std::to_string(run.setting_switches)});
   table.add_row({"energy (total)", util::fmt(run.energy.total_wh() * 1000, 2) + " mWh"});
   table.add_row({"real-time factor", util::fmt(run.latency_multiplier, 3)});
+  table.add_row({"status", run.status.to_string()});
+  if (run.faults_injected > 0) {
+    table.add_row({"faults injected", std::to_string(run.faults_injected)});
+  }
   table.print();
 
   std::cout << "\nPer-cycle settings chosen by the adapter:\n  ";
@@ -112,7 +138,8 @@ int main(int argc, char** argv) {
     std::cout << "\nRealtime rerun: " << realtime.stats.frames_detected
               << " detections, " << realtime.stats.frames_tracked
               << " tracked frames, " << realtime.stats.tracking_tasks_cancelled
-              << " cancelled tasks\n";
+              << " cancelled tasks, status "
+              << realtime.status.to_string() << "\n";
     std::cout << realtime.metrics.to_text();
     if (!trace_out.empty()) {
       try {

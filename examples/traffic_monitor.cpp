@@ -59,6 +59,12 @@ int main(int argc, char** argv) {
   options.adapter = &adapter;
   options.seed = 20;
   const core::RunResult run = run_mpdt(video, options);
+  // A monitoring deployment must not silently alert off a broken run: a
+  // failed engine aborts, a degraded one is flagged alongside the alerts.
+  if (run.status.failed()) {
+    std::cerr << "error: pipeline failed: " << run.status.to_string() << "\n";
+    return 1;
+  }
 
   // Post-process the pipeline output: estimate per-vehicle velocities and
   // flag wrong-way movers (negative x-velocity against the median flow).
@@ -122,6 +128,7 @@ int main(int argc, char** argv) {
   table.add_row({"wrong-way alerts", std::to_string(alerts)});
   table.add_row({"mean F1 vs ground truth", util::fmt(mean_f1, 3)});
   table.add_row({"detection cycles", std::to_string(run.cycles.size())});
+  table.add_row({"pipeline status", run.status.to_string()});
   table.print();
   if (!dump_dir.empty()) {
     std::cout << "Overlaid frames written to " << dump_dir << "/traffic_*.pgm\n";

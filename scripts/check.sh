@@ -4,6 +4,8 @@
 #
 #   scripts/check.sh             # release preset
 #   scripts/check.sh tsan        # TSan build + `concurrency`-labeled tests
+#                                # (includes the seeded fault-replay and
+#                                # engine-equivalence determinism suites)
 #   scripts/check.sh debug
 #   scripts/check.sh --soak      # TSan build + the seeded fault soak only
 #

@@ -1,281 +1,221 @@
 #include "core/baselines.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "adapt/velocity.h"
-#include "detect/detector.h"
+#include "core/engine_runtime.h"
 #include "energy/power_model.h"
 #include "obs/telemetry.h"
-#include "track/latency.h"
 
 namespace adavp::core {
 
-namespace {
-
-std::vector<metrics::LabeledBox> to_boxes(const detect::DetectionResult& det) {
-  std::vector<metrics::LabeledBox> boxes;
-  boxes.reserve(det.detections.size());
-  for (const auto& d : det.detections) boxes.push_back({d.box, d.cls});
-  return boxes;
-}
-
-void fill_reused_frames(std::vector<FrameResult>& frames) {
-  int last_filled = -1;
-  for (std::size_t i = 0; i < frames.size(); ++i) {
-    if (frames[i].source != ResultSource::kNone) {
-      last_filled = static_cast<int>(i);
-      continue;
-    }
-    if (last_filled >= 0) {
-      const FrameResult& prev = frames[static_cast<std::size_t>(last_filled)];
-      frames[i].source = ResultSource::kReused;
-      frames[i].boxes = prev.boxes;
-      frames[i].setting = prev.setting;
-      frames[i].staleness_ms = prev.staleness_ms;
-    }
-  }
-}
-
-}  // namespace
-
 RunResult run_marlin(const video::SyntheticVideo& video,
                      const MarlinOptions& options) {
-  const int frame_count = video.frame_count();
-  const double interval = video.frame_interval_ms();
-  const int last = frame_count - 1;
-  obs::ScopedSpan run_span("run_marlin", "pipeline", frame_count, "frames");
+  obs::ScopedSpan run_span("run_marlin", "pipeline", video.frame_count(),
+                           "frames");
+  EngineContext ctx(video, {.seed = options.seed,
+                            .tracker = options.tracker,
+                            .frame_store = options.frame_store,
+                            .fault_plan = options.fault_plan});
+  if (ctx.frame_count == 0) return std::move(ctx.run);
 
-  RunResult run;
-  run.frames.resize(static_cast<std::size_t>(frame_count));
-  for (int i = 0; i < frame_count; ++i) {
-    run.frames[static_cast<std::size_t>(i)].frame_index = i;
-  }
-  if (frame_count == 0) return run;
-
-  video::FrameStore store(video, options.frame_store);
-  detect::SimulatedDetector detector(options.seed);
-  track::ObjectTracker tracker(options.tracker);
-  track::TrackLatencyModel latency(options.seed ^ 0xABCDULL);
-  energy::EnergyMeter meter;
   const detect::ModelSetting setting = options.setting;
-  const double gpu_w = energy::PowerModel::gpu_detect_w(setting, false);
   const double cpu_w = energy::PowerModel::cpu_track_w();
+  double t = ctx.capture_time_ms(0);
 
-  // Initial detection of frame 0.
-  double t = video.timestamp_ms(0);
-  detect::DetectionResult det = detector.detect(video, 0, setting);
-  meter.add_gpu_busy(gpu_w, det.latency_ms);
-  t += det.latency_ms;
-  run.frames[0] = {0, ResultSource::kDetector, to_boxes(det), setting,
-                   det.latency_ms};
-  run.cycles.push_back({0, setting, video.timestamp_ms(0), t, 0, 0, 0.0});
+  try {
+    // Initial detection of frame 0.
+    detect::DetectionResult det = ctx.detect_on_gpu(0, setting);
+    t += det.latency_ms;
+    ctx.record_detection(0, det, setting, t);
+    ctx.run.cycles.push_back(
+        {0, setting, ctx.capture_time_ms(0), t, 0, 0, 0.0});
 
-  tracker.set_reference(store.get(0).image(), det.detections);
-  const double extract0 = latency.feature_extraction_ms();
-  meter.add_cpu_busy(cpu_w, extract0);
-  t += extract0;  // sequential: extraction blocks the single pipeline
+    ctx.tracker().set_reference_at(ctx.frame(0).image(), det.detections, 0);
+    const double extract0 = ctx.latency.feature_extraction_ms();
+    ctx.meter.add_cpu_busy(cpu_w, extract0);
+    t += extract0;  // sequential: extraction blocks the single pipeline
 
-  int initial_features = tracker.live_feature_count();
-  int position = 0;       // last processed frame index
-  double last_detection_time = t;
+    int initial_features = ctx.tracker().live_feature_count();
+    int position = 0;  // last processed frame index
+    double last_detection_time = t;
 
-  while (position < last) {
-    // --- Tracking phase: follow the newest captured frame until a scene
-    // change (or guard) triggers the detector.
-    bool trigger = false;
-    double trigger_velocity = 0.0;
-    double drift_px = 0.0;  // cumulative scene drift since the reference
-    adapt::VelocityEstimator cycle_velocity;
-    int tracked_in_cycle = 0;
-    const double cycle_track_start = t;
+    while (position < ctx.last) {
+      // --- Tracking phase: follow the newest captured frame until a scene
+      // change (or guard) triggers the detector.
+      bool trigger = false;
+      double trigger_velocity = 0.0;
+      double drift_px = 0.0;  // cumulative scene drift since the reference
+      ctx.velocity.reset();
+      int tracked_in_cycle = 0;
+      const double cycle_track_start = t;
 
-    while (!trigger) {
-      int newest = std::min(last, static_cast<int>(std::floor(t / interval)));
-      if (newest <= position) {
-        if (position >= last) break;
-        newest = position + 1;
-        t = video.timestamp_ms(newest);  // wait for the capture
+      while (!trigger) {
+        int newest = ctx.newest_captured(t);
+        if (newest <= position) {
+          if (position >= ctx.last) break;
+          newest = position + 1;
+          t = ctx.capture_time_ms(newest);  // wait for the capture
+        }
+        // Catch-up policy (Fig. 4 baseline): after a detection the tracker
+        // works through the backlog that accumulated while the detector had
+        // the pipeline, handing *late but tracked* results to those frames.
+        // Tracking one frame costs ~2 frame intervals, so it must advance
+        // >= 3 frames per step to actually converge on the camera.
+        const int backlog = newest - position;
+        const int next_frame =
+            backlog <= 2 ? newest
+                         : std::min(newest, position + std::max(3, backlog / 3));
+        const int gap = next_frame - position;
+        const double step_cost =
+            ctx.latency.tracking_ms(ctx.tracker().object_count(),
+                                    ctx.tracker().live_feature_count()) +
+            ctx.latency.overlay_ms();
+        const video::FrameRef frame = ctx.frame(next_frame);
+        const track::TrackStepStats stats =
+            ctx.tracker().track_frame(frame.image(), gap, next_frame);
+        t += step_cost;
+        ctx.meter.add_cpu_busy(cpu_w, step_cost);
+        ctx.velocity.add_step(stats);
+        ++tracked_in_cycle;
+
+        FrameResult& result = ctx.run.frames[static_cast<std::size_t>(next_frame)];
+        result.source = ResultSource::kTracker;
+        result.boxes = ctx.tracker().current_boxes();
+        result.setting = setting;
+        result.staleness_ms = t - ctx.capture_time_ms(next_frame);
+        position = next_frame;
+
+        // Scene-change detector (cumulative drift + feature-loss + keyframe
+        // guard).
+        const double step_v = adapt::VelocityEstimator::step_velocity(stats);
+        drift_px += step_v * static_cast<double>(stats.frame_gap);
+        const bool features_depleted =
+            initial_features > 0 &&
+            ctx.tracker().live_feature_count() <
+                options.min_feature_fraction * initial_features;
+        if (drift_px > options.displacement_trigger_px || features_depleted ||
+            (t - last_detection_time) > options.max_cycle_ms) {
+          trigger = true;
+          trigger_velocity = step_v;
+        }
+        if (position >= ctx.last) break;
       }
-      // Catch-up policy (Fig. 4 baseline): after a detection the tracker
-      // works through the backlog that accumulated while the detector had
-      // the pipeline, handing *late but tracked* results to those frames.
-      // Tracking one frame costs ~2 frame intervals, so it must advance
-      // >= 3 frames per step to actually converge on the camera.
-      const int backlog = newest - position;
-      const int next_frame =
-          backlog <= 2 ? newest
-                       : std::min(newest, position + std::max(3, backlog / 3));
-      const int gap = next_frame - position;
-      const double step_cost =
-          latency.tracking_ms(tracker.object_count(),
-                              tracker.live_feature_count()) +
-          latency.overlay_ms();
-      const video::FrameRef frame = store.get(next_frame);
-      const track::TrackStepStats stats =
-          tracker.track_to(frame.image(), gap);
-      t += step_cost;
-      meter.add_cpu_busy(cpu_w, step_cost);
-      cycle_velocity.add_step(stats);
-      ++tracked_in_cycle;
-
-      FrameResult& result = run.frames[static_cast<std::size_t>(next_frame)];
-      result.source = ResultSource::kTracker;
-      result.boxes = tracker.current_boxes();
-      result.setting = setting;
-      result.staleness_ms = t - video.timestamp_ms(next_frame);
-      position = next_frame;
-
-      // Scene-change detector (cumulative drift + feature-loss + keyframe
-      // guard).
-      const double step_v = adapt::VelocityEstimator::step_velocity(stats);
-      drift_px += step_v * static_cast<double>(stats.frame_gap);
-      const bool features_depleted =
-          initial_features > 0 &&
-          tracker.live_feature_count() <
-              options.min_feature_fraction * initial_features;
-      if (drift_px > options.displacement_trigger_px || features_depleted ||
-          (t - last_detection_time) > options.max_cycle_ms) {
-        trigger = true;
-        trigger_velocity = step_v;
+      if (position >= ctx.last) {
+        ctx.run.cycles.push_back({position, setting, cycle_track_start, t,
+                                  tracked_in_cycle, tracked_in_cycle,
+                                  ctx.velocity.mean_velocity()});
+        break;
       }
-      if (position >= last) break;
+
+      // --- Detection phase (tracker stopped; frames pile up untracked).
+      int target = ctx.newest_captured(t);
+      if (target <= position) target = std::min(ctx.last, position + 1);
+      const double det_start = std::max(t, ctx.capture_time_ms(target));
+      det = ctx.detect_on_gpu(target, setting);
+      t = det_start + det.latency_ms;
+      last_detection_time = t;
+      ctx.record_detection(target, det, setting, t);
+
+      ctx.store().trim_below(position);  // the old cycle's frames are done
+      ctx.tracker().set_reference_at(ctx.frame(target).image(), det.detections,
+                                     target);
+      const double extract = ctx.latency.feature_extraction_ms();
+      ctx.meter.add_cpu_busy(cpu_w, extract);
+      t += extract;
+      initial_features = ctx.tracker().live_feature_count();
+      position = target;
+
+      ctx.run.cycles.push_back({target, setting, cycle_track_start, t,
+                                tracked_in_cycle, tracked_in_cycle,
+                                ctx.velocity.mean_velocity() > 0.0
+                                    ? ctx.velocity.mean_velocity()
+                                    : trigger_velocity});
+      if (obs::Telemetry::enabled()) {
+        obs::MetricsRegistry& reg = obs::metrics();
+        reg.counter("marlin", "cycles").add();
+        reg.counter("marlin", "frames_tracked")
+            .add(static_cast<std::uint64_t>(tracked_in_cycle));
+        reg.latency_histogram("marlin", "cycle_ms").record(t - cycle_track_start);
+      }
     }
-    if (position >= last) {
-      run.cycles.push_back({position, setting, cycle_track_start, t,
-                            tracked_in_cycle, tracked_in_cycle,
-                            cycle_velocity.mean_velocity()});
-      break;
-    }
-
-    // --- Detection phase (tracker stopped; frames pile up untracked).
-    int target = std::min(last, static_cast<int>(std::floor(t / interval)));
-    if (target <= position) target = std::min(last, position + 1);
-    const double det_start = std::max(t, video.timestamp_ms(target));
-    det = detector.detect(video, target, setting);
-    meter.add_gpu_busy(gpu_w, det.latency_ms);
-    t = det_start + det.latency_ms;
-    last_detection_time = t;
-
-    FrameResult& result = run.frames[static_cast<std::size_t>(target)];
-    result.source = ResultSource::kDetector;
-    result.boxes = to_boxes(det);
-    result.setting = setting;
-    result.staleness_ms = t - video.timestamp_ms(target);
-
-    store.trim_below(position);  // the old cycle's frames are done
-    tracker.set_reference(store.get(target).image(), det.detections);
-    const double extract = latency.feature_extraction_ms();
-    meter.add_cpu_busy(cpu_w, extract);
-    t += extract;
-    initial_features = tracker.live_feature_count();
-    position = target;
-
-    run.cycles.push_back({target, setting, cycle_track_start, t,
-                          tracked_in_cycle, tracked_in_cycle,
-                          cycle_velocity.mean_velocity() > 0.0
-                              ? cycle_velocity.mean_velocity()
-                              : trigger_velocity});
-    if (obs::Telemetry::enabled()) {
-      obs::MetricsRegistry& reg = obs::metrics();
-      reg.counter("marlin", "cycles").add();
-      reg.counter("marlin", "frames_tracked")
-          .add(static_cast<std::uint64_t>(tracked_in_cycle));
-      reg.latency_histogram("marlin", "cycle_ms").record(t - cycle_track_start);
-    }
+  } catch (const std::exception& e) {
+    ctx.fail(std::string("marlin engine: ") + e.what());
   }
 
-  fill_reused_frames(run.frames);
-  const double video_duration = static_cast<double>(frame_count) * interval;
-  run.timeline_ms = std::max(video_duration, t);
-  run.latency_multiplier = run.timeline_ms / video_duration;
-  run.energy = meter.finish(run.timeline_ms);
-  run.frame_store = store.stats();
-  return run;
+  ctx.clock->set(t);
+  ctx.finish();
+  return std::move(ctx.run);
 }
 
 RunResult run_detect_only(const video::SyntheticVideo& video,
                           const DetectOnlyOptions& options) {
-  const int frame_count = video.frame_count();
-  const double interval = video.frame_interval_ms();
-  const int last = frame_count - 1;
-  obs::ScopedSpan run_span("run_detect_only", "pipeline", frame_count, "frames");
+  obs::ScopedSpan run_span("run_detect_only", "pipeline", video.frame_count(),
+                           "frames");
+  EngineContext ctx(video, {.seed = options.seed,
+                            .fault_plan = options.fault_plan});
+  if (ctx.frame_count == 0) return std::move(ctx.run);
 
-  RunResult run;
-  run.frames.resize(static_cast<std::size_t>(frame_count));
-  for (int i = 0; i < frame_count; ++i) {
-    run.frames[static_cast<std::size_t>(i)].frame_index = i;
-  }
-  if (frame_count == 0) return run;
-
-  detect::SimulatedDetector detector(options.seed);
-  energy::EnergyMeter meter;
-  const double gpu_w = energy::PowerModel::gpu_detect_w(options.setting, false);
-
-  int index = 0;
-  double t = video.timestamp_ms(0);
-  while (true) {
-    const detect::DetectionResult det = detector.detect(video, index, options.setting);
-    meter.add_gpu_busy(gpu_w, det.latency_ms);
-    t += det.latency_ms;
-    FrameResult& result = run.frames[static_cast<std::size_t>(index)];
-    result.source = ResultSource::kDetector;
-    result.boxes = to_boxes(det);
-    result.setting = options.setting;
-    result.staleness_ms = t - video.timestamp_ms(index);
-    run.cycles.push_back({index, options.setting, t - det.latency_ms, t, 0, 0, 0.0});
-    if (index >= last) break;
-    int next = std::min(last, static_cast<int>(std::floor(t / interval)));
-    if (next <= index) {
-      next = index + 1;
-      t = video.timestamp_ms(next);
+  try {
+    int index = 0;
+    double t = ctx.capture_time_ms(0);
+    while (true) {
+      const detect::DetectionResult det =
+          ctx.detect_on_gpu(index, options.setting);
+      t += det.latency_ms;
+      ctx.record_detection(index, det, options.setting, t);
+      ctx.run.cycles.push_back(
+          {index, options.setting, t - det.latency_ms, t, 0, 0, 0.0});
+      if (index >= ctx.last) break;
+      int next = ctx.newest_captured(t);
+      if (next <= index) {
+        next = index + 1;
+        t = ctx.capture_time_ms(next);
+      }
+      index = next;
+      ctx.clock->set(t);
     }
-    index = next;
+    ctx.clock->set(t);
+  } catch (const std::exception& e) {
+    ctx.fail(std::string("detect-only engine: ") + e.what());
   }
 
-  fill_reused_frames(run.frames);
-  const double video_duration = static_cast<double>(frame_count) * interval;
-  run.timeline_ms = std::max(video_duration, t);
-  run.latency_multiplier = run.timeline_ms / video_duration;
-  run.energy = meter.finish(run.timeline_ms);
-  return run;
+  ctx.finish();
+  return std::move(ctx.run);
 }
 
 RunResult run_continuous(const video::SyntheticVideo& video,
                          const DetectOnlyOptions& options) {
-  const int frame_count = video.frame_count();
-  obs::ScopedSpan run_span("run_continuous", "pipeline", frame_count, "frames");
+  obs::ScopedSpan run_span("run_continuous", "pipeline", video.frame_count(),
+                           "frames");
+  EngineContext ctx(video, {.seed = options.seed,
+                            .fault_plan = options.fault_plan});
+  if (ctx.frame_count == 0) return std::move(ctx.run);
 
-  RunResult run;
-  run.frames.resize(static_cast<std::size_t>(frame_count));
-  if (frame_count == 0) return run;
-
-  detect::SimulatedDetector detector(options.seed);
-  energy::EnergyMeter meter;
-  const double gpu_w = energy::PowerModel::gpu_detect_w(options.setting, true);
   const double cpu_w = energy::PowerModel::cpu_feed_w(options.setting);
 
-  double t = 0.0;
-  for (int i = 0; i < frame_count; ++i) {
-    const detect::DetectionResult det = detector.detect(video, i, options.setting);
-    meter.add_gpu_busy(gpu_w, det.latency_ms);
-    meter.add_cpu_busy(cpu_w, det.latency_ms);
-    t += det.latency_ms;
-    FrameResult& result = run.frames[static_cast<std::size_t>(i)];
-    result.frame_index = i;
-    result.source = ResultSource::kDetector;
-    result.boxes = to_boxes(det);
-    result.setting = options.setting;
-    result.staleness_ms = t - video.timestamp_ms(i);
-    run.cycles.push_back({i, options.setting, t - det.latency_ms, t, 0, 0, 0.0});
+  try {
+    for (int i = 0; i < ctx.frame_count; ++i) {
+      const detect::DetectionResult det =
+          ctx.detect_on_gpu(i, options.setting, /*continuous=*/true);
+      ctx.meter.add_cpu_busy(cpu_w, det.latency_ms);
+      ctx.clock->occupy(det.latency_ms);
+      const double t = ctx.clock->now_ms();
+      ctx.record_detection(i, det, options.setting, t);
+      ctx.run.cycles.push_back(
+          {i, options.setting, t - det.latency_ms, t, 0, 0, 0.0});
+    }
+  } catch (const std::exception& e) {
+    ctx.fail(std::string("continuous engine: ") + e.what());
   }
 
-  const double video_duration =
-      static_cast<double>(frame_count) * video.frame_interval_ms();
-  run.timeline_ms = std::max(video_duration, t);
-  run.latency_multiplier = t / video_duration;
-  run.energy = meter.finish(run.timeline_ms);
-  return run;
+  const double processing_ms = ctx.clock->now_ms();
+  ctx.finish();
+  // Continuous mode reports how much *longer* than the video the
+  // back-to-back inference takes, even when it happens to finish early.
+  ctx.run.latency_multiplier =
+      processing_ms /
+      (static_cast<double>(ctx.frame_count) * ctx.interval_ms);
+  return std::move(ctx.run);
 }
 
 }  // namespace adavp::core

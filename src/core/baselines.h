@@ -4,6 +4,7 @@
 
 #include "core/run_result.h"
 #include "track/tracker.h"
+#include "util/fault_plan.h"
 #include "video/frame_store.h"
 #include "video/scene.h"
 
@@ -31,6 +32,9 @@ struct MarlinOptions {
   track::TrackerParams tracker;
   /// Zero-copy frame path tuning (see MpdtOptions::frame_store).
   video::FrameStoreOptions frame_store;
+  /// Non-null => deterministic fault injection (detector / camera /
+  /// tracker channels; see EngineOptions::fault_plan). Must outlive the run.
+  const util::FaultPlan* fault_plan = nullptr;
 };
 
 /// Runs the sequential MARLIN baseline over a synthetic video.
@@ -40,6 +44,9 @@ RunResult run_marlin(const video::SyntheticVideo& video, const MarlinOptions& op
 struct DetectOnlyOptions {
   detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
   std::uint64_t seed = 1234;
+  /// Non-null => fault injection. Only the "detector" channel (and camera
+  /// hiccup timing) can matter here: these baselines never touch pixels.
+  const util::FaultPlan* fault_plan = nullptr;
 };
 
 /// The paper's "Without Tracking" baseline: the DNN always fetches the

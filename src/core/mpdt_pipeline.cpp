@@ -1,219 +1,98 @@
 #include "core/mpdt_pipeline.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include <memory>
-
-#include "adapt/velocity.h"
-#include "detect/calibration.h"
-#include "energy/power_model.h"
 #include "obs/telemetry.h"
-#include "track/descriptor_tracker.h"
 
 namespace adavp::core {
 
-namespace {
-
-std::vector<metrics::LabeledBox> to_boxes(const detect::DetectionResult& det) {
-  std::vector<metrics::LabeledBox> boxes;
-  boxes.reserve(det.detections.size());
-  for (const auto& d : det.detections) boxes.push_back({d.box, d.cls});
-  return boxes;
-}
-
-/// Fills frames the tracker skipped (or start-up frames after the first
-/// result exists) with the previous frame's boxes, per §IV-C: "the frames
-/// that are not selected by the tracker use the location and label of
-/// objects from the previous tracked or detected frame".
-void fill_reused_frames(std::vector<FrameResult>& frames) {
-  int last_filled = -1;
-  for (std::size_t i = 0; i < frames.size(); ++i) {
-    if (frames[i].source != ResultSource::kNone) {
-      last_filled = static_cast<int>(i);
-      continue;
-    }
-    if (last_filled >= 0) {
-      const FrameResult& prev = frames[static_cast<std::size_t>(last_filled)];
-      frames[i].source = ResultSource::kReused;
-      frames[i].boxes = prev.boxes;
-      frames[i].setting = prev.setting;
-      frames[i].staleness_ms = prev.staleness_ms;
-    }
-  }
-}
-
-}  // namespace
-
 RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& options) {
-  const int frame_count = video.frame_count();
-  const double interval = video.frame_interval_ms();
-  const int last = frame_count - 1;
-  obs::ScopedSpan run_span("run_mpdt", "pipeline", frame_count, "frames");
-
-  RunResult run;
-  run.frames.resize(static_cast<std::size_t>(frame_count));
-  for (int i = 0; i < frame_count; ++i) run.frames[static_cast<std::size_t>(i)].frame_index = i;
-  if (frame_count == 0) return run;
-
-  video::FrameStore store(video, options.frame_store);
-  detect::SimulatedDetector detector(options.seed);
-  std::unique_ptr<track::TrackerInterface> tracker_owner;
-  if (options.backend == TrackerBackend::kDescriptor) {
-    tracker_owner = std::make_unique<track::DescriptorTracker>();
-  } else {
-    tracker_owner = std::make_unique<track::ObjectTracker>(options.tracker);
-  }
-  track::TrackerInterface& tracker = *tracker_owner;
-  track::TrackingFrameSelector selector;
-  track::TrackLatencyModel latency(options.seed ^ 0xABCDULL);
-  adapt::VelocityEstimator velocity;
-  energy::EnergyMeter meter;
+  obs::ScopedSpan run_span("run_mpdt", "pipeline", video.frame_count(), "frames");
+  EngineContext ctx(video, {.seed = options.seed,
+                            .tracker = options.tracker,
+                            .backend = options.backend,
+                            .frame_store = options.frame_store,
+                            .fault_plan = options.fault_plan});
+  if (ctx.frame_count == 0) return std::move(ctx.run);
 
   detect::ModelSetting setting = options.setting;
   double previous_velocity = 0.0;
   bool have_velocity = false;
 
-  // Cycle 0: detect frame 0; nothing to track yet.
-  detect::DetectionResult ref = detector.detect(video, 0, setting);
-  double t = video.timestamp_ms(0) + ref.latency_ms;
-  meter.add_gpu_busy(energy::PowerModel::gpu_detect_w(setting, false),
-                     ref.latency_ms);
-  {
-    FrameResult& r0 = run.frames[0];
-    r0.source = ResultSource::kDetector;
-    r0.boxes = to_boxes(ref);
-    r0.setting = setting;
-    r0.staleness_ms = ref.latency_ms;
-  }
-  run.cycles.push_back({0, setting, video.timestamp_ms(0), t, 0, 0, 0.0});
+  try {
+    // Cycle 0: detect frame 0; nothing to track yet.
+    detect::DetectionResult ref = ctx.detect_on_gpu(0, setting);
+    ctx.clock->set(ctx.capture_time_ms(0) + ref.latency_ms);
+    ctx.record_detection(0, ref, setting, ctx.clock->now_ms());
+    ctx.run.cycles.push_back(
+        {0, setting, ctx.capture_time_ms(0), ctx.clock->now_ms(), 0, 0, 0.0});
 
-  int ref_index = 0;
-  while (ref_index < last) {
-    // The detector fetches the newest frame captured by time t.
-    int next_index = std::min(
-        last, static_cast<int>(std::floor(t / interval)));
-    if (next_index <= ref_index) {
-      // Detector outpaced the camera; wait for the next capture.
-      next_index = ref_index + 1;
-      t = video.timestamp_ms(next_index);
-    }
+    int ref_index = 0;
+    while (ref_index < ctx.last) {
+      // The detector fetches the newest frame captured by time t.
+      int next_index = ctx.newest_captured(ctx.clock->now_ms());
+      if (next_index <= ref_index) {
+        // Detector outpaced the camera; wait for the next capture.
+        next_index = ref_index + 1;
+        ctx.clock->set(ctx.capture_time_ms(next_index));
+      }
 
-    // Model adaptation: the velocity measured during the cycle that just
-    // ended picks the frame size for the cycle about to start (§IV-D3).
-    if (options.adapter != nullptr && have_velocity) {
-      const detect::ModelSetting next_setting =
-          options.adapter->next_setting(previous_velocity, setting);
-      if (next_setting != setting) {
-        ++run.setting_switches;
-        if (obs::Telemetry::enabled()) {
-          obs::metrics().counter("adapter", "switches").add();
+      // Model adaptation: the velocity measured during the cycle that just
+      // ended picks the frame size for the cycle about to start (§IV-D3).
+      if (options.adapter != nullptr && have_velocity) {
+        const detect::ModelSetting next_setting =
+            options.adapter->next_setting(previous_velocity, setting);
+        if (next_setting != setting) {
+          ++ctx.run.setting_switches;
+          if (obs::Telemetry::enabled()) {
+            obs::metrics().counter("adapter", "switches").add();
+          }
+          setting = next_setting;
         }
-        setting = next_setting;
       }
-    }
 
-    const double cycle_start = t;
-    const detect::DetectionResult detection =
-        detector.detect(video, next_index, setting);
-    const double cycle_end = cycle_start + detection.latency_ms;
-    meter.add_gpu_busy(energy::PowerModel::gpu_detect_w(setting, false),
-                       detection.latency_ms);
+      const double cycle_start = ctx.clock->now_ms();
+      const detect::DetectionResult detection =
+          ctx.detect_on_gpu(next_index, setting);
+      const double cycle_end = cycle_start + detection.latency_ms;
 
-    // --- Tracker side of the cycle (parallel, on the CPU) ---------------
-    // Re-arm the tracker from the reference detection, then propagate it
-    // across the frames accumulated between the reference and the frame
-    // the detector is now busy with. All frame pixels come from the shared
-    // store: one render per frame per run, shared by reference.
-    store.trim_below(ref_index);  // frames behind the reference are done
-    const video::FrameRef ref_frame = store.get(ref_index);
-    tracker.set_reference(ref_frame.image(), ref.detections);
-    const double extract_ms = latency.feature_extraction_ms();
-    double cpu_clock = cycle_start + extract_ms;
-    meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), extract_ms);
-
-    const int frames_between = next_index - 1 - ref_index;
-    std::vector<int> offsets;
-    switch (options.selection) {
-      case SelectionPolicy::kAdaptiveFraction:
-        offsets = selector.select(frames_between);
-        break;
-      case SelectionPolicy::kTrackAll:
-        for (int k = 1; k <= frames_between; ++k) offsets.push_back(k);
-        break;
-      case SelectionPolicy::kNewestOnly:
-        if (frames_between > 0) offsets.push_back(frames_between);
-        break;
-    }
-    velocity.reset();
-    int tracked = 0;
-    int prev_offset = 0;
-    for (int offset : offsets) {
-      const double step_cost =
-          latency.tracking_ms(tracker.object_count(), tracker.live_feature_count()) +
-          latency.overlay_ms();
-      if (cpu_clock + step_cost > cycle_end) {
-        // Detector fetched its next frame: remaining tracking tasks are
-        // cancelled (§IV-B) and those frames fall back to reuse.
-        break;
+      // Tracker side of the cycle (parallel, on the CPU).
+      const EngineContext::Catchup batch =
+          ctx.track_catchup(ref_index, ref.detections, next_index, cycle_start,
+                            cycle_end, setting, options.selection);
+      if (batch.velocity_steps > 0) {
+        previous_velocity = batch.mean_velocity;
+        have_velocity = true;
       }
-      const int frame_index = ref_index + offset;
-      const video::FrameRef frame = store.get(frame_index);
-      const track::TrackStepStats stats =
-          tracker.track_to(frame.image(), offset - prev_offset);
-      velocity.add_step(stats);
-      cpu_clock += step_cost;
-      meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), step_cost);
 
-      FrameResult& result = run.frames[static_cast<std::size_t>(frame_index)];
-      result.source = ResultSource::kTracker;
-      result.boxes = tracker.current_boxes();
-      result.setting = setting;
-      result.staleness_ms = cpu_clock - video.timestamp_ms(frame_index);
-      ++tracked;
-      prev_offset = offset;
+      ctx.record_detection(next_index, detection, setting, cycle_end);
+      ctx.run.cycles.push_back({next_index, setting, cycle_start, cycle_end,
+                                batch.frames_between, batch.tracked,
+                                batch.velocity_steps > 0 ? batch.mean_velocity
+                                                         : previous_velocity});
+      if (obs::Telemetry::enabled()) {
+        // Virtual-time pipeline: cycle durations are modeled, not
+        // wall-clock, so they land in metrics (not the span tracer, which
+        // is steady-clock).
+        obs::MetricsRegistry& reg = obs::metrics();
+        reg.counter("mpdt", "cycles").add();
+        reg.counter("mpdt", "frames_tracked")
+            .add(static_cast<std::uint64_t>(batch.tracked));
+        reg.latency_histogram("mpdt", "cycle_ms").record(cycle_end - cycle_start);
+        reg.histogram("mpdt", "backlog_frames",
+                      {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64})
+            .record(static_cast<double>(batch.frames_between));
+      }
+      ref = detection;
+      ref_index = next_index;
+      ctx.clock->set(cycle_end);
     }
-    if (frames_between > 0) selector.update(std::max(tracked, 1), frames_between);
-    if (velocity.step_count() > 0) {
-      previous_velocity = velocity.mean_velocity();
-      have_velocity = true;
-    }
-
-    // --- Detector result for the fetched frame ---------------------------
-    FrameResult& detected = run.frames[static_cast<std::size_t>(next_index)];
-    detected.source = ResultSource::kDetector;
-    detected.boxes = to_boxes(detection);
-    detected.setting = setting;
-    detected.staleness_ms = cycle_end - video.timestamp_ms(next_index);
-
-    run.cycles.push_back({next_index, setting, cycle_start, cycle_end,
-                          frames_between, tracked,
-                          velocity.step_count() > 0 ? velocity.mean_velocity()
-                                                    : previous_velocity});
-    if (obs::Telemetry::enabled()) {
-      // Virtual-time pipeline: cycle durations are modeled, not wall-clock,
-      // so they land in metrics (not the span tracer, which is steady-clock).
-      obs::MetricsRegistry& reg = obs::metrics();
-      reg.counter("mpdt", "cycles").add();
-      reg.counter("mpdt", "frames_tracked").add(static_cast<std::uint64_t>(tracked));
-      reg.latency_histogram("mpdt", "cycle_ms").record(cycle_end - cycle_start);
-      reg.histogram("mpdt", "backlog_frames",
-                    {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64})
-          .record(static_cast<double>(frames_between));
-    }
-    ref = detection;
-    ref_index = next_index;
-    t = cycle_end;
+  } catch (const std::exception& e) {
+    ctx.fail(std::string("mpdt engine: ") + e.what());
   }
 
-  fill_reused_frames(run.frames);
-
-  const double video_duration = static_cast<double>(frame_count) * interval;
-  run.timeline_ms = std::max(video_duration, t);
-  run.latency_multiplier = run.timeline_ms / video_duration;
-  run.energy = meter.finish(run.timeline_ms);
-  run.frame_store = store.stats();
-  return run;
+  ctx.finish();
+  return std::move(ctx.run);
 }
 
 }  // namespace adavp::core

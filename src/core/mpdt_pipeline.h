@@ -3,32 +3,15 @@
 #include <cstdint>
 
 #include "adapt/adapter.h"
+#include "core/engine_runtime.h"
 #include "core/run_result.h"
 #include "detect/detector.h"
-#include "track/frame_selection.h"
-#include "track/latency.h"
-#include "track/tracker.h"
-#include "video/frame_store.h"
 #include "video/scene.h"
 
 namespace adavp::core {
 
-/// How the tracker picks which buffered frames to process (ablation knob;
-/// the paper's scheme is kAdaptiveFraction, §IV-C).
-enum class SelectionPolicy {
-  kAdaptiveFraction,  ///< paper: h_t = p * f_t at regular intervals
-  kTrackAll,          ///< try every frame oldest-first (overruns the cycle)
-  kNewestOnly,        ///< track only the newest frame of each cycle
-};
-
-/// Which feature tracker implementation the pipeline runs (ablation knob;
-/// §IV-C: the paper evaluated several and chose good-features + LK).
-enum class TrackerBackend {
-  kLucasKanade,  ///< paper: good features to track + pyramidal LK
-  kDescriptor,   ///< FAST + BRIEF matching (ORB-style alternative)
-};
-
-/// Options for an MPDT / AdaVP run.
+/// Options for an MPDT / AdaVP run. (SelectionPolicy and TrackerBackend
+/// live in core/engine_runtime.h with the rest of the shared runtime.)
 struct MpdtOptions {
   /// Fixed model setting (MPDT baseline) and the initial setting for AdaVP.
   detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
@@ -46,6 +29,11 @@ struct MpdtOptions {
   /// tests/test_frame_store.cpp pins as the FrameRef-conversion
   /// equivalence check.
   video::FrameStoreOptions frame_store;
+  /// Non-null => deterministic fault injection across the detector, camera
+  /// and tracker channels (see EngineOptions::fault_plan). The plan must
+  /// outlive the run. The run's RunResult::status reports kDegraded when
+  /// faults were absorbed, kWorkerFailure on an injected throw.
+  const util::FaultPlan* fault_plan = nullptr;
 };
 
 /// Runs the Mobile Parallel Detection and Tracking pipeline (§IV-B) over a
@@ -65,7 +53,9 @@ struct MpdtOptions {
 ///
 /// Tracking runs on the real image substrate (rendered frames, Shi-Tomasi,
 /// pyramidal LK); only the detector output and the component *latencies*
-/// come from the calibrated models.
+/// come from the calibrated models. The engine itself is a policy over
+/// core::EngineContext — the clock, frame store, fault channels, catch-up
+/// loop and epilogue are the shared runtime's.
 RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& options);
 
 }  // namespace adavp::core

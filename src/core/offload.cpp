@@ -1,42 +1,16 @@
 #include "core/offload.h"
 
-#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
-#include "adapt/velocity.h"
-#include "detect/detector.h"
-#include "energy/power_model.h"
-#include "track/frame_selection.h"
-#include "track/latency.h"
+#include "core/engine_runtime.h"
 #include "util/rng.h"
+#include "vision/codec.h"
 
 namespace adavp::core {
 
 namespace {
-
-std::vector<metrics::LabeledBox> to_boxes(const detect::DetectionResult& det) {
-  std::vector<metrics::LabeledBox> boxes;
-  boxes.reserve(det.detections.size());
-  for (const auto& d : det.detections) boxes.push_back({d.box, d.cls});
-  return boxes;
-}
-
-void fill_reused_frames(std::vector<FrameResult>& frames) {
-  int last_filled = -1;
-  for (std::size_t i = 0; i < frames.size(); ++i) {
-    if (frames[i].source != ResultSource::kNone) {
-      last_filled = static_cast<int>(i);
-      continue;
-    }
-    if (last_filled >= 0) {
-      const FrameResult& prev = frames[static_cast<std::size_t>(last_filled)];
-      frames[i].source = ResultSource::kReused;
-      frames[i].boxes = prev.boxes;
-      frames[i].setting = prev.setting;
-      frames[i].staleness_ms = prev.staleness_ms;
-    }
-  }
-}
 
 /// WiFi/LTE radio power while transmitting a frame (rough handset figure).
 constexpr double kRadioTransmitW = 1.1;
@@ -51,124 +25,96 @@ double offload_round_trip_ms(const OffloadOptions& options) {
 
 RunResult run_offload(const video::SyntheticVideo& video,
                       const OffloadOptions& options) {
-  const int frame_count = video.frame_count();
-  const double interval = video.frame_interval_ms();
-  const int last = frame_count - 1;
-
-  RunResult run;
-  run.frames.resize(static_cast<std::size_t>(frame_count));
-  for (int i = 0; i < frame_count; ++i) {
-    run.frames[static_cast<std::size_t>(i)].frame_index = i;
-  }
-  if (frame_count == 0) return run;
+  EngineContext ctx(video, {.seed = options.seed,
+                            .tracker = options.tracker,
+                            .frame_store = options.frame_store,
+                            .fault_plan = options.fault_plan});
+  if (ctx.frame_count == 0) return std::move(ctx.run);
 
   // The server runs the full-size model; its accuracy is YOLOv3-608's.
   const detect::ModelSetting remote_setting = detect::ModelSetting::kYolov3_608;
-  video::FrameStore store(video, options.frame_store);
-  detect::SimulatedDetector detector(options.seed);
-  track::ObjectTracker tracker(options.tracker);
-  track::TrackingFrameSelector selector;
-  track::TrackLatencyModel latency(options.seed ^ 0xABCDULL);
-  adapt::VelocityEstimator velocity;
-  energy::EnergyMeter meter;
   util::Rng rng(options.seed ^ 0x0FF10ADULL);
+  const double flat_transmit_ms =
+      options.frame_bytes * 8.0 / (options.bandwidth_mbps * 1000.0);
 
-  const double mean_round_trip = offload_round_trip_ms(options);
-  auto sample_round_trip = [&]() {
+  // Upload of one frame. With codec_quality > 0 the frame really goes
+  // through the intra-frame codec: the transmit time comes from the actual
+  // bitstream size and the server-side decode is verified — a corrupt
+  // bitstream surfaces as the run's Status, never silently.
+  auto uplink = [&](int index, double* transmit_ms) -> util::Status {
+    if (options.codec_quality <= 0) {
+      *transmit_ms = flat_transmit_ms;
+      return util::Status();
+    }
+    const std::vector<std::uint8_t> bits =
+        vision::encode_frame(ctx.frame(index).image(), options.codec_quality);
+    vision::ImageU8 server_view;
+    const util::Status decoded = vision::decode_frame(bits, &server_view);
+    if (!decoded.ok()) return decoded;
+    *transmit_ms = static_cast<double>(bits.size()) * 8.0 /
+                   (options.bandwidth_mbps * 1000.0);
+    return util::Status();
+  };
+  auto sample_round_trip = [&](double transmit_ms) {
     // Unpredictable network latency: positively skewed jitter.
     const double jitter =
         std::abs(rng.gaussian(0.0, options.jitter_frac * options.rtt_ms));
-    return mean_round_trip + jitter;
+    return transmit_ms + options.rtt_ms + options.server_latency_ms + jitter;
   };
-  const double transmit_ms =
-      options.frame_bytes * 8.0 / (options.bandwidth_mbps * 1000.0);
 
-  // First request: frame 0.
-  detect::DetectionResult ref = detector.detect(video, 0, remote_setting);
-  double t = video.timestamp_ms(0) + sample_round_trip();
-  meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
-  {
-    FrameResult& r0 = run.frames[0];
-    r0.source = ResultSource::kDetector;
-    r0.boxes = to_boxes(ref);
-    r0.setting = remote_setting;
-    r0.staleness_ms = t - video.timestamp_ms(0);
-  }
-  run.cycles.push_back({0, remote_setting, video.timestamp_ms(0), t, 0, 0, 0.0});
+  try {
+    // First request: frame 0.
+    double transmit_ms = 0.0;
+    util::Status up = uplink(0, &transmit_ms);
+    if (!up.ok()) {
+      ctx.run.status = up;
+    } else {
+      detect::DetectionResult ref = ctx.detect(0, remote_setting);
+      ctx.clock->set(ctx.capture_time_ms(0) + sample_round_trip(transmit_ms));
+      ctx.meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
+      ctx.record_detection(0, ref, remote_setting, ctx.clock->now_ms());
+      ctx.run.cycles.push_back({0, remote_setting, ctx.capture_time_ms(0),
+                                ctx.clock->now_ms(), 0, 0, 0.0});
 
-  int ref_index = 0;
-  while (ref_index < last) {
-    int next_index = std::min(last, static_cast<int>(std::floor(t / interval)));
-    if (next_index <= ref_index) {
-      next_index = ref_index + 1;
-      t = video.timestamp_ms(next_index);
+      int ref_index = 0;
+      while (ref_index < ctx.last) {
+        int next_index = ctx.newest_captured(ctx.clock->now_ms());
+        if (next_index <= ref_index) {
+          next_index = ref_index + 1;
+          ctx.clock->set(ctx.capture_time_ms(next_index));
+        }
+
+        const double cycle_start = ctx.clock->now_ms();
+        up = uplink(next_index, &transmit_ms);
+        if (!up.ok()) {
+          ctx.run.status = up;
+          break;
+        }
+        const detect::DetectionResult detection =
+            ctx.detect(next_index, remote_setting);
+        const double cycle_end = cycle_start + sample_round_trip(transmit_ms);
+        ctx.meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
+
+        // Local tracking bridges the round trip — MPDT's catch-up loop.
+        const EngineContext::Catchup batch = ctx.track_catchup(
+            ref_index, ref.detections, next_index, cycle_start, cycle_end,
+            remote_setting, SelectionPolicy::kAdaptiveFraction);
+
+        ctx.record_detection(next_index, detection, remote_setting, cycle_end);
+        ctx.run.cycles.push_back({next_index, remote_setting, cycle_start,
+                                  cycle_end, batch.frames_between,
+                                  batch.tracked, batch.mean_velocity});
+        ref = detection;
+        ref_index = next_index;
+        ctx.clock->set(cycle_end);
+      }
     }
-
-    const double cycle_start = t;
-    const detect::DetectionResult detection =
-        detector.detect(video, next_index, remote_setting);
-    const double round_trip = sample_round_trip();
-    const double cycle_end = cycle_start + round_trip;
-    meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
-
-    // Local tracking bridges the round trip, as in MPDT; frames come out
-    // of the shared render-once store.
-    store.trim_below(ref_index);
-    const video::FrameRef ref_frame = store.get(ref_index);
-    tracker.set_reference(ref_frame.image(), ref.detections);
-    const double extract_ms = latency.feature_extraction_ms();
-    double cpu_clock = cycle_start + extract_ms;
-    meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), extract_ms);
-
-    const int frames_between = next_index - 1 - ref_index;
-    const std::vector<int> offsets = selector.select(frames_between);
-    velocity.reset();
-    int tracked = 0;
-    int prev_offset = 0;
-    for (int offset : offsets) {
-      const double step_cost =
-          latency.tracking_ms(tracker.object_count(),
-                              tracker.live_feature_count()) +
-          latency.overlay_ms();
-      if (cpu_clock + step_cost > cycle_end) break;
-      const int frame_index = ref_index + offset;
-      const video::FrameRef frame = store.get(frame_index);
-      const track::TrackStepStats stats =
-          tracker.track_to(frame.image(), offset - prev_offset);
-      velocity.add_step(stats);
-      cpu_clock += step_cost;
-      meter.add_cpu_busy(energy::PowerModel::cpu_track_w(), step_cost);
-
-      FrameResult& result = run.frames[static_cast<std::size_t>(frame_index)];
-      result.source = ResultSource::kTracker;
-      result.boxes = tracker.current_boxes();
-      result.setting = remote_setting;
-      result.staleness_ms = cpu_clock - video.timestamp_ms(frame_index);
-      ++tracked;
-      prev_offset = offset;
-    }
-    if (frames_between > 0) selector.update(std::max(tracked, 1), frames_between);
-
-    FrameResult& detected = run.frames[static_cast<std::size_t>(next_index)];
-    detected.source = ResultSource::kDetector;
-    detected.boxes = to_boxes(detection);
-    detected.setting = remote_setting;
-    detected.staleness_ms = cycle_end - video.timestamp_ms(next_index);
-
-    run.cycles.push_back({next_index, remote_setting, cycle_start, cycle_end,
-                          frames_between, tracked, velocity.mean_velocity()});
-    ref = detection;
-    ref_index = next_index;
-    t = cycle_end;
+  } catch (const std::exception& e) {
+    ctx.fail(std::string("offload engine: ") + e.what());
   }
 
-  fill_reused_frames(run.frames);
-  const double video_duration = static_cast<double>(frame_count) * interval;
-  run.timeline_ms = std::max(video_duration, t);
-  run.latency_multiplier = run.timeline_ms / video_duration;
-  run.energy = meter.finish(run.timeline_ms);
-  run.frame_store = store.stats();
-  return run;
+  ctx.finish();
+  return std::move(ctx.run);
 }
 
 }  // namespace adavp::core

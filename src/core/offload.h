@@ -4,6 +4,7 @@
 
 #include "core/run_result.h"
 #include "track/tracker.h"
+#include "util/fault_plan.h"
 #include "video/frame_store.h"
 #include "video/scene.h"
 
@@ -27,6 +28,16 @@ struct OffloadOptions {
   track::TrackerParams tracker;
   /// Zero-copy frame path tuning (see MpdtOptions::frame_store).
   video::FrameStoreOptions frame_store;
+  /// When > 0, every uploaded frame really goes through the intra-frame
+  /// codec (vision::encode_frame) at this quality: the transmit model uses
+  /// the actual compressed size instead of the flat `frame_bytes`, and the
+  /// server-side decode's util::Status is checked — a kDataLoss bitstream
+  /// aborts the run with that Status on RunResult::status instead of
+  /// failing silently.
+  int codec_quality = 0;
+  /// Non-null => deterministic fault injection (detector / camera /
+  /// tracker channels; see EngineOptions::fault_plan). Must outlive the run.
+  const util::FaultPlan* fault_plan = nullptr;
 };
 
 /// Total mean latency of one offloaded detection (transmit + RTT + server).
@@ -34,8 +45,9 @@ double offload_round_trip_ms(const OffloadOptions& options);
 
 /// Runs the offloading pipeline on the virtual-time engine: remote
 /// YOLOv3-608 detections arriving `offload_round_trip_ms` late, local
-/// tracking in between (same parallel structure as MPDT). Radio energy is
-/// charged to the CPU rail as a transmit-power segment.
+/// tracking in between (same parallel structure as MPDT — it shares the
+/// runtime's catch-up loop). Radio energy is charged to the CPU rail as a
+/// transmit-power segment.
 RunResult run_offload(const video::SyntheticVideo& video,
                       const OffloadOptions& options);
 

@@ -8,9 +8,14 @@
 #include <thread>
 
 #include "adapt/velocity.h"
+#include "core/clock.h"
+#include "core/engine_runtime.h"
 #include "detect/faulty_detector.h"
 #include "detect/latency_model.h"
+#include "energy/energy_meter.h"
+#include "energy/power_model.h"
 #include "obs/telemetry.h"
+#include "track/faulty_tracker.h"
 #include "track/frame_selection.h"
 #include "track/latency.h"
 #include "track/tracker.h"
@@ -22,12 +27,6 @@
 namespace adavp::core {
 
 namespace {
-
-void scaled_sleep(double duration_ms, double time_scale) {
-  if (duration_ms <= 0.0) return;
-  std::this_thread::sleep_for(
-      std::chrono::duration<double, std::milli>(duration_ms / time_scale));
-}
 
 /// Sleeps whatever is left of a modeled latency after the real compute
 /// that already happened. The modeled TX2 latencies are meant to SUBSUME
@@ -135,6 +134,11 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   const int frame_count = video.frame_count();
   if (frame_count == 0) return result;
   const double scale = options.time_scale;
+  // The realtime engine runs on the wall clock (scaled); the watchdog and
+  // the degradation ladder only make sense here — on a VirtualClock the
+  // virtual-time engines model the schedule exactly, so there is nothing
+  // to supervise (Clock::is_virtual() is the gate).
+  WallClock wall(scale);
 
   // Telemetry: resolve instruments once and remember the registry state so
   // the result carries this run's deltas only. (Runs are not re-entrant
@@ -152,10 +156,13 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   ResultBoard board(frame_count);
 
   // Fault channels (empty when no plan): the camera glitches its captures,
-  // the detector is wrapped in detect::FaultyDetector below.
+  // the detector is wrapped in detect::FaultyDetector, the tracker thread's
+  // optical flow in track::FaultyTracker.
   util::FaultChannel detector_faults;
+  util::FaultChannel tracker_faults;
   if (options.fault_plan != nullptr) {
     detector_faults = options.fault_plan->channel("detector");
+    tracker_faults = options.fault_plan->channel("tracker");
     camera.set_faults(options.fault_plan->channel("camera"));
   }
 
@@ -166,9 +173,16 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   std::atomic<int> cancelled{0};
   std::atomic<int> coast_frames{0};
   std::atomic<std::uint64_t> detector_faults_injected{0};
+  std::atomic<std::uint64_t> tracker_faults_injected{0};
 
   std::mutex cycles_mutex;
   std::vector<CycleRecord> cycles;
+
+  // Each worker owns its meter (no shared mutable state on the hot path);
+  // the meters are merged after the join and integrated over the video
+  // timeline, mirroring the virtual engines' energy epilogue.
+  energy::EnergyMeter detector_meter;
+  energy::EnergyMeter tracker_meter;
 
   // Error propagation: a worker thread that throws must not tear the
   // process down (std::terminate) or leave its peers blocked. The first
@@ -213,25 +227,10 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
     int watchdog_timeouts = 0;
     int coast_cycles = 0;
     // Last successful detection, kept for coasting. While the detector is
-    // degraded, these boxes are re-issued with per-object confidence decay
-    // (score * decay^age); objects fading below the floor drop out.
+    // degraded, these boxes are re-issued through the runtime's
+    // decay_detections (score * decay^age; faded objects drop out).
     std::vector<detect::Detection> last_good;
     int last_good_frame = -1;
-    auto coasted_detections = [&](int at_frame) {
-      std::vector<detect::Detection> out;
-      if (last_good_frame < 0) return out;
-      const int age = std::max(1, at_frame - last_good_frame);
-      const double factor = std::pow(sup.coast_decay, age);
-      out.reserve(last_good.size());
-      for (const detect::Detection& d : last_good) {
-        const float score = d.score * static_cast<float>(factor);
-        if (score < sup.coast_score_floor) continue;
-        detect::Detection copy = d;
-        copy.score = score;
-        out.push_back(copy);
-      }
-      return out;
-    };
     auto ladder_changed = [&](bool stepped) {
       if (!stepped) return;
       if (ins.degrade_level != nullptr) {
@@ -309,14 +308,20 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
             {
               obs::ScopedSpan cancel_span("watchdog_cancel", "supervisor",
                                           frame->index);
-              scaled_sleep(deadline_ms, scale);
+              wall.occupy(deadline_ms);
             }
+            detector_meter.add_gpu_busy(
+                energy::PowerModel::gpu_detect_w(effective, false),
+                deadline_ms);
             ++watchdog_timeouts;
             if (ins.watchdog_timeouts != nullptr) ins.watchdog_timeouts->add();
             ladder_changed(ladder.on_overrun());
             coast_cycle = true;
           } else {
-            scaled_sleep(det.latency_ms, scale);  // the GPU is busy this long
+            wall.occupy(det.latency_ms);  // the GPU is busy this long
+            detector_meter.add_gpu_busy(
+                energy::PowerModel::gpu_detect_w(effective, false),
+                det.latency_ms);
             if (ins.detector_cycles != nullptr) {
               ins.detector_cycles->add();
               ins.detect_occupancy_ms->record(det.latency_ms);
@@ -350,8 +355,18 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
 
         if (coast_cycle) {
           ++coast_cycles;
+          // Coasting is bookkeeping (re-issue decayed boxes), not
+          // inference: the GPU is off and the CPU draws its coast power
+          // for the frame interval — that differential is the measurable
+          // payoff of degrading (docs/ROBUSTNESS.md).
+          detector_meter.add_cpu_busy(energy::PowerModel::cpu_coast_w(),
+                                      video.frame_interval_ms());
           std::vector<detect::Detection> coasted =
-              coasted_detections(frame->index);
+              (last_good_frame < 0)
+                  ? std::vector<detect::Detection>{}
+                  : decay_detections(last_good,
+                                     frame->index - last_good_frame,
+                                     sup.coast_decay, sup.coast_score_floor);
           FrameResult fr;
           fr.frame_index = frame->index;
           fr.source = ResultSource::kTracker;
@@ -394,11 +409,14 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   });
 
   // ---- Tracker thread: real feature extraction + LK on rendered frames,
-  // with the modelled CPU latencies for pacing.
+  // with the modelled CPU latencies for pacing. The tracker sits behind
+  // the same fault decorator the virtual engines use — a pass-through
+  // when the plan has no "tracker" channel.
   std::thread tracker_thread([&] {
     obs::name_thread("tracker");
+    track::ObjectTracker inner(options.tracker);
+    track::FaultyTracker tracker(inner, tracker_faults);
     try {
-      track::ObjectTracker tracker(options.tracker);
       track::TrackingFrameSelector selector;
       track::TrackLatencyModel latency(options.seed ^ 0x77777ULL);
 
@@ -420,10 +438,14 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
         {
           obs::ScopedSpan extract_span("extract_features", "tracker",
                                        event->ref_index);
-          PacedSection pace(latency.feature_extraction_ms(), scale);
+          const double extract_ms = latency.feature_extraction_ms();
+          PacedSection pace(extract_ms, scale);
+          tracker_meter.add_cpu_busy(energy::PowerModel::cpu_track_w(),
+                                     extract_ms);
           // The camera already rasterized this frame; re-arm from the
           // shared pixels instead of rendering a second copy.
-          tracker.set_reference(event->ref_frame.image(), event->detections);
+          tracker.set_reference_at(event->ref_frame.image(),
+                                   event->detections, event->ref_index);
         }
 
         adapt::VelocityEstimator velocity;
@@ -445,13 +467,16 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
           track::TrackStepStats stats;
           {
             obs::ScopedSpan step_span("track_frame", "tracker", frame_index);
-            PacedSection pace(
+            const double step_ms =
                 latency.tracking_ms(tracker.object_count(),
                                     tracker.live_feature_count()) +
-                    latency.overlay_ms(),
-                scale);
+                latency.overlay_ms();
+            PacedSection pace(step_ms, scale);
+            tracker_meter.add_cpu_busy(energy::PowerModel::cpu_track_w(),
+                                       step_ms);
             const video::FrameRef fr = store.get(frame_index);
-            stats = tracker.track_to(fr.image(), offset - prev_offset);
+            stats = tracker.track_frame(fr.image(), offset - prev_offset,
+                                        frame_index);
           }
           velocity.add_step(stats);
           if (fetch_generation.load() != my_generation) {
@@ -490,6 +515,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
     } catch (...) {
       on_worker_failure("tracker thread: unknown exception");
     }
+    tracker_faults_injected.store(tracker.faults_injected());
   });
 
   camera.start();
@@ -512,6 +538,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   result.stats.coast_frames = coast_frames.load();
   result.stats.faults_injected =
       static_cast<int>(detector_faults_injected.load() +
+                       tracker_faults_injected.load() +
                        camera.faults_injected());
   result.run.frame_store = store.stats();
   result.stats.frames_rendered =
@@ -530,7 +557,9 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   }
 
   result.run.frames = board.take();
-  // Fill skipped frames from the previous available result.
+  // Fill skipped frames from the previous available result. (Not the
+  // runtime's fill_reused_frames: realtime results have no meaningful
+  // per-frame staleness to propagate, so reused frames keep 0.)
   int last_filled = -1;
   for (std::size_t i = 0; i < result.run.frames.size(); ++i) {
     if (result.run.frames[i].source != ResultSource::kNone) {
@@ -551,6 +580,18 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   result.run.setting_switches = result.stats.setting_switches;
   result.run.timeline_ms =
       static_cast<double>(frame_count) * video.frame_interval_ms();
+  // Energy: fold the per-worker meters and integrate over the video
+  // timeline, exactly as EngineContext::finish does for the virtual
+  // engines (Table III's rails, docs/EXPERIMENTS.md).
+  energy::EnergyMeter meter;
+  meter.merge(detector_meter);
+  meter.merge(tracker_meter);
+  result.run.energy = meter.finish(result.run.timeline_ms);
+  // Mirror the supervisor's verdict onto the embedded RunResult so both
+  // the realtime and virtual engines report through core::Status.
+  result.run.status = result.status;
+  result.run.faults_injected =
+      static_cast<std::uint64_t>(result.stats.faults_injected);
   if (telemetry_on) {
     result.metrics =
         obs::Telemetry::instance().snapshot().since(metrics_before);

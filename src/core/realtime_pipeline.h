@@ -58,8 +58,10 @@ struct RealtimeOptions {
   /// re-render, allocation per frame) for benchmarking.
   video::FrameStoreOptions frame_store;
   /// Non-null => deterministic fault injection: the plan's "detector"
-  /// channel wraps the detector (detect::FaultyDetector) and its "camera"
-  /// channel drives capture glitches. The plan must outlive the run.
+  /// channel wraps the detector (detect::FaultyDetector), its "camera"
+  /// channel drives capture glitches, and its "tracker" channel degrades
+  /// the tracker thread's optical flow (track::FaultyTracker) — the same
+  /// three channels the virtual engines accept. Must outlive the run.
   const util::FaultPlan* fault_plan = nullptr;
   /// Watchdog + degradation-ladder supervision of the detector cycle.
   SupervisorOptions supervisor;
@@ -83,12 +85,15 @@ struct RealtimeStats {
   int degrade_steps_down = 0;  ///< ladder steps toward tracker-only
   int degrade_steps_up = 0;    ///< ladder recoveries
   int max_degrade_level = 0;   ///< deepest ladder level reached (0..4)
-  int faults_injected = 0;     ///< detector + camera faults applied
+  int faults_injected = 0;     ///< detector + tracker + camera faults applied
 };
 
 /// Result of a realtime run: the per-frame results (same structure the
 /// virtual-time engine produces, so the same scorers apply) plus thread
-/// counters.
+/// counters. `run.energy` integrates the per-worker meters (GPU inference,
+/// CPU tracking, CPU-coast while degraded) over the video timeline, and
+/// `run.status` / `run.faults_injected` mirror the supervisor's verdict,
+/// so RunResult consumers see the same epilogue the virtual engines emit.
 struct RealtimeResult {
   RunResult run;
   RealtimeStats stats;

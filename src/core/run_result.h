@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "core/status.h"
 #include "detect/model_setting.h"
 #include "energy/energy_meter.h"
 #include "metrics/matching.h"
@@ -51,6 +53,13 @@ struct RunResult {
   /// bench_pipeline measures per-frame render and allocation costs.
   /// Zero-valued for engines that never touch pixels (detect-only).
   video::FrameStoreStats frame_store;
+  /// Outcome of the run: kOk for a clean run; kDegraded when a FaultPlan
+  /// injected faults but every frame still got a result; kWorkerFailure
+  /// when a component threw — the engine stops cleanly and the frames
+  /// produced so far are returned (the rest reuse the last result).
+  Status status;
+  /// Faults applied across all channels (detector + camera + tracker).
+  std::uint64_t faults_injected = 0;
 };
 
 }  // namespace adavp::core

@@ -1,71 +1,15 @@
 #pragma once
 
-#include <string>
-#include <utility>
+#include "util/status.h"
 
 namespace adavp::core {
 
-/// Outcome classification of a pipeline run.
-enum class StatusCode {
-  kOk,               ///< clean run, no faults observed
-  kDegraded,         ///< run completed, but the supervisor absorbed faults
-                     ///< (watchdog timeouts, injected faults, coasting)
-  kWorkerFailure,    ///< a pipeline thread threw; the run was aborted cleanly
-  kInvalidArgument,  ///< bad configuration (e.g. malformed fault plan)
-};
-
-inline const char* status_code_name(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk: return "ok";
-    case StatusCode::kDegraded: return "degraded";
-    case StatusCode::kWorkerFailure: return "worker_failure";
-    case StatusCode::kInvalidArgument: return "invalid_argument";
-  }
-  return "unknown";
-}
-
-/// Error/degradation report carried on pipeline results. Worker threads
-/// never let exceptions escape (std::terminate); they convert them into a
-/// Status that the caller inspects. `ok()` is strict: a degraded-but-
-/// complete run is not ok, but it is not `failed()` either — callers that
-/// only care about hard failures test `failed()`.
-class Status {
- public:
-  Status() = default;  // ok
-
-  static Status degraded(std::string message) {
-    return Status(StatusCode::kDegraded, std::move(message));
-  }
-  static Status worker_failure(std::string message) {
-    return Status(StatusCode::kWorkerFailure, std::move(message));
-  }
-  static Status invalid_argument(std::string message) {
-    return Status(StatusCode::kInvalidArgument, std::move(message));
-  }
-
-  bool ok() const { return code_ == StatusCode::kOk; }
-  bool failed() const {
-    return code_ == StatusCode::kWorkerFailure ||
-           code_ == StatusCode::kInvalidArgument;
-  }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
-
-  std::string to_string() const {
-    std::string out = status_code_name(code_);
-    if (!message_.empty()) {
-      out += ": ";
-      out += message_;
-    }
-    return out;
-  }
-
- private:
-  Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
-
-  StatusCode code_ = StatusCode::kOk;
-  std::string message_;
-};
+/// The pipeline-facing names for the shared status vocabulary. The
+/// implementation lives in util/status.h so layers below core (vision
+/// codec, video capture) can report the same Status without a dependency
+/// inversion; every engine's RunResult carries one.
+using StatusCode = util::StatusCode;
+using Status = util::Status;
+using util::status_code_name;
 
 }  // namespace adavp::core

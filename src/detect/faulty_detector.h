@@ -13,10 +13,9 @@ class Counter;
 namespace adavp::detect {
 
 /// Thrown by a `throw`-kind fault rule — lets error-propagation tests
-/// distinguish an injected failure from a real one.
-struct InjectedFault : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+/// distinguish an injected failure from a real one. The type lives in
+/// util/fault_plan.h now that more than one decorator throws it.
+using InjectedFault = util::InjectedFault;
 
 /// Decorator around SimulatedDetector that injects faults from a
 /// util::FaultChannel (the "detector" section of a FaultPlan):

@@ -20,6 +20,13 @@ void EnergyMeter::add_cpu_busy(double power_w, double duration_ms) {
   cpu_busy_ms_ += duration_ms;
 }
 
+void EnergyMeter::merge(const EnergyMeter& other) {
+  gpu_joules_ += other.gpu_joules_;
+  cpu_joules_ += other.cpu_joules_;
+  gpu_busy_ms_ += other.gpu_busy_ms_;
+  cpu_busy_ms_ += other.cpu_busy_ms_;
+}
+
 RailEnergy EnergyMeter::finish(double total_duration_ms) const {
   const double gpu_idle_ms = std::max(0.0, total_duration_ms - gpu_busy_ms_);
   const double cpu_idle_ms = std::max(0.0, total_duration_ms - cpu_busy_ms_);

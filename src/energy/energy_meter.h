@@ -34,6 +34,11 @@ class EnergyMeter {
   /// Accounts a CPU-busy segment at `power_w` for `duration_ms`.
   void add_cpu_busy(double power_w, double duration_ms);
 
+  /// Folds another meter's accumulated segments into this one. Threaded
+  /// pipelines give each worker its own meter (no shared mutable state on
+  /// the hot path) and merge them once the workers have joined.
+  void merge(const EnergyMeter& other);
+
   /// Completes integration for a run of `total_duration_ms`, padding the
   /// rails with idle power for the unaccounted time, and returns energies.
   RailEnergy finish(double total_duration_ms) const;

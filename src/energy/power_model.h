@@ -30,6 +30,12 @@ class PowerModel {
   /// CPU power while the tracker/overlay runs.
   static double cpu_track_w() { return 1.55; }
 
+  /// CPU power while the pipeline coasts (tracker-only degradation or a
+  /// cancelled cycle): re-issuing decayed last-good boxes is bookkeeping,
+  /// not optical flow, so it draws far less than active tracking — and the
+  /// GPU draws nothing at all, which is the point of degrading.
+  static double cpu_coast_w() { return 0.6; }
+
   /// CPU power of the frame-feeding loop in continuous (no-tracking) mode;
   /// grows with the processed frame rate.
   static double cpu_feed_w(detect::ModelSetting setting);

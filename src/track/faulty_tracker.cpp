@@ -1,0 +1,134 @@
+#include "track/faulty_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "obs/telemetry.h"
+#include "util/rng.h"
+
+namespace adavp::track {
+
+FaultyTracker::FaultyTracker(TrackerInterface& inner,
+                             util::FaultChannel faults)
+    : inner_(inner), faults_(std::move(faults)) {}
+
+void FaultyTracker::count(util::FaultKind kind) {
+  ++faults_injected_;
+  if (obs::Telemetry::enabled()) {
+    obs::metrics()
+        .counter("fault",
+                 "injected." + std::string(util::fault_kind_name(kind)))
+        .add();
+  }
+}
+
+void FaultyTracker::set_reference_at(
+    const vision::ImageU8& frame,
+    const std::vector<detect::Detection>& detections, int frame_index) {
+  last_index_ = frame_index;
+  starve_factor_ = 1.0;
+  drift_dx_ = 0.0f;
+  drift_dy_ = 0.0f;
+  frozen_ = false;
+  frozen_boxes_.clear();
+  inner_.set_reference(frame, detections);
+}
+
+void FaultyTracker::set_reference(
+    const vision::ImageU8& frame,
+    const std::vector<detect::Detection>& detections) {
+  set_reference_at(frame, detections, last_index_);
+}
+
+TrackStepStats FaultyTracker::track_to(const vision::ImageU8& frame,
+                                       int frame_gap) {
+  return track_frame(frame, frame_gap, last_index_ + frame_gap);
+}
+
+TrackStepStats FaultyTracker::track_frame(const vision::ImageU8& frame,
+                                          int frame_gap, int frame_index) {
+  if (faults_.empty()) return inner_.track_to(frame, frame_gap);
+  last_index_ = frame_index;
+  const std::vector<util::FaultDecision> decisions = faults_.decide(frame_index);
+  bool nan_step = false;
+  for (const util::FaultDecision& decision : decisions) {
+    if (decision.kind == util::FaultKind::kNanFlow) nan_step = true;
+  }
+  // A rejected step shows the boxes as they stood *before* it — snapshot
+  // through our own view so earlier drift / an earlier freeze carry over.
+  std::vector<metrics::LabeledBox> before;
+  if (nan_step) before = current_boxes();
+
+  TrackStepStats stats = inner_.track_to(frame, frame_gap);
+
+  for (const util::FaultDecision& decision : decisions) {
+    switch (decision.kind) {
+      case util::FaultKind::kStarve:
+        count(decision.kind);
+        starve_factor_ *= std::clamp(1.0 - decision.magnitude, 0.0, 1.0);
+        break;
+      case util::FaultKind::kDiverge: {
+        count(decision.kind);
+        util::Rng rng(decision.rng_seed);
+        const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979);
+        drift_dx_ += static_cast<float>(decision.magnitude * std::cos(angle));
+        drift_dy_ += static_cast<float>(decision.magnitude * std::sin(angle));
+        // The spurious flow really was measured: it inflates the motion the
+        // velocity estimator sees, which is what trips the adapter.
+        stats.displacement_sum +=
+            decision.magnitude * std::max(1, stats.features_tracked);
+        break;
+      }
+      case util::FaultKind::kNanFlow:
+        count(decision.kind);
+        frozen_ = true;
+        frozen_boxes_ = std::move(before);
+        stats.features_tracked = 0;
+        stats.displacement_sum = 0.0;
+        break;
+      case util::FaultKind::kThrow:
+        count(decision.kind);
+        throw util::InjectedFault("injected tracker fault at frame " +
+                                  std::to_string(frame_index));
+      default:
+        break;  // detector / camera kinds: not ours to handle
+    }
+  }
+  if (!nan_step) {
+    frozen_ = false;
+    frozen_boxes_.clear();
+  }
+  if (starve_factor_ < 1.0) {
+    // Scale count and summed motion together so starvation thins the
+    // features without inventing a velocity change.
+    stats.features_tracked = static_cast<int>(
+        std::floor(stats.features_tracked * starve_factor_));
+    stats.displacement_sum *= starve_factor_;
+  }
+  return stats;
+}
+
+std::vector<metrics::LabeledBox> FaultyTracker::current_boxes() const {
+  if (faults_.empty()) return inner_.current_boxes();
+  if (frozen_) return frozen_boxes_;
+  std::vector<metrics::LabeledBox> boxes = inner_.current_boxes();
+  if (drift_dx_ != 0.0f || drift_dy_ != 0.0f) {
+    for (metrics::LabeledBox& box : boxes) {
+      box.box = box.box.shifted({drift_dx_, drift_dy_});
+    }
+  }
+  return boxes;
+}
+
+int FaultyTracker::object_count() const { return inner_.object_count(); }
+
+int FaultyTracker::live_feature_count() const {
+  if (faults_.empty() || starve_factor_ >= 1.0) {
+    return inner_.live_feature_count();
+  }
+  return static_cast<int>(
+      std::floor(inner_.live_feature_count() * starve_factor_));
+}
+
+}  // namespace adavp::track

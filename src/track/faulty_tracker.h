@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "track/tracker.h"
+#include "track/tracker_interface.h"
+#include "util/fault_plan.h"
+
+namespace adavp::track {
+
+/// Decorator around any TrackerInterface that injects faults from a
+/// util::FaultChannel (the "tracker" section of a FaultPlan):
+///
+///   starve frac=F — lose fraction F of the live features (compounds per
+///                   event; recovers at the next set_reference)
+///   diverge px=P  — LK diverged: every box drifts P px in a seeded random
+///                   direction this step, and the drift accumulates
+///   nan           — the flow solve produced NaNs; the step is rejected and
+///                   the boxes freeze until the next good step
+///   throw         — throw util::InjectedFault (worker-thread propagation)
+///
+/// Fault decisions key off the *frame index* of the step (see
+/// FaultChannel), so a faulty run replays bit-identically no matter how
+/// work is interleaved across threads; with an empty channel every call
+/// forwards untouched to the inner tracker — byte-for-byte its results.
+class FaultyTracker : public TrackerInterface {
+ public:
+  explicit FaultyTracker(TrackerInterface& inner,
+                         util::FaultChannel faults = {});
+
+  /// Re-arms from a detected frame at `frame_index`. The detector's fresh
+  /// boxes override accumulated tracker damage: starvation and divergence
+  /// drift reset, frozen boxes thaw.
+  void set_reference_at(const vision::ImageU8& frame,
+                        const std::vector<detect::Detection>& detections,
+                        int frame_index);
+
+  /// One tracking step into the frame at `frame_index` (faults applied).
+  /// May throw util::InjectedFault.
+  TrackStepStats track_frame(const vision::ImageU8& frame, int frame_gap,
+                             int frame_index);
+
+  // TrackerInterface: the index-free entry points infer the frame index by
+  // advancing the last known one by `frame_gap` (engines that know the
+  // real index use the *_at/_frame variants above).
+  void set_reference(const vision::ImageU8& frame,
+                     const std::vector<detect::Detection>& detections) override;
+  TrackStepStats track_to(const vision::ImageU8& frame, int frame_gap) override;
+  std::vector<metrics::LabeledBox> current_boxes() const override;
+  int object_count() const override;
+  int live_feature_count() const override;
+
+  bool empty() const { return faults_.empty(); }
+
+  /// Faults applied so far (all kinds). Also exported per kind as
+  /// `fault.injected.<kind>` counters when telemetry is enabled.
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  void count(util::FaultKind kind);
+
+  TrackerInterface& inner_;
+  util::FaultChannel faults_;
+  std::uint64_t faults_injected_ = 0;
+  int last_index_ = 0;
+  double starve_factor_ = 1.0;  ///< surviving fraction of live features
+  float drift_dx_ = 0.0f;      ///< accumulated divergence drift, pixels
+  float drift_dy_ = 0.0f;
+  bool frozen_ = false;  ///< last step was rejected (NaN flow)
+  std::vector<metrics::LabeledBox> frozen_boxes_;
+};
+
+}  // namespace adavp::track

@@ -64,6 +64,9 @@ std::optional<FaultKind> parse_kind(std::string_view word) {
   if (word == "black") return FaultKind::kBlack;
   if (word == "corrupt") return FaultKind::kCorrupt;
   if (word == "hiccup") return FaultKind::kHiccup;
+  if (word == "starve") return FaultKind::kStarve;
+  if (word == "diverge") return FaultKind::kDiverge;
+  if (word == "nan") return FaultKind::kNanFlow;
   return std::nullopt;
 }
 
@@ -75,9 +78,12 @@ double default_magnitude(FaultKind kind) {
     case FaultKind::kGarbage: return 4.0;     // 4 random boxes
     case FaultKind::kCorrupt: return 64.0;    // +/-64 gray levels
     case FaultKind::kHiccup: return 100.0;    // 100 ms capture delay
+    case FaultKind::kStarve: return 0.5;      // lose half the live features
+    case FaultKind::kDiverge: return 8.0;     // 8 px of spurious drift
     case FaultKind::kDrop:
     case FaultKind::kThrow:
-    case FaultKind::kBlack: return 0.0;
+    case FaultKind::kBlack:
+    case FaultKind::kNanFlow: return 0.0;
   }
   return 0.0;
 }
@@ -153,7 +159,8 @@ bool parse_rule(std::string_view text, FaultRule* rule, std::string* error) {
       }
       if (rule->at.empty()) return fail(error, "empty at list");
       ++triggers;
-    } else if (key == "x" || key == "ms" || key == "amp" || key == "n") {
+    } else if (key == "x" || key == "ms" || key == "amp" || key == "n" ||
+               key == "frac" || key == "px") {
       if (!parse_double(value, &rule->magnitude) || rule->magnitude < 0.0) {
         return fail(error, "bad magnitude '" + std::string(value) + "'");
       }
@@ -180,6 +187,9 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kBlack: return "black";
     case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kHiccup: return "hiccup";
+    case FaultKind::kStarve: return "starve";
+    case FaultKind::kDiverge: return "diverge";
+    case FaultKind::kNanFlow: return "nan";
   }
   return "unknown";
 }

@@ -2,11 +2,19 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace adavp::util {
+
+/// Thrown by a `throw`-kind fault rule — lets error-propagation tests
+/// distinguish an injected failure from a real one. Every faulty
+/// decorator (detector, tracker) throws this same type.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// The fault vocabulary of the injection harness. A FaultPlan is
 /// channel-agnostic: each decorator (detect::FaultyDetector, the camera
@@ -21,6 +29,9 @@ enum class FaultKind {
   kBlack,    ///< replace the captured frame with an all-black raster (camera)
   kCorrupt,  ///< overlay a noise band of amplitude `magnitude` (camera)
   kHiccup,   ///< delay the capture by `magnitude` ms (camera)
+  kStarve,   ///< lose `magnitude` fraction of live features (tracker)
+  kDiverge,  ///< LK diverges: boxes drift `magnitude` px this step (tracker)
+  kNanFlow,  ///< flow solve produced NaNs; the step is rejected (tracker)
 };
 
 /// DSL name of a kind ("latency", "stall", ..., "hiccup") — also the
@@ -79,7 +90,8 @@ class FaultChannel {
 /// Exactly one trigger per rule: `p=0.1` (per-event Bernoulli), `at=3,9,27`
 /// (explicit event indices), or `every=5` (every Nth event, 0 included).
 /// Magnitudes: `x=` (latency multiplier), `ms=` (stall/hiccup duration),
-/// `amp=` (corruption amplitude), `n=` (garbage box count). Example:
+/// `amp=` (corruption amplitude), `n=` (garbage box count), `frac=`
+/// (starvation fraction), `px=` (divergence drift). Example:
 ///
 ///   "detector: stall p=0.05 ms=1200; garbage at=3,11 n=5 |
 ///    camera: black p=0.02; hiccup every=40 ms=120"

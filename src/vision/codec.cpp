@@ -176,16 +176,24 @@ std::vector<std::uint8_t> encode_frame(const ImageU8& frame, int quality) {
   return out;
 }
 
-ImageU8 decode_frame(std::span<const std::uint8_t> data) {
-  if (data.size() < 7 || data[0] != 'A' || data[1] != 'V') return {};
+util::Status decode_frame(std::span<const std::uint8_t> data, ImageU8* out) {
+  *out = ImageU8{};
+  if (data.size() < 7 || data[0] != 'A' || data[1] != 'V') {
+    return util::Status::data_loss("codec: missing or short 'AV' header (" +
+                                   std::to_string(data.size()) + " bytes)");
+  }
   const int width = get_u16(data, 2);
   const int height = get_u16(data, 4);
   const int quality = data[6];
-  if (width <= 0 || height <= 0 || quality < 1 || quality > 100) return {};
+  if (width <= 0 || height <= 0 || quality < 1 || quality > 100) {
+    return util::Status::data_loss(
+        "codec: bad header fields " + std::to_string(width) + "x" +
+        std::to_string(height) + " q=" + std::to_string(quality));
+  }
   const auto quant = scaled_quant(quality);
   const auto& order = zigzag_order();
 
-  ImageU8 out(width, height);
+  ImageU8 decoded(width, height);
   std::size_t pos = 7;
   float coeffs[64];
   float block[64];
@@ -194,14 +202,24 @@ ImageU8 decode_frame(std::span<const std::uint8_t> data) {
       std::fill(std::begin(coeffs), std::end(coeffs), 0.0f);
       int i = 0;
       while (true) {
-        if (pos >= data.size()) return {};
+        if (pos >= data.size()) {
+          return util::Status::data_loss(
+              "codec: truncated block stream at byte " + std::to_string(pos));
+        }
         const int run = data[pos++];
         if (run == 255) break;  // end of block
-        if (pos + 1 >= data.size()) return {};
+        if (pos + 1 >= data.size()) {
+          return util::Status::data_loss(
+              "codec: truncated coefficient at byte " + std::to_string(pos));
+        }
         const auto raw = static_cast<std::int16_t>(get_u16(data, pos));
         pos += 2;
         i += run;
-        if (i >= 64) return {};
+        if (i >= 64) {
+          return util::Status::data_loss(
+              "codec: coefficient index overrun in block (" +
+              std::to_string(bx) + "," + std::to_string(by) + ")");
+        }
         coeffs[order[static_cast<std::size_t>(i)]] =
             static_cast<float>(raw) *
             static_cast<float>(quant[static_cast<std::size_t>(i)]);
@@ -210,13 +228,20 @@ ImageU8 decode_frame(std::span<const std::uint8_t> data) {
       idct8x8(coeffs, block);
       for (int y = 0; y < kBlock; ++y) {
         for (int x = 0; x < kBlock; ++x) {
-          if (!out.in_bounds(bx + x, by + y)) continue;
-          out.at(bx + x, by + y) = static_cast<std::uint8_t>(
+          if (!decoded.in_bounds(bx + x, by + y)) continue;
+          decoded.at(bx + x, by + y) = static_cast<std::uint8_t>(
               std::clamp(std::lround(block[y * 8 + x] + 128.0f), 0L, 255L));
         }
       }
     }
   }
+  *out = std::move(decoded);
+  return util::Status();
+}
+
+ImageU8 decode_frame(std::span<const std::uint8_t> data) {
+  ImageU8 out;
+  (void)decode_frame(data, &out);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "util/status.h"
 #include "vision/image.h"
 
 namespace adavp::vision {
@@ -22,8 +23,14 @@ namespace adavp::vision {
 /// fidelity, larger output).
 std::vector<std::uint8_t> encode_frame(const ImageU8& frame, int quality = 75);
 
-/// Decodes a frame produced by `encode_frame`; empty image on malformed
-/// input.
+/// Decodes a frame produced by `encode_frame` into `*out`. On malformed
+/// input returns a kDataLoss Status naming the defect (bad header,
+/// truncated block stream, coefficient overrun) and leaves `*out` empty —
+/// the codec's only failure-reporting path; nothing fails silently.
+util::Status decode_frame(std::span<const std::uint8_t> data, ImageU8* out);
+
+/// Convenience wrapper; empty image on malformed input. Callers that need
+/// the failure reason use the Status overload.
 ImageU8 decode_frame(std::span<const std::uint8_t> data);
 
 /// Peak signal-to-noise ratio between two same-sized images, in dB

@@ -1,0 +1,291 @@
+// Engine-runtime equivalence suite (DESIGN.md "Engine runtime").
+//
+// Two guarantees pin the core::EngineRuntime refactor:
+//
+//  1. No-fault equivalence: with no FaultPlan attached, every virtual-time
+//     engine (MPDT fixed + adaptive, MARLIN, detect-only, continuous,
+//     offload) produces a RunResult byte-identical to pre-refactor main.
+//     The golden digests below were captured on main immediately before
+//     the engines were rebased onto the shared runtime; they hash every
+//     observable field (frames, boxes, cycles, energy rails, timeline,
+//     frame-store counters), so any drift in scheduling, RNG consumption
+//     order, or energy integration shows up as a digest change. The
+//     constants are tied to this repo's pinned toolchain (bit-exact fp
+//     paths only; never build the suite with ADAVP_NATIVE/-ffast-math).
+//
+//  2. Fault determinism: a seeded fault-injected run (detector + camera +
+//     tracker channels) replays bit-identically across repeats and across
+//     vision-kernel thread counts, on MPDT and on a baseline.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/baselines.h"
+#include "core/mpdt_pipeline.h"
+#include "core/offload.h"
+#include "core/training.h"
+#include "util/fault_plan.h"
+
+namespace adavp::core {
+namespace {
+
+// --- Canonical RunResult digest (FNV-1a 64 over a fixed serialization) ---
+
+class Digest {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  template <typename T>
+  void pod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&value, sizeof(value));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+std::uint64_t digest_run(const RunResult& run) {
+  Digest d;
+  d.pod<std::uint64_t>(run.frames.size());
+  for (const FrameResult& f : run.frames) {
+    d.pod<std::int32_t>(f.frame_index);
+    d.pod<std::uint8_t>(static_cast<std::uint8_t>(f.source));
+    d.pod<std::uint8_t>(static_cast<std::uint8_t>(f.setting));
+    d.pod<double>(f.staleness_ms);
+    d.pod<std::uint64_t>(f.boxes.size());
+    for (const metrics::LabeledBox& b : f.boxes) {
+      d.pod<float>(b.box.left);
+      d.pod<float>(b.box.top);
+      d.pod<float>(b.box.width);
+      d.pod<float>(b.box.height);
+      d.pod<std::uint8_t>(static_cast<std::uint8_t>(b.cls));
+    }
+  }
+  d.pod<std::uint64_t>(run.cycles.size());
+  for (const CycleRecord& c : run.cycles) {
+    d.pod<std::int32_t>(c.detected_frame);
+    d.pod<std::uint8_t>(static_cast<std::uint8_t>(c.setting));
+    d.pod<double>(c.start_ms);
+    d.pod<double>(c.end_ms);
+    d.pod<std::int32_t>(c.frames_in_buffer);
+    d.pod<std::int32_t>(c.frames_tracked);
+    d.pod<double>(c.mean_velocity);
+  }
+  d.pod<double>(run.energy.gpu_wh);
+  d.pod<double>(run.energy.cpu_wh);
+  d.pod<double>(run.energy.soc_wh);
+  d.pod<double>(run.energy.ddr_wh);
+  d.pod<double>(run.timeline_ms);
+  d.pod<std::int32_t>(run.setting_switches);
+  d.pod<double>(run.latency_multiplier);
+  d.pod<std::uint64_t>(run.frame_store.renders);
+  d.pod<std::uint64_t>(run.frame_store.re_renders);
+  d.pod<std::uint64_t>(run.frame_store.hits);
+  d.pod<std::uint64_t>(run.frame_store.precache_hits);
+  d.pod<std::uint64_t>(run.frame_store.waits);
+  d.pod<std::uint64_t>(run.frame_store.pool_reuses);
+  d.pod<std::uint64_t>(run.frame_store.pool_allocs);
+  d.pod<std::uint64_t>(run.frame_store.pool_returns);
+  d.pod<std::uint64_t>(run.frame_store.pool_discards);
+  return d.value();
+}
+
+video::SceneConfig equivalence_scene() {
+  video::SceneConfig cfg;
+  cfg.name = "equivalence";
+  cfg.width = 256;
+  cfg.height = 160;
+  cfg.frame_count = 150;
+  cfg.seed = 2026;
+  cfg.initial_objects = 4;
+  cfg.max_objects = 6;
+  cfg.speed_mean = 1.4;
+  cfg.camera_pan = 0.6;
+  return cfg;
+}
+
+constexpr std::uint64_t kSeed = 421;
+
+// Golden digests captured on pre-refactor main (commit d3e9c35) with the
+// scene/seed above. See the file header for what they pin.
+constexpr std::uint64_t kGoldenMpdtFixed = 0x0975398FE96C514AULL;
+constexpr std::uint64_t kGoldenAdaVp = 0xEB93E1EA8F64D435ULL;
+constexpr std::uint64_t kGoldenMarlin = 0x8E0E0AB885F98675ULL;
+constexpr std::uint64_t kGoldenDetectOnly = 0xBC80F62B1DCAE23AULL;
+constexpr std::uint64_t kGoldenContinuous = 0x024819104023FCA6ULL;
+constexpr std::uint64_t kGoldenOffload = 0x7737814F9586AFAEULL;
+
+TEST(EngineEquivalence, MpdtFixedMatchesPreRefactorMain) {
+  const video::SyntheticVideo video(equivalence_scene());
+  MpdtOptions options;
+  options.setting = detect::ModelSetting::kYolov3_512;
+  options.seed = kSeed;
+  const RunResult run = run_mpdt(video, options);
+  EXPECT_EQ(digest_run(run), kGoldenMpdtFixed)
+      << "digest 0x" << std::hex << digest_run(run);
+}
+
+TEST(EngineEquivalence, AdaVpMatchesPreRefactorMain) {
+  const video::SyntheticVideo video(equivalence_scene());
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  MpdtOptions options;
+  options.adapter = &adapter;
+  options.seed = kSeed;
+  const RunResult run = run_mpdt(video, options);
+  EXPECT_EQ(digest_run(run), kGoldenAdaVp)
+      << "digest 0x" << std::hex << digest_run(run);
+}
+
+TEST(EngineEquivalence, MarlinMatchesPreRefactorMain) {
+  const video::SyntheticVideo video(equivalence_scene());
+  MarlinOptions options;
+  options.seed = kSeed;
+  const RunResult run = run_marlin(video, options);
+  EXPECT_EQ(digest_run(run), kGoldenMarlin)
+      << "digest 0x" << std::hex << digest_run(run);
+}
+
+TEST(EngineEquivalence, DetectOnlyMatchesPreRefactorMain) {
+  const video::SyntheticVideo video(equivalence_scene());
+  DetectOnlyOptions options;
+  options.seed = kSeed;
+  const RunResult run = run_detect_only(video, options);
+  EXPECT_EQ(digest_run(run), kGoldenDetectOnly)
+      << "digest 0x" << std::hex << digest_run(run);
+}
+
+TEST(EngineEquivalence, ContinuousMatchesPreRefactorMain) {
+  const video::SyntheticVideo video(equivalence_scene());
+  DetectOnlyOptions options;
+  options.seed = kSeed;
+  const RunResult run = run_continuous(video, options);
+  EXPECT_EQ(digest_run(run), kGoldenContinuous)
+      << "digest 0x" << std::hex << digest_run(run);
+}
+
+TEST(EngineEquivalence, OffloadMatchesPreRefactorMain) {
+  const video::SyntheticVideo video(equivalence_scene());
+  OffloadOptions options;
+  options.seed = kSeed;
+  const RunResult run = run_offload(video, options);
+  EXPECT_EQ(digest_run(run), kGoldenOffload)
+      << "digest 0x" << std::hex << digest_run(run);
+}
+
+TEST(EngineEquivalence, NoFaultPlanMeansOkStatusAndZeroFaults) {
+  const video::SyntheticVideo video(equivalence_scene());
+  MpdtOptions options;
+  options.seed = kSeed;
+  const RunResult run = run_mpdt(video, options);
+  EXPECT_TRUE(run.status.ok()) << run.status.to_string();
+  EXPECT_EQ(run.faults_injected, 0u);
+}
+
+// --- Fault determinism (guarantee 2) -------------------------------------
+
+// All three channels at once: detector latency inflation + a garbage
+// payload, camera pixel glitches + a capture hiccup, and tracker
+// starvation / divergence / NaN-flow. `every=9` fires at frame 0 too, so
+// at least one fault is guaranteed on every engine.
+constexpr const char* kChaosSpec =
+    "detector: latency every=9 x=2.5; garbage at=40 n=4 | "
+    "camera: black at=25; corrupt every=47 amp=90; hiccup every=31 ms=45 | "
+    "tracker: starve every=17 frac=0.4; diverge at=33 px=6; nan at=57";
+
+util::FaultPlan chaos_plan() {
+  std::string error;
+  const auto plan = util::FaultPlan::parse(kChaosSpec, 9, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return *plan;
+}
+
+TEST(EngineFaults, MpdtFaultReplayIsBitIdenticalAcrossRepeats) {
+  const video::SyntheticVideo video(equivalence_scene());
+  const util::FaultPlan plan = chaos_plan();
+  MpdtOptions options;
+  options.seed = kSeed;
+  options.fault_plan = &plan;
+  const RunResult a = run_mpdt(video, options);
+  const RunResult b = run_mpdt(video, options);
+  EXPECT_EQ(digest_run(a), digest_run(b));
+  EXPECT_GT(a.faults_injected, 0u);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.status.code(), util::StatusCode::kDegraded)
+      << a.status.to_string();
+  // And the injected faults really changed the run.
+  MpdtOptions clean = options;
+  clean.fault_plan = nullptr;
+  EXPECT_NE(digest_run(a), digest_run(run_mpdt(video, clean)));
+}
+
+TEST(EngineFaults, MpdtFaultReplayIsBitIdenticalAcrossKernelThreadCounts) {
+  const video::SyntheticVideo video(equivalence_scene());
+  const util::FaultPlan plan = chaos_plan();
+  MpdtOptions options;
+  options.seed = kSeed;
+  options.fault_plan = &plan;
+  options.tracker.kernels.num_threads = 1;
+  const RunResult serial = run_mpdt(video, options);
+  options.tracker.kernels.num_threads = 3;
+  const RunResult parallel = run_mpdt(video, options);
+  EXPECT_EQ(digest_run(serial), digest_run(parallel));
+  EXPECT_EQ(serial.faults_injected, parallel.faults_injected);
+}
+
+TEST(EngineFaults, MarlinAcceptsTheSamePlanAndReplaysBitIdentically) {
+  const video::SyntheticVideo video(equivalence_scene());
+  const util::FaultPlan plan = chaos_plan();
+  MarlinOptions options;
+  options.seed = kSeed;
+  options.fault_plan = &plan;
+  const RunResult a = run_marlin(video, options);
+  const RunResult b = run_marlin(video, options);
+  EXPECT_EQ(digest_run(a), digest_run(b));
+  EXPECT_GT(a.faults_injected, 0u);
+  EXPECT_EQ(a.status.code(), util::StatusCode::kDegraded)
+      << a.status.to_string();
+}
+
+TEST(EngineFaults, InjectedThrowBecomesWorkerFailureNotAnAbort) {
+  const video::SyntheticVideo video(equivalence_scene());
+  const auto plan = util::FaultPlan::parse("detector: throw every=1", 9);
+  ASSERT_TRUE(plan.has_value());
+  MpdtOptions options;
+  options.seed = kSeed;
+  options.fault_plan = &*plan;
+  const RunResult run = run_mpdt(video, options);
+  EXPECT_EQ(run.status.code(), util::StatusCode::kWorkerFailure);
+  EXPECT_TRUE(run.status.failed());
+  EXPECT_NE(run.status.message().find("mpdt engine"), std::string::npos)
+      << run.status.message();
+  // The partial result is still well-formed.
+  EXPECT_EQ(run.frames.size(), static_cast<std::size_t>(video.frame_count()));
+}
+
+TEST(EngineFaults, OffloadCodecPathRunsAndReportsStatus) {
+  const video::SyntheticVideo video(equivalence_scene());
+  OffloadOptions options;
+  options.seed = kSeed;
+  options.codec_quality = 60;
+  const RunResult real_codec = run_offload(video, options);
+  EXPECT_FALSE(real_codec.status.failed()) << real_codec.status.to_string();
+  EXPECT_FALSE(real_codec.cycles.empty());
+  // Real compressed sizes differ from the flat frame_bytes model, so the
+  // transmit times — and hence the whole schedule — must diverge.
+  OffloadOptions flat = options;
+  flat.codec_quality = 0;
+  EXPECT_NE(digest_run(real_codec), digest_run(run_offload(video, flat)));
+  // And the codec path replays deterministically too.
+  EXPECT_EQ(digest_run(real_codec), digest_run(run_offload(video, options)));
+}
+
+}  // namespace
+}  // namespace adavp::core

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "detect/detector.h"
 #include "detect/faulty_detector.h"
+#include "track/faulty_tracker.h"
+#include "track/tracker.h"
 #include "util/fault_plan.h"
 #include "video/frame_glitch.h"
 #include "video/frame_store.h"
@@ -211,6 +214,135 @@ TEST(FaultyDetector, ThrowFaultThrowsInjectedFault) {
   EXPECT_NO_THROW(faulty.detect(video, 3, detect::ModelSetting::kYolov3_512));
   EXPECT_THROW(faulty.detect(video, 4, detect::ModelSetting::kYolov3_512),
                detect::InjectedFault);
+}
+
+// ------------------------------------------------- FaultyTracker ---------
+
+/// Arms `tracker` with frame 0's real detections and returns the frames.
+struct TrackerRig {
+  explicit TrackerRig(const video::SyntheticVideo& video)
+      : store(video), frame0(store.get(0)), frame1(store.get(1)) {
+    detect::SimulatedDetector detector(77);
+    reference =
+        detector.detect(video, 0, detect::ModelSetting::kYolov3_512).detections;
+  }
+  video::FrameStore store;
+  video::FrameRef frame0;
+  video::FrameRef frame1;
+  std::vector<detect::Detection> reference;
+};
+
+TEST(FaultyTracker, EmptyChannelIsATransparentPassThrough) {
+  const video::SyntheticVideo video(small_scene());
+  TrackerRig rig(video);
+
+  track::ObjectTracker plain;
+  plain.set_reference(rig.frame0.image(), rig.reference);
+  const auto plain_stats = plain.track_to(rig.frame1.image(), 1);
+
+  track::ObjectTracker inner;
+  track::FaultyTracker faulty(inner);
+  faulty.set_reference_at(rig.frame0.image(), rig.reference, 0);
+  const auto faulty_stats = faulty.track_frame(rig.frame1.image(), 1, 1);
+
+  EXPECT_EQ(plain_stats.features_tracked, faulty_stats.features_tracked);
+  EXPECT_DOUBLE_EQ(plain_stats.displacement_sum,
+                   faulty_stats.displacement_sum);
+  const auto a = plain.current_boxes();
+  const auto b = faulty.current_boxes();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].box, b[k].box);
+  }
+  EXPECT_EQ(faulty.faults_injected(), 0u);
+}
+
+TEST(FaultyTracker, StarveThinsFeaturesWithoutInventingVelocity) {
+  const video::SyntheticVideo video(small_scene());
+  TrackerRig rig(video);
+  const auto plan = util::FaultPlan::parse("tracker: starve at=1 frac=0.5", 5);
+  ASSERT_TRUE(plan.has_value());
+
+  track::ObjectTracker inner;
+  track::FaultyTracker faulty(inner, plan->channel("tracker"));
+  faulty.set_reference_at(rig.frame0.image(), rig.reference, 0);
+
+  track::ObjectTracker control;
+  control.set_reference(rig.frame0.image(), rig.reference);
+  const auto full = control.track_to(rig.frame1.image(), 1);
+  ASSERT_GT(full.features_tracked, 1);
+
+  const auto starved = faulty.track_frame(rig.frame1.image(), 1, 1);
+  EXPECT_EQ(starved.features_tracked,
+            static_cast<int>(std::floor(full.features_tracked * 0.5)));
+  EXPECT_NEAR(starved.displacement_sum, full.displacement_sum * 0.5, 1e-9);
+  EXPECT_LT(faulty.live_feature_count(), inner.live_feature_count());
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+  // Re-arming the reference clears the starvation.
+  faulty.set_reference_at(rig.frame0.image(), rig.reference, 0);
+  EXPECT_EQ(faulty.live_feature_count(), inner.live_feature_count());
+}
+
+TEST(FaultyTracker, DivergeDriftsTheReportedBoxes) {
+  const video::SyntheticVideo video(small_scene());
+  TrackerRig rig(video);
+  const auto plan = util::FaultPlan::parse("tracker: diverge at=1 px=6", 5);
+  ASSERT_TRUE(plan.has_value());
+
+  track::ObjectTracker inner;
+  track::FaultyTracker faulty(inner, plan->channel("tracker"));
+  faulty.set_reference_at(rig.frame0.image(), rig.reference, 0);
+  const auto stats = faulty.track_frame(rig.frame1.image(), 1, 1);
+
+  const auto honest = inner.current_boxes();
+  const auto drifted = faulty.current_boxes();
+  ASSERT_EQ(honest.size(), drifted.size());
+  ASSERT_FALSE(honest.empty());
+  const float dx = drifted[0].box.left - honest[0].box.left;
+  const float dy = drifted[0].box.top - honest[0].box.top;
+  EXPECT_NEAR(std::hypot(dx, dy), 6.0, 1e-4);  // the full drift magnitude
+  // The spurious flow inflates the displacement the velocity estimator
+  // sees (that is what trips the adapter / MARLIN's change detector).
+  track::ObjectTracker control;
+  control.set_reference(rig.frame0.image(), rig.reference);
+  const auto full = control.track_to(rig.frame1.image(), 1);
+  EXPECT_GT(stats.displacement_sum, full.displacement_sum);
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+}
+
+TEST(FaultyTracker, NanFlowFreezesBoxesAndZeroesTheStep) {
+  const video::SyntheticVideo video(small_scene());
+  TrackerRig rig(video);
+  const auto plan = util::FaultPlan::parse("tracker: nan at=1", 5);
+  ASSERT_TRUE(plan.has_value());
+
+  track::ObjectTracker inner;
+  track::FaultyTracker faulty(inner, plan->channel("tracker"));
+  faulty.set_reference_at(rig.frame0.image(), rig.reference, 0);
+  const auto before = faulty.current_boxes();
+  const auto stats = faulty.track_frame(rig.frame1.image(), 1, 1);
+
+  // The step was rejected: no features, no motion, boxes as they stood.
+  EXPECT_EQ(stats.features_tracked, 0);
+  EXPECT_DOUBLE_EQ(stats.displacement_sum, 0.0);
+  const auto after = faulty.current_boxes();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t k = 0; k < before.size(); ++k) {
+    EXPECT_EQ(before[k].box, after[k].box);
+  }
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+}
+
+TEST(FaultyTracker, ThrowFaultThrowsInjectedFault) {
+  const video::SyntheticVideo video(small_scene());
+  TrackerRig rig(video);
+  const auto plan = util::FaultPlan::parse("tracker: throw at=1", 5);
+  ASSERT_TRUE(plan.has_value());
+  track::ObjectTracker inner;
+  track::FaultyTracker faulty(inner, plan->channel("tracker"));
+  faulty.set_reference_at(rig.frame0.image(), rig.reference, 0);
+  EXPECT_THROW(faulty.track_frame(rig.frame1.image(), 1, 1),
+               util::InjectedFault);
 }
 
 // ------------------------------------------------- camera glitches -------

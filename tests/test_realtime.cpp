@@ -216,5 +216,74 @@ TEST(RealtimePipeline, RunsBackToBackWithoutLeakingThreads) {
   }
 }
 
+TEST(RealtimePipeline, PopulatesEnergyRailsAndMirrorsStatusOntoTheRun) {
+  video::SyntheticVideo video(scene(21, 60));
+  video.precache();
+  RealtimeOptions options;
+  options.time_scale = 30.0;
+  const RealtimeResult result = run_realtime(video, options);
+  // The per-worker meters (GPU inference, CPU tracking) integrate over the
+  // video timeline, exactly like the virtual engines' epilogue.
+  EXPECT_GT(result.run.energy.gpu_wh, 0.0);
+  EXPECT_GT(result.run.energy.cpu_wh, 0.0);
+  EXPECT_GT(result.run.energy.total_wh(), 0.0);
+  // The embedded RunResult carries the same verdict as the legacy fields.
+  EXPECT_EQ(result.run.status.code(), result.status.code());
+  EXPECT_EQ(result.run.faults_injected,
+            static_cast<std::uint64_t>(result.stats.faults_injected));
+}
+
+TEST(RealtimePipeline, TrackerFaultChannelInjectsAndDegradesTheRun) {
+  video::SyntheticVideo video(scene(21, 60));
+  video.precache();
+  const auto plan = util::FaultPlan::parse(
+      "tracker: starve every=3 frac=0.5; diverge every=11 px=4", 31);
+  ASSERT_TRUE(plan.has_value());
+  RealtimeOptions options;
+  options.time_scale = timing_sensitive_scale(30.0);
+  options.fault_plan = &*plan;
+  const RealtimeResult result = run_realtime(video, options);
+  EXPECT_FALSE(result.status.failed()) << result.status.to_string();
+  EXPECT_GT(result.stats.faults_injected, 0);
+  EXPECT_EQ(result.status.code(), StatusCode::kDegraded)
+      << result.status.to_string();
+  EXPECT_EQ(result.run.faults_injected,
+            static_cast<std::uint64_t>(result.stats.faults_injected));
+}
+
+TEST(RealtimePipeline, CoastingBillsCoastPowerNotInferencePower) {
+  // Long enough that the zero-GPU coasting tail dominates the fixed cost
+  // of riding the ladder down: each of the four watchdog timeouts bills
+  // deadline_factor (2x) times the mean inference latency on the GPU rail,
+  // about 2.2 s of GPU time total, before the floor is reached.
+  video::SyntheticVideo video(scene(21, 150));
+  video.precache();
+  RealtimeOptions clean;
+  clean.time_scale = timing_sensitive_scale(30.0);
+  const RealtimeResult baseline = run_realtime(video, clean);
+
+  // Every inference overruns its watchdog deadline, so the ladder rides
+  // down to tracker-only and the pipeline coasts. While coasting the GPU
+  // is off and the CPU draws cpu_coast_w — so the degraded run must spend
+  // strictly less GPU energy than the healthy one over the same timeline.
+  const auto plan = util::FaultPlan::parse("detector: stall every=1 ms=5000", 7);
+  ASSERT_TRUE(plan.has_value());
+  RealtimeOptions degraded = clean;
+  degraded.fault_plan = &*plan;
+  degraded.supervisor.enabled = true;
+  // Each recovery probe costs a full watchdog deadline of GPU time; push
+  // them past the end of this video so the comparison below isolates the
+  // coasting behavior.
+  degraded.supervisor.ladder.probe_backoff_start = 1024;
+  degraded.supervisor.ladder.probe_backoff_max = 1024;
+  const RealtimeResult result = run_realtime(video, degraded);
+
+  EXPECT_GT(result.stats.coast_cycles, 0);
+  EXPECT_EQ(result.status.code(), StatusCode::kDegraded)
+      << result.status.to_string();
+  EXPECT_GT(result.run.energy.cpu_wh, 0.0);  // coast + tracking still billed
+  EXPECT_LT(result.run.energy.gpu_wh, baseline.run.energy.gpu_wh);
+}
+
 }  // namespace
 }  // namespace adavp::core
