@@ -4,6 +4,8 @@
 //   $ ./quickstart [--frames 300] [--speed 1.5] [--pan 0.8] [--seed 7]
 //                  [--trace-out trace.json] [--metrics-out metrics.json]
 //                  [--faults "detector: stall p=0.05 ms=900 | tracker: starve p=0.1 frac=0.5"]
+//                  [--slo "fps=30 deadline_ms=40 miss_rate=0.1"] [--slo-out slo.json]
+//                  [--flight-recorder-out flight.json]
 //
 // Walks the public API in the order a new user meets it:
 //   1. describe a video        (video::SceneConfig / SyntheticVideo)
@@ -15,8 +17,10 @@
 //   5. (--trace-out) rerun on the real three-thread pipeline with
 //      telemetry on and export a Chrome trace-event JSON of the
 //      camera / detector / tracker schedule — open it in Perfetto
-//      (https://ui.perfetto.dev) or chrome://tracing. See
-//      docs/OBSERVABILITY.md.
+//      (https://ui.perfetto.dev) or chrome://tracing. With --slo the rerun
+//      also evaluates a per-window SLO (--slo-out dumps the report), and
+//      --flight-recorder-out arms the crash/degradation flight recorder's
+//      automatic post-mortem dump. See docs/OBSERVABILITY.md.
 
 #include <fstream>
 #include <iostream>
@@ -119,10 +123,31 @@ int main(int argc, char** argv) {
   //    the obs subsystem enabled and dump the schedule as a trace.
   const std::string trace_out = args.get("trace-out", "");
   const std::string metrics_out = args.get("metrics-out", "");
-  if (!trace_out.empty() || !metrics_out.empty()) {
+  const std::string slo_spec_text = args.get("slo", "");
+  const std::string slo_out = args.get("slo-out", "");
+  const std::string flight_out = args.get("flight-recorder-out", "");
+  std::optional<obs::SloSpec> slo_spec;
+  if (!slo_spec_text.empty()) {
+    std::string error;
+    slo_spec = obs::SloSpec::parse(slo_spec_text, &error);
+    if (!slo_spec.has_value()) {
+      std::cerr << "error: bad --slo spec: " << error << "\n";
+      return 2;
+    }
+  }
+  if (!trace_out.empty() || !metrics_out.empty() || slo_spec.has_value() ||
+      !flight_out.empty()) {
     obs::Telemetry& telemetry = obs::Telemetry::instance();
     obs::Telemetry::set_enabled(true);
     telemetry.reset();
+    if (!flight_out.empty()) {
+      // Arm the black box: the ring records continuously; if the run ends
+      // non-OK (e.g. injected faults, watchdog trips) the post-mortem is
+      // dumped automatically — we also dump explicitly below so a clean
+      // run still yields a file to inspect.
+      obs::Telemetry::set_flight_enabled(true);
+      telemetry.set_flight_dump_path(flight_out);
+    }
 
     // Render outside the timed run (parallel over frames on the shared
     // thread pool); the FrameStore then aliases the cache with zero copies.
@@ -132,6 +157,11 @@ int main(int argc, char** argv) {
     rt.setting = detect::ModelSetting::kYolov3_512;
     rt.time_scale = args.get_double("time-scale", 10.0);
     rt.seed = scene.seed;
+    if (fault_plan.has_value()) {
+      rt.fault_plan = &*fault_plan;
+      rt.supervisor.enabled = true;  // let the ladder absorb the faults
+    }
+    if (slo_spec.has_value()) rt.slo = &*slo_spec;
     const core::RealtimeResult realtime = run_realtime(video, rt);
     obs::Telemetry::set_enabled(false);
 
@@ -141,6 +171,34 @@ int main(int argc, char** argv) {
               << " cancelled tasks, status "
               << realtime.status.to_string() << "\n";
     std::cout << realtime.metrics.to_text();
+    if (slo_spec.has_value()) {
+      std::cout << "SLO: " << realtime.stats.slo_windows << " windows, "
+                << realtime.stats.slo_violated_windows << " violated, "
+                << realtime.stats.slo_breaches << " breach(es)"
+                << (realtime.run.slo.in_breach_at_end ? ", in breach at end"
+                                                      : "")
+                << "\n";
+      if (!slo_out.empty()) {
+        std::ofstream out(slo_out);
+        out << realtime.run.slo.to_json() << "\n";
+        if (!out) {
+          std::cerr << "error: cannot write SLO report: " << slo_out << "\n";
+          return 1;
+        }
+        std::cout << "SLO report written to " << slo_out << "\n";
+      }
+    }
+    if (!flight_out.empty()) {
+      try {
+        telemetry.write_flight_file(flight_out);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+      }
+      std::cout << "Flight-recorder dump written to " << flight_out
+                << " (open in Perfetto or chrome://tracing)\n";
+      obs::Telemetry::set_flight_enabled(false);
+    }
     if (!trace_out.empty()) {
       try {
         telemetry.write_trace_file(trace_out);
@@ -153,7 +211,10 @@ int main(int argc, char** argv) {
     }
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
-      out << realtime.metrics.to_json() << "\n";
+      // The run's counter/histogram snapshot plus the windowed time-series
+      // (per-second rates and sliding quantiles) side by side.
+      out << "{\"snapshot\":" << realtime.metrics.to_json()
+          << ",\"time_series\":" << telemetry.series_json() << "}\n";
       if (!out) {
         std::cerr << "error: cannot write metrics file: " << metrics_out << "\n";
         return 1;

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_*.json files.
+
+Flattens a benchmark report into dotted metric paths (list entries keyed by
+their "mode" field when present, e.g. `realtime.after.renders_per_frame`),
+then applies two kinds of checks:
+
+1. Absolute guards — invariants of the current report that hold at any
+   scale, with no noise margin (e.g. the zero-copy pipeline renders each
+   frame at most once; the frame store's steady state performs no heap
+   allocation).
+
+2. Baseline comparison (`--baseline old.json`) — directional checks with a
+   noise margin (default 30%: wall-clock numbers on shared CI runners are
+   that noisy; counter-like metrics get a small absolute epsilon instead).
+   When the two reports were produced at different scales (smoke vs full:
+   different `smoke` flag or frame count), only scale-invariant per-frame
+   ratios are compared — comparing a 48-frame smoke's wall_ms against a
+   full run's is meaningless.
+
+Exit status: 0 when every check passes, 1 otherwise.
+
+Usage:
+  scripts/bench_gate.py build/BENCH_PIPELINE.smoke.json
+  scripts/bench_gate.py build/BENCH_PIPELINE.smoke.json --baseline old.json
+  scripts/bench_gate.py current.json --baseline old.json --margin 0.5
+"""
+
+import argparse
+import json
+import sys
+
+# Absolute guards: (dotted path, op, bound). Missing paths are reported but
+# do not fail the gate (older reports may predate a metric).
+GUARDS = [
+    # Zero-copy render-once invariant (DESIGN.md): the optimized realtime
+    # pipeline renders each frame exactly once and never re-renders.
+    ("realtime.after.renders_per_frame", "<=", 1.0),
+    ("realtime.after.re_renders", "<=", 0.0),
+    # Allocation-free steady state of the frame store.
+    ("store_steady_state.steady_heap_allocs", "<=", 0.0),
+    # The zero-copy path must not be a pessimization.
+    ("realtime_fps_speedup", ">=", 0.9),
+]
+
+# Direction per metric leaf name: -1 lower is better, +1 higher is better.
+# Unlisted leaves are informational only.
+DIRECTION = {
+    "wall_ms": -1,
+    "ms_per_get": -1,
+    "heap_allocs": -1,
+    "heap_allocs_per_frame": -1,
+    "heap_bytes": -1,
+    "renders_per_frame": -1,
+    "re_renders": -1,
+    "steady_heap_allocs": -1,
+    "steady_heap_allocs_per_frame": -1,
+    "warmup_heap_allocs": -1,
+    "pool_allocs": -1,
+    "fps": 1,
+    "realtime_fps_speedup": 1,
+    "store_hits": 1,
+    "pool_reuses": 1,
+}
+
+# Leaves that are meaningful across scales (per-frame ratios and steady-state
+# properties). Everything else is skipped when smoke is compared to full.
+SCALE_INVARIANT = {
+    "renders_per_frame",
+    "heap_allocs_per_frame",
+    "steady_heap_allocs",
+    "steady_heap_allocs_per_frame",
+    "realtime_fps_speedup",
+    "re_renders",
+}
+
+# Counter-ish metrics near zero: relative margins are useless there, allow
+# this much absolute slack instead.
+ABS_EPSILON = 2.0
+
+
+def flatten(node, prefix=""):
+    """Yields (dotted_path, number) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}." if prefix or key else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            # Lists of {"mode": "before"/"after", ...} read better keyed by
+            # mode than by index.
+            key = value.get("mode", str(i)) if isinstance(value, dict) else str(i)
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        yield prefix.rstrip("."), float(node)
+
+
+def load_flat(path):
+    with open(path) as f:
+        doc = json.load(f)
+    flat = {}
+    for key, value in flatten(doc):
+        # flatten() appends "." between segments; normalize leaf paths.
+        flat[key.replace("..", ".")] = value
+    return doc, flat
+
+
+def same_scale(doc_a, doc_b):
+    if bool(doc_a.get("smoke")) != bool(doc_b.get("smoke")):
+        return False
+    frames_a = doc_a.get("scene", {}).get("frames")
+    frames_b = doc_b.get("scene", {}).get("frames")
+    return frames_a == frames_b
+
+
+def check_guards(flat):
+    failures = []
+    for path, op, bound in GUARDS:
+        if path not in flat:
+            print(f"  guard  SKIP  {path} (not in report)")
+            continue
+        value = flat[path]
+        ok = value <= bound if op == "<=" else value >= bound
+        print(f"  guard  {'ok' if ok else 'FAIL':4}  {path} = {value:g} "
+              f"(want {op} {bound:g})")
+        if not ok:
+            failures.append(path)
+    return failures
+
+
+def check_baseline(flat, base_flat, comparable, margin):
+    failures = []
+    for path in sorted(set(flat) & set(base_flat)):
+        leaf = path.rsplit(".", 1)[-1]
+        direction = DIRECTION.get(leaf, 0)
+        if direction == 0:
+            continue
+        if not comparable and leaf not in SCALE_INVARIANT:
+            continue
+        current, base = flat[path], base_flat[path]
+        # Worse = regression in the metric's bad direction beyond both the
+        # relative noise margin and the absolute epsilon.
+        delta = (current - base) * -direction  # > 0 means worse
+        allowed = max(abs(base) * margin, ABS_EPSILON)
+        ok = delta <= allowed
+        if not ok or abs(delta) > allowed:
+            arrow = "worse" if delta > 0 else "better"
+            print(f"  bench  {'ok' if ok else 'FAIL':4}  {path}: "
+                  f"{base:g} -> {current:g} ({arrow}, margin {allowed:g})")
+        if not ok:
+            failures.append(path)
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="current BENCH_*.json")
+    parser.add_argument("--baseline", help="previous BENCH_*.json to compare")
+    parser.add_argument("--margin", type=float, default=0.30,
+                        help="relative noise margin (default 0.30)")
+    args = parser.parse_args()
+
+    doc, flat = load_flat(args.report)
+    print(f"bench_gate: {args.report} ({len(flat)} metrics)")
+    failures = check_guards(flat)
+
+    if args.baseline:
+        base_doc, base_flat = load_flat(args.baseline)
+        comparable = same_scale(doc, base_doc)
+        if not comparable:
+            print("  note: reports differ in scale (smoke vs full); "
+                  "comparing scale-invariant metrics only")
+        failures += check_baseline(flat, base_flat, comparable, args.margin)
+
+    if failures:
+        print(f"bench_gate: FAILED ({len(failures)}): " + ", ".join(failures))
+        return 1
+    print("bench_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

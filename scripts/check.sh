@@ -44,6 +44,13 @@ fi
 if [ "$preset" = "release" ]; then
   echo "==> bench_pipeline --smoke"
   ./build/bench/bench_pipeline --smoke --out=build/BENCH_PIPELINE.smoke.json
+
+  # Regression gate: absolute invariants always; directional comparison
+  # against a previous report when BENCH_BASELINE points at one (the gate
+  # compares only scale-invariant metrics across smoke/full scales).
+  echo "==> bench_gate"
+  python3 scripts/bench_gate.py build/BENCH_PIPELINE.smoke.json \
+    ${BENCH_BASELINE:+--baseline "$BENCH_BASELINE"}
 fi
 
 echo "==> OK"

@@ -15,7 +15,8 @@ RunResult run_marlin(const video::SyntheticVideo& video,
   EngineContext ctx(video, {.seed = options.seed,
                             .tracker = options.tracker,
                             .frame_store = options.frame_store,
-                            .fault_plan = options.fault_plan});
+                            .fault_plan = options.fault_plan,
+                            .slo = options.slo});
   if (ctx.frame_count == 0) return std::move(ctx.run);
 
   const detect::ModelSetting setting = options.setting;
@@ -152,19 +153,28 @@ RunResult run_detect_only(const video::SyntheticVideo& video,
   obs::ScopedSpan run_span("run_detect_only", "pipeline", video.frame_count(),
                            "frames");
   EngineContext ctx(video, {.seed = options.seed,
-                            .fault_plan = options.fault_plan});
+                            .fault_plan = options.fault_plan,
+                            .slo = options.slo});
   if (ctx.frame_count == 0) return std::move(ctx.run);
 
   try {
     int index = 0;
     double t = ctx.capture_time_ms(0);
     while (true) {
-      const detect::DetectionResult det =
-          ctx.detect_on_gpu(index, options.setting);
+      detect::DetectionResult det;
+      {
+        obs::ScopedSpan detect_span("detect", "detector", index);
+        det = ctx.detect_on_gpu(index, options.setting);
+      }
       t += det.latency_ms;
       ctx.record_detection(index, det, options.setting, t);
       ctx.run.cycles.push_back(
           {index, options.setting, t - det.latency_ms, t, 0, 0, 0.0});
+      if (obs::Telemetry::enabled()) {
+        obs::MetricsRegistry& reg = obs::metrics();
+        reg.counter("detect_only", "cycles").add();
+        reg.latency_histogram("detect_only", "cycle_ms").record(det.latency_ms);
+      }
       if (index >= ctx.last) break;
       int next = ctx.newest_captured(t);
       if (next <= index) {
@@ -188,21 +198,30 @@ RunResult run_continuous(const video::SyntheticVideo& video,
   obs::ScopedSpan run_span("run_continuous", "pipeline", video.frame_count(),
                            "frames");
   EngineContext ctx(video, {.seed = options.seed,
-                            .fault_plan = options.fault_plan});
+                            .fault_plan = options.fault_plan,
+                            .slo = options.slo});
   if (ctx.frame_count == 0) return std::move(ctx.run);
 
   const double cpu_w = energy::PowerModel::cpu_feed_w(options.setting);
 
   try {
     for (int i = 0; i < ctx.frame_count; ++i) {
-      const detect::DetectionResult det =
-          ctx.detect_on_gpu(i, options.setting, /*continuous=*/true);
+      detect::DetectionResult det;
+      {
+        obs::ScopedSpan detect_span("detect", "detector", i);
+        det = ctx.detect_on_gpu(i, options.setting, /*continuous=*/true);
+      }
       ctx.meter.add_cpu_busy(cpu_w, det.latency_ms);
       ctx.clock->occupy(det.latency_ms);
       const double t = ctx.clock->now_ms();
       ctx.record_detection(i, det, options.setting, t);
       ctx.run.cycles.push_back(
           {i, options.setting, t - det.latency_ms, t, 0, 0, 0.0});
+      if (obs::Telemetry::enabled()) {
+        obs::MetricsRegistry& reg = obs::metrics();
+        reg.counter("continuous", "cycles").add();
+        reg.latency_histogram("continuous", "cycle_ms").record(det.latency_ms);
+      }
     }
   } catch (const std::exception& e) {
     ctx.fail(std::string("continuous engine: ") + e.what());

@@ -35,6 +35,8 @@ struct MarlinOptions {
   /// Non-null => deterministic fault injection (detector / camera /
   /// tracker channels; see EngineOptions::fault_plan). Must outlive the run.
   const util::FaultPlan* fault_plan = nullptr;
+  /// Non-null => per-window SLO evaluation (see EngineOptions::slo).
+  const obs::SloSpec* slo = nullptr;
 };
 
 /// Runs the sequential MARLIN baseline over a synthetic video.
@@ -47,6 +49,8 @@ struct DetectOnlyOptions {
   /// Non-null => fault injection. Only the "detector" channel (and camera
   /// hiccup timing) can matter here: these baselines never touch pixels.
   const util::FaultPlan* fault_plan = nullptr;
+  /// Non-null => per-window SLO evaluation (see EngineOptions::slo).
+  const obs::SloSpec* slo = nullptr;
 };
 
 /// The paper's "Without Tracking" baseline: the DNN always fetches the

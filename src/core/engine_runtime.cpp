@@ -48,6 +48,7 @@ EngineContext::EngineContext(const video::SyntheticVideo& video,
   for (int i = 0; i < frame_count; ++i) {
     run.frames[static_cast<std::size_t>(i)].frame_index = i;
   }
+  if (options_.slo != nullptr) slo_tracker_.emplace(*options_.slo);
 }
 
 video::FrameStore& EngineContext::store() {
@@ -76,6 +77,9 @@ video::FrameRef EngineContext::frame(int index) {
                                   decision.kind)))
             .add();
       }
+      // fault_kind_name returns string literals, so .data() is terminated.
+      obs::flight_instant(util::fault_kind_name(decision.kind).data(), "fault",
+                          index);
     }
   }
   return ref;
@@ -92,6 +96,7 @@ double EngineContext::capture_time_ms(int index) {
       if (obs::Telemetry::enabled()) {
         obs::metrics().counter("fault", "injected.hiccup").add();
       }
+      obs::flight_instant("hiccup", "fault", index);
     }
   }
   return t;
@@ -127,6 +132,10 @@ void EngineContext::record_detection(int index,
   result.boxes = to_labeled_boxes(det);
   result.setting = setting;
   result.staleness_ms = completed_ms - capture_time_ms(index);
+  if (slo_tracker_.has_value()) {
+    slo_tracker_->on_result(completed_ms, result.staleness_ms,
+                            /*coasted=*/false);
+  }
 }
 
 EngineContext::Catchup EngineContext::track_catchup(
@@ -187,6 +196,10 @@ EngineContext::Catchup EngineContext::track_catchup(
     result.boxes = tracker().current_boxes();
     result.setting = result_setting;
     result.staleness_ms = cpu_clock - capture_time_ms(frame_index);
+    if (slo_tracker_.has_value()) {
+      slo_tracker_->on_result(cpu_clock, result.staleness_ms,
+                              /*coasted=*/false);
+    }
     ++out.tracked;
     prev_offset = offset;
   }
@@ -223,6 +236,21 @@ void EngineContext::finish() {
   if (!run.status.failed() && run.faults_injected > 0) {
     run.status = Status::degraded(std::to_string(run.faults_injected) +
                                   " faults injected");
+  }
+  if (slo_tracker_.has_value()) {
+    run.slo = slo_tracker_->finish(run.timeline_ms);
+  }
+  if (obs::Telemetry::enabled()) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.gauge("energy", "gpu_wh").set(run.energy.gpu_wh);
+    reg.gauge("energy", "cpu_wh").set(run.energy.cpu_wh);
+    reg.gauge("energy", "soc_wh").set(run.energy.soc_wh);
+    reg.gauge("energy", "ddr_wh").set(run.energy.ddr_wh);
+    reg.gauge("energy", "total_wh").set(run.energy.total_wh());
+  }
+  if (!run.status.ok()) {
+    obs::Telemetry::instance().maybe_flight_dump(
+        status_code_name(run.status.code()));
   }
 }
 

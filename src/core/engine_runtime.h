@@ -9,6 +9,7 @@
 #include "adapt/velocity.h"
 #include "core/clock.h"
 #include "core/run_result.h"
+#include "obs/slo.h"
 #include "detect/faulty_detector.h"
 #include "energy/energy_meter.h"
 #include "track/faulty_tracker.h"
@@ -50,6 +51,10 @@ struct EngineOptions {
   /// "tracker" degrades the optical-flow path. Must outlive the run.
   const util::FaultPlan* fault_plan = nullptr;
   std::uint64_t latency_salt = 0xABCDULL;
+  /// Non-null => per-window SLO evaluation: every recorded result feeds an
+  /// obs::SloTracker and the report lands in RunResult::slo. Must outlive
+  /// the run. Costs nothing when null.
+  const obs::SloSpec* slo = nullptr;
 };
 
 /// Per-run state shared by every engine: the clock, the render-once frame
@@ -147,6 +152,13 @@ class EngineContext {
                         SelectionPolicy policy);
 
   // --- outcome -----------------------------------------------------------
+  /// The run's SLO tracker (nullptr when EngineOptions::slo is null).
+  /// record_detection and track_catchup feed it automatically; engines
+  /// with out-of-band results (realtime coasting) feed it directly.
+  obs::SloTracker* slo_tracker() {
+    return slo_tracker_.has_value() ? &*slo_tracker_ : nullptr;
+  }
+
   /// Marks the run failed (first failure wins); the engine stops its loop
   /// and finish() returns the frames produced so far.
   void fail(std::string message);
@@ -166,6 +178,7 @@ class EngineContext {
   std::unique_ptr<track::TrackerInterface> tracker_owner_;
   track::FaultyTracker faulty_tracker_;
   std::optional<video::FrameStore> store_;
+  std::optional<obs::SloTracker> slo_tracker_;
   std::unordered_set<int> counted_glitches_;  ///< frames with pixel faults billed
   std::unordered_set<int> counted_delays_;    ///< frames with hiccups billed
   std::uint64_t camera_faults_injected_ = 0;

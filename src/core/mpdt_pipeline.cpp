@@ -12,7 +12,8 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
                             .tracker = options.tracker,
                             .backend = options.backend,
                             .frame_store = options.frame_store,
-                            .fault_plan = options.fault_plan});
+                            .fault_plan = options.fault_plan,
+                            .slo = options.slo});
   if (ctx.frame_count == 0) return std::move(ctx.run);
 
   detect::ModelSetting setting = options.setting;

@@ -34,6 +34,8 @@ struct MpdtOptions {
   /// outlive the run. The run's RunResult::status reports kDegraded when
   /// faults were absorbed, kWorkerFailure on an injected throw.
   const util::FaultPlan* fault_plan = nullptr;
+  /// Non-null => per-window SLO evaluation (see EngineOptions::slo).
+  const obs::SloSpec* slo = nullptr;
 };
 
 /// Runs the Mobile Parallel Detection and Tracking pipeline (§IV-B) over a

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/engine_runtime.h"
+#include "obs/telemetry.h"
 #include "util/rng.h"
 #include "vision/codec.h"
 
@@ -25,10 +26,13 @@ double offload_round_trip_ms(const OffloadOptions& options) {
 
 RunResult run_offload(const video::SyntheticVideo& video,
                       const OffloadOptions& options) {
+  obs::ScopedSpan run_span("run_offload", "pipeline", video.frame_count(),
+                           "frames");
   EngineContext ctx(video, {.seed = options.seed,
                             .tracker = options.tracker,
                             .frame_store = options.frame_store,
-                            .fault_plan = options.fault_plan});
+                            .fault_plan = options.fault_plan,
+                            .slo = options.slo});
   if (ctx.frame_count == 0) return std::move(ctx.run);
 
   // The server runs the full-size model; its accuracy is YOLOv3-608's.
@@ -42,24 +46,49 @@ RunResult run_offload(const video::SyntheticVideo& video,
   // bitstream size and the server-side decode is verified — a corrupt
   // bitstream surfaces as the run's Status, never silently.
   auto uplink = [&](int index, double* transmit_ms) -> util::Status {
+    obs::ScopedSpan uplink_span("uplink", "offload", index);
     if (options.codec_quality <= 0) {
       *transmit_ms = flat_transmit_ms;
       return util::Status();
     }
-    const std::vector<std::uint8_t> bits =
-        vision::encode_frame(ctx.frame(index).image(), options.codec_quality);
+    std::vector<std::uint8_t> bits;
+    {
+      obs::ScopedSpan encode_span("encode_frame", "offload", index);
+      bits = vision::encode_frame(ctx.frame(index).image(),
+                                  options.codec_quality);
+    }
     vision::ImageU8 server_view;
-    const util::Status decoded = vision::decode_frame(bits, &server_view);
-    if (!decoded.ok()) return decoded;
+    util::Status decoded;
+    {
+      obs::ScopedSpan decode_span("decode_frame", "offload", index);
+      decoded = vision::decode_frame(bits, &server_view);
+    }
+    if (!decoded.ok()) {
+      obs::flight_instant("bitstream_data_loss", "offload", index);
+      return decoded;
+    }
     *transmit_ms = static_cast<double>(bits.size()) * 8.0 /
                    (options.bandwidth_mbps * 1000.0);
+    if (obs::Telemetry::enabled()) {
+      obs::metrics()
+          .counter("offload", "bitstream_bytes")
+          .add(static_cast<std::uint64_t>(bits.size()));
+    }
     return util::Status();
   };
   auto sample_round_trip = [&](double transmit_ms) {
     // Unpredictable network latency: positively skewed jitter.
     const double jitter =
         std::abs(rng.gaussian(0.0, options.jitter_frac * options.rtt_ms));
-    return transmit_ms + options.rtt_ms + options.server_latency_ms + jitter;
+    const double total =
+        transmit_ms + options.rtt_ms + options.server_latency_ms + jitter;
+    if (obs::Telemetry::enabled()) {
+      obs::MetricsRegistry& reg = obs::metrics();
+      reg.counter("offload", "cycles").add();
+      reg.latency_histogram("offload", "round_trip_ms").record(total);
+      reg.latency_histogram("offload", "transmit_ms").record(transmit_ms);
+    }
+    return total;
   };
 
   try {

@@ -38,6 +38,8 @@ struct OffloadOptions {
   /// Non-null => deterministic fault injection (detector / camera /
   /// tracker channels; see EngineOptions::fault_plan). Must outlive the run.
   const util::FaultPlan* fault_plan = nullptr;
+  /// Non-null => per-window SLO evaluation (see EngineOptions::slo).
+  const obs::SloSpec* slo = nullptr;
 };
 
 /// Total mean latency of one offloaded detection (transmit + RTT + server).

@@ -61,6 +61,10 @@ struct RealtimeInstruments {
   obs::Gauge* buffer_depth = nullptr;
   obs::FixedHistogram* detect_occupancy_ms = nullptr;  ///< modeled GPU busy
   obs::FixedHistogram* batch_frames = nullptr;  ///< catch-up batch sizes
+  /// Per-window result telemetry (fps via rates, latency quantiles per
+  /// second of pipeline time) — the windowed complement of the counters.
+  obs::TimeSeries* results_ts = nullptr;
+  obs::TimeSeries* coast_ts = nullptr;
 
   static RealtimeInstruments resolve() {
     RealtimeInstruments ins;
@@ -79,6 +83,11 @@ struct RealtimeInstruments {
         &reg.latency_histogram("detector", "occupancy_ms");
     ins.batch_frames = &reg.histogram(
         "tracker", "batch_frames", {1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64});
+    obs::TimeSeries::Options ts_opts;
+    ts_opts.edges = obs::FixedHistogram::default_latency_edges_ms();
+    ins.results_ts = &obs::time_series().series("realtime", "result_latency_ms",
+                                                ts_opts);
+    ins.coast_ts = &obs::time_series().series("realtime", "coast_frames", {});
     return ins;
   }
 };
@@ -177,6 +186,23 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
 
   std::mutex cycles_mutex;
   std::vector<CycleRecord> cycles;
+
+  // SLO evaluation on pipeline (scaled-wall) time. The tracker object is
+  // single-owner, so the two producing threads serialize on one mutex —
+  // one short critical section per displayed result, off the vision hot
+  // path.
+  std::optional<obs::SloTracker> slo_tracker;
+  std::mutex slo_mutex;
+  if (options.slo != nullptr) slo_tracker.emplace(*options.slo);
+  auto record_result = [&](double latency_ms, bool coasted) {
+    const double t_ms = wall.now_ms();
+    if (slo_tracker.has_value()) {
+      std::lock_guard<std::mutex> lock(slo_mutex);
+      slo_tracker->on_result(t_ms, latency_ms, coasted);
+    }
+    if (ins.results_ts != nullptr) ins.results_ts->record(t_ms, latency_ms);
+    if (coasted && ins.coast_ts != nullptr) ins.coast_ts->count(t_ms);
+  };
 
   // Each worker owns its meter (no shared mutable state on the hot path);
   // the meters are merged after the join and integrated over the video
@@ -338,6 +364,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
               fr.boxes.push_back({d.box, d.cls});
             }
             board.record(std::move(fr));
+            record_result(det.latency_ms, /*coasted=*/false);
 
             {
               std::lock_guard<std::mutex> lock(cycles_mutex);
@@ -377,7 +404,9 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
                                 : 0.0;
           fr.boxes.reserve(coasted.size());
           for (const auto& d : coasted) fr.boxes.push_back({d.box, d.cls});
+          const double coast_staleness_ms = fr.staleness_ms;
           board.record(std::move(fr));
+          record_result(coast_staleness_ms, /*coasted=*/true);
           coast_frames.fetch_add(1);
           if (ins.coast_frames != nullptr) ins.coast_frames->add();
           DetectionEvent ev{frame->index, frame->index, setting,
@@ -465,9 +494,10 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
           }
           const int frame_index = event->ref_index + offset;
           track::TrackStepStats stats;
+          double step_ms = 0.0;
           {
             obs::ScopedSpan step_span("track_frame", "tracker", frame_index);
-            const double step_ms =
+            step_ms =
                 latency.tracking_ms(tracker.object_count(),
                                     tracker.live_feature_count()) +
                 latency.overlay_ms();
@@ -493,6 +523,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
           fr.setting = event->setting;
           fr.boxes = tracker.current_boxes();
           board.record(std::move(fr));
+          record_result(step_ms, event->coast);
           frames_tracked.fetch_add(1);
           if (ins.tracker_frames != nullptr) ins.tracker_frames->add();
           if (event->coast) {
@@ -592,9 +623,32 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   result.run.status = result.status;
   result.run.faults_injected =
       static_cast<std::uint64_t>(result.stats.faults_injected);
+
+  if (slo_tracker.has_value()) {
+    result.run.slo =
+        slo_tracker->finish(std::max(result.run.timeline_ms, wall.now_ms()));
+    result.stats.slo_windows = static_cast<int>(result.run.slo.windows.size());
+    result.stats.slo_violated_windows =
+        static_cast<int>(result.run.slo.violated_windows);
+    for (const obs::SloBreachEvent& breach : result.run.slo.breaches) {
+      if (breach.entered) ++result.stats.slo_breaches;
+    }
+  }
   if (telemetry_on) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.gauge("energy", "gpu_wh").set(result.run.energy.gpu_wh);
+    reg.gauge("energy", "cpu_wh").set(result.run.energy.cpu_wh);
+    reg.gauge("energy", "soc_wh").set(result.run.energy.soc_wh);
+    reg.gauge("energy", "ddr_wh").set(result.run.energy.ddr_wh);
+    reg.gauge("energy", "total_wh").set(result.run.energy.total_wh());
     result.metrics =
         obs::Telemetry::instance().snapshot().since(metrics_before);
+  }
+  // Post-mortem: a failed or watchdog-tripped run dumps the flight ring
+  // (a no-op unless the recorder is enabled and a dump path is armed).
+  if (!result.status.ok() || result.stats.watchdog_timeouts > 0) {
+    obs::Telemetry::instance().maybe_flight_dump(
+        status_code_name(result.status.code()));
   }
   return result;
 }

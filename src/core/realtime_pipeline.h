@@ -65,6 +65,10 @@ struct RealtimeOptions {
   const util::FaultPlan* fault_plan = nullptr;
   /// Watchdog + degradation-ladder supervision of the detector cycle.
   SupervisorOptions supervisor;
+  /// Non-null => per-window SLO evaluation: every displayed result feeds an
+  /// obs::SloTracker on pipeline (scaled-wall) time and the report lands in
+  /// RunResult::slo / RealtimeStats. Must outlive the run.
+  const obs::SloSpec* slo = nullptr;
 };
 
 /// Counters exposed by a realtime run, used by tests to check the
@@ -86,6 +90,10 @@ struct RealtimeStats {
   int degrade_steps_up = 0;    ///< ladder recoveries
   int max_degrade_level = 0;   ///< deepest ladder level reached (0..4)
   int faults_injected = 0;     ///< detector + tracker + camera faults applied
+  // -- SLO evaluation (zero unless RealtimeOptions::slo was set) -----------
+  int slo_windows = 0;           ///< windows evaluated (RunResult::slo)
+  int slo_violated_windows = 0;  ///< windows that failed a check
+  int slo_breaches = 0;          ///< breach events *entered* (hysteresis)
 };
 
 /// Result of a realtime run: the per-frame results (same structure the

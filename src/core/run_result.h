@@ -7,6 +7,7 @@
 #include "detect/model_setting.h"
 #include "energy/energy_meter.h"
 #include "metrics/matching.h"
+#include "obs/slo.h"
 #include "video/frame_store.h"
 
 namespace adavp::core {
@@ -60,6 +61,9 @@ struct RunResult {
   Status status;
   /// Faults applied across all channels (detector + camera + tracker).
   std::uint64_t faults_injected = 0;
+  /// Per-window SLO evaluation of the run; `slo.evaluated` is false unless
+  /// an SloSpec was attached to the engine options.
+  obs::SloReport slo;
 };
 
 }  // namespace adavp::core

@@ -1,0 +1,72 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace adavp::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(std::max<std::size_t>(1, capacity)) {}
+
+void FlightRecorder::record(const SpanEvent& event) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % slots_.size()];
+  // Seqlock write: publish "in progress" (odd), store the payload, publish
+  // "stable" (even). Payload stores are relaxed — the release on the final
+  // seq store orders them for any reader that sees the even value.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.category.store(event.category, std::memory_order_relaxed);
+  slot.tid.store(event.tid, std::memory_order_relaxed);
+  slot.depth.store(event.depth, std::memory_order_relaxed);
+  slot.begin_us.store(event.begin_us, std::memory_order_relaxed);
+  slot.end_us.store(event.end_us, std::memory_order_relaxed);
+  slot.arg.store(event.arg, std::memory_order_relaxed);
+  slot.arg_name.store(event.arg_name, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+void FlightRecorder::instant(std::int64_t t_us, const char* name,
+                             const char* category, std::int64_t arg,
+                             const char* arg_name) {
+  SpanEvent event;
+  event.name = name;
+  event.category = category;
+  event.begin_us = t_us;
+  event.end_us = t_us;
+  event.arg = arg;
+  event.arg_name = arg_name;
+  record(event);
+}
+
+std::vector<SpanEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t count =
+      std::min<std::uint64_t>(head, slots_.size());
+  std::vector<SpanEvent> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t ticket = head - count; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket % slots_.size()];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before != 2 * ticket + 2) continue;  // torn or already overwritten
+    SpanEvent event;
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.category = slot.category.load(std::memory_order_relaxed);
+    event.tid = slot.tid.load(std::memory_order_relaxed);
+    event.depth = slot.depth.load(std::memory_order_relaxed);
+    event.begin_us = slot.begin_us.load(std::memory_order_relaxed);
+    event.end_us = slot.end_us.load(std::memory_order_relaxed);
+    event.arg = slot.arg.load(std::memory_order_relaxed);
+    event.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+    const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while copying
+    out.push_back(event);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) slot.seq.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace adavp::obs

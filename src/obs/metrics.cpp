@@ -38,15 +38,15 @@ std::string format_number(double v) {
   return out.str();
 }
 
-/// Shared bucket-interpolation quantile: `buckets` has edges.size() + 1
-/// entries (overflow last); the open-ended edge buckets interpolate toward
-/// `lo_bound` / `hi_bound` (observed min/max).
-double percentile_from_buckets(const std::vector<double>& edges,
-                               const std::vector<std::uint64_t>& buckets,
-                               double q, double lo_bound, double hi_bound) {
+/// The bucket quantile `q` falls in, with its interpolation bounds.
+/// Returns false when the buckets are empty.
+bool quantile_bucket(const std::vector<double>& edges,
+                     const std::vector<std::uint64_t>& buckets, double q,
+                     double lo_bound, double hi_bound, double* lo, double* hi,
+                     double* fraction) {
   std::uint64_t total = 0;
   for (std::uint64_t b : buckets) total += b;
-  if (total == 0) return 0.0;
+  if (total == 0) return false;
   q = std::clamp(q, 0.0, 100.0);
   const double target = q / 100.0 * static_cast<double>(total);
   std::uint64_t cumulative = 0;
@@ -54,24 +54,58 @@ double percentile_from_buckets(const std::vector<double>& edges,
     const std::uint64_t in_bucket = buckets[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= target) {
-      const double lo = i == 0 ? lo_bound : edges[i - 1];
-      const double hi = i == edges.size() ? hi_bound : edges[i];
-      const double fraction =
-          std::clamp((target - static_cast<double>(cumulative)) /
-                         static_cast<double>(in_bucket),
-                     0.0, 1.0);
-      // Clamp to the observed range: the exact min/max are tracked, so no
-      // interpolated quantile should fall outside them (interior-bucket
-      // interpolation can otherwise overshoot a max that sits low in its
-      // bucket).
-      return std::clamp(lo + (hi - lo) * fraction, lo_bound, hi_bound);
+      *lo = i == 0 ? lo_bound : edges[i - 1];
+      *hi = i == edges.size() ? hi_bound : edges[i];
+      *fraction = std::clamp((target - static_cast<double>(cumulative)) /
+                                 static_cast<double>(in_bucket),
+                             0.0, 1.0);
+      return true;
     }
     cumulative += in_bucket;
   }
-  return hi_bound;
+  *lo = hi_bound;
+  *hi = hi_bound;
+  *fraction = 1.0;
+  return true;
 }
 
 }  // namespace
+
+double percentile_from_buckets(const std::vector<double>& edges,
+                               const std::vector<std::uint64_t>& buckets,
+                               double q, double lo_bound, double hi_bound) {
+  double lo = 0.0;
+  double hi = 0.0;
+  double fraction = 0.0;
+  if (!quantile_bucket(edges, buckets, q, lo_bound, hi_bound, &lo, &hi,
+                       &fraction)) {
+    return 0.0;
+  }
+  // Clamp to the observed range: the exact min/max are tracked, so no
+  // interpolated quantile should fall outside them (interior-bucket
+  // interpolation can otherwise overshoot a max that sits low in its
+  // bucket).
+  return std::clamp(lo + (hi - lo) * fraction, lo_bound, hi_bound);
+}
+
+double percentile_error_bound_from_buckets(
+    const std::vector<double>& edges,
+    const std::vector<std::uint64_t>& buckets, double q, double lo_bound,
+    double hi_bound) {
+  double lo = 0.0;
+  double hi = 0.0;
+  double fraction = 0.0;
+  if (!quantile_bucket(edges, buckets, q, lo_bound, hi_bound, &lo, &hi,
+                       &fraction)) {
+    return 0.0;
+  }
+  // The true quantile lies somewhere inside [lo, hi] (clamped to the
+  // observed extrema), so the interpolated value is off by at most the
+  // effective bucket width.
+  const double clamped_lo = std::max(lo, lo_bound);
+  const double clamped_hi = std::min(hi, hi_bound);
+  return std::max(0.0, clamped_hi - clamped_lo);
+}
 
 // ---------------------------------------------------------------- Gauge
 
@@ -131,6 +165,13 @@ double FixedHistogram::percentile(double q) const {
   // The open-ended edge buckets interpolate toward the observed min/max so
   // extreme quantiles stay finite.
   return percentile_from_buckets(edges_, buckets, q, min(), max());
+}
+
+double FixedHistogram::percentile_error_bound(double q) const {
+  if (count() == 0) return 0.0;
+  std::vector<std::uint64_t> buckets(buckets_.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] = bucket_count(i);
+  return percentile_error_bound_from_buckets(edges_, buckets, q, min(), max());
 }
 
 void FixedHistogram::reset() {

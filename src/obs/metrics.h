@@ -14,6 +14,27 @@ class CsvWriter;
 
 namespace adavp::obs {
 
+/// Bucket-interpolated quantile, shared by FixedHistogram, snapshot deltas
+/// and TimeSeries windows: `buckets` has edges.size() + 1 entries (overflow
+/// last); the open-ended edge buckets interpolate toward `lo_bound` /
+/// `hi_bound` (observed min/max). `q` in [0, 100]; returns 0 when empty.
+/// The result is exact at bucket boundaries and linearly interpolated
+/// inside the containing bucket, so its error is bounded by that bucket's
+/// width (see percentile_error_bound_from_buckets).
+double percentile_from_buckets(const std::vector<double>& edges,
+                               const std::vector<std::uint64_t>& buckets,
+                               double q, double lo_bound, double hi_bound);
+
+/// The documented error bound of `percentile_from_buckets` for quantile
+/// `q`: the width of the bucket the quantile falls in (edge buckets are
+/// clamped by the observed extrema, so their width is `edge - bound`). The
+/// true quantile lies within ± this bound of the interpolated value; 0
+/// when empty.
+double percentile_error_bound_from_buckets(
+    const std::vector<double>& edges,
+    const std::vector<std::uint64_t>& buckets, double q, double lo_bound,
+    double hi_bound);
+
 /// Monotonically increasing event count. All operations are lock-free and
 /// safe to call from any thread.
 class Counter {
@@ -57,8 +78,12 @@ class FixedHistogram {
   double min() const;
   double max() const;
   double mean() const;
-  /// `q` in [0, 100]. Returns 0 when empty.
+  /// `q` in [0, 100]. Returns 0 when empty. Interpolated inside the
+  /// containing bucket; the error is bounded by `percentile_error_bound(q)`.
   double percentile(double q) const;
+  /// Worst-case absolute error of `percentile(q)`: the width of the bucket
+  /// the quantile falls in (docs/OBSERVABILITY.md, "Quantile error bounds").
+  double percentile_error_bound(double q) const;
 
   const std::vector<double>& edges() const { return edges_; }
   /// Count in bucket `i`, i in [0, edges().size()] (last = overflow).

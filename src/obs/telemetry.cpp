@@ -12,6 +12,7 @@
 namespace adavp::obs {
 
 std::atomic<bool> Telemetry::g_enabled{false};
+std::atomic<bool> Telemetry::g_flight_enabled{false};
 
 Telemetry& Telemetry::instance() {
   static Telemetry* telemetry = new Telemetry();  // leaked: outlive everything
@@ -26,39 +27,89 @@ void Telemetry::write_trace_file(const std::string& path) {
   out << export_trace_json() << "\n";
 }
 
+void Telemetry::write_flight_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    throw std::runtime_error("cannot open flight file: " + path);
+  }
+  out << export_flight_json() << "\n";
+}
+
+void Telemetry::set_flight_dump_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  flight_dump_path_ = path;
+}
+
+std::string Telemetry::flight_dump_path() const {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  return flight_dump_path_;
+}
+
+bool Telemetry::maybe_flight_dump(const char* why) {
+  if (!flight_enabled()) return false;
+  const std::string path = flight_dump_path();
+  if (path.empty() || flight_.total_recorded() == 0) return false;
+  flight_.instant(tracer_.now_us(), why, "flight_dump");
+  try {
+    write_flight_file(path);
+  } catch (const std::exception& e) {
+    ADAVP_LOG_WARN << "flight-recorder dump failed: " << e.what();
+    return false;
+  }
+  ADAVP_LOG_INFO << "flight-recorder post-mortem written to " << path << " ("
+                 << why << ")";
+  return true;
+}
+
 void Telemetry::reset() {
   metrics_.reset();
   tracer_.clear();
+  time_series_.clear();
+  flight_.clear();
 }
 
 // ----------------------------------------------------------- ScopedSpan
 
 ScopedSpan::ScopedSpan(const char* name, const char* category,
                        std::int64_t arg, const char* arg_name)
-    : active_(Telemetry::enabled()) {
-  if (!active_) return;
+    : active_(Telemetry::enabled()), flight_(Telemetry::flight_enabled()) {
+  if (!active_ && !flight_) return;
   SpanTracer& t = tracer();
   event_.name = name;
   event_.category = category;
   event_.tid = util::compact_thread_id();
-  event_.depth = t.thread_depth()++;
+  event_.depth = active_ ? t.thread_depth()++ : t.thread_depth();
   event_.arg = arg;
   event_.arg_name = arg_name;
   event_.begin_us = t.now_us();
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (!active_) return;
+  if (!active_ && !flight_) return;
   SpanTracer& t = tracer();
   event_.end_us = t.now_us();
-  --t.thread_depth();
-  t.record(event_);
+  if (active_) {
+    --t.thread_depth();
+    t.record(event_);
+  }
+  if (flight_) flight().record(event_);
 }
 
 void trace_instant(const char* name, const char* category, std::int64_t arg,
                    const char* arg_name) {
-  if (!Telemetry::enabled()) return;
-  tracer().instant(name, category, arg, arg_name);
+  const bool traced = Telemetry::enabled();
+  const bool flighted = Telemetry::flight_enabled();
+  if (!traced && !flighted) return;
+  if (traced) tracer().instant(name, category, arg, arg_name);
+  if (flighted) {
+    flight().instant(tracer().now_us(), name, category, arg, arg_name);
+  }
+}
+
+void flight_instant(const char* name, const char* category, std::int64_t arg,
+                    const char* arg_name) {
+  if (!Telemetry::flight_enabled()) return;
+  flight().instant(tracer().now_us(), name, category, arg, arg_name);
 }
 
 // -------------------------------------------------------- StatsReporter
@@ -70,11 +121,15 @@ std::mutex g_reporter_mutex;
 std::condition_variable g_reporter_cv;
 }  // namespace
 
-void StatsReporter::start(int period_ms, Callback callback) {
+void StatsReporter::start(int period_ms, Callback callback,
+                          bool report_deltas) {
   if (running_.load()) return;
   callback_ = callback ? std::move(callback) : [](const MetricsSnapshot& snap) {
     ADAVP_LOG_INFO << "telemetry report\n" << snap.to_text();
   };
+  report_deltas_ = report_deltas;
+  previous_ = report_deltas_ ? Telemetry::instance().snapshot()
+                             : MetricsSnapshot{};
   stop_requested_.store(false);
   running_.store(true);
   thread_ = std::thread([this, period_ms] {
@@ -86,7 +141,14 @@ void StatsReporter::start(int period_ms, Callback callback) {
                                [this] { return stop_requested_.load(); });
       }
       if (stop_requested_.load()) break;
-      callback_(Telemetry::instance().snapshot());
+      MetricsSnapshot snap = Telemetry::instance().snapshot();
+      if (report_deltas_) {
+        MetricsSnapshot delta = snap.since(previous_);
+        previous_ = std::move(snap);
+        callback_(delta);
+      } else {
+        callback_(snap);
+      }
     }
   });
 }
@@ -101,7 +163,14 @@ void StatsReporter::stop() {
   if (thread_.joinable()) thread_.join();
   running_.store(false);
   // Final report: short runs stop before the first period elapses.
-  callback_(Telemetry::instance().snapshot());
+  MetricsSnapshot snap = Telemetry::instance().snapshot();
+  if (report_deltas_) {
+    MetricsSnapshot delta = snap.since(previous_);
+    previous_ = std::move(snap);
+    callback_(delta);
+  } else {
+    callback_(snap);
+  }
 }
 
 }  // namespace adavp::obs

@@ -2,22 +2,31 @@
 
 #include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
+#include "obs/time_series.h"
 
 namespace adavp::obs {
 
-/// Process-wide telemetry: one metrics registry plus one span tracer behind
-/// a runtime on/off switch.
+/// Process-wide telemetry: one metrics registry, one span tracer, one
+/// time-series registry, and one flight recorder behind runtime on/off
+/// switches.
 ///
 /// Telemetry is OFF by default. While off, every instrumentation site in
 /// the pipelines reduces to one relaxed atomic load (see `enabled()` and
 /// ScopedSpan), so benchmarks measure the same code they did before this
 /// subsystem existed. Turn it on with `Telemetry::set_enabled(true)` before
 /// starting a run, then read `snapshot()` / `export_trace_json()` after.
+///
+/// The flight recorder has its own, independent switch: it is a bounded
+/// black box meant to stay on in deployments where full span buffering is
+/// too expensive, and it dumps automatically on failure (see
+/// `maybe_flight_dump`).
 ///
 /// A singleton (rather than a context object threaded through every API) is
 /// deliberate: instruments are keyed by component name, and hot paths as
@@ -35,8 +44,18 @@ class Telemetry {
     g_enabled.store(on, std::memory_order_relaxed);
   }
 
+  /// Flight-recorder switch, same cost profile as `enabled()`.
+  static bool flight_enabled() {
+    return g_flight_enabled.load(std::memory_order_relaxed);
+  }
+  static void set_flight_enabled(bool on) {
+    g_flight_enabled.store(on, std::memory_order_relaxed);
+  }
+
   MetricsRegistry& metrics() { return metrics_; }
   SpanTracer& tracer() { return tracer_; }
+  TimeSeriesRegistry& time_series() { return time_series_; }
+  FlightRecorder& flight() { return flight_; }
 
   MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
 
@@ -48,30 +67,67 @@ class Telemetry {
   /// I/O failure.
   void write_trace_file(const std::string& path);
 
-  /// Zeroes all metrics and drops buffered spans.
+  /// Serializes the flight recorder's current contents as Chrome
+  /// trace-event JSON (same format as `export_trace_json`, so a post-mortem
+  /// loads in Perfetto exactly like a deliberate trace).
+  std::string export_flight_json() {
+    return tracer_.to_chrome_trace_json(flight_.snapshot());
+  }
+
+  /// `export_flight_json` straight to a file. Throws std::runtime_error on
+  /// I/O failure.
+  void write_flight_file(const std::string& path);
+
+  /// Arms the automatic post-mortem: when a run ends badly (non-OK status,
+  /// watchdog trip) the engine calls `maybe_flight_dump` and the ring is
+  /// written here. Empty disables.
+  void set_flight_dump_path(const std::string& path);
+  std::string flight_dump_path() const;
+
+  /// Dumps the flight ring to the armed path if the recorder is enabled, a
+  /// path is set, and the ring is non-empty. `why` is recorded as a final
+  /// instant event so the dump says what triggered it. Returns true when a
+  /// file was written. Never throws — a failed post-mortem must not mask
+  /// the failure that triggered it.
+  bool maybe_flight_dump(const char* why);
+
+  /// JSON for every registered time series (see TimeSeriesRegistry).
+  std::string series_json() { return time_series_.to_json(); }
+
+  /// Zeroes all metrics, drops buffered spans, clears time series and the
+  /// flight ring.
   void reset();
 
  private:
   Telemetry() = default;
 
   static std::atomic<bool> g_enabled;
+  static std::atomic<bool> g_flight_enabled;
   MetricsRegistry metrics_;
   SpanTracer tracer_;
+  TimeSeriesRegistry time_series_;
+  FlightRecorder flight_;
+  mutable std::mutex dump_mutex_;
+  std::string flight_dump_path_;
 };
 
 /// Shorthand for the global registry / tracer.
 inline MetricsRegistry& metrics() { return Telemetry::instance().metrics(); }
 inline SpanTracer& tracer() { return Telemetry::instance().tracer(); }
+inline TimeSeriesRegistry& time_series() {
+  return Telemetry::instance().time_series();
+}
+inline FlightRecorder& flight() { return Telemetry::instance().flight(); }
 
 /// Names the calling thread in both logs and exported traces.
 inline void name_thread(const std::string& name) {
   Telemetry::instance().tracer().name_current_thread(name);
 }
 
-/// RAII span over the global tracer. When telemetry is disabled at
-/// construction the object is inert: one atomic load in the constructor,
-/// one branch in the destructor. Name/category must be string literals
-/// (kept by pointer, never copied).
+/// RAII span over the global tracer and (independently) the flight ring.
+/// When both switches are off at construction the object is inert: two
+/// atomic loads in the constructor, one branch in the destructor.
+/// Name/category must be string literals (kept by pointer, never copied).
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* category,
@@ -84,13 +140,23 @@ class ScopedSpan {
 
  private:
   bool active_;
+  bool flight_;
   SpanEvent event_;
 };
 
-/// Emits an instantaneous trace event (no-op when disabled).
+/// Emits an instantaneous trace event (no-op when disabled). Feeds the
+/// flight ring too when that switch is on.
 void trace_instant(const char* name, const char* category,
                    std::int64_t arg = SpanEvent::kInvalidArg,
                    const char* arg_name = "value");
+
+/// Records an instant event into the flight ring only — for sites that
+/// must appear in post-mortems (fault injections, watchdog cancels,
+/// degradation steps) even when full tracing is off. No-op unless the
+/// flight recorder is enabled.
+void flight_instant(const char* name, const char* category,
+                    std::int64_t arg = SpanEvent::kInvalidArg,
+                    const char* arg_name = "value");
 
 /// Periodically invokes a callback with a fresh metrics snapshot on a
 /// background thread — the hook a long-running deployment points at its
@@ -105,8 +171,12 @@ class StatsReporter {
   StatsReporter(const StatsReporter&) = delete;
   StatsReporter& operator=(const StatsReporter&) = delete;
 
-  /// Starts reporting every `period_ms`. No-op when already running.
-  void start(int period_ms, Callback callback = {});
+  /// Starts reporting every `period_ms`. With `report_deltas` each report
+  /// covers only the period since the previous one (counters and histogram
+  /// percentiles describe that period, recomputed via
+  /// MetricsSnapshot::since), which is what a rate dashboard wants; the
+  /// default reports cumulative totals. No-op when already running.
+  void start(int period_ms, Callback callback = {}, bool report_deltas = false);
 
   /// Stops and joins the reporter thread; emits one final report so short
   /// runs still produce output.
@@ -118,6 +188,8 @@ class StatsReporter {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  bool report_deltas_ = false;
+  MetricsSnapshot previous_;
   Callback callback_;
 };
 

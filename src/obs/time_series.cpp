@@ -1,0 +1,219 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/csv.h"
+
+namespace adavp::obs {
+
+namespace {
+
+std::string format_number(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(Options options) : options_(std::move(options)) {
+  if (options_.window_ms <= 0.0) options_.window_ms = 1000.0;
+  if (options_.windows == 0) options_.windows = 1;
+  std::sort(options_.edges.begin(), options_.edges.end());
+  ring_.resize(options_.windows);
+  for (Bucket& bucket : ring_) {
+    // Histograms are sized once here and only ever zeroed afterwards — the
+    // allocation-free steady state the realtime pipeline needs.
+    bucket.hist.assign(options_.edges.size() + 1, 0);
+  }
+}
+
+TimeSeries::Bucket* TimeSeries::touch(double t_ms) {
+  const std::int64_t index =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(
+                                    std::floor(t_ms / options_.window_ms)));
+  const std::int64_t span = static_cast<std::int64_t>(ring_.size());
+  if (newest_index_ != kEmpty && index <= newest_index_ - span) {
+    ++late_samples_;  // predates the oldest live window; a ring cannot rewind
+    return nullptr;
+  }
+  Bucket& bucket = ring_[static_cast<std::size_t>(index % span)];
+  if (bucket.index != index) {
+    if (bucket.index != kEmpty && bucket.index < index) ++windows_evicted_;
+    bucket.index = index;
+    bucket.count = 0;
+    bucket.sum = 0.0;
+    bucket.min = std::numeric_limits<double>::infinity();
+    bucket.max = -std::numeric_limits<double>::infinity();
+    std::fill(bucket.hist.begin(), bucket.hist.end(), 0);
+  }
+  newest_index_ = std::max(newest_index_, index);
+  return &bucket;
+}
+
+void TimeSeries::record(double t_ms, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket* bucket = touch(t_ms);
+  if (bucket == nullptr) return;
+  ++bucket->count;
+  ++total_count_;
+  bucket->sum += value;
+  bucket->min = std::min(bucket->min, value);
+  bucket->max = std::max(bucket->max, value);
+  const auto it = std::upper_bound(options_.edges.begin(),
+                                   options_.edges.end(), value);
+  bucket->hist[static_cast<std::size_t>(
+      std::distance(options_.edges.begin(), it))] += 1;
+}
+
+void TimeSeries::count(double t_ms, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket* bucket = touch(t_ms);
+  if (bucket == nullptr) return;
+  bucket->count += n;
+  total_count_ += n;
+}
+
+WindowStats TimeSeries::finalize(const Bucket& bucket) const {
+  WindowStats out;
+  out.index = bucket.index;
+  out.start_ms = static_cast<double>(bucket.index) * options_.window_ms;
+  out.end_ms = out.start_ms + options_.window_ms;
+  out.count = bucket.count;
+  out.sum = bucket.sum;
+  out.min = bucket.count > 0 && std::isfinite(bucket.min) ? bucket.min : 0.0;
+  out.max = bucket.count > 0 && std::isfinite(bucket.max) ? bucket.max : 0.0;
+  out.rate_per_s =
+      static_cast<double>(bucket.count) / (options_.window_ms / 1000.0);
+  if (!options_.edges.empty() && bucket.count > 0) {
+    out.p50 = percentile_from_buckets(options_.edges, bucket.hist, 50, out.min,
+                                      out.max);
+    out.p90 = percentile_from_buckets(options_.edges, bucket.hist, 90, out.min,
+                                      out.max);
+    out.p99 = percentile_from_buckets(options_.edges, bucket.hist, 99, out.min,
+                                      out.max);
+  }
+  return out;
+}
+
+std::vector<WindowStats> TimeSeries::windows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WindowStats> out;
+  if (newest_index_ == kEmpty) return out;
+  const std::int64_t span = static_cast<std::int64_t>(ring_.size());
+  std::int64_t oldest = std::max<std::int64_t>(0, newest_index_ - span + 1);
+  // The oldest live window may be even younger if the run is short.
+  std::int64_t first_live = newest_index_;
+  for (const Bucket& bucket : ring_) {
+    if (bucket.index != kEmpty) first_live = std::min(first_live, bucket.index);
+  }
+  oldest = std::max(oldest, std::min(first_live, newest_index_));
+  out.reserve(static_cast<std::size_t>(newest_index_ - oldest + 1));
+  for (std::int64_t index = oldest; index <= newest_index_; ++index) {
+    const Bucket& bucket = ring_[static_cast<std::size_t>(index % span)];
+    if (bucket.index == index) {
+      out.push_back(finalize(bucket));
+    } else {
+      // A gap: no sample ever landed here. Materialize the empty window so
+      // a stall reads as rate 0, not as missing data.
+      WindowStats empty;
+      empty.index = index;
+      empty.start_ms = static_cast<double>(index) * options_.window_ms;
+      empty.end_ms = empty.start_ms + options_.window_ms;
+      out.push_back(empty);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TimeSeries::total_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_count_;
+}
+
+std::uint64_t TimeSeries::windows_evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_evicted_;
+}
+
+std::uint64_t TimeSeries::late_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return late_samples_;
+}
+
+std::string TimeSeries::to_json() const {
+  const std::vector<WindowStats> snapshot = windows();
+  std::ostringstream out;
+  out << "{\"window_ms\":" << format_number(options_.window_ms)
+      << ",\"ring_windows\":" << options_.windows
+      << ",\"windows_evicted\":" << windows_evicted()
+      << ",\"late_samples\":" << late_samples() << ",\"windows\":[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const WindowStats& w = snapshot[i];
+    if (i > 0) out << ",";
+    out << "{\"index\":" << w.index << ",\"start_ms\":"
+        << format_number(w.start_ms) << ",\"end_ms\":" << format_number(w.end_ms)
+        << ",\"count\":" << w.count << ",\"rate_per_s\":"
+        << format_number(w.rate_per_s) << ",\"sum\":" << format_number(w.sum)
+        << ",\"min\":" << format_number(w.min)
+        << ",\"max\":" << format_number(w.max)
+        << ",\"p50\":" << format_number(w.p50)
+        << ",\"p90\":" << format_number(w.p90)
+        << ",\"p99\":" << format_number(w.p99) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void TimeSeries::write_csv(util::CsvWriter& csv, const std::string& name) const {
+  for (const WindowStats& w : windows()) {
+    csv.row({name, std::to_string(w.index), format_number(w.start_ms),
+             std::to_string(w.count), format_number(w.rate_per_s),
+             format_number(w.p50), format_number(w.p90),
+             format_number(w.p99)});
+  }
+}
+
+// --------------------------------------------------- TimeSeriesRegistry
+
+TimeSeries& TimeSeriesRegistry::series(const std::string& component,
+                                       const std::string& name,
+                                       TimeSeries::Options options) {
+  const std::string key = component + "." + name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [existing, series] : series_) {
+    if (existing == key) return *series;
+  }
+  series_.emplace_back(key, std::make_unique<TimeSeries>(std::move(options)));
+  return *series_.back().second;
+}
+
+std::string TimeSeriesRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"series\":{";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << series_[i].first << "\":" << series_[i].second->to_json();
+  }
+  out << "}}";
+  return out.str();
+}
+
+void TimeSeriesRegistry::write_csv(util::CsvWriter& csv) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  csv.header({"series", "window", "start_ms", "count", "rate_per_s", "p50",
+              "p90", "p99"});
+  for (const auto& [name, series] : series_) series->write_csv(csv, name);
+}
+
+void TimeSeriesRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+}
+
+}  // namespace adavp::obs

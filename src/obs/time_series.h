@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adavp::util {
+class CsvWriter;
+}
+
+namespace adavp::obs {
+
+/// One finalized (or in-progress) window of a TimeSeries: the per-window
+/// view of a counter/histogram over `[start_ms, end_ms)`.
+struct WindowStats {
+  std::int64_t index = 0;  ///< window start = index * window_ms
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Interpolated quantiles of the window's samples (0 for counts-only
+  /// series). Error bounded by the bucket width, as for FixedHistogram.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// Events per second of window time — the per-window rate a run-global
+  /// counter cannot provide.
+  double rate_per_s = 0.0;
+};
+
+/// Windowed time-series over an explicit clock: samples arrive stamped with
+/// a pipeline timestamp (virtual or scaled wall milliseconds — the clock is
+/// the caller's, never read here, so virtual-time engines produce
+/// bit-identical series) and land in fixed-width windows kept in a
+/// fixed-size ring. The ring makes memory bounded for arbitrarily long
+/// runs: when time advances past the ring's span, the oldest window is
+/// recycled in place (its histogram vector is zeroed, never reallocated),
+/// so steady-state recording performs no heap allocation.
+///
+/// This is the per-window complement of the run-global instruments in
+/// metrics.h: a Counter answers "how many overall", a TimeSeries answers
+/// "how many per second during the fault burst at t=12s" — the evidence a
+/// sliding-window SLO needs (docs/OBSERVABILITY.md).
+///
+/// Thread-safe (one uncontended mutex per series; recording is not a
+/// vision-kernel hot path). Out-of-order samples older than the oldest
+/// live window are counted in `late_samples` and otherwise dropped — a
+/// ring cannot rewind.
+class TimeSeries {
+ public:
+  struct Options {
+    double window_ms = 1000.0;
+    std::size_t windows = 64;  ///< ring capacity (the sliding coverage)
+    /// Histogram bucket edges for recorded values; empty => counts-only
+    /// (rates, no quantiles).
+    std::vector<double> edges;
+  };
+
+  explicit TimeSeries(Options options);
+
+  /// Records one sample with value `value` at pipeline time `t_ms`.
+  void record(double t_ms, double value);
+
+  /// Counter-style increment at pipeline time `t_ms` (no value histogram).
+  void count(double t_ms, std::uint64_t n = 1);
+
+  const Options& options() const { return options_; }
+
+  /// Every live window, oldest first: all finalized windows still in the
+  /// ring plus the in-progress one. Empty windows inside the covered span
+  /// are materialized (count 0, rate 0) so gaps — a stalled pipeline — are
+  /// visible instead of silently elided.
+  std::vector<WindowStats> windows() const;
+
+  std::uint64_t total_count() const;
+  /// Windows recycled out of the ring so far (0 until the run outlives
+  /// `windows * window_ms`).
+  std::uint64_t windows_evicted() const;
+  /// Samples dropped because they predate the oldest live window.
+  std::uint64_t late_samples() const;
+
+  /// `{"window_ms":...,"windows":[{"index":...,"count":...,...},...]}`.
+  std::string to_json() const;
+  /// Long-form rows: series,window_index,start_ms,count,rate_per_s,p50,p90,p99.
+  void write_csv(util::CsvWriter& csv, const std::string& name) const;
+
+ private:
+  struct Bucket {
+    std::int64_t index = kEmpty;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> hist;  ///< edges.size() + 1, preallocated
+  };
+  static constexpr std::int64_t kEmpty = -1;
+
+  /// The bucket for time `t_ms`, recycling the slot if the ring has moved
+  /// past its previous occupant. Returns nullptr for late samples.
+  Bucket* touch(double t_ms);
+  WindowStats finalize(const Bucket& bucket) const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<Bucket> ring_;
+  std::int64_t newest_index_ = kEmpty;  ///< highest window index seen
+  std::uint64_t total_count_ = 0;
+  std::uint64_t windows_evicted_ = 0;
+  std::uint64_t late_samples_ = 0;
+};
+
+/// Thread-safe named TimeSeries registry, mirroring MetricsRegistry:
+/// creation takes a lock, returned references stay valid for the
+/// registry's lifetime, hot paths resolve once per run.
+class TimeSeriesRegistry {
+ public:
+  /// Keyed `component.metric`. Subsequent lookups of the same key ignore
+  /// `options` and return the existing series.
+  TimeSeries& series(const std::string& component, const std::string& name,
+                     TimeSeries::Options options);
+
+  /// One JSON object: {"series":{"name":<TimeSeries::to_json()>,...}}.
+  std::string to_json() const;
+  void write_csv(util::CsvWriter& csv) const;
+
+  /// Drops every registered series (references become dangling — callers
+  /// re-resolve per run, as with MetricsRegistry::reset).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<TimeSeries>>> series_;
+};
+
+}  // namespace adavp::obs

@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "obs/telemetry.h"
+
 namespace adavp::vision {
 
 namespace {
@@ -129,6 +131,7 @@ void idct8x8(const float* coeffs, float* out) {
 }
 
 std::vector<std::uint8_t> encode_frame(const ImageU8& frame, int quality) {
+  obs::ScopedSpan span("encode_frame", "codec", frame.width(), "width");
   std::vector<std::uint8_t> out;
   if (frame.empty()) return out;
   const auto quant = scaled_quant(quality);
@@ -173,12 +176,22 @@ std::vector<std::uint8_t> encode_frame(const ImageU8& frame, int quality) {
       out.push_back(255);  // end of block
     }
   }
+  if (obs::Telemetry::enabled()) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.counter("codec", "frames_encoded").add();
+    reg.counter("codec", "bytes_encoded").add(out.size());
+  }
   return out;
 }
 
 util::Status decode_frame(std::span<const std::uint8_t> data, ImageU8* out) {
+  obs::ScopedSpan span("decode_frame", "codec",
+                       static_cast<std::int64_t>(data.size()), "bytes");
   *out = ImageU8{};
   if (data.size() < 7 || data[0] != 'A' || data[1] != 'V') {
+    if (obs::Telemetry::enabled()) {
+      obs::metrics().counter("codec", "decode_errors").add();
+    }
     return util::Status::data_loss("codec: missing or short 'AV' header (" +
                                    std::to_string(data.size()) + " bytes)");
   }
@@ -236,6 +249,9 @@ util::Status decode_frame(std::span<const std::uint8_t> data, ImageU8* out) {
     }
   }
   *out = std::move(decoded);
+  if (obs::Telemetry::enabled()) {
+    obs::metrics().counter("codec", "frames_decoded").add();
+  }
   return util::Status();
 }
 

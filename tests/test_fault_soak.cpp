@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "core/realtime_pipeline.h"
 #include "core/scoring.h"
+#include "json_test_util.h"
 #include "obs/telemetry.h"
 #include "util/stats.h"
 #include "video/camera.h"
@@ -292,6 +296,125 @@ TEST(FaultSoak, AccuracyDegradesBoundedlyUnderFaults) {
       << "clean " << clean_mean << " vs faulty " << faulty_mean;
   EXPECT_GT(faulty_mean, 0.05)
       << "clean " << clean_mean << " vs faulty " << faulty_mean;
+}
+
+// The observability acceptance test: a seeded mid-run fault burst must
+// show up as per-window SLO degradation AND recovery, mirror at least one
+// breach event into the RunResult, and trigger the flight recorder's
+// automatic post-mortem dump — which must be a loadable Chrome trace.
+TEST(FaultSoak, SloWindowsAndFlightRecorderCaptureDegradationAndRecovery) {
+  // A 6 s video whose middle third is hostile: every detector fetch of
+  // frames 30..89 (video time 1..3 s) stalls hard. Before and after, the
+  // pipeline is healthy — the shape a sliding-window SLO exists to expose.
+  std::string burst = "detector: stall at=30";
+  for (int i = 31; i < 90; ++i) burst += "," + std::to_string(i);
+  burst += " ms=1500";
+  std::string error;
+  const auto plan = util::FaultPlan::parse(burst, 17, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+
+  // Coast-heavy windows are the burst's signature (the ladder keeps
+  // results flowing by coasting, so raw fps alone can stay healthy);
+  // miss_rate=1 disables the deadline check to keep the test about shape,
+  // not scheduler noise. Single-window hysteresis makes both transitions
+  // observable inside a short run.
+  const auto slo = obs::SloSpec::parse(
+      "fps=30 min_fps_fraction=0.1 coast_ratio=0.3 miss_rate=1 "
+      "window_ms=1000 breach_windows=1 recover_windows=1", &error);
+  ASSERT_TRUE(slo.has_value()) << error;
+
+  video::SyntheticVideo video(scene(17, 180));
+  video.precache();
+  const std::string dump_path =
+      ::testing::TempDir() + "soak_flight_dump.json";
+  std::remove(dump_path.c_str());
+  obs::Telemetry& telemetry = obs::Telemetry::instance();
+  obs::Telemetry::set_enabled(true);
+  obs::Telemetry::set_flight_enabled(true);
+  telemetry.reset();
+  telemetry.set_flight_dump_path(dump_path);
+
+  RealtimeOptions options;
+  options.seed = 17;
+  options.time_scale = timing_sensitive_scale(20.0);
+  options.fault_plan = &*plan;
+  options.supervisor.enabled = true;
+  options.slo = &*slo;
+  const RealtimeResult result = run_realtime(video, options);
+  const std::string series_json = telemetry.series_json();
+  telemetry.set_flight_dump_path("");
+  obs::Telemetry::set_flight_enabled(false);
+  obs::Telemetry::set_enabled(false);
+
+  EXPECT_FALSE(result.status.failed()) << result.status.to_string();
+  EXPECT_GE(result.stats.faults_injected, 1);
+
+  // Degradation and recovery, per window: at least one violated window
+  // during the burst, and a healthy window after the first violated one.
+  const obs::SloReport& report = result.run.slo;
+  ASSERT_TRUE(report.evaluated);
+  ASSERT_GE(report.windows.size(), 4u);
+  std::size_t first_violated = report.windows.size();
+  bool recovered_window = false;
+  for (std::size_t i = 0; i < report.windows.size(); ++i) {
+    if (report.windows[i].violated && first_violated == report.windows.size()) {
+      first_violated = i;
+    }
+    if (first_violated < i && !report.windows[i].violated) {
+      recovered_window = true;
+    }
+  }
+  ASSERT_LT(first_violated, report.windows.size())
+      << "the burst never violated a window: " << report.to_json();
+  EXPECT_TRUE(recovered_window)
+      << "no healthy window after the burst: " << report.to_json();
+
+  // The breach machine fired and is mirrored into RunResult/RealtimeStats.
+  EXPECT_GE(result.stats.slo_breaches, 1);
+  bool entered = false;
+  bool recovered_event = false;
+  for (const auto& breach : report.breaches) {
+    entered = entered || breach.entered;
+    recovered_event = recovered_event || !breach.entered;
+  }
+  EXPECT_TRUE(entered);
+  EXPECT_TRUE(recovered_event) << report.to_json();
+  EXPECT_EQ(result.stats.slo_windows, static_cast<int>(report.windows.size()));
+  EXPECT_EQ(result.stats.slo_violated_windows,
+            static_cast<int>(report.violated_windows));
+
+  // The report JSON carries the per-window fps / miss / jitter series.
+  testjson::JsonValue report_doc;
+  ASSERT_TRUE(testjson::JsonParser(report.to_json()).parse(report_doc));
+  const testjson::JsonValue* windows = report_doc.get("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_GE(windows->array.size(), 4u);
+  for (const char* key : {"fps", "miss_rate", "jitter_p99_ms", "coast_ratio"}) {
+    EXPECT_NE(windows->array[0].get(key), nullptr) << key;
+  }
+
+  // The windowed telemetry saw the run too.
+  testjson::JsonValue series_doc;
+  ASSERT_TRUE(testjson::JsonParser(series_json).parse(series_doc));
+  const testjson::JsonValue* series = series_doc.get("series");
+  ASSERT_NE(series, nullptr);
+  const testjson::JsonValue* latency_series =
+      series->get("realtime.result_latency_ms");
+  ASSERT_NE(latency_series, nullptr);
+  EXPECT_GE(latency_series->get("windows")->array.size(), 1u);
+
+  // The degraded run auto-dumped the flight ring, and the dump is a
+  // Chrome trace Perfetto can load.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "no automatic flight dump at " << dump_path;
+  const std::string dump((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  testjson::JsonValue dump_doc;
+  ASSERT_TRUE(testjson::JsonParser(dump).parse(dump_doc));
+  const testjson::JsonValue* events = dump_doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->array.size(), 0u);
+  std::remove(dump_path.c_str());
 }
 
 }  // namespace

@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <thread>
 #include <vector>
 
+#include "json_test_util.h"
 #include "obs/telemetry.h"
 #include "util/csv.h"
 #include "util/thread_id.h"
@@ -16,144 +19,8 @@
 namespace adavp::obs {
 namespace {
 
-// ------------------------------------------------------------------------
-// Minimal JSON parser, enough to validate exported documents by parsing
-// them back (the trace/metrics golden checks below).
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* get(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool parse(JsonValue& out) {
-    const bool ok = value(out);
-    skip_ws();
-    return ok && pos_ == text_.size();
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* word) {
-    const std::size_t n = std::string(word).size();
-    if (text_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out.kind = JsonValue::kString; return string(out.str);
-      case 't': out.kind = JsonValue::kBool; out.boolean = true; return literal("true");
-      case 'f': out.kind = JsonValue::kBool; out.boolean = false; return literal("false");
-      case 'n': out.kind = JsonValue::kNull; return literal("null");
-      default: return number(out);
-    }
-  }
-
-  bool string(std::string& out) {
-    if (text_[pos_] != '"') return false;
-    ++pos_;
-    out.clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        switch (text_[pos_]) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'u': pos_ += 4; out += '?'; break;  // good enough for checks
-          default: out += text_[pos_];
-        }
-      } else {
-        out += text_[pos_];
-      }
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool number(JsonValue& out) {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out.kind = JsonValue::kNumber;
-    out.number = std::stod(text_.substr(start, pos_ - start));
-    return true;
-  }
-
-  bool array(JsonValue& out) {
-    out.kind = JsonValue::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
-    while (true) {
-      JsonValue element;
-      if (!value(element)) return false;
-      out.array.push_back(std::move(element));
-      skip_ws();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') { ++pos_; continue; }
-      if (text_[pos_] == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool object(JsonValue& out) {
-    out.kind = JsonValue::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= text_.size() || !string(key)) return false;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
-      ++pos_;
-      JsonValue element;
-      if (!value(element)) return false;
-      out.object.emplace(std::move(key), std::move(element));
-      skip_ws();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') { ++pos_; continue; }
-      if (text_[pos_] == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 /// Tests share the global telemetry singleton; each one starts from a
 /// clean, enabled slate and disables on exit.
@@ -243,6 +110,41 @@ TEST_F(ObsTest, HistogramPercentilesOfUniformSamples) {
   EXPECT_NEAR(hist.percentile(90), 90.0, 10.0);
   EXPECT_NEAR(hist.percentile(99), 99.0, 10.0);
   EXPECT_NEAR(hist.mean(), 49.95, 0.01);
+}
+
+TEST_F(ObsTest, PercentileErrorBoundIsHonest) {
+  // The documented contract (docs/OBSERVABILITY.md, "Quantile error
+  // bounds"): the true sample quantile lies within ± percentile_error_bound
+  // of the interpolated estimate. Check it against the exact quantiles of
+  // the recorded samples.
+  std::vector<double> edges;
+  for (double e = 0.0; e <= 100.0; e += 10.0) edges.push_back(e);
+  FixedHistogram hist(edges);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    // Deliberately non-uniform: clustered low with a heavy tail.
+    const double v = (i % 10 == 0) ? 85.0 + (i % 7) : 3.0 + (i % 30) * 0.5;
+    samples.push_back(v);
+    hist.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {50.0, 90.0, 99.0}) {
+    const double exact =
+        samples[static_cast<std::size_t>((q / 100.0) * (samples.size() - 1))];
+    const double estimate = hist.percentile(q);
+    const double bound = hist.percentile_error_bound(q);
+    EXPECT_GT(bound, 0.0);
+    EXPECT_LE(std::abs(estimate - exact), bound)
+        << "q=" << q << " estimate=" << estimate << " exact=" << exact;
+    // The bound is never wider than the widest bucket (here 10 ms, except
+    // edge buckets clamped by observed extrema).
+    EXPECT_LE(bound, 10.0 + 1e-9);
+  }
+}
+
+TEST_F(ObsTest, PercentileErrorBoundEmptyIsZero) {
+  FixedHistogram hist({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(hist.percentile_error_bound(50), 0.0);
 }
 
 TEST_F(ObsTest, HistogramEmptyPercentileIsZero) {
@@ -469,6 +371,24 @@ TEST_F(ObsTest, StatsReporterDeliversSnapshots) {
   EXPECT_FALSE(reporter.running());
   EXPECT_GE(reports.load(), 1);  // stop() emits a final report at minimum
   EXPECT_EQ(last_value.load(), 11u);
+}
+
+TEST_F(ObsTest, StatsReporterDeltaModeReportsPerPeriodChange) {
+  Counter& counter = metrics().counter("test", "events");
+  counter.add(100);  // pre-start baseline must not leak into the deltas
+  std::atomic<std::uint64_t> delta_sum{0};
+  StatsReporter reporter;
+  reporter.start(5, [&](const MetricsSnapshot& snap) {
+    delta_sum.fetch_add(snap.counter("test.events"));
+  }, /*report_deltas=*/true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  counter.add(7);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  counter.add(3);
+  reporter.stop();
+  // In delta mode, the sum of all reported deltas is exactly the change
+  // since start() — regardless of how many periods fired.
+  EXPECT_EQ(delta_sum.load(), 10u);
 }
 
 }  // namespace

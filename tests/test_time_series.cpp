@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "json_test_util.h"
+#include "obs/time_series.h"
+#include "obs/telemetry.h"
+#include "util/csv.h"
+
+namespace adavp::obs {
+namespace {
+
+using testjson::JsonParser;
+using testjson::JsonValue;
+
+TimeSeries::Options opts(double window_ms, std::size_t windows,
+                         std::vector<double> edges = {}) {
+  TimeSeries::Options o;
+  o.window_ms = window_ms;
+  o.windows = windows;
+  o.edges = std::move(edges);
+  return o;
+}
+
+// ------------------------------------------------------------- windowing
+
+TEST(TimeSeries, AssignsSamplesToWindowsByTimestamp) {
+  TimeSeries ts(opts(100.0, 8));
+  ts.count(0.0);     // window 0
+  ts.count(99.9);    // window 0
+  ts.count(100.0);   // window 1 (left-closed)
+  ts.count(250.0);   // window 2
+
+  const auto windows = ts.windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(windows[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(windows[0].end_ms, 100.0);
+  EXPECT_EQ(windows[1].count, 1u);
+  EXPECT_EQ(windows[2].count, 1u);
+  EXPECT_EQ(ts.total_count(), 4u);
+  EXPECT_EQ(ts.windows_evicted(), 0u);
+}
+
+TEST(TimeSeries, RatePerSecondUsesWindowWidthNotRunLength) {
+  // 5 events in a 500 ms window is 10/s — the per-window rate a run-global
+  // counter cannot provide.
+  TimeSeries ts(opts(500.0, 4));
+  for (int i = 0; i < 5; ++i) ts.count(static_cast<double>(i) * 50.0);
+  const auto windows = ts.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].rate_per_s, 10.0);
+}
+
+TEST(TimeSeries, EmptyGapWindowsAreMaterializedAsRateZero) {
+  // A stalled pipeline must read as rate-0 windows, not a seamless jump.
+  TimeSeries ts(opts(100.0, 16));
+  ts.count(50.0);   // window 0
+  ts.count(450.0);  // window 4 — windows 1..3 were silent
+  const auto windows = ts.windows();
+  ASSERT_EQ(windows.size(), 5u);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(windows[static_cast<std::size_t>(i)].index, i);
+    EXPECT_EQ(windows[static_cast<std::size_t>(i)].count, 0u);
+    EXPECT_DOUBLE_EQ(windows[static_cast<std::size_t>(i)].rate_per_s, 0.0);
+  }
+}
+
+// ------------------------------------------------------ rollover / ring
+
+TEST(TimeSeries, RingRolloverEvictsOldestWindows) {
+  // 4-window ring over 100 ms windows covers 400 ms; driving a virtual
+  // clock through 10 windows must recycle the first 6 in place.
+  TimeSeries ts(opts(100.0, 4));
+  for (int w = 0; w < 10; ++w) {
+    ts.count(w * 100.0 + 10.0);
+    ts.count(w * 100.0 + 60.0);
+  }
+  const auto windows = ts.windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.front().index, 6);
+  EXPECT_EQ(windows.back().index, 9);
+  for (const auto& w : windows) EXPECT_EQ(w.count, 2u);
+  EXPECT_EQ(ts.windows_evicted(), 6u);
+  EXPECT_EQ(ts.total_count(), 20u);  // total survives eviction
+}
+
+TEST(TimeSeries, LateSamplesAreCountedAndDropped) {
+  TimeSeries ts(opts(100.0, 4));
+  ts.count(950.0);  // newest window = 9; ring covers [6, 9]
+  ts.count(650.0);  // window 6 — still live, accepted
+  ts.count(550.0);  // window 5 — predates the ring, dropped
+  ts.count(10.0);   // window 0 — dropped
+  EXPECT_EQ(ts.late_samples(), 2u);
+  EXPECT_EQ(ts.total_count(), 2u);
+  const auto windows = ts.windows();
+  EXPECT_EQ(windows.front().index, 6);
+  EXPECT_EQ(windows.front().count, 1u);
+}
+
+TEST(TimeSeries, NegativeTimestampsClampToWindowZero) {
+  TimeSeries ts(opts(100.0, 4));
+  ts.count(-50.0);
+  const auto windows = ts.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[0].count, 1u);
+}
+
+// ------------------------------------------------------------ quantiles
+
+TEST(TimeSeries, PerWindowQuantilesTrackTheWindowNotTheRun) {
+  // Latencies jump 10x between windows; the per-window p50 must follow,
+  // which a single run-global histogram cannot show.
+  TimeSeries ts(opts(100.0, 8, {1, 2, 4, 8, 16, 32, 64, 128, 256}));
+  for (int i = 0; i < 50; ++i) ts.record(10.0 + i, 10.0);   // window 0
+  for (int i = 0; i < 50; ++i) ts.record(110.0 + i, 100.0); // window 1
+  const auto windows = ts.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_NEAR(windows[0].p50, 10.0, 8.0);   // inside [8, 16) bucket
+  EXPECT_NEAR(windows[1].p50, 100.0, 64.0); // inside [64, 128) bucket
+  EXPECT_LT(windows[0].p50, windows[1].p50);
+  EXPECT_DOUBLE_EQ(windows[0].min, 10.0);
+  EXPECT_DOUBLE_EQ(windows[0].max, 10.0);
+  EXPECT_DOUBLE_EQ(windows[1].sum, 5000.0);
+}
+
+TEST(TimeSeries, CountsOnlySeriesReportsZeroQuantiles) {
+  TimeSeries ts(opts(100.0, 4));  // no edges
+  ts.record(10.0, 42.0);
+  const auto windows = ts.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].p50, 0.0);
+  EXPECT_DOUBLE_EQ(windows[0].sum, 42.0);
+}
+
+// ----------------------------------------------------------- export
+
+TEST(TimeSeries, JsonExportParsesBackWithAllWindowKeys) {
+  TimeSeries ts(opts(100.0, 8, {5, 10, 20}));
+  ts.record(10.0, 7.0);
+  ts.record(150.0, 15.0);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(ts.to_json()).parse(doc)) << ts.to_json();
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  EXPECT_DOUBLE_EQ(doc.get("window_ms")->number, 100.0);
+  const JsonValue* windows = doc.get("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_EQ(windows->array.size(), 2u);
+  for (const char* key : {"index", "start_ms", "end_ms", "count", "sum",
+                          "min", "max", "p50", "p90", "p99", "rate_per_s"}) {
+    EXPECT_NE(windows->array[0].get(key), nullptr) << key;
+  }
+  EXPECT_DOUBLE_EQ(windows->array[1].get("start_ms")->number, 100.0);
+}
+
+TEST(TimeSeries, CsvExportWritesOneRowPerWindow) {
+  TimeSeries ts(opts(100.0, 8));
+  ts.count(10.0);
+  ts.count(150.0);
+  const std::string path = ::testing::TempDir() + "obs_time_series.csv";
+  {
+    util::CsvWriter csv(path);
+    csv.header({"series", "window", "start_ms", "count", "rate_per_s", "p50",
+                "p90", "p99"});
+    ts.write_csv(csv, "test.series");
+  }
+  std::ifstream in(path);
+  std::string line;
+  int rows = 0;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("test.series,", 0), 0u) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(TimeSeries, RegistryReturnsSameSeriesForSameKey) {
+  TimeSeriesRegistry registry;
+  TimeSeries& a = registry.series("rt", "latency", opts(100.0, 8));
+  TimeSeries& b = registry.series("rt", "latency", opts(999.0, 2));
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.options().window_ms, 100.0);  // first options win
+}
+
+TEST(TimeSeries, RegistryJsonNamesEverySeries) {
+  TimeSeriesRegistry registry;
+  registry.series("rt", "latency", opts(100.0, 8)).count(5.0);
+  registry.series("rt", "coast", opts(100.0, 8)).count(5.0);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(registry.to_json()).parse(doc));
+  const JsonValue* series = doc.get("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_NE(series->get("rt.latency"), nullptr);
+  EXPECT_NE(series->get("rt.coast"), nullptr);
+  registry.clear();
+  JsonValue empty;
+  ASSERT_TRUE(JsonParser(registry.to_json()).parse(empty));
+  EXPECT_TRUE(empty.get("series")->object.empty());
+}
+
+// The telemetry singleton exposes a registry gated exactly like metrics().
+TEST(TimeSeries, TelemetrySeriesJsonRoundTrips) {
+  Telemetry::set_enabled(true);
+  Telemetry::instance().reset();
+  time_series().series("engine", "cycle_ms", opts(100.0, 8)).record(10.0, 3.0);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(Telemetry::instance().series_json()).parse(doc));
+  EXPECT_NE(doc.get("series")->get("engine.cycle_ms"), nullptr);
+  Telemetry::instance().reset();
+  Telemetry::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace adavp::obs
