@@ -41,6 +41,12 @@ GUARDS = [
     ("store_steady_state.steady_heap_allocs", "<=", 0.0),
     # The zero-copy path must not be a pessimization.
     ("realtime_fps_speedup", ">=", 0.9),
+    # Fleet consolidation (BENCH_FLEET.json, DESIGN.md §13): an 8-stream
+    # fleet must finish in at most a quarter of the sequential pipeline
+    # time, and sharing the GPU must not worsen any single stream's p99
+    # result latency by more than 2x over running that stream alone.
+    ("gate.fleet_fps_speedup", ">=", 4.0),
+    ("gate.p99_latency_ratio", "<=", 2.0),
 ]
 
 # Direction per metric leaf name: -1 lower is better, +1 higher is better.
@@ -61,6 +67,12 @@ DIRECTION = {
     "realtime_fps_speedup": 1,
     "store_hits": 1,
     "pool_reuses": 1,
+    "aggregate_fps": 1,
+    "speedup": 1,
+    "fleet_fps_speedup": 1,
+    "p99_latency_ratio": -1,
+    "worst_p99_ms": -1,
+    "deadline_miss_rate": -1,
 }
 
 # Leaves that are meaningful across scales (per-frame ratios and steady-state
@@ -72,6 +84,10 @@ SCALE_INVARIANT = {
     "steady_heap_allocs_per_frame",
     "realtime_fps_speedup",
     "re_renders",
+    "fleet_fps_speedup",
+    "p99_latency_ratio",
+    "deadline_miss_rate",
+    "speedup",
 }
 
 # Counter-ish metrics near zero: relative margins are useless there, allow

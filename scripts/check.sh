@@ -51,6 +51,15 @@ if [ "$preset" = "release" ]; then
   echo "==> bench_gate"
   python3 scripts/bench_gate.py build/BENCH_PIPELINE.smoke.json \
     ${BENCH_BASELINE:+--baseline "$BENCH_BASELINE"}
+
+  # Fleet consolidation gate (DESIGN.md §13): 8 streams through one shared
+  # GPU must beat 8 sequential single-stream runs by >= 4x in pipeline time
+  # without inflating any stream's p99 result latency past 2x solo.
+  echo "==> bench_fleet --smoke"
+  ./build/bench/bench_fleet --smoke --out=build/BENCH_FLEET.smoke.json
+  echo "==> bench_gate (fleet)"
+  python3 scripts/bench_gate.py build/BENCH_FLEET.smoke.json \
+    ${BENCH_FLEET_BASELINE:+--baseline "$BENCH_FLEET_BASELINE"}
 fi
 
 echo "==> OK"

@@ -1,0 +1,559 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+#include "detect/calibration.h"
+#include "detect/latency_model.h"
+#include "energy/power_model.h"
+#include "obs/telemetry.h"
+
+namespace adavp::core {
+
+std::string_view admission_decision_name(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmitted: return "admitted";
+    case AdmissionDecision::kDegraded: return "degraded";
+    case AdmissionDecision::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- FleetGpu
+
+FleetGpu::FleetGpu(GpuOptions options, int stream_count)
+    : options_(std::move(options)), stream_count_(stream_count) {
+  options_.max_batch = std::max(1, options_.max_batch);
+}
+
+FleetGpu::Grant FleetGpu::submit(Request request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Waiter waiter{std::move(request), false, {}};
+  pending_.push_back(&waiter);
+  ++waiting_;
+  maybe_dispatch_locked();
+  cv_.wait(lock, [&] { return waiter.granted; });
+  return waiter.grant;
+}
+
+void FleetGpu::finished(int /*stream*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++finished_;
+  maybe_dispatch_locked();
+}
+
+FleetGpuStats FleetGpu::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FleetGpu::maybe_dispatch_locked() {
+  // Conservative discrete-event simulation: compose a batch only when
+  // every participating stream is parked here (ungranted) or finished.
+  // At that instant the pending set is complete — no stream can still
+  // produce a request with an earlier virtual submit time — so everything
+  // below is a pure function of virtual times, independent of how the OS
+  // interleaved the threads. This is what makes fleet runs bit-identical
+  // for a fixed seed (pinned by tests/test_fleet_soak.cpp under TSan).
+  if (pending_.empty()) return;
+  if (waiting_ + finished_ < stream_count_) return;
+
+  double arrival = pending_.front()->request.submit_ms;
+  for (const Waiter* w : pending_) {
+    arrival = std::min(arrival, w->request.submit_ms);
+  }
+  const double start = std::max(gpu_free_ms_, arrival);
+  // A request submitted after `start` exists in *our* (wall) time but not
+  // yet in virtual time — it cannot join a batch that starts before it.
+  constexpr double kEps = 1e-9;
+  auto eligible = [&](const Waiter* w) {
+    return w->request.submit_ms <= start + kEps;
+  };
+  auto key = [&](const Waiter* w) {
+    return w->request.deadline_ms -
+           options_.aging_factor *
+               std::max(0.0, start - w->request.submit_ms);
+  };
+  auto before = [&](const Waiter* a, const Waiter* b) {
+    const double ka = key(a);
+    const double kb = key(b);
+    if (ka != kb) return ka < kb;
+    if (a->request.stream != b->request.stream) {
+      return a->request.stream < b->request.stream;
+    }
+    return a->request.frame < b->request.frame;
+  };
+
+  const Waiter* primary = nullptr;
+  for (const Waiter* w : pending_) {
+    if (!eligible(w)) continue;
+    if (primary == nullptr || before(w, primary)) primary = w;
+  }
+  if (primary == nullptr) {
+    // Everything pending is in the virtual future of gpu_free; the GPU
+    // idles forward to the earliest arrival instead. (Unreachable when
+    // gpu_free <= arrival, since start == arrival makes the earliest
+    // request eligible.)
+    return;
+  }
+
+  // Batch: the primary plus same-setting eligible requests in key order.
+  std::vector<Waiter*> batch;
+  for (Waiter* w : pending_) {
+    if (eligible(w) && w->request.setting == primary->request.setting) {
+      batch.push_back(w);
+    }
+  }
+  std::sort(batch.begin(), batch.end(), before);
+  if (static_cast<int>(batch.size()) > options_.max_batch) {
+    batch.resize(static_cast<std::size_t>(options_.max_batch));
+  }
+
+  const int k = static_cast<int>(batch.size());
+  double max_solo = 0.0;
+  double sum_solo = 0.0;
+  for (const Waiter* w : batch) {
+    max_solo = std::max(max_solo, w->request.solo_ms);
+    sum_solo += w->request.solo_ms;
+  }
+  const double service = max_solo * detect::LatencyModel::batch_scale(k);
+  const double complete = start + service;
+  gpu_free_ms_ = complete;
+
+  stats_.requests += static_cast<std::uint64_t>(k);
+  ++stats_.batches;
+  stats_.max_batch_seen = std::max(stats_.max_batch_seen, k);
+  stats_.busy_ms += service;
+  stats_.amortization_saved_ms += std::max(0.0, sum_solo - service);
+  if (obs::Telemetry::enabled()) {
+    // Fleet-aggregate instruments, resolved per dispatch on whatever
+    // stream thread got here: bypass the thread's stream prefix so all
+    // dispatches land in one shared instrument.
+    obs::ScopedMetricPrefix unprefixed("");
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.histogram("fleet", "batch_size", {1, 2, 3, 4, 6, 8, 12, 16})
+        .record(static_cast<double>(k));
+    reg.latency_histogram("fleet", "batch_service_ms").record(service);
+    reg.counter("fleet", "batches").add();
+  }
+
+  for (Waiter* w : batch) {
+    w->grant.start_ms = start;
+    w->grant.complete_ms = complete;
+    w->grant.batch_size = k;
+    w->grant.service_share_ms = service / static_cast<double>(k);
+    w->grant.queue_wait_ms = start - w->request.submit_ms;
+    w->granted = true;
+    --waiting_;
+    pending_.erase(std::find(pending_.begin(), pending_.end(), w));
+  }
+  cv_.notify_all();
+}
+
+// ------------------------------------------------------------ admission
+
+namespace {
+
+double duty_of(detect::ModelSetting setting, double cadence_ms) {
+  return detect::LatencyModel::mean_latency_ms(setting) /
+         std::max(1.0, cadence_ms);
+}
+
+/// Settings cheaper than `base`, costliest first — the admission
+/// degradation ladder (quality is surrendered before cadence).
+std::vector<detect::ModelSetting> cheaper_settings(detect::ModelSetting base) {
+  const detect::ModelSetting ladder[] = {
+      detect::ModelSetting::kYolov3_608, detect::ModelSetting::kYolov3_512,
+      detect::ModelSetting::kYolov3_416, detect::ModelSetting::kYolov3_320,
+      detect::ModelSetting::kYolov3Tiny_320};
+  const double base_ms = detect::LatencyModel::mean_latency_ms(base);
+  std::vector<detect::ModelSetting> out;
+  for (detect::ModelSetting s : ladder) {
+    if (detect::LatencyModel::mean_latency_ms(s) < base_ms) out.push_back(s);
+  }
+  return out;
+}
+
+struct AdmissionPlan {
+  AdmissionDecision decision = AdmissionDecision::kRejected;
+  detect::ModelSetting setting = detect::ModelSetting::kYolov3Tiny_320;
+  double cadence_ms = 0.0;
+};
+
+AdmissionPlan plan_stream(const FleetStreamOptions& stream, double used,
+                          double capacity, const AdmissionOptions& adm) {
+  AdmissionPlan plan{AdmissionDecision::kAdmitted, stream.setting,
+                     stream.cadence_ms};
+  if (used + duty_of(plan.setting, plan.cadence_ms) <= capacity) return plan;
+  if (!adm.allow_degrade) return {AdmissionDecision::kRejected, stream.setting,
+                                  stream.cadence_ms};
+
+  // Ladder-style degradation before rejection: first smaller settings at
+  // the requested cadence, then the cheapest setting at a stretched
+  // cadence, then shed.
+  const std::vector<detect::ModelSetting> cheaper =
+      cheaper_settings(stream.setting);
+  for (detect::ModelSetting s : cheaper) {
+    if (used + duty_of(s, stream.cadence_ms) <= capacity) {
+      return {AdmissionDecision::kDegraded, s, stream.cadence_ms};
+    }
+  }
+  const detect::ModelSetting cheapest =
+      cheaper.empty() ? stream.setting : cheaper.back();
+  double stretch = 1.25;
+  while (true) {
+    const double factor = std::min(stretch, adm.max_cadence_stretch);
+    const double cadence = stream.cadence_ms * factor;
+    if (used + duty_of(cheapest, cadence) <= capacity) {
+      return {AdmissionDecision::kDegraded, cheapest, cadence};
+    }
+    if (factor >= adm.max_cadence_stretch) break;
+    stretch *= 1.25;
+  }
+  return {AdmissionDecision::kRejected, stream.setting, stream.cadence_ms};
+}
+
+// --------------------------------------------------------- stream policy
+
+/// Exact percentile over a copied sample set (fleet reports are per-run,
+/// not streaming, so the exact order statistic is affordable).
+double exact_percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q / 100.0 * static_cast<double>(values.size());
+  const std::size_t index = static_cast<std::size_t>(std::clamp(
+      std::ceil(rank) - 1.0, 0.0, static_cast<double>(values.size() - 1)));
+  return values[index];
+}
+
+struct StreamRuntime {
+  int id = 0;
+  const FleetStreamOptions* options = nullptr;
+  const FleetOptions* fleet = nullptr;
+  double offset_ms = 0.0;    ///< global-time stagger offset
+  double deadline_ms = 0.0;  ///< relative per-result deadline
+  FleetGpu* gpu = nullptr;
+  obs::TimeSeries* fleet_latency = nullptr;  ///< null when telemetry is off
+  FleetStreamResult* out = nullptr;
+};
+
+/// One stream's whole life: cadenced detect-and-coast over its own
+/// EngineContext, detection routed through the shared FleetGpu. All times
+/// inside are stream-local; the GPU speaks global fleet time, converted by
+/// `offset_ms` at the submit/grant boundary.
+void run_stream(const StreamRuntime& rt) {
+  FleetStreamResult& out = *rt.out;
+  // Every obs instrument this thread resolves — engine internals included —
+  // lands under the stream's label, so concurrent streams never collide.
+  std::optional<obs::ScopedMetricPrefix> label;
+  if (rt.fleet->label_telemetry) label.emplace("fleet." + out.name + ".");
+
+  const video::SyntheticVideo video(rt.options->scene);
+  EngineContext ctx(video, rt.options->engine);
+  bool gpu_done = false;
+  auto finish_gpu = [&] {
+    if (!gpu_done) {
+      gpu_done = true;
+      rt.gpu->finished(rt.id);
+    }
+  };
+
+  obs::Counter* cycles_counter = nullptr;
+  obs::FixedHistogram* queue_wait_hist = nullptr;
+  if (obs::Telemetry::enabled()) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    cycles_counter = &reg.counter("stream", "cycles");
+    queue_wait_hist = &reg.latency_histogram("stream", "queue_wait_ms");
+  }
+
+  DegradationLadder ladder(rt.options->ladder);
+  double wait_sum = 0.0;
+  const double cadence = out.granted_cadence_ms;
+  const detect::ModelSetting base_setting = out.granted_setting;
+  detect::ModelSetting last_setting = base_setting;
+
+  // One granted cycle's shared bookkeeping: energy share, queue stats,
+  // per-stream and fleet-aggregate telemetry.
+  auto note_grant = [&](const FleetGpu::Grant& grant,
+                        detect::ModelSetting setting) {
+    ctx.meter.add_gpu_busy(energy::PowerModel::gpu_detect_w(setting, false),
+                           grant.service_share_ms);
+    ++out.queue.detections;
+    if (grant.batch_size > 1) ++out.queue.batched;
+    wait_sum += grant.queue_wait_ms;
+    out.queue.queue_wait_max_ms =
+        std::max(out.queue.queue_wait_max_ms, grant.queue_wait_ms);
+    if (cycles_counter != nullptr) cycles_counter->add();
+    if (queue_wait_hist != nullptr) {
+      queue_wait_hist->record(grant.queue_wait_ms);
+    }
+  };
+
+  try {
+    if (ctx.frame_count > 0) {
+      // Cycle 0: detect frame 0 as soon as it is captured, so every frame
+      // of the run has a result to inherit (fill_reused_frames never
+      // leaves kNone gaps after the first detection).
+      detect::DetectionResult ref = ctx.detect(0, base_setting);
+      const double capture0 = ctx.capture_time_ms(0);
+      FleetGpu::Grant grant =
+          rt.gpu->submit({rt.id, 0, base_setting, rt.offset_ms + capture0,
+                          rt.offset_ms + capture0 + rt.deadline_ms,
+                          ref.latency_ms});
+      note_grant(grant, base_setting);
+      double complete = grant.complete_ms - rt.offset_ms;
+      ctx.clock->set(complete);
+      ctx.record_detection(0, ref, base_setting, complete);
+      ctx.run.cycles.push_back({0, base_setting,
+                                grant.start_ms - rt.offset_ms, complete, 0, 0,
+                                0.0});
+      if (rt.fleet_latency != nullptr) {
+        rt.fleet_latency->record(grant.complete_ms, complete - capture0);
+      }
+
+      int ref_index = 0;
+      int coast_age = 0;
+      while (ref_index < ctx.last) {
+        const double now = ctx.clock->now_ms();
+        // Cadence pacing: the next detection is due one cadence after the
+        // reference frame's capture. If queueing made the stream late the
+        // due time is already past — take the newest captured frame
+        // instead of chasing stale ones.
+        const double due = ctx.capture_time_ms(ref_index) + cadence;
+        int next_index = ctx.newest_captured(std::max(now, due));
+        if (next_index <= ref_index) next_index = ref_index + 1;
+        const double capture_t = ctx.capture_time_ms(next_index);
+
+        // SLO-closed-loop self-degradation (opt-in): an active breach
+        // steps the ladder down; sustained health steps it back up.
+        bool coast = false;
+        detect::ModelSetting setting = base_setting;
+        if (rt.options->self_degrade) {
+          if (obs::SloTracker* slo = ctx.slo_tracker()) {
+            const obs::SensorReading reading = slo->read();
+            if (reading.valid) {
+              const bool changed =
+                  reading.in_breach ? ladder.on_overrun() : ladder.on_success();
+              (void)changed;
+            }
+          }
+          if (ladder.tracker_only()) {
+            // At the floor: coast, except for bounded-backoff probes with
+            // the cheapest model.
+            coast = !ladder.should_probe();
+            setting = detect::ModelSetting::kYolov3Tiny_320;
+          } else {
+            setting = ladder.apply(base_setting);
+          }
+        }
+
+        if (coast) {
+          // Tracker-only cycle: no GPU submission at all — the entire
+          // point of the degradation floor in a fleet is to return the
+          // stream's GPU share to its neighbors. Re-issue the last good
+          // boxes with decayed confidence (the realtime supervisor's
+          // coasting policy).
+          ++coast_age;
+          ++out.coast_cycles;
+          const double start = std::max(now, capture_t);
+          const double done = start + detect::kOverlayMs;
+          ctx.meter.add_cpu_busy(energy::PowerModel::cpu_coast_w(),
+                                 detect::kOverlayMs);
+          // One decay step per coast cycle: ref already carries the decay
+          // of the previous coasts.
+          ref.detections = decay_detections(ref.detections, 1, 0.85, 0.1);
+          FrameResult& fr =
+              ctx.run.frames[static_cast<std::size_t>(next_index)];
+          fr.source = ResultSource::kTracker;
+          fr.boxes = to_labeled_boxes(ref);
+          fr.setting = last_setting;
+          fr.staleness_ms = done - capture_t;
+          if (obs::SloTracker* slo = ctx.slo_tracker()) {
+            slo->on_result(done, fr.staleness_ms, /*coasted=*/true);
+          }
+          ctx.clock->set(done);
+          ref_index = next_index;
+          continue;
+        }
+
+        coast_age = 0;
+        const detect::DetectionResult det = ctx.detect(next_index, setting);
+        const double ready = std::max(now, capture_t);
+        grant = rt.gpu->submit({rt.id, next_index, setting,
+                                rt.offset_ms + ready,
+                                rt.offset_ms + capture_t + rt.deadline_ms,
+                                det.latency_ms});
+        note_grant(grant, setting);
+        complete = grant.complete_ms - rt.offset_ms;
+
+        // Tracker side: the previous reference propagates across the
+        // frames buffered since the last result, using the whole window
+        // from the previous completion to this detection's landing — the
+        // cadence's idle stretch plus queue wait plus GPU service, which
+        // is what makes long cadences tolerable.
+        const EngineContext::Catchup batch = ctx.track_catchup(
+            ref_index, ref.detections, next_index, now, complete, setting,
+            SelectionPolicy::kAdaptiveFraction);
+        ctx.record_detection(next_index, det, setting, complete);
+        ctx.run.cycles.push_back({next_index, setting,
+                                  grant.start_ms - rt.offset_ms, complete,
+                                  batch.frames_between, batch.tracked,
+                                  batch.mean_velocity});
+        if (setting != last_setting) {
+          ++ctx.run.setting_switches;
+          last_setting = setting;
+        }
+        if (rt.fleet_latency != nullptr) {
+          rt.fleet_latency->record(grant.complete_ms, complete - capture_t);
+        }
+        ref = det;
+        ref_index = next_index;
+        ctx.clock->set(complete);
+      }
+    }
+  } catch (const std::exception& e) {
+    ctx.fail("fleet stream " + out.name + ": " + e.what());
+  }
+  finish_gpu();
+  ctx.finish();
+  out.degrade_steps = ladder.steps_down();
+  if (out.queue.detections > 0) {
+    out.queue.queue_wait_mean_ms =
+        wait_sum / static_cast<double>(out.queue.detections);
+  }
+  out.run = std::move(ctx.run);
+
+  // Result-latency order statistics and deadline misses over the stream's
+  // final per-frame results (reused frames inherit their source's
+  // staleness, which is exactly the user-visible latency of that result).
+  std::vector<double> staleness;
+  staleness.reserve(out.run.frames.size());
+  std::uint64_t misses = 0;
+  for (const FrameResult& f : out.run.frames) {
+    if (f.source == ResultSource::kNone) continue;
+    staleness.push_back(f.staleness_ms);
+    if (f.staleness_ms > rt.deadline_ms) ++misses;
+  }
+  out.latency_p50_ms = exact_percentile(staleness, 50.0);
+  out.latency_p99_ms = exact_percentile(staleness, 99.0);
+  out.deadline_miss_rate =
+      staleness.empty()
+          ? 0.0
+          : static_cast<double>(misses) / static_cast<double>(staleness.size());
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- run_fleet
+
+FleetResult run_fleet(const std::vector<FleetStreamOptions>& streams,
+                      const FleetOptions& options) {
+  FleetResult fleet;
+  fleet.streams.resize(streams.size());
+
+  // --- admission: static duty-cycle budget with degrade-then-reject ---
+  const int max_batch = std::max(1, options.gpu.max_batch);
+  const double capacity =
+      options.admission.utilization_budget *
+      std::pow(static_cast<double>(max_batch),
+               1.0 - detect::LatencyModel::kBatchAlpha);
+  double used = 0.0;
+  std::vector<int> admitted_ids;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    FleetStreamResult& out = fleet.streams[i];
+    out.stream_id = static_cast<int>(i);
+    out.name = streams[i].name.empty() ? "stream" + std::to_string(i)
+                                       : streams[i].name;
+    const AdmissionPlan plan =
+        plan_stream(streams[i], used, capacity, options.admission);
+    out.admission = plan.decision;
+    out.granted_setting = plan.setting;
+    out.granted_cadence_ms = plan.cadence_ms;
+    switch (plan.decision) {
+      case AdmissionDecision::kAdmitted: ++fleet.admitted; break;
+      case AdmissionDecision::kDegraded: ++fleet.degraded; break;
+      case AdmissionDecision::kRejected: ++fleet.rejected; break;
+    }
+    if (plan.decision != AdmissionDecision::kRejected) {
+      used += duty_of(plan.setting, plan.cadence_ms);
+      admitted_ids.push_back(static_cast<int>(i));
+    }
+  }
+  obs::TimeSeries* fleet_latency = nullptr;
+  if (obs::Telemetry::enabled()) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.counter("fleet", "admission.admitted")
+        .add(static_cast<std::uint64_t>(fleet.admitted));
+    reg.counter("fleet", "admission.degraded")
+        .add(static_cast<std::uint64_t>(fleet.degraded));
+    reg.counter("fleet", "admission.rejected")
+        .add(static_cast<std::uint64_t>(fleet.rejected));
+    reg.gauge("fleet", "duty_cycle").set(used);
+    reg.gauge("fleet", "duty_capacity").set(capacity);
+    // Fleet-aggregate result-latency series, fed from every stream thread
+    // in global fleet time (TimeSeries is internally synchronized).
+    fleet_latency = &obs::time_series().series(
+        "fleet", "result_latency_ms",
+        {1000.0, 64, obs::FixedHistogram::default_latency_edges_ms()});
+  }
+
+  const int running = static_cast<int>(admitted_ids.size());
+  if (running == 0) return fleet;
+
+  // --- stagger: de-phase equal cadences so the fleet does not submit in
+  // lockstep (a synchronized fleet forces every batch to full width, which
+  // shows up directly in everyone's p99 queue wait) ---
+  double stagger = options.stagger_ms;
+  if (stagger < 0.0) {
+    double min_cadence = fleet.streams[admitted_ids.front()].granted_cadence_ms;
+    for (int id : admitted_ids) {
+      min_cadence =
+          std::min(min_cadence, fleet.streams[id].granted_cadence_ms);
+    }
+    stagger = min_cadence / static_cast<double>(running);
+  }
+
+  FleetGpu gpu(options.gpu, running);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(running));
+  for (int slot = 0; slot < running; ++slot) {
+    const int id = admitted_ids[static_cast<std::size_t>(slot)];
+    FleetStreamResult& out = fleet.streams[static_cast<std::size_t>(id)];
+    out.stagger_ms = stagger * static_cast<double>(slot);
+    const FleetStreamOptions& stream = streams[static_cast<std::size_t>(id)];
+    double deadline = stream.deadline_ms;
+    if (deadline <= 0.0 && stream.engine.slo != nullptr) {
+      deadline = stream.engine.slo->effective_deadline_ms();
+    }
+    if (deadline <= 0.0) deadline = options.gpu.default_deadline_ms;
+    StreamRuntime rt{id,   &stream,       &options, out.stagger_ms,
+                     deadline, &gpu,      fleet_latency, &out};
+    threads.emplace_back([rt] { run_stream(rt); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // --- aggregate ---
+  std::uint64_t total_frames = 0;
+  for (int id : admitted_ids) {
+    const FleetStreamResult& out = fleet.streams[static_cast<std::size_t>(id)];
+    total_frames += out.run.frames.size();
+    fleet.makespan_ms =
+        std::max(fleet.makespan_ms, out.stagger_ms + out.run.timeline_ms);
+    if (out.run.status.failed() && !fleet.status.failed()) {
+      fleet.status = out.run.status;
+    } else if (!out.run.status.ok() && fleet.status.ok()) {
+      fleet.status = Status::degraded("stream " + out.name + ": " +
+                                      out.run.status.message());
+    }
+  }
+  fleet.gpu = gpu.stats();
+  fleet.aggregate_fps = fleet.makespan_ms > 0.0
+                            ? static_cast<double>(total_frames) * 1000.0 /
+                                  fleet.makespan_ms
+                            : 0.0;
+  return fleet;
+}
+
+}  // namespace adavp::core

@@ -1,0 +1,239 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/degradation.h"
+#include "core/engine_runtime.h"
+#include "core/run_result.h"
+#include "detect/model_setting.h"
+#include "video/scene.h"
+
+namespace adavp::core {
+
+/// Tuning of the fleet's shared simulated GPU (DESIGN.md §13).
+struct GpuOptions {
+  /// Largest batch one dispatch may coalesce. 1 disables batching (and the
+  /// grant latency of every request is bit-identical to a solo detection).
+  int max_batch = 4;
+  /// EDF aging: a queued request's priority key is
+  ///   deadline - aging_factor * time_waited
+  /// so a stream with a lax deadline still wins eventually — its key falls
+  /// linearly with waiting time while fresh requests' keys track the
+  /// (advancing) capture clock. 0 restores pure EDF, which can starve.
+  double aging_factor = 2.0;
+  /// Absolute deadline granted to requests from streams that declared
+  /// neither FleetStreamOptions::deadline_ms nor an SLO spec.
+  double default_deadline_ms = 1000.0;
+};
+
+/// Tuning of fleet admission control (static, at fleet start).
+struct AdmissionOptions {
+  /// Fraction of the GPU's capacity the admitted duty cycle may claim.
+  /// Duty is Σ mean_latency(setting) / cadence over admitted streams,
+  /// against a capacity boosted by the batching amortization the scheduler
+  /// can realize (max_batch^(1-alpha), see detect::LatencyModel).
+  double utilization_budget = 0.85;
+  /// Degrade (smaller model setting, then stretched cadence) before
+  /// rejecting a stream that does not fit — the fleet-level mirror of the
+  /// per-run DegradationLadder.
+  bool allow_degrade = true;
+  /// Largest cadence multiplier admission may impose while degrading.
+  double max_cadence_stretch = 2.0;
+};
+
+enum class AdmissionDecision {
+  kAdmitted,  ///< runs at its requested setting and cadence
+  kDegraded,  ///< runs, but at a smaller setting and/or stretched cadence
+  kRejected,  ///< shed: no capacity even fully degraded
+};
+std::string_view admission_decision_name(AdmissionDecision decision);
+
+/// One camera stream of the fleet.
+struct FleetStreamOptions {
+  /// Telemetry/reporting label; empty derives "stream<index>".
+  std::string name;
+  /// The stream's synthetic camera feed.
+  video::SceneConfig scene;
+  /// Per-stream engine wiring: seed, fault plan, SLO spec, frame store.
+  EngineOptions engine;
+  /// Requested detection model.
+  detect::ModelSetting setting = detect::ModelSetting::kYolov3Tiny_320;
+  /// Requested re-detection period (capture-time ms between detector
+  /// cycles); the stream coasts on the tracker in between — the paper's
+  /// core trade, and exactly why consolidation pays: the GPU is idle most
+  /// of each stream's cadence.
+  double cadence_ms = 500.0;
+  /// Per-result deadline for EDF ordering. 0 falls back to the SLO spec's
+  /// effective deadline, then to GpuOptions::default_deadline_ms.
+  double deadline_ms = 0.0;
+  /// Close the SLO loop per stream: when the stream's own SloTracker
+  /// reports an active breach, step its DegradationLadder down (smaller
+  /// settings, then tracker-only coasting); recover with hysteresis.
+  /// Off by default — a self-degrading stream changes its GPU request
+  /// pattern, which the digest-isolation soak must avoid.
+  bool self_degrade = false;
+  LadderOptions ladder;
+};
+
+/// Per-stream view of the shared detection queue.
+struct StreamQueueStats {
+  std::uint64_t detections = 0;  ///< granted GPU requests
+  std::uint64_t batched = 0;     ///< granted as part of a batch of >= 2
+  double queue_wait_mean_ms = 0.0;
+  double queue_wait_max_ms = 0.0;
+};
+
+struct FleetStreamResult {
+  std::string name;
+  int stream_id = 0;
+  AdmissionDecision admission = AdmissionDecision::kAdmitted;
+  detect::ModelSetting granted_setting = detect::ModelSetting::kYolov3Tiny_320;
+  double granted_cadence_ms = 0.0;
+  /// The stream's start offset in global fleet time (de-phases cadences so
+  /// synchronized fleets do not arrive as one thundering herd).
+  double stagger_ms = 0.0;
+  StreamQueueStats queue;
+  int degrade_steps = 0;  ///< self-degradation downshifts during the run
+  int coast_cycles = 0;   ///< cycles served tracker-only at the ladder floor
+  /// Result-staleness percentiles over the stream's frames (ms).
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  /// Fraction of frames whose result latency exceeded the stream deadline.
+  double deadline_miss_rate = 0.0;
+  /// Empty (no frames) when rejected.
+  RunResult run;
+};
+
+struct FleetGpuStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  int max_batch_seen = 0;
+  double busy_ms = 0.0;
+  /// Σ solo latencies − Σ batch service: virtual GPU time the batching
+  /// amortization saved.
+  double amortization_saved_ms = 0.0;
+};
+
+struct FleetResult {
+  std::vector<FleetStreamResult> streams;
+  FleetGpuStats gpu;
+  int admitted = 0;
+  int degraded = 0;
+  int rejected = 0;
+  /// Latest global completion time across admitted streams (virtual ms) —
+  /// the fleet's end-to-end duration in pipeline time.
+  double makespan_ms = 0.0;
+  /// Total admitted frames / makespan, in pipeline time. The consolidation
+  /// headline: N streams through one GPU approach N× the throughput of
+  /// running them back to back, because each stream's cadence leaves the
+  /// detector idle for another stream to use.
+  double aggregate_fps = 0.0;
+  /// Worst stream status (kOk < kDegraded < kWorkerFailure).
+  Status status;
+};
+
+struct FleetOptions {
+  GpuOptions gpu;
+  AdmissionOptions admission;
+  /// Global-time start offset between consecutive admitted streams.
+  /// Negative derives min(cadence)/N — an even spread that keeps equal
+  /// cadences from submitting in lockstep (which would force every batch
+  /// to full width and inflate everyone's p99).
+  double stagger_ms = -1.0;
+  /// Register each stream's obs instruments under "fleet.stream<i>." via
+  /// obs::ScopedMetricPrefix so concurrent streams never collide on a
+  /// metric key. Off leaves names untouched (single-stream compatible).
+  bool label_telemetry = true;
+};
+
+/// The shared simulated GPU: a batched, EDF-ordered detection queue that
+/// admitted stream threads block on.
+///
+/// Scheduling is conservative discrete-event simulation over *virtual*
+/// time: a batch is composed only when every participating stream is
+/// either parked here with an ungranted request or finished. At that
+/// moment the pending set is complete, so batch composition is a pure
+/// function of the requests' virtual times — deterministic for a fixed
+/// seed regardless of how the OS interleaves the threads (the fleet soak
+/// pins this under TSan).
+///
+/// Dispatch, given the full pending set:
+///   start    = max(gpu_free, earliest pending submit)
+///   eligible = requests with submit <= start (a request "from the
+///              future" of the GPU clock cannot join this batch)
+///   key(r)   = r.deadline - aging_factor * (start - r.submit)   [EDF+aging]
+///   primary  = min key (ties: stream id, then frame)
+///   batch    = primary + same-setting eligible by key, up to max_batch
+///   service  = max(member solo draws) * LatencyModel::batch_scale(k)
+/// Every member is granted [start, start + service]; the per-member energy
+/// share is service / k. The blocking submit() doubles as the per-stream
+/// in-flight cap: a stream can never have more than one request queued, so
+/// a slow stream cannot flood the queue.
+class FleetGpu {
+ public:
+  struct Request {
+    int stream = 0;
+    int frame = 0;
+    detect::ModelSetting setting = detect::ModelSetting::kYolov3Tiny_320;
+    double submit_ms = 0.0;    ///< global fleet time of the submission
+    double deadline_ms = 0.0;  ///< absolute global-time deadline (EDF key)
+    double solo_ms = 0.0;      ///< the stream's own solo latency draw
+  };
+
+  struct Grant {
+    double start_ms = 0.0;     ///< global time the GPU began the batch
+    double complete_ms = 0.0;  ///< global time the batch finished
+    int batch_size = 1;
+    double service_share_ms = 0.0;  ///< batch service / batch_size (energy)
+    double queue_wait_ms = 0.0;     ///< start - submit
+  };
+
+  /// `stream_count` is the number of admitted streams that will call
+  /// submit()/finished(); dispatch waits for all of them to park.
+  FleetGpu(GpuOptions options, int stream_count);
+
+  /// Blocks the calling stream until the coordinator grants its request.
+  Grant submit(Request request);
+
+  /// The stream will never submit again (end of video, failure, or
+  /// permanent coast). Must be called exactly once per admitted stream.
+  void finished(int stream);
+
+  FleetGpuStats stats() const;
+
+ private:
+  struct Waiter {
+    Request request;
+    bool granted = false;
+    Grant grant;
+  };
+
+  /// Dispatches one batch iff every stream is parked or finished. Caller
+  /// holds mutex_.
+  void maybe_dispatch_locked();
+
+  GpuOptions options_;
+  int stream_count_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Waiter*> pending_;  ///< parked, ungranted (stack-owned)
+  int waiting_ = 0;   ///< streams parked with an ungranted request
+  int finished_ = 0;  ///< streams done submitting
+  double gpu_free_ms_ = 0.0;
+  FleetGpuStats stats_;
+};
+
+/// Runs every admitted stream of the fleet to completion: one OS thread
+/// per stream, each driving its own EngineContext through a cadenced
+/// detect-and-coast policy, all sharing the global util::ThreadPool for
+/// vision kernels and one FleetGpu for detection. Streams that admission
+/// cannot fit (even degraded) are shed before any thread starts.
+FleetResult run_fleet(const std::vector<FleetStreamOptions>& streams,
+                      const FleetOptions& options = {});
+
+}  // namespace adavp::core

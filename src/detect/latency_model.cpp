@@ -1,6 +1,7 @@
 #include "detect/latency_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace adavp::detect {
 
@@ -12,6 +13,18 @@ double LatencyModel::sample_ms(ModelSetting setting) {
   const ModelProfile& profile = model_profile(setting);
   const double draw = rng_.gaussian(profile.latency_ms, profile.latency_jitter);
   return std::max(profile.latency_ms * 0.5, draw);
+}
+
+double LatencyModel::batch_scale(int batch_size) {
+  // The early-out is a determinism guarantee, not an optimization: the
+  // batch=1 path must be *exactly* 1.0, never pow(1.0, alpha)'s rounding.
+  if (batch_size <= 1) return 1.0;
+  return std::pow(static_cast<double>(batch_size), kBatchAlpha);
+}
+
+double LatencyModel::amortized_scale(int batch_size) {
+  if (batch_size <= 1) return 1.0;
+  return batch_scale(batch_size) / static_cast<double>(batch_size);
 }
 
 }  // namespace adavp::detect

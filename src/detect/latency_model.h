@@ -12,6 +12,22 @@ namespace adavp::detect {
 /// 500 ms at 608^2, ~55 ms for YOLOv3-tiny); a small Gaussian jitter
 /// models the measurement spread, clamped so latency never goes below
 /// half the mean.
+///
+/// Batching (fleet engine, DESIGN.md §13): a GPU that runs k same-size
+/// inferences as one batch amortizes weight loads, kernel launches, and
+/// memory traffic, so total batch time grows sub-linearly in k. We model
+/// the whole batch as
+///
+///   service(k) = max(solo draws of the members) * batch_scale(k)
+///   batch_scale(k) = k^alpha,  alpha = 0.65
+///
+/// so batch_scale(1) == 1.0 exactly (a batch of one is bit-identical to
+/// today's solo model — pinned by tests/test_detect.cpp) and the amortized
+/// per-frame cost k^(alpha-1) falls monotonically: 1.00x, 0.78x at k=2,
+/// 0.62x at k=4, 0.48x at k=8. The exponent is in the range published
+/// batching studies report for convolutional backbones on mobile-class
+/// GPUs, where batching helps but saturated ALUs keep it well short of
+/// free (alpha = 1 would mean no amortization, alpha = 0 a free batch).
 class LatencyModel {
  public:
   explicit LatencyModel(std::uint64_t seed = 7) : rng_(seed) {}
@@ -21,6 +37,19 @@ class LatencyModel {
 
   /// One sampled latency draw.
   double sample_ms(ModelSetting setting);
+
+  /// The sub-linear batch amortization exponent (see class comment).
+  static constexpr double kBatchAlpha = 0.65;
+
+  /// Total-batch-time multiplier for a batch of `batch_size` same-setting
+  /// inferences, relative to the slowest member's solo latency:
+  /// batch_size^kBatchAlpha. Exactly 1.0 for batch_size <= 1 — the solo
+  /// path must not pick up even a rounding-level perturbation.
+  static double batch_scale(int batch_size);
+
+  /// Amortized per-member multiplier: batch_scale(k) / k. Strictly
+  /// decreasing in k; what a planner compares against the solo cost.
+  static double amortized_scale(int batch_size);
 
  private:
   util::Rng rng_;

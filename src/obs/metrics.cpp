@@ -305,13 +305,32 @@ void MetricsSnapshot::write_csv(util::CsvWriter& csv) const {
   }
 }
 
-// ------------------------------------------------------ MetricsRegistry
+// ------------------------------------------------- thread-local prefix
 
 namespace {
+// One string per thread; empty (the default) costs one empty-string
+// concatenation at instrument resolution, which happens once per run.
+thread_local std::string t_metric_prefix;
+
 std::string full_name(const std::string& component, const std::string& name) {
-  return component + "." + name;
+  return t_metric_prefix + component + "." + name;
 }
 }  // namespace
+
+const std::string& metric_prefix() { return t_metric_prefix; }
+
+void set_metric_prefix(std::string prefix) {
+  t_metric_prefix = std::move(prefix);
+}
+
+ScopedMetricPrefix::ScopedMetricPrefix(std::string prefix)
+    : previous_(t_metric_prefix) {
+  t_metric_prefix = std::move(prefix);
+}
+
+ScopedMetricPrefix::~ScopedMetricPrefix() { t_metric_prefix = previous_; }
+
+// ------------------------------------------------------ MetricsRegistry
 
 Counter& MetricsRegistry::counter(const std::string& component,
                                   const std::string& name) {

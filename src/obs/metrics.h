@@ -156,12 +156,42 @@ struct MetricsSnapshot {
   void write_csv(util::CsvWriter& csv) const;
 };
 
+/// Thread-local instrument-name prefix applied by MetricsRegistry and
+/// TimeSeriesRegistry at *resolution* time (instrument creation/lookup,
+/// which is once-per-run — never the lock-free update path). A fleet of
+/// concurrent engine runs sets a distinct prefix per stream thread
+/// ("fleet.stream3.") so two EngineContexts no longer collide on, say,
+/// `realtime.result_latency_ms`; with the default empty prefix the keys
+/// are byte-identical to what single-stream runs have always registered.
+const std::string& metric_prefix();
+void set_metric_prefix(std::string prefix);
+
+/// RAII prefix for the calling thread; restores the previous prefix (so
+/// scopes nest). Typical use brackets one stream's whole engine run:
+///
+///   obs::ScopedMetricPrefix scope("fleet.stream3.");
+///   RunResult run = run_mpdt(video, options);  // instruments land under
+///                                              // fleet.stream3.mpdt.*
+class ScopedMetricPrefix {
+ public:
+  explicit ScopedMetricPrefix(std::string prefix);
+  ~ScopedMetricPrefix();
+
+  ScopedMetricPrefix(const ScopedMetricPrefix&) = delete;
+  ScopedMetricPrefix& operator=(const ScopedMetricPrefix&) = delete;
+
+ private:
+  std::string previous_;
+};
+
 /// Thread-safe named-instrument registry. Instrument creation takes a lock;
 /// returned references stay valid for the registry's lifetime, so hot paths
 /// resolve once and then update lock-free.
 class MetricsRegistry {
  public:
-  /// Instruments are keyed `component.metric` (e.g. "detector.cycles").
+  /// Instruments are keyed `metric_prefix() + component.metric` (e.g.
+  /// "detector.cycles", or "fleet.stream3.detector.cycles" on a prefixed
+  /// fleet stream thread).
   Counter& counter(const std::string& component, const std::string& name);
   Gauge& gauge(const std::string& component, const std::string& name);
   /// Registers with explicit bucket edges; subsequent lookups of the same

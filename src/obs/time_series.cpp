@@ -183,7 +183,9 @@ void TimeSeries::write_csv(util::CsvWriter& csv, const std::string& name) const 
 TimeSeries& TimeSeriesRegistry::series(const std::string& component,
                                        const std::string& name,
                                        TimeSeries::Options options) {
-  const std::string key = component + "." + name;
+  // Same thread-local prefix scheme as MetricsRegistry: per-stream
+  // fleet labels without touching single-stream key names.
+  const std::string key = metric_prefix() + component + "." + name;
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [existing, series] : series_) {
     if (existing == key) return *series;

@@ -118,7 +118,9 @@ class TimeSeries {
 /// registry's lifetime, hot paths resolve once per run.
 class TimeSeriesRegistry {
  public:
-  /// Keyed `component.metric`. Subsequent lookups of the same key ignore
+  /// Keyed `metric_prefix() + component.metric` (the same thread-local
+  /// prefix scheme as MetricsRegistry, so a fleet stream's series land
+  /// under its label). Subsequent lookups of the same key ignore
   /// `options` and return the existing series.
   TimeSeries& series(const std::string& component, const std::string& name,
                      TimeSeries::Options options);

@@ -17,6 +17,18 @@ namespace adavp::util {
 /// queued and then returns nullopt forever, and `push` drops its value and
 /// returns false — a producer that races a supervisor-initiated abort can
 /// never lose a wakeup or park an item nobody will read.
+///
+/// Multi-producer/multi-consumer audit (fleet engine, DESIGN.md §13):
+/// unlike video::FrameBuffer — whose `wait_newer` waiters have per-waiter
+/// predicates and therefore needed notify_all — every `pop` here waits on
+/// the *same* predicate (`!items_.empty() || closed_`), so any waiter can
+/// consume any item and one notify per push is sufficient with N producers
+/// and M consumers: each push makes the shared predicate true and wakes
+/// one waiter to consume exactly the item it pushed. A waiter that loses
+/// the item to a racing `try_pop` re-evaluates the predicate and re-sleeps
+/// without consuming anyone else's wakeup (each push issues its own).
+/// Pinned under TSan by MpmcDeliversEveryItemExactlyOnce in
+/// tests/test_util.cpp.
 template <typename T>
 class ClosableQueue {
  public:
@@ -29,6 +41,8 @@ class ClosableQueue {
       items_.push_back(std::move(value));
     }
     // One item can satisfy one waiter; close() is the only broadcast.
+    // Correct even MPMC because all poppers share one predicate (see
+    // class comment).
     cv_.notify_one();
     return true;
   }

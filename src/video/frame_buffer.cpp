@@ -24,7 +24,14 @@ void FrameBuffer::push(FrameRef frame) {
     }
     frames_.push_back(std::move(frame));
   }
-  cv_.notify_one();  // single consumer (the detector thread)
+  // notify_all, not notify_one: `wait_newer` waiters have *per-waiter*
+  // predicates (each waits for a different index). With two consumers a
+  // notify_one can wake the waiter whose predicate is still false — it
+  // swallows the wakeup and re-sleeps — while the waiter the push just
+  // satisfied sleeps forever. The single-consumer paper pipeline never hit
+  // this; a fleet process sharing buffers does (regression-tested by
+  // MultipleWaitersWithDistinctPredicatesAllWake in tests/test_video.cpp).
+  cv_.notify_all();
 }
 
 std::optional<FrameRef> FrameBuffer::wait_newest() {

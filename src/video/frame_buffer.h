@@ -26,16 +26,21 @@ namespace adavp::video {
 /// ref on overflow — what a real camera ring buffer does — and counts the
 /// drops (`dropped()`, obs counter `buffer.dropped`).
 ///
-/// Wakeups assume the paper's single-consumer design (one detector thread
-/// blocked in `wait_newest`/`wait_newer` at a time): `push` uses
-/// notify_one; only `close` broadcasts.
+/// Safe with any number of producers and consumers. `wait_newer` waiters
+/// carry *per-waiter* predicates (each blocks on its own `after_index`),
+/// so `push` must broadcast: a notify_one could wake a waiter whose
+/// predicate is still false — which swallows the wakeup — while the waiter
+/// the push actually satisfied sleeps forever. The original single-consumer
+/// design used notify_one; the multi-stream fleet process violated that
+/// assumption (DESIGN.md §13), and tests/test_video.cpp pins the fix.
 class FrameBuffer {
  public:
   explicit FrameBuffer(std::size_t capacity = 256);
 
-  /// Appends a frame ref; drops the oldest when full. Wakes one waiter.
-  /// After `close()` the frame is silently discarded (not counted as a
-  /// drop) — producers may race a mid-run shutdown.
+  /// Appends a frame ref; drops the oldest when full. Wakes every waiter
+  /// (see class comment on why this must broadcast). After `close()` the
+  /// frame is silently discarded (not counted as a drop) — producers may
+  /// race a mid-run shutdown.
   void push(FrameRef frame);
 
   /// Returns the newest frame ref without removing older ones, or nullopt

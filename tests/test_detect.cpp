@@ -84,6 +84,44 @@ TEST(LatencyModelTest, Deterministic) {
   }
 }
 
+// ------------------------------------------------------- batch scaling ----
+
+TEST(LatencyModelTest, BatchOfOneIsExactlyNeutral) {
+  // The fleet's determinism hinge: with batching disabled (or a batch that
+  // happens to have one member) the grant latency must be *bit-identical*
+  // to a solo detection, so batch_scale(1) is exactly 1.0 — an early-out,
+  // not pow(1, alpha), which could differ in the last ulp.
+  EXPECT_EQ(LatencyModel::batch_scale(1), 1.0);
+  EXPECT_EQ(LatencyModel::batch_scale(0), 1.0);
+  EXPECT_EQ(LatencyModel::amortized_scale(1), 1.0);
+  LatencyModel a(9);
+  LatencyModel b(9);
+  const double solo = a.sample_ms(ModelSetting::kYolov3_320);
+  EXPECT_EQ(solo * LatencyModel::batch_scale(1),
+            b.sample_ms(ModelSetting::kYolov3_320));
+}
+
+TEST(LatencyModelTest, BatchCurveGrowsSublinearly) {
+  // Total batch service grows with k, but slower than k (that is the whole
+  // amortization), so the per-member share strictly falls.
+  double prev_total = 0.0;
+  double prev_share = 2.0;
+  for (int k = 1; k <= 16; ++k) {
+    const double total = LatencyModel::batch_scale(k);
+    const double share = LatencyModel::amortized_scale(k);
+    EXPECT_GT(total, prev_total) << "k=" << k;
+    EXPECT_LT(total, static_cast<double>(k) + 1e-12) << "k=" << k;
+    EXPECT_LT(share, prev_share) << "k=" << k;
+    EXPECT_NEAR(share, total / k, 1e-12);
+    prev_total = total;
+    prev_share = share;
+  }
+  // Spot anchors of k^0.65 the docs and PERFORMANCE.md quote.
+  EXPECT_NEAR(LatencyModel::batch_scale(2), 1.569, 0.001);
+  EXPECT_NEAR(LatencyModel::batch_scale(4), 2.462, 0.001);
+  EXPECT_NEAR(LatencyModel::batch_scale(8), 3.864, 0.001);
+}
+
 // ------------------------------------------------------ AccuracyModel ----
 
 TEST(AccuracyModelTest, OracleReturnsGroundTruth) {

@@ -1,0 +1,316 @@
+// Fleet engine unit suite (DESIGN.md §13): the shared FleetGpu's
+// conservative virtual-time scheduling (EDF + aging + batching), the
+// admission controller's degrade-then-reject ladder, and whole-fleet
+// determinism. The soak lives in tests/test_fleet_soak.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/fleet.h"
+#include "detect/latency_model.h"
+
+namespace adavp::core {
+namespace {
+
+using detect::ModelSetting;
+
+// --- FleetGpu -----------------------------------------------------------
+
+TEST(FleetGpu, SoloGrantIsBitIdenticalToSoloLatency) {
+  FleetGpu gpu({.max_batch = 4}, /*stream_count=*/1);
+  const FleetGpu::Grant grant = gpu.submit(
+      {0, 0, ModelSetting::kYolov3Tiny_320, 10.0, 1010.0, 55.5});
+  EXPECT_EQ(grant.start_ms, 10.0);
+  EXPECT_EQ(grant.complete_ms, 10.0 + 55.5);  // batch_scale(1) == 1.0 exactly
+  EXPECT_EQ(grant.batch_size, 1);
+  EXPECT_EQ(grant.service_share_ms, 55.5);
+  EXPECT_EQ(grant.queue_wait_ms, 0.0);
+  gpu.finished(0);
+}
+
+TEST(FleetGpu, BackToBackRequestsQueueBehindGpuFree) {
+  FleetGpu gpu({.max_batch = 4}, 1);
+  const FleetGpu::Grant first = gpu.submit(
+      {0, 0, ModelSetting::kYolov3Tiny_320, 0.0, 1000.0, 100.0});
+  EXPECT_EQ(first.complete_ms, 100.0);
+  // Submitted at t=20 while the GPU is busy until 100: waits 80.
+  const FleetGpu::Grant second = gpu.submit(
+      {0, 1, ModelSetting::kYolov3Tiny_320, 20.0, 1020.0, 100.0});
+  EXPECT_EQ(second.start_ms, 100.0);
+  EXPECT_EQ(second.queue_wait_ms, 80.0);
+  gpu.finished(0);
+}
+
+TEST(FleetGpu, SameSettingSimultaneousRequestsBatchWithAmortization) {
+  FleetGpu gpu({.max_batch = 4}, 2);
+  FleetGpu::Grant a, b;
+  std::thread ta([&] {
+    a = gpu.submit({0, 0, ModelSetting::kYolov3Tiny_320, 0.0, 500.0, 50.0});
+    gpu.finished(0);
+  });
+  std::thread tb([&] {
+    b = gpu.submit({1, 0, ModelSetting::kYolov3Tiny_320, 0.0, 600.0, 60.0});
+    gpu.finished(1);
+  });
+  ta.join();
+  tb.join();
+  const double service = 60.0 * detect::LatencyModel::batch_scale(2);
+  EXPECT_EQ(a.batch_size, 2);
+  EXPECT_EQ(b.batch_size, 2);
+  EXPECT_DOUBLE_EQ(a.complete_ms, service);
+  EXPECT_DOUBLE_EQ(b.complete_ms, service);
+  EXPECT_DOUBLE_EQ(a.service_share_ms, service / 2.0);
+  EXPECT_LT(service, 50.0 + 60.0);  // cheaper than running them back to back
+
+  const FleetGpuStats stats = gpu.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch_seen, 2);
+  EXPECT_GT(stats.amortization_saved_ms, 0.0);
+}
+
+TEST(FleetGpu, DifferentSettingsNeverShareABatch) {
+  FleetGpu gpu({.max_batch = 4}, 2);
+  FleetGpu::Grant a, b;
+  std::thread ta([&] {
+    a = gpu.submit({0, 0, ModelSetting::kYolov3Tiny_320, 0.0, 500.0, 50.0});
+    gpu.finished(0);
+  });
+  std::thread tb([&] {
+    b = gpu.submit({1, 0, ModelSetting::kYolov3_320, 0.0, 400.0, 230.0});
+    gpu.finished(1);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.batch_size, 1);
+  EXPECT_EQ(b.batch_size, 1);
+  // EDF: the 320 request's deadline (400) beats tiny's (500), so it runs
+  // first and tiny queues behind it — regardless of thread scheduling.
+  EXPECT_EQ(b.start_ms, 0.0);
+  EXPECT_EQ(a.start_ms, 230.0);
+  EXPECT_EQ(a.queue_wait_ms, 230.0);
+}
+
+TEST(FleetGpu, AgingPreventsStarvationOfLaxDeadlines) {
+  // Stream 1 keeps the GPU saturated with tight-deadline requests; stream
+  // 0's single lax-deadline request must still run long before the fresh
+  // deadlines would allow under pure EDF. With aging_factor=2 its priority
+  // key (2000 - 2*wait) crosses a fresh key (~t + 100) near t ~ 633.
+  FleetGpu gpu({.max_batch = 1, .aging_factor = 2.0}, 2);
+  FleetGpu::Grant lax;
+  std::thread ta([&] {
+    lax = gpu.submit({0, 0, ModelSetting::kYolov3Tiny_320, 0.0, 2000.0, 100.0});
+    gpu.finished(0);
+  });
+  std::thread tb([&] {
+    double t = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      const FleetGpu::Grant g = gpu.submit(
+          {1, i, ModelSetting::kYolov3Tiny_320, t, t + 100.0, 100.0});
+      t = g.complete_ms;
+    }
+    gpu.finished(1);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_GE(lax.start_ms, 500.0);   // it did yield to tighter deadlines...
+  EXPECT_LE(lax.start_ms, 900.0);   // ...but aging kicked in well before
+  EXPECT_LE(lax.complete_ms, 1000.0);  // 12 tight cycles would end at 1200+
+}
+
+// --- admission control --------------------------------------------------
+
+video::SceneConfig small_scene(std::uint64_t seed, int frames = 60) {
+  video::SceneConfig scene;
+  scene.width = 128;
+  scene.height = 96;
+  scene.frame_count = frames;
+  scene.initial_objects = 3;
+  scene.max_objects = 4;
+  scene.seed = seed;
+  return scene;
+}
+
+TEST(FleetAdmission, DegradesThenRejectsWhenOverSubscribed) {
+  std::vector<FleetStreamOptions> streams(4);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    streams[i].scene = small_scene(100 + i);
+    streams[i].engine.seed = 9000 + i;
+    streams[i].setting = ModelSetting::kYolov3_608;  // 500 ms mean
+    streams[i].cadence_ms = 100.0;                   // duty 5.0 each
+    streams[i].deadline_ms = 1500.0;
+  }
+  const FleetResult fleet = run_fleet(streams);
+  EXPECT_EQ(fleet.admitted, 0);
+  EXPECT_GE(fleet.degraded, 2);
+  EXPECT_GE(fleet.rejected, 1);
+  for (const FleetStreamResult& s : fleet.streams) {
+    if (s.admission == AdmissionDecision::kRejected) {
+      EXPECT_TRUE(s.run.frames.empty());
+      continue;
+    }
+    // Degraded streams got a cheaper setting and/or a stretched cadence...
+    const bool cheaper =
+        detect::LatencyModel::mean_latency_ms(s.granted_setting) <
+        detect::LatencyModel::mean_latency_ms(ModelSetting::kYolov3_608);
+    const bool stretched = s.granted_cadence_ms > 100.0;
+    EXPECT_TRUE(cheaper || stretched) << s.name;
+    // ...and still produced a result for every frame.
+    for (const FrameResult& f : s.run.frames) {
+      EXPECT_NE(f.source, ResultSource::kNone) << s.name;
+    }
+  }
+}
+
+TEST(FleetAdmission, RejectInsteadOfDegradeWhenDisabled) {
+  std::vector<FleetStreamOptions> streams(2);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    streams[i].scene = small_scene(200 + i);
+    streams[i].setting = ModelSetting::kYolov3_608;
+    streams[i].cadence_ms = 100.0;
+  }
+  FleetOptions options;
+  options.admission.allow_degrade = false;
+  const FleetResult fleet = run_fleet(streams, options);
+  EXPECT_EQ(fleet.admitted, 0);
+  EXPECT_EQ(fleet.degraded, 0);
+  EXPECT_EQ(fleet.rejected, 2);
+}
+
+// --- whole-fleet behavior ----------------------------------------------
+
+// FNV-1a over every observable field of a RunResult, the same digest
+// construction test_engine_equivalence.cpp pins golden engines with.
+class Digest {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  template <typename T>
+  void pod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&value, sizeof(value));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+std::uint64_t digest_run(const RunResult& run) {
+  Digest d;
+  d.pod<std::uint64_t>(run.frames.size());
+  for (const FrameResult& f : run.frames) {
+    d.pod<std::int32_t>(f.frame_index);
+    d.pod<std::uint8_t>(static_cast<std::uint8_t>(f.source));
+    d.pod<std::uint8_t>(static_cast<std::uint8_t>(f.setting));
+    d.pod<double>(f.staleness_ms);
+    d.pod<std::uint64_t>(f.boxes.size());
+    for (const metrics::LabeledBox& b : f.boxes) {
+      d.pod<float>(b.box.left);
+      d.pod<float>(b.box.top);
+      d.pod<float>(b.box.width);
+      d.pod<float>(b.box.height);
+      d.pod<std::uint8_t>(static_cast<std::uint8_t>(b.cls));
+    }
+  }
+  d.pod<std::uint64_t>(run.cycles.size());
+  for (const CycleRecord& c : run.cycles) {
+    d.pod<std::int32_t>(c.detected_frame);
+    d.pod<std::uint8_t>(static_cast<std::uint8_t>(c.setting));
+    d.pod<double>(c.start_ms);
+    d.pod<double>(c.end_ms);
+    d.pod<std::int32_t>(c.frames_in_buffer);
+    d.pod<std::int32_t>(c.frames_tracked);
+    d.pod<double>(c.mean_velocity);
+  }
+  d.pod<double>(run.energy.gpu_wh);
+  d.pod<double>(run.energy.cpu_wh);
+  d.pod<double>(run.timeline_ms);
+  return d.value();
+}
+
+std::vector<FleetStreamOptions> fleet_of(int n, int frames = 90) {
+  std::vector<FleetStreamOptions> streams(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& s = streams[static_cast<std::size_t>(i)];
+    s.scene = small_scene(static_cast<std::uint64_t>(300 + i), frames);
+    s.engine.seed = static_cast<std::uint64_t>(5000 + i);
+    s.setting = ModelSetting::kYolov3Tiny_320;
+    s.cadence_ms = 400.0;
+    s.deadline_ms = 800.0;
+  }
+  return streams;
+}
+
+TEST(Fleet, SingleStreamFleetCompletesEveryFrame) {
+  const FleetResult fleet = run_fleet(fleet_of(1));
+  ASSERT_EQ(fleet.streams.size(), 1u);
+  const FleetStreamResult& s = fleet.streams[0];
+  EXPECT_EQ(s.admission, AdmissionDecision::kAdmitted);
+  EXPECT_TRUE(s.run.status.ok()) << s.run.status.to_string();
+  ASSERT_EQ(s.run.frames.size(), 90u);
+  for (const FrameResult& f : s.run.frames) {
+    EXPECT_NE(f.source, ResultSource::kNone);
+  }
+  EXPECT_GT(s.queue.detections, 1u);
+  EXPECT_GT(fleet.aggregate_fps, 0.0);
+  EXPECT_GT(s.latency_p99_ms, 0.0);
+  EXPECT_GE(s.latency_p99_ms, s.latency_p50_ms);
+}
+
+TEST(Fleet, DeterministicAcrossRepeatsAtBatchOneAndFour) {
+  for (int max_batch : {1, 4}) {
+    FleetOptions options;
+    options.gpu.max_batch = max_batch;
+    const FleetResult a = run_fleet(fleet_of(4), options);
+    const FleetResult b = run_fleet(fleet_of(4), options);
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    for (std::size_t i = 0; i < a.streams.size(); ++i) {
+      EXPECT_EQ(digest_run(a.streams[i].run), digest_run(b.streams[i].run))
+          << "stream " << i << " max_batch " << max_batch;
+      EXPECT_EQ(a.streams[i].queue.detections, b.streams[i].queue.detections);
+    }
+    EXPECT_EQ(a.gpu.batches, b.gpu.batches);
+    EXPECT_DOUBLE_EQ(a.makespan_ms, b.makespan_ms);
+  }
+}
+
+TEST(Fleet, BatchingActuallyCoalesces) {
+  // Zero stagger puts every stream's cadence in phase, so same-setting
+  // requests collide at the queue and must form real batches.
+  FleetOptions options;
+  options.gpu.max_batch = 4;
+  options.stagger_ms = 0.0;
+  const FleetResult fleet = run_fleet(fleet_of(4), options);
+  EXPECT_GT(fleet.gpu.requests, 0u);
+  EXPECT_GT(fleet.gpu.max_batch_seen, 1);
+  EXPECT_GT(fleet.gpu.amortization_saved_ms, 0.0);
+  std::uint64_t batched = 0;
+  for (const FleetStreamResult& s : fleet.streams) batched += s.queue.batched;
+  EXPECT_GT(batched, 0u);
+}
+
+TEST(Fleet, ConsolidationBeatsSequentialInPipelineTime) {
+  // 4 concurrent streams through one GPU vs the same 4 run one at a time:
+  // the cadenced detector leaves the GPU mostly idle per stream, so the
+  // fleet's makespan stays near one stream's duration.
+  const std::vector<FleetStreamOptions> streams = fleet_of(4);
+  const FleetResult fleet = run_fleet(streams);
+  double sequential_ms = 0.0;
+  for (const FleetStreamOptions& s : streams) {
+    const FleetResult solo = run_fleet({s});
+    sequential_ms += solo.streams[0].run.timeline_ms;
+  }
+  EXPECT_GT(sequential_ms / fleet.makespan_ms, 2.0);
+}
+
+}  // namespace
+}  // namespace adavp::core

@@ -391,5 +391,61 @@ TEST_F(ObsTest, StatsReporterDeltaModeReportsPerPeriodChange) {
   EXPECT_EQ(delta_sum.load(), 10u);
 }
 
+// ------------------------------------------------- metric name prefixes
+
+TEST_F(ObsTest, ScopedMetricPrefixNamespacesInstruments) {
+  Counter& bare = metrics().counter("detector", "cycles");
+  bare.add(1);
+  {
+    ScopedMetricPrefix prefix("fleet.stream3.");
+    metrics().counter("detector", "cycles").add(5);
+  }
+  const MetricsSnapshot snap = Telemetry::instance().snapshot();
+  EXPECT_EQ(snap.counter("detector.cycles"), 1u);
+  EXPECT_EQ(snap.counter("fleet.stream3.detector.cycles"), 5u);
+}
+
+TEST_F(ObsTest, EmptyPrefixIsByteIdenticalToNoPrefix) {
+  // The single-stream guarantee: with no (or an empty) prefix in scope,
+  // instrument names are exactly what they were before the fleet existed.
+  metrics().counter("detector", "cycles").add(2);
+  {
+    ScopedMetricPrefix prefix("");
+    metrics().counter("detector", "cycles").add(3);
+  }
+  const MetricsSnapshot snap = Telemetry::instance().snapshot();
+  EXPECT_EQ(snap.counter("detector.cycles"), 5u);  // same instrument
+}
+
+TEST_F(ObsTest, ScopedMetricPrefixNestsAndRestores) {
+  EXPECT_EQ(metric_prefix(), "");
+  {
+    ScopedMetricPrefix outer("fleet.stream0.");
+    EXPECT_EQ(metric_prefix(), "fleet.stream0.");
+    {
+      ScopedMetricPrefix inner("");  // the fleet GPU's aggregate bypass
+      EXPECT_EQ(metric_prefix(), "");
+      metrics().counter("fleet", "batches").add();
+    }
+    EXPECT_EQ(metric_prefix(), "fleet.stream0.");
+  }
+  EXPECT_EQ(metric_prefix(), "");
+  EXPECT_EQ(Telemetry::instance().snapshot().counter("fleet.batches"), 1u);
+}
+
+TEST_F(ObsTest, PrefixIsThreadLocal) {
+  ScopedMetricPrefix mine("fleet.stream7.");
+  std::thread other([] {
+    // A sibling thread sees no prefix: streams label only themselves.
+    EXPECT_EQ(metric_prefix(), "");
+    metrics().counter("detector", "cycles").add(4);
+  });
+  other.join();
+  metrics().counter("detector", "cycles").add(9);
+  const MetricsSnapshot snap = Telemetry::instance().snapshot();
+  EXPECT_EQ(snap.counter("detector.cycles"), 4u);
+  EXPECT_EQ(snap.counter("fleet.stream7.detector.cycles"), 9u);
+}
+
 }  // namespace
 }  // namespace adavp::obs

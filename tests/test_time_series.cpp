@@ -219,5 +219,23 @@ TEST(TimeSeries, TelemetrySeriesJsonRoundTrips) {
   Telemetry::set_enabled(false);
 }
 
+// Series keys honor the same thread-local prefix as MetricsRegistry, so a
+// fleet stream's series land under its "fleet.stream<N>." label.
+TEST(TimeSeries, RegistryKeyHonorsScopedMetricPrefix) {
+  Telemetry::set_enabled(true);
+  Telemetry::instance().reset();
+  time_series().series("engine", "cycle_ms", opts(100.0, 8)).record(10.0, 1.0);
+  {
+    ScopedMetricPrefix prefix("fleet.stream2.");
+    time_series().series("engine", "cycle_ms", opts(100.0, 8)).record(10.0, 2.0);
+  }
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(Telemetry::instance().series_json()).parse(doc));
+  EXPECT_NE(doc.get("series")->get("engine.cycle_ms"), nullptr);
+  EXPECT_NE(doc.get("series")->get("fleet.stream2.engine.cycle_ms"), nullptr);
+  Telemetry::instance().reset();
+  Telemetry::set_enabled(false);
+}
+
 }  // namespace
 }  // namespace adavp::obs

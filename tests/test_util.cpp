@@ -7,6 +7,7 @@
 #include <fstream>
 #include <regex>
 #include <thread>
+#include <vector>
 
 #include "util/args.h"
 #include "util/closable_queue.h"
@@ -410,6 +411,44 @@ TEST(ClosableQueue, ProducerConsumerHandoffUnderThreads) {
   }
   producer.join();
   EXPECT_EQ(received, kItems);
+}
+
+// Fleet-era MPMC audit (see the class comment in closable_queue.h): with N
+// producers and M consumers sharing one queue, every pushed item must be
+// delivered exactly once, notify_one per push notwithstanding — all poppers
+// share the same predicate, so no wakeup can be swallowed by a waiter that
+// then refuses the item. Run under TSan by the concurrency CI job.
+TEST(ClosableQueue, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+  ClosableQueue<int> queue;
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        seen[static_cast<std::size_t>(*item)].fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();  // drain-then-stop: consumers still get the queued tail
+  for (auto& t : consumers) t.join();
+
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
 }
 
 }  // namespace

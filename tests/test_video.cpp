@@ -391,5 +391,42 @@ TEST(CameraSourceTest, StopInterruptsEarly) {
   EXPECT_TRUE(buffer.closed());
 }
 
+// Regression for the fleet-era multi-consumer audit: wait_newer waiters
+// have *per-waiter* predicates (each waits for its own after_index), so
+// push must broadcast. Under the old notify_one, a push of frame 1 could
+// wake only the waiter parked on after_index=100 — which re-sleeps — while
+// the waiter the push actually satisfied (after_index=0) slept forever.
+TEST(FrameBufferShutdownTest, MultipleWaitersWithDistinctPredicatesAllWake) {
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    FrameBuffer buffer;
+    std::atomic<bool> satisfied_woke{false};
+    // Parked first so a FIFO condition variable would hand it the wakeup:
+    // a waiter whose predicate (index > 100) the push does NOT satisfy.
+    std::thread stale_waiter([&] {
+      const auto frame = buffer.wait_newer(100);
+      EXPECT_FALSE(frame.has_value());  // only close() releases it
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Parked second: the waiter the push satisfies.
+    std::thread fresh_waiter([&] {
+      const auto frame = buffer.wait_newer(0);
+      ASSERT_TRUE(frame.has_value());
+      EXPECT_EQ(frame->index, 1);
+      satisfied_woke.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    buffer.push(make_frame(1));
+    // The satisfied waiter must wake from the push alone — before close()
+    // broadcasts — or the bug is back.
+    for (int spins = 0; spins < 2000 && !satisfied_woke.load(); ++spins) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(satisfied_woke.load()) << "iteration " << iteration;
+    buffer.close();
+    stale_waiter.join();
+    fresh_waiter.join();
+  }
+}
+
 }  // namespace
 }  // namespace adavp::video
