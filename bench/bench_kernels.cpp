@@ -1,16 +1,23 @@
-// Microbenchmark of the vision kernel engine: pyramid build, smoothing,
-// Sobel, Shi-Tomasi good-features, and pyramidal LK at 1/2/4/N threads on
-// synthetic frames. Writes BENCH_KERNELS.json (ns/op and speedup vs the
-// serial path) so successive PRs have a perf trajectory to compare
-// against.
+// Microbenchmark of the vision kernel engine along both of its speed axes:
+//
+//  * ISA sweep — every compiled SIMD tier (scalar / sse2 / avx2, DESIGN.md
+//    §14) at one thread, speedup vs the scalar reference. This is the
+//    data-level-parallelism trajectory the simd/ subtree is accountable
+//    for; scripts/bench_gate.py enforces the AVX2 floors from the emitted
+//    `gate` block (avx2 >= 1.5x scalar on pyramid build and LK).
+//  * Thread sweep — 1/2/4/N threads at the auto-dispatched ISA, speedup vs
+//    the serial path (the historical sweep).
+//
+// Writes BENCH_KERNELS.json so successive PRs have a perf trajectory to
+// compare against.
 //
 //   ./bench_kernels [--width=1280] [--height=720] [--points=240]
-//                   [--reps=9] [--out=BENCH_KERNELS.json]
+//                   [--reps=9] [--smoke] [--out=BENCH_KERNELS.json]
 //
-// Speedups depend on the host: on a single-core CI runner every thread
-// count degenerates to the serial path and speedup hovers around 1.0; on a
-// 4+-core machine pyramid build and LK are expected to clear 2x at 4
-// threads.
+// `--smoke` shrinks the frame and rep count for CI wiring checks; the
+// per-ISA speedup ratios are scale-invariant, so the gate block is
+// meaningful at either scale. Thread-sweep speedups depend on the host: on
+// a single-core runner every thread count degenerates to the serial path.
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +35,7 @@
 #include "vision/image_ops.h"
 #include "vision/optical_flow.h"
 #include "vision/pyramid.h"
+#include "vision/simd/dispatch.h"
 
 namespace {
 
@@ -64,29 +72,52 @@ double time_ns(int reps, const std::function<void()>& fn) {
 
 struct Row {
   std::string kernel;
+  std::string isa;  ///< "auto" rows come from the thread sweep
   int threads;
   double ns;
-  double speedup;
+  double speedup;  ///< vs scalar (ISA sweep) or vs serial (thread sweep)
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
-  const int width = args.get_int("width", 1280);
-  const int height = args.get_int("height", 720);
-  const int n_points = args.get_int("points", 240);
-  const int reps = args.get_int("reps", 9);
-  const std::string out_path = args.get("out", "BENCH_KERNELS.json");
+  const bool smoke = args.has("smoke");
+  const int width = args.get_int("width", smoke ? 640 : 1280);
+  const int height = args.get_int("height", smoke ? 360 : 720);
+  const int n_points = args.get_int("points", smoke ? 120 : 240);
+  const int reps = args.get_int("reps", smoke ? 3 : 9);
+  const std::string out_path =
+      args.get("out", smoke ? "BENCH_KERNELS.smoke.json" : "BENCH_KERNELS.json");
 
   const int hw = util::ThreadPool::default_concurrency();
   std::vector<int> thread_counts = {1, 2, 4};
   if (hw != 1 && hw != 2 && hw != 4) thread_counts.push_back(hw);
 
+  // The ISA sweep covers every tier this binary + CPU can actually run
+  // (ops_for_isa clamps, so asking for an absent tier would silently
+  // re-measure a lower one — filter those out instead).
+  std::vector<vision::simd::Isa> tiers;
+  for (const vision::simd::Isa isa :
+       {vision::simd::Isa::kScalar, vision::simd::Isa::kSse2,
+        vision::simd::Isa::kAvx2}) {
+    if (vision::simd::ops_for_isa(isa).isa == isa) tiers.push_back(isa);
+  }
+  const bool has_avx2 =
+      vision::simd::ops_for_isa(vision::simd::Isa::kAvx2).isa ==
+      vision::simd::Isa::kAvx2;
+
   std::cout << "==== bench_kernels ====\n"
             << "frame " << width << "x" << height << ", " << n_points
             << " LK points, best of " << reps << " reps, hardware threads: "
-            << hw << "\n\n";
+            << hw << (smoke ? ", smoke" : "") << "\n"
+            << "dispatched isa: "
+            << vision::simd::isa_name(vision::simd::detected_isa())
+            << " (tiers:";
+  for (const vision::simd::Isa isa : tiers) {
+    std::cout << " " << vision::simd::isa_name(isa);
+  }
+  std::cout << ")\n\n";
 
   const vision::ImageU8 frame_a = make_frame(width, height, 1);
   vision::ImageU8 frame_b = make_frame(width, height, 1);
@@ -105,74 +136,124 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Row> rows;
-  auto bench = [&](const std::string& name,
-                   const std::function<void(const vision::KernelConfig&)>& op) {
+
+  using KernelOp = std::function<void(const vision::KernelConfig&)>;
+  struct Kernel {
+    std::string name;
+    KernelOp op;
+  };
+  std::vector<Kernel> kernels;
+  kernels.push_back({"pyramid_build", [&](const vision::KernelConfig& cfg) {
+                       vision::ImagePyramid pyr(frame_a, 3, 16, cfg);
+                       if (pyr.levels() == 0) std::abort();
+                     }});
+  kernels.push_back({"smooth3", [&](const vision::KernelConfig& cfg) {
+                       volatile float sink = vision::smooth3(frame_f, cfg).at(1, 1);
+                       (void)sink;
+                     }});
+  kernels.push_back({"smooth5", [&](const vision::KernelConfig& cfg) {
+                       volatile float sink = vision::smooth5(frame_f, cfg).at(1, 1);
+                       (void)sink;
+                     }});
+  kernels.push_back({"sobel", [&](const vision::KernelConfig& cfg) {
+                       vision::ImageF32 gx, gy;
+                       vision::sobel(frame_f, gx, gy, cfg);
+                     }});
+  kernels.push_back({"downsample2", [&](const vision::KernelConfig& cfg) {
+                       volatile float sink =
+                           vision::downsample2(frame_f, cfg).at(1, 1);
+                       (void)sink;
+                     }});
+  kernels.push_back({"good_features", [&](const vision::KernelConfig& cfg) {
+                       vision::GoodFeaturesParams gf;
+                       gf.kernels = cfg;
+                       volatile std::size_t sink =
+                           vision::good_features_to_track(frame_a, gf).size();
+                       (void)sink;
+                     }});
+  // LK is benchmarked on prebuilt pyramids: the pyramid cost is its own
+  // row above, and this isolates the point-parallel flow loop.
+  const vision::ImagePyramid pa(frame_a, 3);
+  const vision::ImagePyramid pb(frame_b, 3);
+  kernels.push_back({"lk_flow", [&](const vision::KernelConfig& cfg) {
+                       std::vector<geometry::Point2f> out;
+                       std::vector<vision::FlowStatus> status;
+                       vision::calc_optical_flow_pyr_lk(pa, pb, points, out,
+                                                        status, {}, cfg);
+                     }});
+
+  // ---- ISA sweep: every tier, one thread, speedup vs scalar -------------
+  double scalar_pyramid_ns = 0.0;
+  double scalar_lk_ns = 0.0;
+  double avx2_pyramid_ns = 0.0;
+  double avx2_lk_ns = 0.0;
+  for (const Kernel& k : kernels) {
+    double scalar_ns = 0.0;
+    for (const vision::simd::Isa isa : tiers) {
+      vision::KernelConfig cfg;
+      cfg.num_threads = 1;
+      cfg.isa = isa;
+      const double ns = time_ns(reps, [&] { k.op(cfg); });
+      if (isa == vision::simd::Isa::kScalar) scalar_ns = ns;
+      rows.push_back({k.name, vision::simd::isa_name(isa), 1, ns,
+                      scalar_ns > 0.0 ? scalar_ns / ns : 1.0});
+      if (k.name == "pyramid_build") {
+        if (isa == vision::simd::Isa::kScalar) scalar_pyramid_ns = ns;
+        if (isa == vision::simd::Isa::kAvx2) avx2_pyramid_ns = ns;
+      }
+      if (k.name == "lk_flow") {
+        if (isa == vision::simd::Isa::kScalar) scalar_lk_ns = ns;
+        if (isa == vision::simd::Isa::kAvx2) avx2_lk_ns = ns;
+      }
+    }
+  }
+
+  // ---- Thread sweep: auto ISA, speedup vs serial ------------------------
+  for (const Kernel& k : kernels) {
     double serial_ns = 0.0;
     for (int threads : thread_counts) {
       vision::KernelConfig cfg;
       cfg.num_threads = threads;
-      const double ns = time_ns(reps, [&] { op(cfg); });
+      const double ns = time_ns(reps, [&] { k.op(cfg); });
       if (threads == 1) serial_ns = ns;
-      rows.push_back({name, threads, ns, serial_ns > 0.0 ? serial_ns / ns : 1.0});
+      rows.push_back({k.name, "auto", threads, ns,
+                      serial_ns > 0.0 ? serial_ns / ns : 1.0});
     }
-  };
-
-  bench("pyramid_build", [&](const vision::KernelConfig& cfg) {
-    vision::ImagePyramid pyr(frame_a, 3, 16, cfg);
-    if (pyr.levels() == 0) std::abort();
-  });
-  bench("smooth3", [&](const vision::KernelConfig& cfg) {
-    volatile float sink = vision::smooth3(frame_f, cfg).at(1, 1);
-    (void)sink;
-  });
-  bench("smooth5", [&](const vision::KernelConfig& cfg) {
-    volatile float sink = vision::smooth5(frame_f, cfg).at(1, 1);
-    (void)sink;
-  });
-  bench("sobel", [&](const vision::KernelConfig& cfg) {
-    vision::ImageF32 gx, gy;
-    vision::sobel(frame_f, gx, gy, cfg);
-  });
-  bench("downsample2", [&](const vision::KernelConfig& cfg) {
-    volatile float sink = vision::downsample2(frame_f, cfg).at(1, 1);
-    (void)sink;
-  });
-  bench("good_features", [&](const vision::KernelConfig& cfg) {
-    vision::GoodFeaturesParams gf;
-    gf.kernels = cfg;
-    volatile std::size_t sink = vision::good_features_to_track(frame_a, gf).size();
-    (void)sink;
-  });
-  {
-    // LK is benchmarked on prebuilt pyramids: the pyramid cost is its own
-    // row above, and this isolates the point-parallel flow loop.
-    const vision::ImagePyramid pa(frame_a, 3);
-    const vision::ImagePyramid pb(frame_b, 3);
-    bench("lk_flow", [&](const vision::KernelConfig& cfg) {
-      std::vector<geometry::Point2f> out;
-      std::vector<vision::FlowStatus> status;
-      vision::calc_optical_flow_pyr_lk(pa, pb, points, out, status, {}, cfg);
-    });
   }
 
-  util::Table table({"kernel", "threads", "ms/op", "speedup vs serial"});
+  util::Table table({"kernel", "isa", "threads", "ms/op", "speedup"});
   for (const Row& r : rows) {
-    table.add_row({r.kernel, std::to_string(r.threads), util::fmt(r.ns / 1e6, 3),
-                   util::fmt(r.speedup, 2)});
+    table.add_row({r.kernel, r.isa, std::to_string(r.threads),
+                   util::fmt(r.ns / 1e6, 3), util::fmt(r.speedup, 2)});
   }
   table.print();
 
   std::ofstream json(out_path);
-  json << "{\"frame\":{\"width\":" << width << ",\"height\":" << height
+  json << "{\"smoke\":" << (smoke ? "true" : "false")
+       << ",\"frame\":{\"width\":" << width << ",\"height\":" << height
        << "},\"points\":" << n_points << ",\"hardware_threads\":" << hw
-       << ",\"results\":[";
+       << ",\"detected_isa\":\""
+       << vision::simd::isa_name(vision::simd::detected_isa())
+       << "\",\"results\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (i > 0) json << ",";
-    json << "{\"kernel\":\"" << rows[i].kernel
+    json << "{\"kernel\":\"" << rows[i].kernel << "\",\"isa\":\"" << rows[i].isa
          << "\",\"threads\":" << rows[i].threads << ",\"ns_per_op\":" << rows[i].ns
-         << ",\"speedup_vs_serial\":" << rows[i].speedup << "}";
+         << ",\"speedup\":" << rows[i].speedup << "}";
   }
-  json << "]}\n";
+  json << "]";
+  if (has_avx2 && avx2_pyramid_ns > 0.0 && avx2_lk_ns > 0.0) {
+    // Scale-invariant ratios the regression gate enforces; omitted (guard
+    // SKIPs, not fails) on hosts without AVX2.
+    json << ",\"gate\":{\"avx2_pyramid_speedup\":"
+         << scalar_pyramid_ns / avx2_pyramid_ns
+         << ",\"avx2_lk_speedup\":" << scalar_lk_ns / avx2_lk_ns << "}";
+    std::cout << "\ngate: avx2_pyramid_speedup="
+              << util::fmt(scalar_pyramid_ns / avx2_pyramid_ns, 2)
+              << " avx2_lk_speedup=" << util::fmt(scalar_lk_ns / avx2_lk_ns, 2)
+              << "\n";
+  }
+  json << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return 0;
 }

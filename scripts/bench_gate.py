@@ -47,6 +47,13 @@ GUARDS = [
     # result latency by more than 2x over running that stream alone.
     ("gate.fleet_fps_speedup", ">=", 4.0),
     ("gate.p99_latency_ratio", "<=", 2.0),
+    # SIMD tiers (BENCH_KERNELS.json, DESIGN.md §14): on AVX2 hosts the
+    # vectorized pyramid build and LK flow must clear 1.5x over the scalar
+    # reference at one thread. bench_kernels omits the gate block on hosts
+    # without AVX2, so these SKIP rather than fail there. Ratios of
+    # same-report timings are scale-invariant (smoke and full both count).
+    ("gate.avx2_pyramid_speedup", ">=", 1.5),
+    ("gate.avx2_lk_speedup", ">=", 1.5),
 ]
 
 # Direction per metric leaf name: -1 lower is better, +1 higher is better.
@@ -73,6 +80,8 @@ DIRECTION = {
     "p99_latency_ratio": -1,
     "worst_p99_ms": -1,
     "deadline_miss_rate": -1,
+    "avx2_pyramid_speedup": 1,
+    "avx2_lk_speedup": 1,
 }
 
 # Leaves that are meaningful across scales (per-frame ratios and steady-state
@@ -88,6 +97,8 @@ SCALE_INVARIANT = {
     "p99_latency_ratio",
     "deadline_miss_rate",
     "speedup",
+    "avx2_pyramid_speedup",
+    "avx2_lk_speedup",
 }
 
 # Counter-ish metrics near zero: relative margins are useless there, allow

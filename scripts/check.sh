@@ -60,6 +60,15 @@ if [ "$preset" = "release" ]; then
   echo "==> bench_gate (fleet)"
   python3 scripts/bench_gate.py build/BENCH_FLEET.smoke.json \
     ${BENCH_FLEET_BASELINE:+--baseline "$BENCH_FLEET_BASELINE"}
+
+  # SIMD tier gate (DESIGN.md §14): sweeps every compiled ISA tier (the
+  # "dispatched isa:" line shows what this host resolves to) and enforces
+  # the AVX2-vs-scalar floors on pyramid build and LK when AVX2 is present.
+  echo "==> bench_kernels --smoke"
+  ./build/bench/bench_kernels --smoke --out=build/BENCH_KERNELS.smoke.json
+  echo "==> bench_gate (kernels)"
+  python3 scripts/bench_gate.py build/BENCH_KERNELS.smoke.json \
+    ${BENCH_KERNELS_BASELINE:+--baseline "$BENCH_KERNELS_BASELINE"}
 fi
 
 echo "==> OK"

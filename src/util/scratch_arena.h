@@ -42,6 +42,18 @@ class ScratchArena {
     return static_cast<T*>(alloc_bytes(count * sizeof(T), alignof(T)));
   }
 
+  /// Like `alloc`, but over-aligned: the returned pointer is a multiple of
+  /// `alignment` (a power of two >= alignof(T)). The SIMD kernels use 32 so
+  /// full AVX2 vectors can be stored to scratch rows with aligned stores.
+  /// Same lifetime and stability guarantees as `alloc`.
+  template <typename T>
+  T* alloc_aligned(std::size_t count, std::size_t alignment) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(alloc_bytes(
+        count * sizeof(T), alignment > alignof(T) ? alignment : alignof(T)));
+  }
+
   void* alloc_bytes(std::size_t bytes, std::size_t alignment);
 
   /// Opaque position in the arena; see `rewind`.

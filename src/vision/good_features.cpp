@@ -4,8 +4,39 @@
 #include <cmath>
 
 #include "vision/image_ops.h"
+#include "vision/simd/dispatch.h"
 
 namespace adavp::vision {
+
+namespace {
+
+/// Clamped (border) Shi-Tomasi score for one pixel — the reference loop
+/// for every position whose block window touches an image edge.
+float min_eig_clamped(const float* gxp, const float* gyp, int w, int h, int x,
+                      int y, int radius) {
+  float sxx = 0.0f;
+  float sxy = 0.0f;
+  float syy = 0.0f;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    const std::size_t row =
+        static_cast<std::size_t>(std::clamp(y + dy, 0, h - 1)) * w;
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const std::size_t i = row + std::clamp(x + dx, 0, w - 1);
+      const float ix = gxp[i];
+      const float iy = gyp[i];
+      sxx += ix * ix;
+      sxy += ix * iy;
+      syy += iy * iy;
+    }
+  }
+  // Smaller eigenvalue of [[sxx, sxy], [sxy, syy]].
+  const float tr = 0.5f * (sxx + syy);
+  const float det = sxx * syy - sxy * sxy;
+  const float disc = std::sqrt(std::max(0.0f, tr * tr - det));
+  return tr - disc;
+}
+
+}  // namespace
 
 ImageF32 min_eigenvalue_map(const ImageF32& img, int block_size,
                             const KernelConfig& config) {
@@ -20,44 +51,27 @@ ImageF32 min_eigenvalue_map(const ImageF32& img, int block_size,
   const float* gxp = gx.pixels().data();
   const float* gyp = gy.pixels().data();
   float* dst = out.pixels().data();
+  const simd::SimdOps& ops = simd::ops_for(config);
+  const int x_interior_begin = std::min(radius, w);
+  const int x_interior_end = std::max(x_interior_begin, w - radius);
   parallel_rows(h, config, [&](int y0, int y1) {
     for (int y = y0; y < y1; ++y) {
+      float* drow = dst + static_cast<std::size_t>(y) * w;
       const bool row_interior = y >= radius && y < h - radius;
-      for (int x = 0; x < w; ++x) {
-        float sxx = 0.0f;
-        float sxy = 0.0f;
-        float syy = 0.0f;
-        if (row_interior && x >= radius && x < w - radius) {
-          // Interior: the block never clamps => raw row-pointer walks.
-          for (int dy = -radius; dy <= radius; ++dy) {
-            const std::size_t row = static_cast<std::size_t>(y + dy) * w;
-            for (int dx = -radius; dx <= radius; ++dx) {
-              const float ix = gxp[row + x + dx];
-              const float iy = gyp[row + x + dx];
-              sxx += ix * ix;
-              sxy += ix * iy;
-              syy += iy * iy;
-            }
-          }
-        } else {
-          for (int dy = -radius; dy <= radius; ++dy) {
-            const std::size_t row =
-                static_cast<std::size_t>(std::clamp(y + dy, 0, h - 1)) * w;
-            for (int dx = -radius; dx <= radius; ++dx) {
-              const std::size_t i = row + std::clamp(x + dx, 0, w - 1);
-              const float ix = gxp[i];
-              const float iy = gyp[i];
-              sxx += ix * ix;
-              sxy += ix * iy;
-              syy += iy * iy;
-            }
-          }
+      if (row_interior) {
+        // Interior: the block never clamps => dispatched row-pointer walks.
+        for (int x = 0; x < x_interior_begin; ++x) {
+          drow[x] = min_eig_clamped(gxp, gyp, w, h, x, y, radius);
         }
-        // Smaller eigenvalue of [[sxx, sxy], [sxy, syy]].
-        const float tr = 0.5f * (sxx + syy);
-        const float det = sxx * syy - sxy * sxy;
-        const float disc = std::sqrt(std::max(0.0f, tr * tr - det));
-        dst[static_cast<std::size_t>(y) * w + x] = tr - disc;
+        ops.min_eig_row(gxp, gyp, w, y, radius, dst, x_interior_begin,
+                        x_interior_end);
+        for (int x = x_interior_end; x < w; ++x) {
+          drow[x] = min_eig_clamped(gxp, gyp, w, h, x, y, radius);
+        }
+      } else {
+        for (int x = 0; x < w; ++x) {
+          drow[x] = min_eig_clamped(gxp, gyp, w, h, x, y, radius);
+        }
       }
     }
   });

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/scratch_arena.h"
+#include "vision/simd/dispatch.h"
 
 namespace adavp::vision {
 
@@ -25,11 +26,13 @@ float sample_bilinear_impl(const Image<T>& img, float x, float y) {
 }
 
 /// One row of the horizontal filter pass: `dst[x] = sum_k kernel[k] *
-/// src[clamp(x+k)] / norm`. Interior columns (where no clamp can fire) use
-/// raw unchecked indexing; the accumulation order matches the clamped loop
-/// exactly, so the split changes nothing but speed.
+/// src[clamp(x+k)] / norm`. Interior columns (where no clamp can fire) go
+/// through the dispatched SIMD tier (one lane per x, per-lane accumulation
+/// order identical to the clamped loop), so the split changes nothing but
+/// speed.
 void filter_row_horizontal(const float* src, float* dst, int w,
-                           const float* kernel, int radius, float norm) {
+                           const float* kernel, int radius, float norm,
+                           const simd::SimdOps& ops) {
   const int interior_begin = std::min(radius, w);
   const int interior_end = std::max(interior_begin, w - radius);
   for (int x = 0; x < interior_begin; ++x) {
@@ -39,13 +42,7 @@ void filter_row_horizontal(const float* src, float* dst, int w,
     }
     dst[x] = acc / norm;
   }
-  for (int x = interior_begin; x < interior_end; ++x) {
-    float acc = 0.0f;
-    for (int k = -radius; k <= radius; ++k) {
-      acc += kernel[k + radius] * src[x + k];
-    }
-    dst[x] = acc / norm;
-  }
+  ops.filter_row(src, dst, interior_begin, interior_end, kernel, radius, norm);
   for (int x = interior_end; x < w; ++x) {
     float acc = 0.0f;
     for (int k = -radius; k <= radius; ++k) {
@@ -62,6 +59,7 @@ ImageF32 separable(const ImageF32& img, const float* kernel, int radius,
                    float norm, const KernelConfig& config) {
   const int w = img.width();
   const int h = img.height();
+  const simd::SimdOps& ops = simd::ops_for(config);
   ImageF32 tmp(w, h);
   const float* src = img.pixels().data();
   float* mid = tmp.pixels().data();
@@ -69,7 +67,7 @@ ImageF32 separable(const ImageF32& img, const float* kernel, int radius,
     for (int y = y0; y < y1; ++y) {
       filter_row_horizontal(src + static_cast<std::size_t>(y) * w,
                             mid + static_cast<std::size_t>(y) * w, w, kernel,
-                            radius, norm);
+                            radius, norm, ops);
     }
   });
 
@@ -80,13 +78,8 @@ ImageF32 separable(const ImageF32& img, const float* kernel, int radius,
       float* drow = dst + static_cast<std::size_t>(y) * w;
       if (y >= radius && y < h - radius) {
         // Interior rows: the vertical window never clamps.
-        for (int x = 0; x < w; ++x) {
-          float acc = 0.0f;
-          for (int k = -radius; k <= radius; ++k) {
-            acc += kernel[k + radius] * mid[static_cast<std::size_t>(y + k) * w + x];
-          }
-          drow[x] = acc / norm;
-        }
+        ops.filter_col(mid + static_cast<std::size_t>(y) * w, w, drow, w,
+                       kernel, radius, norm);
       } else {
         for (int x = 0; x < w; ++x) {
           float acc = 0.0f;
@@ -177,6 +170,7 @@ void sobel(const ImageF32& img, ImageF32& grad_x, ImageF32& grad_y,
     gy[i] = ((bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr)) / 8.0f;
   };
 
+  const simd::SimdOps& ops = simd::ops_for(config);
   parallel_rows(h, config, [&](int y0, int y1) {
     for (int y = y0; y < y1; ++y) {
       if (y == 0 || y == h - 1 || w < 3) {
@@ -184,25 +178,15 @@ void sobel(const ImageF32& img, ImageF32& grad_x, ImageF32& grad_y,
         continue;
       }
       border_pixel_pair(0, y);
-      // Interior: three raw row pointers, no bounds checks. Same operand
-      // order as the clamped expression => identical floats.
+      // Interior: three raw row pointers, no bounds checks, dispatched to
+      // the SIMD tier. Same per-element operand order as the clamped
+      // expression => identical floats.
       const float* rm = src + static_cast<std::size_t>(y - 1) * w;
       const float* rc = src + static_cast<std::size_t>(y) * w;
       const float* rp = src + static_cast<std::size_t>(y + 1) * w;
       float* gxr = gx + static_cast<std::size_t>(y) * w;
       float* gyr = gy + static_cast<std::size_t>(y) * w;
-      for (int x = 1; x < w - 1; ++x) {
-        const float tl = rm[x - 1];
-        const float tc = rm[x];
-        const float tr = rm[x + 1];
-        const float ml = rc[x - 1];
-        const float mr = rc[x + 1];
-        const float bl = rp[x - 1];
-        const float bc = rp[x];
-        const float br = rp[x + 1];
-        gxr[x] = ((tr + 2.0f * mr + br) - (tl + 2.0f * ml + bl)) / 8.0f;
-        gyr[x] = ((bl + 2.0f * bc + br) - (tl + 2.0f * tc + tr)) / 8.0f;
-      }
+      ops.sobel_row(rm, rc, rp, gxr, gyr, w);
       border_pixel_pair(w - 1, y);
     }
   });
@@ -218,6 +202,10 @@ ImageF32 downsample2(const ImageF32& img, const KernelConfig& config) {
   const float* src = img.pixels().data();
   float* dst = out.pixels().data();
   static const float kKernel[3] = {1.0f, 2.0f, 1.0f};
+  const simd::SimdOps& ops = simd::ops_for(config);
+  // Columns where sx+1 never clamps; the rest (at most the last output
+  // column, odd widths) keeps the clamped scalar loop.
+  const int x_vec_end = std::min(w2, w / 2);
 
   parallel_rows(h2, config, [&](int oy0, int oy1) {
     // Rolling window of horizontally-filtered input rows. Consecutive
@@ -234,7 +222,7 @@ ImageF32 downsample2(const ImageF32& img, const KernelConfig& config) {
       const int s = r & 3;
       if (tags[s] != r) {
         filter_row_horizontal(src + static_cast<std::size_t>(r) * w, slots[s],
-                              w, kKernel, 1, 4.0f);
+                              w, kKernel, 1, 4.0f, ops);
         tags[s] = r;
       }
       return slots[s];
@@ -253,7 +241,8 @@ ImageF32 downsample2(const ImageF32& img, const KernelConfig& config) {
       const float* b2 = has_bot ? tmp_row(std::min(sy + 2, h - 1)) : tc;
 
       float* drow = dst + static_cast<std::size_t>(y) * w2;
-      for (int x = 0; x < w2; ++x) {
+      ops.downsample_row(ta, tb, tc, b0, b1, b2, drow, x_vec_end);
+      for (int x = x_vec_end; x < w2; ++x) {
         const int sx = 2 * x;
         const int sxp = std::min(sx + 1, w - 1);
         const float s00 = (ta[sx] + 2.0f * tb[sx] + tc[sx]) / 4.0f;

@@ -4,6 +4,7 @@
 
 #include "obs/telemetry.h"
 #include "util/thread_pool.h"
+#include "vision/simd/dispatch.h"
 
 namespace adavp::vision {
 
@@ -43,6 +44,12 @@ void parallel_points(int count, const KernelConfig& config,
 
 void publish_pool_metrics() {
   if (!obs::Telemetry::enabled()) return;
+  // ISA tier of the most recent kernel dispatch (scalar=0, sse2=1, avx2=2)
+  // — independent of the pool, which serial configs never start.
+  const int isa_code = simd::last_dispatched_code();
+  if (isa_code >= 0) {
+    obs::metrics().gauge("kernel", "isa").set(static_cast<double>(isa_code));
+  }
   const util::ThreadPool* pool = util::ThreadPool::shared_if_started();
   if (pool == nullptr) return;
   const util::ThreadPool::Stats s = pool->stats();

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "vision/simd/isa.h"
+
 namespace adavp::vision {
 
 /// Degree-of-parallelism knobs for the vision kernels (the "kernel
@@ -21,6 +23,13 @@ struct KernelConfig {
   int num_threads = 0;          ///< 0 = hardware concurrency, 1 = serial
   int min_rows_per_task = 32;   ///< row-parallel kernels: splitting grain
   int min_points_per_task = 1;  ///< LK: points per chunk (points are heavy)
+
+  /// Data-level parallelism tier (DESIGN.md §14). `kAuto` (default) lets
+  /// the runtime dispatcher pick: the `ADAVP_FORCE_ISA` env override if
+  /// set, else the best cpuid-detected tier. Any explicit choice is
+  /// clamped down to what the CPU and build support. Every tier is
+  /// bit-identical to `kScalar`, so this knob trades only speed.
+  simd::Isa isa = simd::Isa::kAuto;
 
   /// The actual thread budget this config resolves to on this machine.
   int resolved_threads() const;

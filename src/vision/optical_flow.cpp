@@ -5,6 +5,8 @@
 #include "obs/telemetry.h"
 #include "util/scratch_arena.h"
 #include "vision/image_ops.h"
+#include "vision/simd/dispatch.h"
+#include "vision/simd/kernels_ref.h"
 
 namespace adavp::vision {
 
@@ -24,33 +26,6 @@ inline void sample_gradient(const ImageF32& img, float x, float y, float& dx,
   dy = (sample_bilinear(img, x, y + 1.0f) - sample_bilinear(img, x, y - 1.0f)) * 0.5f;
 }
 
-/// Bilinear sample with no clamping. Precondition: 0 <= x < w-1 and
-/// 0 <= y < h-1, so all four taps are in bounds and truncation equals
-/// floor. Operand order matches `sample_bilinear` exactly => identical
-/// floats on interior coordinates.
-inline float bilinear_unchecked(const float* pix, int w, float x, float y) {
-  const int x0 = static_cast<int>(x);
-  const int y0 = static_cast<int>(y);
-  const float fx = x - static_cast<float>(x0);
-  const float fy = y - static_cast<float>(y0);
-  const float* p = pix + static_cast<std::size_t>(y0) * w + x0;
-  const float p00 = p[0];
-  const float p10 = p[1];
-  const float p01 = p[w];
-  const float p11 = p[w + 1];
-  const float top = p00 + fx * (p10 - p00);
-  const float bot = p01 + fx * (p11 - p01);
-  return top + fy * (bot - top);
-}
-
-inline void gradient_unchecked(const float* pix, int w, float x, float y,
-                               float& dx, float& dy) {
-  dx = (bilinear_unchecked(pix, w, x + 1.0f, y) -
-        bilinear_unchecked(pix, w, x - 1.0f, y)) * 0.5f;
-  dy = (bilinear_unchecked(pix, w, x, y + 1.0f) -
-        bilinear_unchecked(pix, w, x, y - 1.0f)) * 0.5f;
-}
-
 /// True when every bilinear tap within `margin` of (x, y) is strictly
 /// interior. Conservative by one extra pixel so float rounding in the
 /// callers' coordinate arithmetic can never escape the unchecked window.
@@ -63,14 +38,25 @@ inline bool window_interior(float x, float y, float margin, int w, int h) {
 /// Tracks one point through the pyramid. `kRadius >= 0` is the
 /// compile-time fixed-radius fast path (fully unrolled window loops for
 /// the default radius); `kRadius == -1` reads the radius from `params`.
-/// `ivals`/`ixs`/`iys` are caller-provided scratch of (2r+1)^2 floats.
+/// `ivals`/`ixs`/`iys`/`jvals` are caller-provided scratch of (2r+1)^2
+/// floats (32-byte aligned for the SIMD samplers).
+///
+/// Interior windows sample through `ops` (value + gradient arrays filled
+/// one lane per pixel, bit-identical floats to the scalar reference); the
+/// gxx/gxy/gyy and bx/by/residual reductions below always run scalar in
+/// raster order, so the accumulated sums are bit-identical across every
+/// ISA tier (DESIGN.md §14). Border windows keep the historical clamped
+/// loops verbatim.
 template <int kRadius>
 void track_point(const ImagePyramid& prev, const ImagePyramid& next, int levels,
-                 const LucasKanadeParams& params, const geometry::Point2f& p0,
-                 float* ivals, float* ixs, float* iys,
-                 geometry::Point2f& out_point, FlowStatus& out_status) {
+                 const LucasKanadeParams& params, const simd::SimdOps& ops,
+                 const geometry::Point2f& p0, float* ivals, float* ixs,
+                 float* iys, float* jvals, geometry::Point2f& out_point,
+                 FlowStatus& out_status) {
   const int r = kRadius >= 0 ? kRadius : params.window_radius;
   const float window_count = static_cast<float>((2 * r + 1) * (2 * r + 1));
+  const std::size_t window_pixels = static_cast<std::size_t>((2 * r + 1)) *
+                                    static_cast<std::size_t>(2 * r + 1);
 
   geometry::Point2f g{0.0f, 0.0f};  // flow guess carried across levels
   bool ok = true;
@@ -93,20 +79,13 @@ void track_point(const ImagePyramid& prev, const ImagePyramid& next, int levels,
     GradientWindow gw;
     std::size_t idx = 0;
     if (window_interior(p.x, p.y, static_cast<float>(r + 2), iw, ih)) {
-      for (int wy = -r; wy <= r; ++wy) {
-        for (int wx = -r; wx <= r; ++wx, ++idx) {
-          const float sx = p.x + static_cast<float>(wx);
-          const float sy = p.y + static_cast<float>(wy);
-          float ix = 0.0f;
-          float iy = 0.0f;
-          gradient_unchecked(ipix, iw, sx, sy, ix, iy);
-          ivals[idx] = bilinear_unchecked(ipix, iw, sx, sy);
-          ixs[idx] = ix;
-          iys[idx] = iy;
-          gw.gxx += ix * ix;
-          gw.gxy += ix * iy;
-          gw.gyy += iy * iy;
-        }
+      ops.lk_sample_window(ipix, iw, p.x, p.y, r, ivals, ixs, iys);
+      for (idx = 0; idx < window_pixels; ++idx) {
+        const float ix = ixs[idx];
+        const float iy = iys[idx];
+        gw.gxx += ix * ix;
+        gw.gxy += ix * iy;
+        gw.gyy += iy * iy;
       }
     } else {
       for (int wy = -r; wy <= r; ++wy) {
@@ -144,15 +123,12 @@ void track_point(const ImagePyramid& prev, const ImagePyramid& next, int levels,
       const float base_y = p.y + g.y + nu.y;
       idx = 0;
       if (window_interior(base_x, base_y, static_cast<float>(r + 1), jw, jh)) {
-        for (int wy = -r; wy <= r; ++wy) {
-          for (int wx = -r; wx <= r; ++wx, ++idx) {
-            const float jx = p.x + g.x + nu.x + static_cast<float>(wx);
-            const float jy = p.y + g.y + nu.y + static_cast<float>(wy);
-            const float diff = ivals[idx] - bilinear_unchecked(jpix, jw, jx, jy);
-            bx += diff * ixs[idx];
-            by += diff * iys[idx];
-            residual += std::abs(diff);
-          }
+        ops.lk_sample_patch(jpix, jw, base_x, base_y, r, jvals);
+        for (idx = 0; idx < window_pixels; ++idx) {
+          const float diff = ivals[idx] - jvals[idx];
+          bx += diff * ixs[idx];
+          by += diff * iys[idx];
+          residual += std::abs(diff);
         }
       } else {
         for (int wy = -r; wy <= r; ++wy) {
@@ -190,9 +166,9 @@ void track_point(const ImagePyramid& prev, const ImagePyramid& next, int levels,
 }
 
 using TrackPointFn = void (*)(const ImagePyramid&, const ImagePyramid&, int,
-                              const LucasKanadeParams&, const geometry::Point2f&,
-                              float*, float*, float*, geometry::Point2f&,
-                              FlowStatus&);
+                              const LucasKanadeParams&, const simd::SimdOps&,
+                              const geometry::Point2f&, float*, float*, float*,
+                              float*, geometry::Point2f&, FlowStatus&);
 
 TrackPointFn select_track_fn(int radius) {
   switch (radius) {
@@ -225,18 +201,21 @@ void calc_optical_flow_pyr_lk(const ImagePyramid& prev, const ImagePyramid& next
   const std::size_t window_count = static_cast<std::size_t>(
       (2 * params.window_radius + 1) * (2 * params.window_radius + 1));
   const TrackPointFn track = select_track_fn(params.window_radius);
+  const simd::SimdOps& ops = simd::ops_for(kernels);
 
   parallel_points(static_cast<int>(points.size()), kernels, [&](int i0, int i1) {
     // Per-thread gradient caches, reused across every point and level in
-    // the chunk — the hot loop never touches the heap.
+    // the chunk — the hot loop never touches the heap. 32-byte aligned so
+    // the AVX2 samplers store full vectors.
     util::ScratchArena& arena = util::ScratchArena::thread_local_arena();
     util::ScratchArena::Scope scope(arena);
-    float* ivals = arena.alloc<float>(window_count);
-    float* ixs = arena.alloc<float>(window_count);
-    float* iys = arena.alloc<float>(window_count);
+    float* ivals = arena.alloc_aligned<float>(window_count, 32);
+    float* ixs = arena.alloc_aligned<float>(window_count, 32);
+    float* iys = arena.alloc_aligned<float>(window_count, 32);
+    float* jvals = arena.alloc_aligned<float>(window_count, 32);
     for (int i = i0; i < i1; ++i) {
-      track(prev, next, levels, params, points[static_cast<std::size_t>(i)],
-            ivals, ixs, iys, out_points[static_cast<std::size_t>(i)],
+      track(prev, next, levels, params, ops, points[static_cast<std::size_t>(i)],
+            ivals, ixs, iys, jvals, out_points[static_cast<std::size_t>(i)],
             out_status[static_cast<std::size_t>(i)]);
     }
   });

@@ -1,0 +1,178 @@
+#include "vision/simd/dispatch.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "util/logging.h"
+#include "vision/kernel_config.h"
+
+namespace adavp::vision::simd {
+
+namespace {
+
+/// Probe the CPU once. On x86 the compiler builtin reads cpuid; elsewhere
+/// only the scalar reference exists.
+Isa probe_cpu() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (avx2_ops() != nullptr && __builtin_cpu_supports("avx2")) {
+    return Isa::kAvx2;
+  }
+  if (sse2_ops() != nullptr && __builtin_cpu_supports("sse2")) {
+    return Isa::kSse2;
+  }
+#endif
+  return Isa::kScalar;
+}
+
+struct EnvState {
+  Isa forced = Isa::kAuto;  ///< kAuto when ADAVP_FORCE_ISA is unset/invalid
+  bool present = false;
+};
+
+std::mutex g_env_mutex;
+EnvState g_env;
+bool g_env_loaded = false;
+std::atomic<bool> g_logged{false};
+std::atomic<int> g_last_code{-1};
+
+EnvState load_env() {
+  EnvState state;
+  const char* value = std::getenv("ADAVP_FORCE_ISA");
+  if (value == nullptr || *value == '\0') return state;
+  state.present = true;
+  Isa parsed = Isa::kAuto;
+  if (parse_isa(value, parsed) && parsed != Isa::kAuto) {
+    state.forced = parsed;
+  } else {
+    ADAVP_LOG_WARN << "vision/simd: ignoring unknown ADAVP_FORCE_ISA value \""
+                   << value << "\" (want scalar|sse2|avx2)";
+  }
+  return state;
+}
+
+EnvState env_state() {
+  std::lock_guard<std::mutex> lock(g_env_mutex);
+  if (!g_env_loaded) {
+    g_env = load_env();
+    g_env_loaded = true;
+  }
+  return g_env;
+}
+
+/// Clamp a requested tier to what this build + CPU can actually run.
+Isa clamp_supported(Isa requested, Isa detected) {
+  Isa isa = requested < detected ? requested : detected;
+  // Binary may lack a compiled tier even below the CPU's capability.
+  if (isa == Isa::kAvx2 && avx2_ops() == nullptr) isa = Isa::kSse2;
+  if (isa == Isa::kSse2 && sse2_ops() == nullptr) isa = Isa::kScalar;
+  return isa;
+}
+
+int code_of(Isa isa) {
+  switch (isa) {
+    case Isa::kSse2:
+      return 1;
+    case Isa::kAvx2:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kAuto:
+      return "auto";
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool parse_isa(const char* text, Isa& out) {
+  if (text == nullptr) return false;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "auto") {
+    out = Isa::kAuto;
+  } else if (lower == "scalar") {
+    out = Isa::kScalar;
+  } else if (lower == "sse2") {
+    out = Isa::kSse2;
+  } else if (lower == "avx2") {
+    out = Isa::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Isa detected_isa() {
+  static const Isa detected = probe_cpu();
+  return detected;
+}
+
+Isa resolve_isa(const KernelConfig& config) {
+  const Isa detected = detected_isa();
+  const char* source = "auto";
+  Isa requested = detected;
+  if (config.isa != Isa::kAuto) {
+    requested = config.isa;
+    source = "config";
+  } else {
+    const EnvState env = env_state();
+    if (env.forced != Isa::kAuto) {
+      requested = env.forced;
+      source = "env";
+    }
+  }
+  const Isa isa = clamp_supported(requested, detected);
+  g_last_code.store(code_of(isa), std::memory_order_relaxed);
+  if (!g_logged.exchange(true, std::memory_order_relaxed)) {
+    ADAVP_LOG_INFO << "vision/simd: dispatch isa=" << isa_name(isa)
+                   << " (detected=" << isa_name(detected) << ", source="
+                   << source << ")";
+  }
+  return isa;
+}
+
+const SimdOps& ops_for_isa(Isa isa) {
+  switch (clamp_supported(isa == Isa::kAuto ? detected_isa() : isa,
+                          detected_isa())) {
+    case Isa::kAvx2:
+      return *avx2_ops();
+    case Isa::kSse2:
+      return *sse2_ops();
+    default:
+      return *scalar_ops();
+  }
+}
+
+const SimdOps& ops_for(const KernelConfig& config) {
+  return ops_for_isa(resolve_isa(config));
+}
+
+int last_dispatched_code() {
+  return g_last_code.load(std::memory_order_relaxed);
+}
+
+void refresh_env_for_testing() {
+  std::lock_guard<std::mutex> lock(g_env_mutex);
+  g_env = load_env();
+  g_env_loaded = true;
+  g_logged.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace adavp::vision::simd

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "vision/simd/isa.h"
+#include "vision/simd/kernels.h"
+
+namespace adavp::vision {
+struct KernelConfig;
+}  // namespace adavp::vision
+
+namespace adavp::vision::simd {
+
+/// Best ISA tier this CPU supports (cpuid probe, cached after first call).
+/// Never returns kAuto; returns kScalar on non-x86 builds.
+Isa detected_isa();
+
+/// Resolves the tier a kernel call should use:
+///   1. `config.isa` when not kAuto (forced per-call, e.g. by tests);
+///   2. else the `ADAVP_FORCE_ISA` environment variable (scalar|sse2|avx2),
+///      read once and cached;
+///   3. else `detected_isa()`.
+/// Whatever the source, the result is clamped down to `detected_isa()` and
+/// to the tiers actually compiled in, so a forced AVX2 on an SSE2-only
+/// host (or a non-x86 build) degrades to the best supported tier instead
+/// of faulting. The first resolution logs a dispatch line.
+Isa resolve_isa(const KernelConfig& config);
+
+/// The kernel table for `resolve_isa(config)`. Always non-null.
+const SimdOps& ops_for(const KernelConfig& config);
+
+/// The kernel table for an explicit tier (clamped the same way).
+const SimdOps& ops_for_isa(Isa isa);
+
+/// Numeric gauge value of the most recently resolved tier for the
+/// `kernel.isa` metric (kScalar=0, kSse2=1, kAvx2=2), or -1 when no
+/// kernel has dispatched yet.
+int last_dispatched_code();
+
+/// Re-reads ADAVP_FORCE_ISA and clears the first-dispatch log latch.
+/// Testing hook only: the env value is otherwise cached for the process
+/// lifetime so the hot path never calls getenv.
+void refresh_env_for_testing();
+
+}  // namespace adavp::vision::simd

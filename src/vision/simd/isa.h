@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace adavp::vision::simd {
+
+/// Instruction-set tiers of the vision kernels, ordered weakest to
+/// strongest so "clamp a request down to what the CPU supports" is a
+/// simple min(). `kAuto` means "let the dispatcher decide" (cpuid probe,
+/// overridable via the `ADAVP_FORCE_ISA` environment variable); the other
+/// values force a specific tier — requests above the detected tier are
+/// clamped down, never trusted, so a forced `kAvx2` on a non-AVX2 host
+/// degrades cleanly instead of faulting.
+enum class Isa : std::uint8_t {
+  kAuto = 0,    ///< runtime choice: env override, else best detected
+  kScalar = 1,  ///< the reference path — bit-exact ground truth
+  kSse2 = 2,    ///< 4-wide rows (x86-64 baseline)
+  kAvx2 = 3,    ///< 8-wide rows + gathered LK sampling
+};
+
+/// Lower-case canonical name ("auto", "scalar", "sse2", "avx2").
+const char* isa_name(Isa isa);
+
+/// Parses an ISA name (case-insensitive). Returns false and leaves `out`
+/// untouched on unknown names.
+bool parse_isa(const char* text, Isa& out);
+
+}  // namespace adavp::vision::simd

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "detect/detection.h"
@@ -18,6 +21,7 @@
 #include "vision/image_ops.h"
 #include "vision/optical_flow.h"
 #include "vision/pyramid.h"
+#include "vision/simd/dispatch.h"
 
 namespace adavp::vision {
 namespace {
@@ -184,6 +188,144 @@ TEST(KernelEquivalence, TrackerOutputsAreIdenticalSerialVsParallel) {
     EXPECT_EQ(serial_boxes[i].box.height, parallel_boxes[i].box.height);
     EXPECT_EQ(serial_boxes[i].cls, parallel_boxes[i].cls);
   }
+}
+
+// ------------------------------------------------------- ISA matrix ----
+//
+// The SIMD tiers (DESIGN.md §14) promise bit-exactness with the scalar
+// reference, per ISA, per thread count, including every border/tail case:
+// odd widths, images narrower than one vector, windows straddling the
+// interior/clamped split. Tiers the host CPU (or the build) lacks are
+// skipped with a logged notice rather than failed, so the same test binary
+// is meaningful on any x86 or non-x86 machine.
+
+KernelConfig with_isa(KernelConfig base, simd::Isa isa) {
+  base.isa = isa;
+  return base;
+}
+
+/// True when forcing `isa` actually runs that tier (the dispatcher clamps
+/// unsupported requests down, which would make the comparison vacuous).
+bool tier_available(simd::Isa isa) {
+  return simd::ops_for_isa(isa).isa == isa;
+}
+
+const simd::Isa kSimdTiers[] = {simd::Isa::kSse2, simd::Isa::kAvx2};
+
+TEST(KernelIsaMatrix, RowKernelsMatchScalarBitForBit) {
+  // Widths chosen to hit: multiple full vectors + tail (131), exactly the
+  // SSE2 width (4), below every vector width (3), and a single column (1).
+  const std::pair<int, int> sizes[] = {
+      {128, 96}, {131, 77}, {33, 34}, {9, 31}, {4, 6}, {3, 3}, {1, 5}};
+  for (const simd::Isa isa : kSimdTiers) {
+    if (!tier_available(isa)) {
+      std::cout << "[ NOTICE  ] tier " << simd::isa_name(isa)
+                << " unavailable on this host/build; skipping\n";
+      continue;
+    }
+    for (const KernelConfig& threads : {serial(), parallel4()}) {
+      const KernelConfig ref = with_isa(serial(), simd::Isa::kScalar);
+      const KernelConfig tier = with_isa(threads, isa);
+      for (const auto& [w, h] : sizes) {
+        SCOPED_TRACE(std::string(simd::isa_name(isa)) + " " +
+                     std::to_string(threads.num_threads) + "t " +
+                     std::to_string(w) + "x" + std::to_string(h));
+        const ImageF32 img = to_float(test_frame(w, h, 5u));
+        expect_identical(smooth3(img, ref), smooth3(img, tier));
+        expect_identical(smooth5(img, ref), smooth5(img, tier));
+        expect_identical(downsample2(img, ref), downsample2(img, tier));
+
+        ImageF32 gxs, gys, gxv, gyv;
+        sobel(img, gxs, gys, ref);
+        sobel(img, gxv, gyv, tier);
+        expect_identical(gxs, gxv);
+        expect_identical(gys, gyv);
+
+        expect_identical(min_eigenvalue_map(img, 3, ref),
+                         min_eigenvalue_map(img, 3, tier));
+      }
+    }
+  }
+}
+
+TEST(KernelIsaMatrix, OpticalFlowMatchesScalarBitForBit) {
+  const ImageU8 a = test_frame(160, 120, 31);
+  ImageU8 b = test_frame(160, 120, 31);
+  for (int y = 30; y < 70; ++y) {
+    for (int x = 30; x < 70; ++x) {
+      b.at(x + 2, y + 3) = a.at(x, y);
+    }
+  }
+  // Interior grid plus window positions that straddle or cross the image
+  // border — those take the clamped path on every tier, the rest exercise
+  // the gathered samplers.
+  std::vector<geometry::Point2f> pts;
+  for (int i = 0; i < 24; ++i) {
+    pts.push_back({12.0f + static_cast<float>(i % 6) * 26.0f,
+                   14.0f + static_cast<float>(i / 6) * 24.0f});
+  }
+  pts.push_back({1.0f, 1.0f});
+  pts.push_back({158.0f, 2.0f});
+  pts.push_back({9.5f, 110.7f});   // near the interior/clamped boundary
+  pts.push_back({159.0f, 119.0f});
+
+  // Default radius 7 (unrolled fast path) and 4 (generic-radius path).
+  LucasKanadeParams params_list[2];
+  params_list[1].window_radius = 4;
+
+  const KernelConfig ref = with_isa(serial(), simd::Isa::kScalar);
+  const ImagePyramid pa(a, 3, 16, ref);
+  const ImagePyramid pb(b, 3, 16, ref);
+  for (const simd::Isa isa : kSimdTiers) {
+    if (!tier_available(isa)) {
+      std::cout << "[ NOTICE  ] tier " << simd::isa_name(isa)
+                << " unavailable on this host/build; skipping\n";
+      continue;
+    }
+    for (const KernelConfig& threads : {serial(), parallel4()}) {
+      for (const LucasKanadeParams& params : params_list) {
+        SCOPED_TRACE(std::string(simd::isa_name(isa)) + " " +
+                     std::to_string(threads.num_threads) + "t r=" +
+                     std::to_string(params.window_radius));
+        std::vector<geometry::Point2f> out_s, out_v;
+        std::vector<FlowStatus> st_s, st_v;
+        calc_optical_flow_pyr_lk(pa, pb, pts, out_s, st_s, params, ref);
+        calc_optical_flow_pyr_lk(pa, pb, pts, out_v, st_v, params,
+                                 with_isa(threads, isa));
+        ASSERT_EQ(out_s.size(), out_v.size());
+        for (std::size_t i = 0; i < out_s.size(); ++i) {
+          EXPECT_EQ(out_s[i].x, out_v[i].x) << "point " << i;
+          EXPECT_EQ(out_s[i].y, out_v[i].y) << "point " << i;
+          EXPECT_EQ(st_s[i].tracked, st_v[i].tracked) << "point " << i;
+          EXPECT_EQ(st_s[i].error, st_v[i].error) << "point " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelIsaMatrix, EnvOverrideForcesTierAndAutoRestores) {
+  ASSERT_EQ(setenv("ADAVP_FORCE_ISA", "scalar", 1), 0);
+  simd::refresh_env_for_testing();
+  EXPECT_EQ(simd::resolve_isa(KernelConfig{}), simd::Isa::kScalar);
+  // An explicit config.isa outranks the environment.
+  EXPECT_EQ(simd::resolve_isa(with_isa(KernelConfig{}, simd::detected_isa())),
+            simd::detected_isa());
+  ASSERT_EQ(unsetenv("ADAVP_FORCE_ISA"), 0);
+  simd::refresh_env_for_testing();
+  EXPECT_EQ(simd::resolve_isa(KernelConfig{}), simd::detected_isa());
+}
+
+TEST(KernelIsaMatrix, ForcedTiersClampToHostSupport) {
+  // Requesting more than the host/build supports must degrade, not fault.
+  const simd::Isa detected = simd::detected_isa();
+  EXPECT_LE(simd::resolve_isa(with_isa(KernelConfig{}, simd::Isa::kAvx2)),
+            detected);
+  EXPECT_LE(simd::ops_for_isa(simd::Isa::kAvx2).isa, detected);
+  // The scalar tier always exists and is always honored.
+  EXPECT_EQ(simd::resolve_isa(with_isa(KernelConfig{}, simd::Isa::kScalar)),
+            simd::Isa::kScalar);
+  EXPECT_EQ(simd::ops_for_isa(simd::Isa::kScalar).isa, simd::Isa::kScalar);
 }
 
 TEST(KernelEquivalence, TrackerReusesPyramidForRepeatedReferenceFrame) {

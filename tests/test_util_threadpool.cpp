@@ -175,6 +175,34 @@ TEST(ScratchArena, ScopeRewindReusesMemory) {
   EXPECT_EQ(arena.capacity(), cap);  // steady state: no further growth
 }
 
+TEST(ScratchArena, AllocAlignedHonorsOveralignment) {
+  ScratchArena arena(256);
+  // Perturb the cursor so a naive bump would land misaligned.
+  arena.alloc<char>(3);
+  for (const std::size_t align : {16u, 32u, 64u}) {
+    float* p = arena.alloc_aligned<float>(9, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+    arena.alloc<char>(1);  // re-perturb before the next request
+  }
+  // Alignment below alignof(T) is promoted, never demoted.
+  double* d = arena.alloc_aligned<double>(2, 1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(ScratchArena, AllocAlignedPointersSurviveGrowth) {
+  // The stable-pointer guarantee must hold for over-aligned allocations
+  // too: growing chains a new block, it never moves old ones.
+  ScratchArena arena(64);
+  float* v = arena.alloc_aligned<float>(8, 32);
+  for (int i = 0; i < 8; ++i) v[i] = static_cast<float>(i);
+  for (int i = 0; i < 16; ++i) arena.alloc_aligned<float>(64, 32);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(v[i], static_cast<float>(i));
+  }
+}
+
 TEST(ScratchArena, ThreadLocalArenasAreIndependent) {
   ScratchArena& mine = ScratchArena::thread_local_arena();
   ScratchArena* theirs = nullptr;
