@@ -12,6 +12,7 @@
 //
 //   ./bench_fleet [--frames=300] [--cadence=500] [--deadline=1000]
 //                 [--smoke] [--out=BENCH_FLEET.json]
+//   ./bench_fleet --chaos-smoke [--out=BENCH_FLEET.chaos.json]
 //
 // Writes BENCH_FLEET.json: one sweep row per N (aggregate fps, per-stream
 // result-latency p50/p99, deadline-miss rate, admission decisions, GPU
@@ -22,6 +23,15 @@
 //   p99_latency_ratio  = worst fleet per-stream p99 / that stream's solo
 //                        p99 at N=8 (must be <= 2: sharing must not wreck
 //                        any single stream's latency)
+//
+// --chaos-smoke instead runs one supervised 6-stream fleet under the chaos
+// fault mix from tests/test_fleet_chaos.cpp (gpu: hangs + a stream: crash)
+// against the same fleet all-healthy, and writes BENCH_FLEET.chaos.json:
+//   chaos_recovery_fps_ratio = crashed stream's served-frame rate under
+//                              chaos / all-healthy (must be >= 0.5: the
+//                              supervisor recovers most of the stream's
+//                              throughput, it does not just shed it)
+//   time_to_readmit_ms       = re-admission grant - first quarantine
 
 #include <algorithm>
 #include <fstream>
@@ -32,6 +42,7 @@
 #include "core/fleet.h"
 #include "detect/model_setting.h"
 #include "util/args.h"
+#include "util/fault_plan.h"
 #include "util/table.h"
 #include "video/scene.h"
 
@@ -142,10 +153,126 @@ void emit_row_json(std::ofstream& json, const SweepRow& r) {
        << "}}";
 }
 
+// --- chaos smoke: fleet supervision under fault injection ----------------
+
+/// Served-frame rate of one stream: results delivered per second of its
+/// pipeline timeline (frames the stream never served — kNone — don't count,
+/// which is exactly what a broken recovery would leave behind).
+double served_fps(const core::FleetStreamResult& s) {
+  if (s.run.timeline_ms <= 0.0) return 0.0;
+  std::uint64_t served = 0;
+  for (const core::FrameResult& f : s.run.frames) {
+    if (f.source != core::ResultSource::kNone) ++served;
+  }
+  return static_cast<double>(served) * 1000.0 / s.run.timeline_ms;
+}
+
+int run_chaos_smoke(const std::string& out_path) {
+  // The chaos soak's TDMA fleet (tests/test_fleet_chaos.cpp): 6 tiny-model
+  // streams on a 600 ms cadence in 100 ms stagger slots, gpu: hangs on the
+  // shared GPU and a deterministic mid-run crash on stream 2.
+  constexpr int kStreams = 6;
+  constexpr int kFrames = 300;
+  constexpr int kCrashed = 2;
+  constexpr double kInterval = 1000.0 / 30.0;
+  const auto crash =
+      util::FaultPlan::parse("stream: crash at=60; wedge at=130 ms=20", 0xC0A5);
+  const auto gpu = util::FaultPlan::parse("gpu: hang p=0.015", 0xBEE5);
+  if (!crash.has_value() || !gpu.has_value()) {
+    std::cerr << "chaos fault plan failed to parse\n";
+    return 1;
+  }
+
+  auto make_fleet = [&](const util::FaultPlan* stream_plan) {
+    std::vector<core::FleetStreamOptions> streams(kStreams);
+    for (int i = 0; i < kStreams; ++i) {
+      auto& s = streams[static_cast<std::size_t>(i)];
+      s.scene.name = "bench_fleet_chaos";
+      s.scene.width = 128;
+      s.scene.height = 96;
+      s.scene.frame_count = kFrames;
+      s.scene.initial_objects = 3;
+      s.scene.seed = static_cast<std::uint64_t>(400 + i);
+      s.engine.seed = static_cast<std::uint64_t>(9100 + i);
+      s.setting = detect::ModelSetting::kYolov3Tiny_320;
+      s.cadence_ms = 18.0 * kInterval;
+      s.deadline_ms = 900.0;
+    }
+    if (stream_plan != nullptr) {
+      streams[kCrashed].engine.fault_plan = stream_plan;
+    }
+    return streams;
+  };
+  core::FleetOptions options;
+  options.gpu.max_batch = 4;
+  options.stagger_ms = 3.0 * kInterval;
+  options.supervisor.enabled = true;
+
+  core::FleetOptions chaos_options = options;
+  chaos_options.fault_plan = &*gpu;
+  const core::FleetResult healthy = core::run_fleet(make_fleet(nullptr), options);
+  const core::FleetResult chaos =
+      core::run_fleet(make_fleet(&*crash), chaos_options);
+
+  const core::FleetStreamResult& crashed =
+      chaos.streams[static_cast<std::size_t>(kCrashed)];
+  const core::StreamSupervisionStats& sv = crashed.supervision;
+  const double healthy_fps =
+      served_fps(healthy.streams[static_cast<std::size_t>(kCrashed)]);
+  const double recovery_ratio =
+      healthy_fps > 0.0 ? served_fps(crashed) / healthy_fps : 0.0;
+  const double time_to_readmit =
+      (sv.readmitted_at_ms >= 0.0 && sv.first_quarantined_at_ms >= 0.0)
+          ? sv.readmitted_at_ms - sv.first_quarantined_at_ms
+          : -1.0;
+
+  std::cout << "==== bench_fleet --chaos-smoke ====\n"
+            << "fleet status: " << chaos.status.to_string() << "\n"
+            << "crashed stream: " << sv.crashes << " crashes, " << sv.restarts
+            << " restarts, " << sv.probes << " probes, backoff "
+            << util::fmt(sv.backoff_total_ms, 0) << " ms\n"
+            << "gpu watchdog: " << chaos.gpu.hangs << " hangs, "
+            << chaos.gpu.retries << " retries, "
+            << util::fmt(chaos.gpu.recovery_ms, 0) << " ms recovery\n"
+            << "gate: chaos_recovery_fps_ratio = "
+            << util::fmt(recovery_ratio, 3)
+            << " (want >= 0.5), time_to_readmit_ms = "
+            << util::fmt(time_to_readmit, 0) << "\n";
+  if (chaos.status.failed()) {
+    std::cerr << "chaos fleet did not survive: " << chaos.status.to_string()
+              << "\n";
+    return 1;
+  }
+
+  std::ofstream json(out_path);
+  json << "{\"smoke\":true,\"chaos\":true,\"scene\":{\"width\":128,"
+       << "\"height\":96,\"frames\":" << kFrames
+       << "},\"fleet\":{\"streams\":" << kStreams
+       << ",\"quarantined\":" << chaos.quarantined
+       << ",\"readmitted\":" << chaos.readmitted
+       << ",\"aggregate_fps\":" << chaos.aggregate_fps
+       << ",\"makespan_ms\":" << chaos.makespan_ms
+       << "},\"supervision\":{\"crashes\":" << sv.crashes
+       << ",\"restarts\":" << sv.restarts << ",\"probes\":" << sv.probes
+       << ",\"backoff_total_ms\":" << sv.backoff_total_ms
+       << ",\"stream_faults\":" << sv.stream_faults
+       << "},\"gpu\":{\"hangs\":" << chaos.gpu.hangs
+       << ",\"retries\":" << chaos.gpu.retries
+       << ",\"failed_dispatches\":" << chaos.gpu.failed_dispatches
+       << ",\"recovery_ms\":" << chaos.gpu.recovery_ms
+       << "},\"gate\":{\"chaos_recovery_fps_ratio\":" << recovery_ratio
+       << ",\"time_to_readmit_ms\":" << time_to_readmit << "}}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  if (args.has("chaos-smoke")) {
+    return run_chaos_smoke(args.get("out", "BENCH_FLEET.chaos.json"));
+  }
   const bool smoke = args.has("smoke");
   const int frames = args.get_int("frames", smoke ? 90 : 300);
   const double cadence_ms = args.get_double("cadence", 500.0);

@@ -47,6 +47,11 @@ GUARDS = [
     # result latency by more than 2x over running that stream alone.
     ("gate.fleet_fps_speedup", ">=", 4.0),
     ("gate.p99_latency_ratio", "<=", 2.0),
+    # Fleet supervision (BENCH_FLEET.chaos.json, DESIGN.md §15): under the
+    # chaos fault mix the crashed stream must recover at least half of its
+    # all-healthy served-frame rate — the supervisor re-admits and resumes
+    # the stream instead of shedding it.
+    ("gate.chaos_recovery_fps_ratio", ">=", 0.5),
     # SIMD tiers (BENCH_KERNELS.json, DESIGN.md §14): on AVX2 hosts the
     # vectorized pyramid build and LK flow must clear 1.5x over the scalar
     # reference at one thread. bench_kernels omits the gate block on hosts
@@ -78,6 +83,8 @@ DIRECTION = {
     "speedup": 1,
     "fleet_fps_speedup": 1,
     "p99_latency_ratio": -1,
+    "chaos_recovery_fps_ratio": 1,
+    "time_to_readmit_ms": -1,
     "worst_p99_ms": -1,
     "deadline_miss_rate": -1,
     "avx2_pyramid_speedup": 1,
@@ -95,6 +102,7 @@ SCALE_INVARIANT = {
     "re_renders",
     "fleet_fps_speedup",
     "p99_latency_ratio",
+    "chaos_recovery_fps_ratio",
     "deadline_miss_rate",
     "speedup",
     "avx2_pyramid_speedup",

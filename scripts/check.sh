@@ -8,12 +8,14 @@
 #                                # engine-equivalence determinism suites)
 #   scripts/check.sh debug
 #   scripts/check.sh --soak      # TSan build + the seeded fault soak only
+#   scripts/check.sh --chaos     # TSan build + the fleet chaos soak only
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
 
 preset="${1:-release}"
 soak_only=0
+label="soak"
 if [ "$preset" = "--soak" ]; then
   # Fault-tolerance gate (docs/ROBUSTNESS.md): run the seeded fault soak
   # under ThreadSanitizer. The soak drives the supervised realtime pipeline
@@ -21,6 +23,14 @@ if [ "$preset" = "--soak" ]; then
   # a frame result.
   preset="tsan"
   soak_only=1
+elif [ "$preset" = "--chaos" ]; then
+  # Fleet supervision gate (docs/ROBUSTNESS.md, DESIGN.md §15): the fleet
+  # chaos soak under ThreadSanitizer — gpu: hangs plus a stream: crash
+  # against a supervised fleet, asserting quarantine -> backoff ->
+  # re-admission, repeat determinism, and healthy-stream digest isolation.
+  preset="tsan"
+  soak_only=1
+  label="chaos"
 fi
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
@@ -34,8 +44,8 @@ echo "==> build"
 cmake --build --preset "$preset" -j "$jobs"
 
 if [ "$soak_only" = "1" ]; then
-  echo "==> ctest (soak label, TSan)"
-  ctest --test-dir build-tsan -L soak --output-on-failure -j "$jobs"
+  echo "==> ctest ($label label, TSan)"
+  ctest --test-dir build-tsan -L "$label" --output-on-failure -j "$jobs"
 else
   echo "==> ctest"
   ctest --preset "$preset" -j "$jobs"
@@ -60,6 +70,15 @@ if [ "$preset" = "release" ]; then
   echo "==> bench_gate (fleet)"
   python3 scripts/bench_gate.py build/BENCH_FLEET.smoke.json \
     ${BENCH_FLEET_BASELINE:+--baseline "$BENCH_FLEET_BASELINE"}
+
+  # Fleet supervision gate (DESIGN.md §15): the chaos smoke's crashed
+  # stream must recover >= 0.5x of its all-healthy served-frame rate
+  # through quarantine -> backoff -> re-admission.
+  echo "==> bench_fleet --chaos-smoke"
+  ./build/bench/bench_fleet --chaos-smoke --out=build/BENCH_FLEET.chaos.json
+  echo "==> bench_gate (fleet chaos)"
+  python3 scripts/bench_gate.py build/BENCH_FLEET.chaos.json \
+    ${BENCH_FLEET_CHAOS_BASELINE:+--baseline "$BENCH_FLEET_CHAOS_BASELINE"}
 
   # SIMD tier gate (DESIGN.md §14): sweeps every compiled ISA tier (the
   # "dispatched isa:" line shows what this host resolves to) and enforces

@@ -60,6 +60,17 @@ bool DegradationLadder::on_success() {
   return true;
 }
 
+void DegradationLadder::reset_to(int level) {
+  level = std::clamp(level, 0, kFloorLevel);
+  if (level > level_) ++steps_down_;
+  level_ = level;
+  consecutive_overruns_ = 0;
+  consecutive_successes_ = 0;
+  coast_cycles_since_probe_ = 0;
+  probe_backoff_ = options_.probe_backoff_start;
+  max_level_seen_ = std::max(max_level_seen_, level_);
+}
+
 bool DegradationLadder::should_probe() {
   if (!tracker_only()) return false;
   if (++coast_cycles_since_probe_ < probe_backoff_) return false;

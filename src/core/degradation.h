@@ -65,6 +65,14 @@ class DegradationLadder {
   /// cycle should attempt a recovery probe. Always false off the floor.
   bool should_probe();
 
+  /// Forces the ladder to `level` (clamped to [0, kFloorLevel]) and resets
+  /// the hysteresis counters and probe backoff — the fleet supervisor's
+  /// re-admission hook: a recovering stream rejoins at a degraded level
+  /// and must earn its way back up through on_success, exactly as if it
+  /// had degraded there itself. Counts as a step down when `level` is
+  /// below the current one (mirrored into steps_down / max_level_seen).
+  void reset_to(int level);
+
   // Introspection (mirrored into RealtimeStats / obs by the supervisor).
   int steps_down() const { return steps_down_; }
   int steps_up() const { return steps_up_; }

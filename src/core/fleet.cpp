@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/supervisor.h"
 #include "detect/calibration.h"
 #include "detect/latency_model.h"
 #include "energy/power_model.h"
@@ -23,9 +24,20 @@ std::string_view admission_decision_name(AdmissionDecision decision) {
 
 // ------------------------------------------------------------- FleetGpu
 
-FleetGpu::FleetGpu(GpuOptions options, int stream_count)
-    : options_(std::move(options)), stream_count_(stream_count) {
+FleetGpu::FleetGpu(GpuOptions options, int stream_count,
+                   util::FaultChannel gpu_faults)
+    : options_(std::move(options)),
+      stream_count_(stream_count),
+      gpu_faults_(std::move(gpu_faults)) {
   options_.max_batch = std::max(1, options_.max_batch);
+  options_.retry_budget = std::max(0, options_.retry_budget);
+}
+
+void FleetGpu::set_admission_ledger(double capacity, double used) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  initial_used_ = used;
+  ledger_armed_ = true;
 }
 
 FleetGpu::Grant FleetGpu::submit(Request request) {
@@ -38,7 +50,26 @@ FleetGpu::Grant FleetGpu::submit(Request request) {
   return waiter.grant;
 }
 
-void FleetGpu::finished(int /*stream*/) {
+FleetGpu::ProbeResult FleetGpu::probe(int stream, double at_ms,
+                                      double want_duty) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ProbeWaiter waiter;
+  waiter.stream = stream;
+  waiter.at_ms = at_ms;
+  waiter.want_duty = want_duty;
+  probes_.push_back(&waiter);
+  ++waiting_;
+  maybe_dispatch_locked();
+  cv_.wait(lock, [&] { return waiter.resolved; });
+  return waiter.result;
+}
+
+void FleetGpu::release_duty(double at_ms, double duty) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  duty_events_.push_back({at_ms, -duty});
+}
+
+void FleetGpu::finished(int /*stream*/, double /*at_ms*/) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++finished_;
   maybe_dispatch_locked();
@@ -49,25 +80,85 @@ FleetGpuStats FleetGpu::stats() const {
   return stats_;
 }
 
+double FleetGpu::used_at_locked(double t) const {
+  constexpr double kEps = 1e-9;
+  double used = initial_used_;
+  for (const DutyEvent& event : duty_events_) {
+    if (event.at_ms <= t + kEps) used += event.delta;
+  }
+  return used;
+}
+
 void FleetGpu::maybe_dispatch_locked() {
   // Conservative discrete-event simulation: compose a batch only when
-  // every participating stream is parked here (ungranted) or finished.
-  // At that instant the pending set is complete — no stream can still
-  // produce a request with an earlier virtual submit time — so everything
-  // below is a pure function of virtual times, independent of how the OS
-  // interleaved the threads. This is what makes fleet runs bit-identical
-  // for a fixed seed (pinned by tests/test_fleet_soak.cpp under TSan).
-  if (pending_.empty()) return;
+  // every participating stream is parked here (ungranted request or
+  // unresolved probe) or finished. At that instant the pending set is
+  // complete — no stream can still produce an event with an earlier
+  // virtual time — so everything below is a pure function of virtual
+  // times, independent of how the OS interleaved the threads. This is
+  // what makes fleet runs bit-identical for a fixed seed (pinned by
+  // tests/test_fleet_soak.cpp and test_fleet_chaos.cpp under TSan).
+  if (pending_.empty() && probes_.empty()) return;
   if (waiting_ + finished_ < stream_count_) return;
+  constexpr double kEps = 1e-9;
+
+  // Earliest pending probe (ties by stream id). A probe is resolved only
+  // when its time is <= the start of any dispatchable batch: every other
+  // stream is then parked with an event at or after the probe time, and a
+  // stream's future duty events can only trail its current one — so the
+  // duty ledger the probe reads is provably complete below its timestamp.
+  ProbeWaiter* probe = nullptr;
+  for (ProbeWaiter* p : probes_) {
+    if (probe == nullptr || p->at_ms < probe->at_ms ||
+        (p->at_ms == probe->at_ms && p->stream < probe->stream)) {
+      probe = p;
+    }
+  }
+  auto resolve_probe = [&](ProbeWaiter* p) {
+    const double avail =
+        ledger_armed_ ? capacity_ - used_at_locked(p->at_ms) : 0.0;
+    p->result.at_ms = p->at_ms;
+    p->result.available = avail;
+    p->result.admitted = ledger_armed_ && avail + kEps >= p->want_duty;
+    if (p->result.admitted) {
+      duty_events_.push_back({p->at_ms, p->want_duty});
+      ++stats_.probe_grants;
+    }
+    ++stats_.probes;
+    if (obs::Telemetry::enabled()) {
+      obs::ScopedMetricPrefix unprefixed("");
+      obs::MetricsRegistry& reg = obs::metrics();
+      reg.counter("fleet", "admission.probes").add();
+      if (p->result.admitted) {
+        reg.counter("fleet", "admission.probe_grants").add();
+      }
+    }
+    p->resolved = true;
+    --waiting_;
+    probes_.erase(std::find(probes_.begin(), probes_.end(), p));
+    cv_.notify_all();
+  };
+  if (pending_.empty()) {
+    resolve_probe(probe);
+    return;
+  }
 
   double arrival = pending_.front()->request.submit_ms;
   for (const Waiter* w : pending_) {
     arrival = std::min(arrival, w->request.submit_ms);
   }
   const double start = std::max(gpu_free_ms_, arrival);
+  // A probe at or before the batch start must resolve first: once it
+  // does, its stream may produce a request early enough to belong to this
+  // very batch, so dispatching now would break completeness. Probe times
+  // strictly increase per stream (re-probes back off, admitted streams
+  // submit at or after the grant), so this converges — no livelock.
+  if (probe != nullptr && probe->at_ms <= start + kEps) {
+    resolve_probe(probe);
+    return;
+  }
   // A request submitted after `start` exists in *our* (wall) time but not
   // yet in virtual time — it cannot join a batch that starts before it.
-  constexpr double kEps = 1e-9;
   auto eligible = [&](const Waiter* w) {
     return w->request.submit_ms <= start + kEps;
   };
@@ -119,7 +210,58 @@ void FleetGpu::maybe_dispatch_locked() {
     sum_solo += w->request.solo_ms;
   }
   const double service = max_solo * detect::LatencyModel::batch_scale(k);
+
+  // --- gpu: fault channel, keyed by dispatch index -----------------------
+  // hang n=K: the watchdog cancels K consecutive hung attempts at
+  // hang_budget_ms each before a retry lands. wedge: the GPU never comes
+  // back within the retry budget. drop n=K: K attempts run to completion
+  // but their results are lost. When the bad attempts exhaust
+  // 1 + retry_budget the dispatch fails: members get no result this cycle.
+  int hang_attempts = 0;
+  int drops = 0;
+  if (!gpu_faults_.empty()) {
+    for (const util::FaultDecision& d :
+         gpu_faults_.decide(static_cast<int>(dispatch_seq_))) {
+      switch (d.kind) {
+        case util::FaultKind::kHang:
+          hang_attempts += std::max(1, static_cast<int>(d.magnitude));
+          break;
+        case util::FaultKind::kWedge:
+          hang_attempts += options_.retry_budget + 1;
+          break;
+        case util::FaultKind::kDrop:
+          drops += std::max(1, static_cast<int>(d.magnitude));
+          break;
+        default:
+          break;  // other kinds do not apply to the gpu channel
+      }
+    }
+  }
+  ++dispatch_seq_;
+  const int attempts_allowed = 1 + options_.retry_budget;
+  const int bad = hang_attempts + drops;
+  const bool dispatch_failed = bad >= attempts_allowed;
+  const int billed_hangs = std::min(hang_attempts, attempts_allowed);
+  const int billed_drops =
+      std::min(drops, attempts_allowed - billed_hangs);
+  const int retries = std::min(bad, attempts_allowed - 1);
+  // Watchdog billing: every cancelled attempt costs one budget, every
+  // dropped attempt a full service — charged to the batch members'
+  // completion times (and, via service_share, their energy), never to the
+  // shared schedule.
+  const double recovery =
+      static_cast<double>(billed_hangs) * options_.hang_budget_ms +
+      static_cast<double>(billed_drops) * service;
+
+  // Recovery lane: gpu_free advances by the *un-faulted* service only.
+  // Modeling choice (DESIGN.md §15): retry work runs on a lane that the
+  // healthy schedule never sees, the honest generalization of PR 7's
+  // GPU-time-neutral-faults contract — a hang delays its own victims but
+  // leaves every other stream's dispatch times bit-identical to an
+  // all-healthy fleet, which is what makes digest isolation provable.
   const double complete = start + service;
+  const double member_complete =
+      start + recovery + (dispatch_failed ? 0.0 : service);
   gpu_free_ms_ = complete;
 
   stats_.requests += static_cast<std::uint64_t>(k);
@@ -127,6 +269,10 @@ void FleetGpu::maybe_dispatch_locked() {
   stats_.max_batch_seen = std::max(stats_.max_batch_seen, k);
   stats_.busy_ms += service;
   stats_.amortization_saved_ms += std::max(0.0, sum_solo - service);
+  stats_.hangs += static_cast<std::uint64_t>(billed_hangs);
+  stats_.retries += static_cast<std::uint64_t>(retries);
+  stats_.recovery_ms += recovery;
+  if (dispatch_failed) ++stats_.failed_dispatches;
   if (obs::Telemetry::enabled()) {
     // Fleet-aggregate instruments, resolved per dispatch on whatever
     // stream thread got here: bypass the thread's stream prefix so all
@@ -137,14 +283,32 @@ void FleetGpu::maybe_dispatch_locked() {
         .record(static_cast<double>(k));
     reg.latency_histogram("fleet", "batch_service_ms").record(service);
     reg.counter("fleet", "batches").add();
+    if (billed_hangs > 0) {
+      reg.counter("fleet", "gpu.hangs")
+          .add(static_cast<std::uint64_t>(billed_hangs));
+    }
+    if (retries > 0) {
+      reg.counter("fleet", "gpu.retries")
+          .add(static_cast<std::uint64_t>(retries));
+    }
+    if (dispatch_failed) reg.counter("fleet", "gpu.failed_dispatches").add();
+  }
+  if (bad > 0) {
+    obs::flight_instant("gpu_hang", "fleet",
+                        static_cast<std::int64_t>(dispatch_seq_ - 1),
+                        "dispatch");
   }
 
+  const double billed_service = dispatch_failed ? recovery : service + recovery;
   for (Waiter* w : batch) {
     w->grant.start_ms = start;
-    w->grant.complete_ms = complete;
+    w->grant.complete_ms = member_complete;
     w->grant.batch_size = k;
-    w->grant.service_share_ms = service / static_cast<double>(k);
+    w->grant.service_share_ms = billed_service / static_cast<double>(k);
     w->grant.queue_wait_ms = start - w->request.submit_ms;
+    w->grant.hangs = billed_hangs;
+    w->grant.retries = retries;
+    w->grant.failed = dispatch_failed;
     w->granted = true;
     --waiting_;
     pending_.erase(std::find(pending_.begin(), pending_.end(), w));
@@ -154,11 +318,15 @@ void FleetGpu::maybe_dispatch_locked() {
 
 // ------------------------------------------------------------ admission
 
+double admission_duty(detect::ModelSetting setting, double cadence_ms) {
+  return detect::LatencyModel::mean_latency_ms(setting) /
+         std::max(1.0, cadence_ms);
+}
+
 namespace {
 
 double duty_of(detect::ModelSetting setting, double cadence_ms) {
-  return detect::LatencyModel::mean_latency_ms(setting) /
-         std::max(1.0, cadence_ms);
+  return admission_duty(setting, cadence_ms);
 }
 
 /// Settings cheaper than `base`, costliest first — the admission
@@ -215,236 +383,8 @@ AdmissionPlan plan_stream(const FleetStreamOptions& stream, double used,
   return {AdmissionDecision::kRejected, stream.setting, stream.cadence_ms};
 }
 
-// --------------------------------------------------------- stream policy
-
-/// Exact percentile over a copied sample set (fleet reports are per-run,
-/// not streaming, so the exact order statistic is affordable).
-double exact_percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = q / 100.0 * static_cast<double>(values.size());
-  const std::size_t index = static_cast<std::size_t>(std::clamp(
-      std::ceil(rank) - 1.0, 0.0, static_cast<double>(values.size() - 1)));
-  return values[index];
-}
-
-struct StreamRuntime {
-  int id = 0;
-  const FleetStreamOptions* options = nullptr;
-  const FleetOptions* fleet = nullptr;
-  double offset_ms = 0.0;    ///< global-time stagger offset
-  double deadline_ms = 0.0;  ///< relative per-result deadline
-  FleetGpu* gpu = nullptr;
-  obs::TimeSeries* fleet_latency = nullptr;  ///< null when telemetry is off
-  FleetStreamResult* out = nullptr;
-};
-
-/// One stream's whole life: cadenced detect-and-coast over its own
-/// EngineContext, detection routed through the shared FleetGpu. All times
-/// inside are stream-local; the GPU speaks global fleet time, converted by
-/// `offset_ms` at the submit/grant boundary.
-void run_stream(const StreamRuntime& rt) {
-  FleetStreamResult& out = *rt.out;
-  // Every obs instrument this thread resolves — engine internals included —
-  // lands under the stream's label, so concurrent streams never collide.
-  std::optional<obs::ScopedMetricPrefix> label;
-  if (rt.fleet->label_telemetry) label.emplace("fleet." + out.name + ".");
-
-  const video::SyntheticVideo video(rt.options->scene);
-  EngineContext ctx(video, rt.options->engine);
-  bool gpu_done = false;
-  auto finish_gpu = [&] {
-    if (!gpu_done) {
-      gpu_done = true;
-      rt.gpu->finished(rt.id);
-    }
-  };
-
-  obs::Counter* cycles_counter = nullptr;
-  obs::FixedHistogram* queue_wait_hist = nullptr;
-  if (obs::Telemetry::enabled()) {
-    obs::MetricsRegistry& reg = obs::metrics();
-    cycles_counter = &reg.counter("stream", "cycles");
-    queue_wait_hist = &reg.latency_histogram("stream", "queue_wait_ms");
-  }
-
-  DegradationLadder ladder(rt.options->ladder);
-  double wait_sum = 0.0;
-  const double cadence = out.granted_cadence_ms;
-  const detect::ModelSetting base_setting = out.granted_setting;
-  detect::ModelSetting last_setting = base_setting;
-
-  // One granted cycle's shared bookkeeping: energy share, queue stats,
-  // per-stream and fleet-aggregate telemetry.
-  auto note_grant = [&](const FleetGpu::Grant& grant,
-                        detect::ModelSetting setting) {
-    ctx.meter.add_gpu_busy(energy::PowerModel::gpu_detect_w(setting, false),
-                           grant.service_share_ms);
-    ++out.queue.detections;
-    if (grant.batch_size > 1) ++out.queue.batched;
-    wait_sum += grant.queue_wait_ms;
-    out.queue.queue_wait_max_ms =
-        std::max(out.queue.queue_wait_max_ms, grant.queue_wait_ms);
-    if (cycles_counter != nullptr) cycles_counter->add();
-    if (queue_wait_hist != nullptr) {
-      queue_wait_hist->record(grant.queue_wait_ms);
-    }
-  };
-
-  try {
-    if (ctx.frame_count > 0) {
-      // Cycle 0: detect frame 0 as soon as it is captured, so every frame
-      // of the run has a result to inherit (fill_reused_frames never
-      // leaves kNone gaps after the first detection).
-      detect::DetectionResult ref = ctx.detect(0, base_setting);
-      const double capture0 = ctx.capture_time_ms(0);
-      FleetGpu::Grant grant =
-          rt.gpu->submit({rt.id, 0, base_setting, rt.offset_ms + capture0,
-                          rt.offset_ms + capture0 + rt.deadline_ms,
-                          ref.latency_ms});
-      note_grant(grant, base_setting);
-      double complete = grant.complete_ms - rt.offset_ms;
-      ctx.clock->set(complete);
-      ctx.record_detection(0, ref, base_setting, complete);
-      ctx.run.cycles.push_back({0, base_setting,
-                                grant.start_ms - rt.offset_ms, complete, 0, 0,
-                                0.0});
-      if (rt.fleet_latency != nullptr) {
-        rt.fleet_latency->record(grant.complete_ms, complete - capture0);
-      }
-
-      int ref_index = 0;
-      int coast_age = 0;
-      while (ref_index < ctx.last) {
-        const double now = ctx.clock->now_ms();
-        // Cadence pacing: the next detection is due one cadence after the
-        // reference frame's capture. If queueing made the stream late the
-        // due time is already past — take the newest captured frame
-        // instead of chasing stale ones.
-        const double due = ctx.capture_time_ms(ref_index) + cadence;
-        int next_index = ctx.newest_captured(std::max(now, due));
-        if (next_index <= ref_index) next_index = ref_index + 1;
-        const double capture_t = ctx.capture_time_ms(next_index);
-
-        // SLO-closed-loop self-degradation (opt-in): an active breach
-        // steps the ladder down; sustained health steps it back up.
-        bool coast = false;
-        detect::ModelSetting setting = base_setting;
-        if (rt.options->self_degrade) {
-          if (obs::SloTracker* slo = ctx.slo_tracker()) {
-            const obs::SensorReading reading = slo->read();
-            if (reading.valid) {
-              const bool changed =
-                  reading.in_breach ? ladder.on_overrun() : ladder.on_success();
-              (void)changed;
-            }
-          }
-          if (ladder.tracker_only()) {
-            // At the floor: coast, except for bounded-backoff probes with
-            // the cheapest model.
-            coast = !ladder.should_probe();
-            setting = detect::ModelSetting::kYolov3Tiny_320;
-          } else {
-            setting = ladder.apply(base_setting);
-          }
-        }
-
-        if (coast) {
-          // Tracker-only cycle: no GPU submission at all — the entire
-          // point of the degradation floor in a fleet is to return the
-          // stream's GPU share to its neighbors. Re-issue the last good
-          // boxes with decayed confidence (the realtime supervisor's
-          // coasting policy).
-          ++coast_age;
-          ++out.coast_cycles;
-          const double start = std::max(now, capture_t);
-          const double done = start + detect::kOverlayMs;
-          ctx.meter.add_cpu_busy(energy::PowerModel::cpu_coast_w(),
-                                 detect::kOverlayMs);
-          // One decay step per coast cycle: ref already carries the decay
-          // of the previous coasts.
-          ref.detections = decay_detections(ref.detections, 1, 0.85, 0.1);
-          FrameResult& fr =
-              ctx.run.frames[static_cast<std::size_t>(next_index)];
-          fr.source = ResultSource::kTracker;
-          fr.boxes = to_labeled_boxes(ref);
-          fr.setting = last_setting;
-          fr.staleness_ms = done - capture_t;
-          if (obs::SloTracker* slo = ctx.slo_tracker()) {
-            slo->on_result(done, fr.staleness_ms, /*coasted=*/true);
-          }
-          ctx.clock->set(done);
-          ref_index = next_index;
-          continue;
-        }
-
-        coast_age = 0;
-        const detect::DetectionResult det = ctx.detect(next_index, setting);
-        const double ready = std::max(now, capture_t);
-        grant = rt.gpu->submit({rt.id, next_index, setting,
-                                rt.offset_ms + ready,
-                                rt.offset_ms + capture_t + rt.deadline_ms,
-                                det.latency_ms});
-        note_grant(grant, setting);
-        complete = grant.complete_ms - rt.offset_ms;
-
-        // Tracker side: the previous reference propagates across the
-        // frames buffered since the last result, using the whole window
-        // from the previous completion to this detection's landing — the
-        // cadence's idle stretch plus queue wait plus GPU service, which
-        // is what makes long cadences tolerable.
-        const EngineContext::Catchup batch = ctx.track_catchup(
-            ref_index, ref.detections, next_index, now, complete, setting,
-            SelectionPolicy::kAdaptiveFraction);
-        ctx.record_detection(next_index, det, setting, complete);
-        ctx.run.cycles.push_back({next_index, setting,
-                                  grant.start_ms - rt.offset_ms, complete,
-                                  batch.frames_between, batch.tracked,
-                                  batch.mean_velocity});
-        if (setting != last_setting) {
-          ++ctx.run.setting_switches;
-          last_setting = setting;
-        }
-        if (rt.fleet_latency != nullptr) {
-          rt.fleet_latency->record(grant.complete_ms, complete - capture_t);
-        }
-        ref = det;
-        ref_index = next_index;
-        ctx.clock->set(complete);
-      }
-    }
-  } catch (const std::exception& e) {
-    ctx.fail("fleet stream " + out.name + ": " + e.what());
-  }
-  finish_gpu();
-  ctx.finish();
-  out.degrade_steps = ladder.steps_down();
-  if (out.queue.detections > 0) {
-    out.queue.queue_wait_mean_ms =
-        wait_sum / static_cast<double>(out.queue.detections);
-  }
-  out.run = std::move(ctx.run);
-
-  // Result-latency order statistics and deadline misses over the stream's
-  // final per-frame results (reused frames inherit their source's
-  // staleness, which is exactly the user-visible latency of that result).
-  std::vector<double> staleness;
-  staleness.reserve(out.run.frames.size());
-  std::uint64_t misses = 0;
-  for (const FrameResult& f : out.run.frames) {
-    if (f.source == ResultSource::kNone) continue;
-    staleness.push_back(f.staleness_ms);
-    if (f.staleness_ms > rt.deadline_ms) ++misses;
-  }
-  out.latency_p50_ms = exact_percentile(staleness, 50.0);
-  out.latency_p99_ms = exact_percentile(staleness, 99.0);
-  out.deadline_miss_rate =
-      staleness.empty()
-          ? 0.0
-          : static_cast<double>(misses) / static_cast<double>(staleness.size());
-}
-
 }  // namespace
+
 
 // ------------------------------------------------------------- run_fleet
 
@@ -500,13 +440,27 @@ FleetResult run_fleet(const std::vector<FleetStreamOptions>& streams,
   }
 
   const int running = static_cast<int>(admitted_ids.size());
-  if (running == 0) return fleet;
+  if (running == 0 && !options.supervisor.enabled) return fleet;
+
+  // Supervised fleets also give statically-rejected streams a thread: the
+  // supervisor parks them on the coordinator with re-admission probes so
+  // they can join mid-run once capacity frees up. Unsupervised fleets shed
+  // them before any thread starts (PR 7 behavior, byte-identical).
+  std::vector<int> participant_ids = admitted_ids;
+  if (options.supervisor.enabled) {
+    participant_ids.clear();
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      participant_ids.push_back(static_cast<int>(i));
+    }
+  }
+  const int participants = static_cast<int>(participant_ids.size());
+  if (participants == 0) return fleet;
 
   // --- stagger: de-phase equal cadences so the fleet does not submit in
   // lockstep (a synchronized fleet forces every batch to full width, which
   // shows up directly in everyone's p99 queue wait) ---
   double stagger = options.stagger_ms;
-  if (stagger < 0.0) {
+  if (stagger < 0.0 && running > 0) {
     double min_cadence = fleet.streams[admitted_ids.front()].granted_cadence_ms;
     for (int id : admitted_ids) {
       min_cadence =
@@ -514,13 +468,20 @@ FleetResult run_fleet(const std::vector<FleetStreamOptions>& streams,
     }
     stagger = min_cadence / static_cast<double>(running);
   }
+  if (stagger < 0.0) stagger = 0.0;
 
-  FleetGpu gpu(options.gpu, running);
+  FleetGpu gpu(options.gpu, participants,
+               options.fault_plan != nullptr ? options.fault_plan->channel("gpu")
+                                             : util::FaultChannel());
+  gpu.set_admission_ledger(capacity, used);
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(running));
-  for (int slot = 0; slot < running; ++slot) {
-    const int id = admitted_ids[static_cast<std::size_t>(slot)];
+  threads.reserve(static_cast<std::size_t>(participants));
+  for (int slot = 0; slot < participants; ++slot) {
+    const int id = participant_ids[static_cast<std::size_t>(slot)];
     FleetStreamResult& out = fleet.streams[static_cast<std::size_t>(id)];
+    // Every participant gets a reserved stagger slot — a rejected stream
+    // that probes its way in later re-joins on its own phase instead of
+    // colliding with an admitted stream's cadence.
     out.stagger_ms = stagger * static_cast<double>(slot);
     const FleetStreamOptions& stream = streams[static_cast<std::size_t>(id)];
     double deadline = stream.deadline_ms;
@@ -530,17 +491,20 @@ FleetResult run_fleet(const std::vector<FleetStreamOptions>& streams,
     if (deadline <= 0.0) deadline = options.gpu.default_deadline_ms;
     StreamRuntime rt{id,   &stream,       &options, out.stagger_ms,
                      deadline, &gpu,      fleet_latency, &out};
-    threads.emplace_back([rt] { run_stream(rt); });
+    threads.emplace_back([rt] { StreamSupervisor(rt).run(); });
   }
   for (std::thread& t : threads) t.join();
 
   // --- aggregate ---
   std::uint64_t total_frames = 0;
-  for (int id : admitted_ids) {
+  for (int id : participant_ids) {
     const FleetStreamResult& out = fleet.streams[static_cast<std::size_t>(id)];
     total_frames += out.run.frames.size();
     fleet.makespan_ms =
         std::max(fleet.makespan_ms, out.stagger_ms + out.run.timeline_ms);
+    if (out.supervision.quarantines > 0) ++fleet.quarantined;
+    if (out.supervision.readmitted_at_ms >= 0.0) ++fleet.readmitted;
+    if (out.run.frames.empty()) continue;  // shed and never re-admitted
     if (out.run.status.failed() && !fleet.status.failed()) {
       fleet.status = out.run.status;
     } else if (!out.run.status.ok() && fleet.status.ok()) {

@@ -29,6 +29,15 @@ struct GpuOptions {
   /// Absolute deadline granted to requests from streams that declared
   /// neither FleetStreamOptions::deadline_ms nor an SLO spec.
   double default_deadline_ms = 1000.0;
+  /// Watchdog budget per hung dispatch attempt (gpu: hang/wedge faults):
+  /// after this much virtual time with no completion the fleet watchdog
+  /// cancels the attempt, bills the budget to every batch member, and
+  /// re-enqueues the batch.
+  double hang_budget_ms = 250.0;
+  /// Re-dispatch attempts the watchdog grants after the first hung or
+  /// dropped attempt before abandoning the batch (members coast that
+  /// cycle and the dispatch counts as failed).
+  int retry_budget = 2;
 };
 
 /// Tuning of fleet admission control (static, at fleet start).
@@ -52,6 +61,58 @@ enum class AdmissionDecision {
   kRejected,  ///< shed: no capacity even fully degraded
 };
 std::string_view admission_decision_name(AdmissionDecision decision);
+
+/// The admission controller's duty-cycle cost of one stream:
+/// mean_latency(setting) / cadence (exported so the supervisor's dynamic
+/// re-admission probes price a stream exactly like static admission did).
+double admission_duty(detect::ModelSetting setting, double cadence_ms);
+
+/// Tuning of the fleet supervision layer (core::StreamSupervisor,
+/// DESIGN.md §15). Off by default: an unsupervised fleet is byte-identical
+/// to PR 7 behavior, and a supervised all-healthy fleet is byte-identical
+/// to an unsupervised one (pinned by tests/test_fleet_chaos.cpp).
+struct FleetSupervisorOptions {
+  /// Master switch: contain stream crashes (quarantine + bounded restart
+  /// + probed re-admission) instead of letting them end the stream, and
+  /// give statically-rejected streams a probing thread so they can join
+  /// mid-run when capacity frees up.
+  bool enabled = false;
+  /// Restarts granted per stream before a crash becomes a permanent
+  /// quarantine (the stream ends kWorkerFailure; the fleet still runs).
+  int max_restarts = 3;
+  /// Exponential backoff between quarantine and the first re-admission
+  /// probe: initial * factor^(attempt-1), capped, plus deterministic
+  /// jitter in [0, jitter_frac) drawn from the stream seed and the
+  /// attempt number. All virtual time — a backed-off stream never stalls
+  /// the fleet's conservative dispatch.
+  double backoff_initial_ms = 200.0;
+  double backoff_factor = 2.0;
+  double backoff_max_ms = 4000.0;
+  double backoff_jitter_frac = 0.25;
+  /// Virtual-time period between re-admission probes after a denial, and
+  /// the cap on consecutive denials before the stream gives up for good.
+  double probe_period_ms = 500.0;
+  int max_probes = 16;
+  /// DegradationLadder level a re-admitted stream rejoins at — degraded
+  /// first, recovering toward its granted setting through on_success.
+  int readmit_level = 3;
+};
+
+/// Per-stream supervision outcome, mirrored into FleetStreamResult.
+/// All timestamps are virtual global fleet time.
+struct StreamSupervisionStats {
+  int crashes = 0;      ///< engine-loop exceptions contained
+  int restarts = 0;     ///< restarts granted (<= max_restarts)
+  int quarantines = 0;  ///< quarantine entries (crash or start rejected)
+  int probes = 0;       ///< re-admission probes issued
+  int stream_faults = 0;   ///< stream-channel injections (crash/wedge)
+  int gpu_retries = 0;     ///< hang/drop retries this stream's grants absorbed
+  int gpu_failures = 0;    ///< dispatches the watchdog abandoned on us
+  double backoff_total_ms = 0.0;  ///< Σ backoff waits (virtual)
+  double first_quarantined_at_ms = -1.0;
+  double readmitted_at_ms = -1.0;  ///< last granted probe; -1 = never needed
+  bool gave_up = false;  ///< permanent quarantine (restarts/probes exhausted)
+};
 
 /// One camera stream of the fleet.
 struct FleetStreamOptions {
@@ -105,7 +166,10 @@ struct FleetStreamResult {
   double latency_p99_ms = 0.0;
   /// Fraction of frames whose result latency exceeded the stream deadline.
   double deadline_miss_rate = 0.0;
-  /// Empty (no frames) when rejected.
+  /// Supervision outcome (zeroed when FleetSupervisorOptions::enabled is
+  /// off or the stream never needed the supervisor).
+  StreamSupervisionStats supervision;
+  /// Empty (no frames) when rejected and never re-admitted.
   RunResult run;
 };
 
@@ -117,6 +181,14 @@ struct FleetGpuStats {
   /// Σ solo latencies − Σ batch service: virtual GPU time the batching
   /// amortization saved.
   double amortization_saved_ms = 0.0;
+  // --- fault/watchdog accounting (gpu: channel) ---
+  std::uint64_t hangs = 0;    ///< hung attempts the watchdog cancelled
+  std::uint64_t retries = 0;  ///< re-dispatches after a hang or drop
+  std::uint64_t failed_dispatches = 0;  ///< retry budget exhausted
+  double recovery_ms = 0.0;  ///< watchdog/retry time billed to victims
+  // --- dynamic re-admission (supervisor probes) ---
+  std::uint64_t probes = 0;
+  std::uint64_t probe_grants = 0;
 };
 
 struct FleetResult {
@@ -125,6 +197,9 @@ struct FleetResult {
   int admitted = 0;
   int degraded = 0;
   int rejected = 0;
+  /// Supervision aggregates (0 when supervision is off).
+  int quarantined = 0;  ///< streams that entered quarantine at least once
+  int readmitted = 0;   ///< streams a probe brought (back) into the fleet
   /// Latest global completion time across admitted streams (virtual ms) —
   /// the fleet's end-to-end duration in pipeline time.
   double makespan_ms = 0.0;
@@ -149,6 +224,14 @@ struct FleetOptions {
   /// obs::ScopedMetricPrefix so concurrent streams never collide on a
   /// metric key. Off leaves names untouched (single-stream compatible).
   bool label_telemetry = true;
+  /// Fleet supervision: crash containment, bounded restart with backoff,
+  /// and probed dynamic re-admission (DESIGN.md §15).
+  FleetSupervisorOptions supervisor;
+  /// Fleet-level fault plan. Only the `gpu:` channel is read here (hang /
+  /// wedge / drop against the shared FleetGpu, keyed by dispatch index);
+  /// per-stream channels (`stream:`, `detector:`, ...) belong on each
+  /// stream's own EngineOptions::fault_plan. Must outlive the run.
+  const util::FaultPlan* fault_plan = nullptr;
 };
 
 /// The shared simulated GPU: a batched, EDF-ordered detection queue that
@@ -187,22 +270,57 @@ class FleetGpu {
 
   struct Grant {
     double start_ms = 0.0;     ///< global time the GPU began the batch
-    double complete_ms = 0.0;  ///< global time the batch finished
+    double complete_ms = 0.0;  ///< global time this member's result landed
     int batch_size = 1;
-    double service_share_ms = 0.0;  ///< batch service / batch_size (energy)
+    double service_share_ms = 0.0;  ///< (service + recovery) / batch_size
     double queue_wait_ms = 0.0;     ///< start - submit
+    // --- gpu-fault outcome of the dispatch this member rode ---
+    int hangs = 0;        ///< watchdog-cancelled attempts billed to us
+    int retries = 0;      ///< re-dispatches (hangs + dropped results)
+    bool failed = false;  ///< retry budget exhausted: no result this cycle
   };
 
-  /// `stream_count` is the number of admitted streams that will call
-  /// submit()/finished(); dispatch waits for all of them to park.
-  FleetGpu(GpuOptions options, int stream_count);
+  /// Outcome of a dynamic re-admission probe (resolved at virtual time
+  /// `at_ms` against the duty ledger as of that instant).
+  struct ProbeResult {
+    bool admitted = false;
+    double at_ms = 0.0;      ///< virtual time the probe was resolved
+    double available = 0.0;  ///< capacity - used_at(at_ms)
+  };
+
+  /// `stream_count` is the number of participating streams that will call
+  /// submit()/probe()/finished(); dispatch waits for all of them to park.
+  /// `gpu_faults` (the plan's `gpu:` channel, keyed by dispatch index)
+  /// drives hang / wedge / drop injection against the shared GPU; the
+  /// default empty channel injects nothing.
+  FleetGpu(GpuOptions options, int stream_count,
+           util::FaultChannel gpu_faults = {});
+
+  /// Arms the duty ledger for dynamic re-admission: `capacity` is the
+  /// admission budget, `used` the duty the static pass admitted. Without
+  /// this call every probe is denied (available stays 0).
+  void set_admission_ledger(double capacity, double used);
 
   /// Blocks the calling stream until the coordinator grants its request.
   Grant submit(Request request);
 
-  /// The stream will never submit again (end of video, failure, or
-  /// permanent coast). Must be called exactly once per admitted stream.
-  void finished(int stream);
+  /// Parks the calling stream on the coordinator until virtual time
+  /// `at_ms` is globally reached, then re-runs the duty-cycle admission
+  /// check against the ledger as of that instant; a granted probe
+  /// acquires `want_duty`. Probes are coordinator events like requests:
+  /// one is resolved only when its time is the minimum over every pending
+  /// event, so the ledger it reads is provably complete — deterministic
+  /// regardless of thread interleaving, exactly like dispatch.
+  ProbeResult probe(int stream, double at_ms, double want_duty);
+
+  /// Returns `duty` to the ledger at virtual time `at_ms` — quarantine
+  /// (a crashed stream's share frees immediately) and end-of-stream.
+  void release_duty(double at_ms, double duty);
+
+  /// The stream will never submit or probe again (end of video, failure,
+  /// permanent quarantine). Must be called exactly once per participant.
+  /// `at_ms` is accepted for symmetry with the ledger API and ignored.
+  void finished(int stream, double at_ms = 0.0);
 
   FleetGpuStats stats() const;
 
@@ -212,19 +330,42 @@ class FleetGpu {
     bool granted = false;
     Grant grant;
   };
+  struct ProbeWaiter {
+    int stream = 0;
+    double at_ms = 0.0;
+    double want_duty = 0.0;
+    bool resolved = false;
+    ProbeResult result;
+  };
+  struct DutyEvent {
+    double at_ms = 0.0;
+    double delta = 0.0;  ///< + acquire, - release
+  };
 
-  /// Dispatches one batch iff every stream is parked or finished. Caller
-  /// holds mutex_.
+  /// Admitted duty as of virtual time `t` (initial + Σ event deltas with
+  /// time <= t). Caller holds mutex_.
+  double used_at_locked(double t) const;
+
+  /// Dispatches one batch or resolves one probe iff every stream is
+  /// parked or finished. Caller holds mutex_.
   void maybe_dispatch_locked();
 
   GpuOptions options_;
   int stream_count_;
+  util::FaultChannel gpu_faults_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<Waiter*> pending_;  ///< parked, ungranted (stack-owned)
-  int waiting_ = 0;   ///< streams parked with an ungranted request
+  std::vector<Waiter*> pending_;       ///< parked, ungranted (stack-owned)
+  std::vector<ProbeWaiter*> probes_;   ///< parked, unresolved (stack-owned)
+  int waiting_ = 0;   ///< streams parked with an ungranted request or probe
   int finished_ = 0;  ///< streams done submitting
   double gpu_free_ms_ = 0.0;
+  std::uint64_t dispatch_seq_ = 0;  ///< gpu-fault event index
+  // Duty ledger (virtual-time admission bookkeeping).
+  double capacity_ = 0.0;
+  double initial_used_ = 0.0;
+  bool ledger_armed_ = false;
+  std::vector<DutyEvent> duty_events_;
   FleetGpuStats stats_;
 };
 

@@ -1,10 +1,13 @@
 #include "core/offload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/engine_runtime.h"
+#include "core/status.h"
 #include "obs/telemetry.h"
 #include "util/rng.h"
 #include "vision/codec.h"
@@ -91,58 +94,156 @@ RunResult run_offload(const video::SyntheticVideo& video,
     return total;
   };
 
-  try {
-    // First request: frame 0.
-    double transmit_ms = 0.0;
-    util::Status up = uplink(0, &transmit_ms);
-    if (!up.ok()) {
-      ctx.run.status = up;
-    } else {
-      detect::DetectionResult ref = ctx.detect(0, remote_setting);
-      ctx.clock->set(ctx.capture_time_ms(0) + sample_round_trip(transmit_ms));
-      ctx.meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
-      ctx.record_detection(0, ref, remote_setting, ctx.clock->now_ms());
-      ctx.run.cycles.push_back({0, remote_setting, ctx.capture_time_ms(0),
-                                ctx.clock->now_ms(), 0, 0, 0.0});
-
-      int ref_index = 0;
-      while (ref_index < ctx.last) {
-        int next_index = ctx.newest_captured(ctx.clock->now_ms());
-        if (next_index <= ref_index) {
-          next_index = ref_index + 1;
-          ctx.clock->set(ctx.capture_time_ms(next_index));
+  // One frame's whole remote round trip with retry/timeout/backoff: codec
+  // faults (`codec:` channel) and over-timeout round trips consume retry
+  // attempts; a spent budget degrades to local detection (ok == false).
+  const util::FaultChannel codec_faults =
+      options.fault_plan != nullptr ? options.fault_plan->channel("codec")
+                                    : util::FaultChannel();
+  struct Remote {
+    bool ok = false;         ///< remote result obtained within the budget
+    double latency_ms = 0.0; ///< start -> result, stalls and retries included
+    double radio_ms = 0.0;   ///< transmit time billed to the radio rail
+  };
+  int local_fallbacks = 0;
+  auto remote_detect = [&](int index) {
+    Remote r;
+    int forced_failures = 0;  // `drop n=K`: first K attempts lose the bits
+    if (!codec_faults.empty()) {
+      for (const util::FaultDecision& d : codec_faults.decide(index)) {
+        switch (d.kind) {
+          case util::FaultKind::kDrop:
+            forced_failures += std::max(1, static_cast<int>(d.magnitude));
+            break;
+          case util::FaultKind::kStall:
+            r.latency_ms += d.magnitude;
+            break;
+          default:
+            break;  // other kinds do not apply to the codec channel
         }
-
-        const double cycle_start = ctx.clock->now_ms();
-        up = uplink(next_index, &transmit_ms);
-        if (!up.ok()) {
-          ctx.run.status = up;
-          break;
-        }
-        const detect::DetectionResult detection =
-            ctx.detect(next_index, remote_setting);
-        const double cycle_end = cycle_start + sample_round_trip(transmit_ms);
-        ctx.meter.add_cpu_busy(kRadioTransmitW, transmit_ms);
-
-        // Local tracking bridges the round trip — MPDT's catch-up loop.
-        const EngineContext::Catchup batch = ctx.track_catchup(
-            ref_index, ref.detections, next_index, cycle_start, cycle_end,
-            remote_setting, SelectionPolicy::kAdaptiveFraction);
-
-        ctx.record_detection(next_index, detection, remote_setting, cycle_end);
-        ctx.run.cycles.push_back({next_index, remote_setting, cycle_start,
-                                  cycle_end, batch.frames_between,
-                                  batch.tracked, batch.mean_velocity});
-        ref = detection;
-        ref_index = next_index;
-        ctx.clock->set(cycle_end);
       }
     }
+    const int attempts_allowed = 1 + std::max(0, options.codec_retries);
+    for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+      if (attempt > 1) r.latency_ms += options.codec_retry_backoff_ms;
+      double transmit_ms = 0.0;
+      util::Status up;
+      if (attempt <= forced_failures) {
+        up = util::Status::data_loss(
+            annotate_failure("codec", index, "injected bitstream loss"));
+      } else {
+        up = uplink(index, &transmit_ms);
+      }
+      if (!up.ok()) {
+        if (obs::Telemetry::enabled()) {
+          obs::metrics().counter("offload", "codec_failures").add();
+        }
+        obs::flight_instant("codec_retry", "offload", index);
+        continue;
+      }
+      const double round_trip = sample_round_trip(transmit_ms);
+      if (options.round_trip_timeout_ms > 0.0 &&
+          round_trip > options.round_trip_timeout_ms) {
+        // Gave up waiting: the timeout elapsed on the pipeline clock, the
+        // transmit energy is spent either way.
+        r.latency_ms += options.round_trip_timeout_ms;
+        r.radio_ms += transmit_ms;
+        if (obs::Telemetry::enabled()) {
+          obs::metrics().counter("offload", "round_trip_timeouts").add();
+        }
+        obs::flight_instant("round_trip_timeout", "offload", index);
+        continue;
+      }
+      r.ok = true;
+      r.latency_ms += round_trip;
+      r.radio_ms += transmit_ms;
+      return r;
+    }
+    ++local_fallbacks;
+    if (obs::Telemetry::enabled()) {
+      obs::metrics().counter("offload", "local_fallbacks").add();
+    }
+    obs::flight_instant("local_fallback", "offload", index);
+    return r;
+  };
+
+  // The device-side fallback model when the codec budget is spent: the
+  // cheapest local setting — the offload baseline degrades *into* the
+  // paper's on-device regime instead of dying.
+  const detect::ModelSetting local_setting =
+      detect::ModelSetting::kYolov3Tiny_320;
+  int active_frame = 0;
+  try {
+    // First request: frame 0.
+    const Remote first = remote_detect(0);
+    detect::ModelSetting ref_setting = remote_setting;
+    detect::DetectionResult ref;
+    if (first.ok) {
+      ref = ctx.detect(0, remote_setting);
+      ctx.clock->set(ctx.capture_time_ms(0) + first.latency_ms);
+    } else {
+      ref_setting = local_setting;
+      ref = ctx.detect_on_gpu(0, local_setting);
+      ctx.clock->set(ctx.capture_time_ms(0) + first.latency_ms +
+                     ref.latency_ms);
+    }
+    ctx.meter.add_cpu_busy(kRadioTransmitW, first.radio_ms);
+    ctx.record_detection(0, ref, ref_setting, ctx.clock->now_ms());
+    ctx.run.cycles.push_back({0, ref_setting, ctx.capture_time_ms(0),
+                              ctx.clock->now_ms(), 0, 0, 0.0});
+
+    int ref_index = 0;
+    while (ref_index < ctx.last) {
+      int next_index = ctx.newest_captured(ctx.clock->now_ms());
+      if (next_index <= ref_index) {
+        next_index = ref_index + 1;
+        ctx.clock->set(ctx.capture_time_ms(next_index));
+      }
+      active_frame = next_index;
+
+      const double cycle_start = ctx.clock->now_ms();
+      const Remote remote = remote_detect(next_index);
+      detect::ModelSetting setting = remote_setting;
+      detect::DetectionResult detection;
+      double cycle_end = 0.0;
+      if (remote.ok) {
+        detection = ctx.detect(next_index, remote_setting);
+        cycle_end = cycle_start + remote.latency_ms;
+      } else {
+        // Retry budget spent: detect locally, after the time the retries
+        // burned. Costs latency and accuracy (tiny vs remote 608), never
+        // the run.
+        setting = local_setting;
+        detection = ctx.detect_on_gpu(next_index, local_setting);
+        cycle_end = cycle_start + remote.latency_ms + detection.latency_ms;
+      }
+      ctx.meter.add_cpu_busy(kRadioTransmitW, remote.radio_ms);
+
+      // Local tracking bridges the round trip — MPDT's catch-up loop.
+      const EngineContext::Catchup batch = ctx.track_catchup(
+          ref_index, ref.detections, next_index, cycle_start, cycle_end,
+          setting, SelectionPolicy::kAdaptiveFraction);
+
+      ctx.record_detection(next_index, detection, setting, cycle_end);
+      ctx.run.cycles.push_back({next_index, setting, cycle_start,
+                                cycle_end, batch.frames_between,
+                                batch.tracked, batch.mean_velocity});
+      ref = detection;
+      ref_index = next_index;
+      ctx.clock->set(cycle_end);
+    }
   } catch (const std::exception& e) {
-    ctx.fail(std::string("offload engine: ") + e.what());
+    ctx.fail(annotate_failure("offload", active_frame,
+                              std::string("offload engine: ") + e.what()));
   }
 
   ctx.finish();
+  if (ctx.run.status.ok() && local_fallbacks > 0) {
+    ctx.run.status = Status::degraded(annotate_failure(
+        "codec", -1,
+        std::to_string(local_fallbacks) +
+            " offload cycles fell back to local detection"));
+  }
   return std::move(ctx.run);
 }
 

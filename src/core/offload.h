@@ -32,11 +32,26 @@ struct OffloadOptions {
   /// codec (vision::encode_frame) at this quality: the transmit model uses
   /// the actual compressed size instead of the flat `frame_bytes`, and the
   /// server-side decode's util::Status is checked — a kDataLoss bitstream
-  /// aborts the run with that Status on RunResult::status instead of
-  /// failing silently.
+  /// is retried (below) and, once the budget is spent, degrades the cycle
+  /// to local detection instead of killing the run.
   int codec_quality = 0;
+  /// Retry/timeout/backoff on the encode -> uplink -> decode round trip.
+  /// A failed attempt (lost or corrupt bitstream, `codec:` drop fault, or
+  /// a round trip over the timeout) is retried after
+  /// `codec_retry_backoff_ms` of pipeline time, up to `codec_retries`
+  /// re-sends; when the budget is spent the cycle falls back to *local*
+  /// detection (tiny model on the device GPU) and the run completes
+  /// kDegraded — codec faults cost latency and accuracy, never the run.
+  int codec_retries = 2;
+  double codec_retry_backoff_ms = 25.0;
+  /// When > 0, a sampled round trip longer than this counts as a failed
+  /// attempt (the camera gives up waiting and re-sends). 0 disables.
+  double round_trip_timeout_ms = 0.0;
   /// Non-null => deterministic fault injection (detector / camera /
-  /// tracker channels; see EngineOptions::fault_plan). Must outlive the run.
+  /// tracker channels; see EngineOptions::fault_plan). The `codec:`
+  /// channel additionally targets the offload round trip, keyed by frame
+  /// index: `drop n=K` loses the first K attempts' bitstreams, `stall
+  /// ms=X` delays the uplink. Must outlive the run.
   const util::FaultPlan* fault_plan = nullptr;
   /// Non-null => per-window SLO evaluation (see EngineOptions::slo).
   const obs::SloSpec* slo = nullptr;

@@ -249,6 +249,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
     DegradationLadder ladder(sup.ladder);
     std::optional<DetectionEvent> pending;
     int last_detected = -1;
+    int active_frame = -1;  ///< frame in flight, for failure annotation
     int switches = 0;
     int watchdog_timeouts = 0;
     int coast_cycles = 0;
@@ -277,6 +278,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
           frame = buffer.wait_newer(last_detected);
         }
         if (!frame.has_value() || abort.load()) break;
+        active_frame = frame->index;
         if (ins.buffer_depth != nullptr) {
           ins.buffer_depth->set(static_cast<double>(buffer.size()));
         }
@@ -423,9 +425,12 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
         events.push(std::move(*pending));
       }
     } catch (const std::exception& e) {
-      on_worker_failure(std::string("detector thread: ") + e.what());
+      on_worker_failure(annotate_failure("detector", active_frame,
+                                         std::string("detector thread: ") +
+                                             e.what()));
     } catch (...) {
-      on_worker_failure("detector thread: unknown exception");
+      on_worker_failure(annotate_failure("detector", active_frame,
+                                         "detector thread: unknown exception"));
     }
     events.close();
     result.stats.setting_switches = switches;
@@ -445,6 +450,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
     obs::name_thread("tracker");
     track::ObjectTracker inner(options.tracker);
     track::FaultyTracker tracker(inner, tracker_faults);
+    int active_frame = -1;  ///< frame in flight, for failure annotation
     try {
       track::TrackingFrameSelector selector;
       track::TrackLatencyModel latency(options.seed ^ 0x77777ULL);
@@ -456,6 +462,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
           event = events.pop();
         }
         if (!event.has_value() || abort.load()) break;
+        active_frame = event->ref_index;
         const int my_generation = fetch_generation.load();
         obs::ScopedSpan batch_span("catchup_batch", "tracker",
                                    event->ref_index, "ref_frame");
@@ -493,6 +500,7 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
             break;
           }
           const int frame_index = event->ref_index + offset;
+          active_frame = frame_index;
           track::TrackStepStats stats;
           double step_ms = 0.0;
           {
@@ -542,9 +550,12 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
         }
       }
     } catch (const std::exception& e) {
-      on_worker_failure(std::string("tracker thread: ") + e.what());
+      on_worker_failure(annotate_failure("tracker", active_frame,
+                                         std::string("tracker thread: ") +
+                                             e.what()));
     } catch (...) {
-      on_worker_failure("tracker thread: unknown exception");
+      on_worker_failure(annotate_failure("tracker", active_frame,
+                                         "tracker thread: unknown exception"));
     }
     tracker_faults_injected.store(tracker.faults_injected());
   });
@@ -558,7 +569,8 @@ RealtimeResult run_realtime(const video::SyntheticVideo& video,
   if (!camera_error.empty()) {
     std::lock_guard<std::mutex> lock(status_mutex);
     if (!result.status.failed()) {
-      result.status = Status::worker_failure("camera thread: " + camera_error);
+      result.status = Status::worker_failure(
+          annotate_failure("camera", -1, "camera thread: " + camera_error));
     }
   }
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <string>
+#include <string_view>
+
 #include "util/status.h"
 
 namespace adavp::core {
@@ -11,5 +14,22 @@ namespace adavp::core {
 using StatusCode = util::StatusCode;
 using Status = util::Status;
 using util::status_code_name;
+
+/// The canonical failure-origin annotation every worker puts in front of
+/// its Status message: `<channel>@frame <N>: <what>` (a negative frame
+/// drops the frame part — e.g. a camera error with no frame in flight).
+/// Post-mortems can place a failure without a flight-recorder dump; the
+/// format is pinned by tests/test_realtime.cpp.
+inline std::string annotate_failure(std::string_view channel, int frame,
+                                    std::string_view what) {
+  std::string out(channel);
+  if (frame >= 0) {
+    out += "@frame ";
+    out += std::to_string(frame);
+  }
+  out += ": ";
+  out += what;
+  return out;
+}
 
 }  // namespace adavp::core

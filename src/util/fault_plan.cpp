@@ -67,7 +67,25 @@ std::optional<FaultKind> parse_kind(std::string_view word) {
   if (word == "starve") return FaultKind::kStarve;
   if (word == "diverge") return FaultKind::kDiverge;
   if (word == "nan") return FaultKind::kNanFlow;
+  if (word == "hang") return FaultKind::kHang;
+  if (word == "crash") return FaultKind::kCrash;
+  if (word == "wedge") return FaultKind::kWedge;
   return std::nullopt;
+}
+
+constexpr std::string_view kValidKinds =
+    "latency, stall, drop, garbage, throw, black, corrupt, hiccup, starve, "
+    "diverge, nan, hang, crash, wedge";
+
+constexpr std::string_view kValidChannels =
+    "detector, camera, tracker, gpu, stream, codec";
+
+bool valid_channel_name(std::string_view name) {
+  for (std::string_view channel :
+       {"detector", "camera", "tracker", "gpu", "stream", "codec"}) {
+    if (name == channel) return true;
+  }
+  return false;
 }
 
 /// Kind-specific magnitude default (see FaultKind docs).
@@ -80,8 +98,12 @@ double default_magnitude(FaultKind kind) {
     case FaultKind::kHiccup: return 100.0;    // 100 ms capture delay
     case FaultKind::kStarve: return 0.5;      // lose half the live features
     case FaultKind::kDiverge: return 8.0;     // 8 px of spurious drift
+    case FaultKind::kHang: return 1.0;      // 1 hung attempt (one watchdog
+                                            // budget before the retry lands)
+    case FaultKind::kWedge: return 500.0;   // 500 ms of wedged time
     case FaultKind::kDrop:
     case FaultKind::kThrow:
+    case FaultKind::kCrash:
     case FaultKind::kBlack:
     case FaultKind::kNanFlow: return 0.0;
   }
@@ -124,7 +146,8 @@ bool parse_rule(std::string_view text, FaultRule* rule, std::string* error) {
 
   const std::optional<FaultKind> kind = parse_kind(tokens[0]);
   if (!kind.has_value()) {
-    return fail(error, "unknown fault kind '" + std::string(tokens[0]) + "'");
+    return fail(error, "unknown fault kind '" + std::string(tokens[0]) +
+                           "' (valid: " + std::string(kValidKinds) + ")");
   }
   rule->kind = *kind;
   rule->magnitude = default_magnitude(*kind);
@@ -190,9 +213,14 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kStarve: return "starve";
     case FaultKind::kDiverge: return "diverge";
     case FaultKind::kNanFlow: return "nan";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kWedge: return "wedge";
   }
   return "unknown";
 }
+
+std::string_view valid_fault_channels() { return kValidChannels; }
 
 FaultChannel::FaultChannel(std::uint64_t plan_seed, std::string_view name,
                            std::vector<FaultRule> rules)
@@ -245,6 +273,16 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
     section.name = std::string(trim(section_text.substr(0, colon)));
     if (section.name.empty()) {
       if (error != nullptr) *error = "empty channel name";
+      return std::nullopt;
+    }
+    if (!valid_channel_name(section.name)) {
+      // A section naming an unknown channel would be silently inert —
+      // channel() lookups for real channels would never match it. Fail
+      // loudly with the offending token and the valid set instead.
+      if (error != nullptr) {
+        *error = "unknown fault channel '" + section.name +
+                 "' (valid: " + std::string(kValidChannels) + ")";
+      }
       return std::nullopt;
     }
     for (std::string_view rule_text : split(section_text.substr(colon + 1), ';')) {

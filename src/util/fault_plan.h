@@ -32,11 +32,19 @@ enum class FaultKind {
   kStarve,   ///< lose `magnitude` fraction of live features (tracker)
   kDiverge,  ///< LK diverges: boxes drift `magnitude` px this step (tracker)
   kNanFlow,  ///< flow solve produced NaNs; the step is rejected (tracker)
+  kHang,     ///< GPU dispatch hangs for `magnitude` watchdog budgets (gpu)
+  kCrash,    ///< the stream's engine loop throws (stream)
+  kWedge,    ///< the component wedges for `magnitude` ms (gpu / stream)
 };
 
 /// DSL name of a kind ("latency", "stall", ..., "hiccup") — also the
 /// metric suffix in `fault.injected.<kind>`.
 std::string_view fault_kind_name(FaultKind kind);
+
+/// The channels FaultPlan::parse accepts, comma-separated — a section
+/// naming anything else is a hard parse error, so a typo'd plan fails
+/// loudly instead of being silently inert (docs/ROBUSTNESS.md §2a).
+std::string_view valid_fault_channels();
 
 /// One fault decision for one event: what to inject and, when the fault
 /// itself needs randomness (garbage boxes, corruption noise), a dedicated
@@ -104,8 +112,10 @@ class FaultPlan {
   FaultPlan() = default;
 
   /// Parses `spec`. Returns nullopt and sets `*error` (when non-null) on a
-  /// malformed spec: unknown kind or key, missing/duplicate trigger, bad
-  /// number, empty section.
+  /// malformed spec: unknown channel (see valid_fault_channels()), unknown
+  /// kind or key, missing/duplicate trigger, bad number, empty section.
+  /// The error message names the offending token and lists the valid
+  /// alternatives, so a typo'd plan is actionable instead of inert.
   static std::optional<FaultPlan> parse(std::string_view spec,
                                         std::uint64_t seed,
                                         std::string* error = nullptr);

@@ -91,6 +91,66 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_FALSE(util::FaultPlan::parse("detector: ;", 1, &error));
 }
 
+// A typo'd channel name must be a hard parse error that names the offending
+// token and lists the valid channels — a silently-inert chaos plan is a
+// false negative factory (ROBUSTNESS.md §2a).
+TEST(FaultPlan, UnknownChannelIsAHardError) {
+  std::string error;
+  EXPECT_FALSE(util::FaultPlan::parse("gups: hang p=0.1", 1, &error));
+  EXPECT_NE(error.find("unknown fault channel"), std::string::npos) << error;
+  EXPECT_NE(error.find("'gups'"), std::string::npos) << error;
+  // The error lists every valid channel, verbatim.
+  EXPECT_NE(error.find(std::string(util::valid_fault_channels())),
+            std::string::npos)
+      << error;
+  for (const char* channel :
+       {"detector", "camera", "tracker", "gpu", "stream", "codec"}) {
+    EXPECT_NE(util::valid_fault_channels().find(channel),
+              std::string_view::npos)
+        << channel;
+  }
+  // A valid channel buried in a multi-section spec does not save it.
+  EXPECT_FALSE(util::FaultPlan::parse(
+      "detector: stall p=0.1 ms=5 | steam: crash every=9", 1, &error));
+  EXPECT_NE(error.find("'steam'"), std::string::npos) << error;
+}
+
+// The unknown-kind error names the token and lists the valid kinds too.
+TEST(FaultPlan, UnknownKindErrorListsValidKinds) {
+  std::string error;
+  EXPECT_FALSE(util::FaultPlan::parse("gpu: explode p=0.1", 1, &error));
+  EXPECT_NE(error.find("'explode'"), std::string::npos) << error;
+  EXPECT_NE(error.find("hang"), std::string::npos) << error;
+  EXPECT_NE(error.find("wedge"), std::string::npos) << error;
+  EXPECT_NE(error.find("crash"), std::string::npos) << error;
+}
+
+// The supervision-era kinds parse with their channel-appropriate defaults.
+TEST(FaultPlan, ParsesSupervisionKinds) {
+  std::string error;
+  const auto plan = util::FaultPlan::parse(
+      "gpu: hang p=0.02; wedge at=7 | stream: crash every=200; wedge ms=40 "
+      "p=0.1 | codec: drop n=3 at=5; stall every=9 ms=15",
+      11, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const util::FaultChannel gpu = plan->channel("gpu");
+  ASSERT_EQ(gpu.rules().size(), 2u);
+  EXPECT_EQ(gpu.rules()[0].kind, util::FaultKind::kHang);
+  EXPECT_DOUBLE_EQ(gpu.rules()[0].magnitude, 1.0);  // one watchdog budget
+  EXPECT_EQ(gpu.rules()[1].kind, util::FaultKind::kWedge);
+  const util::FaultChannel stream = plan->channel("stream");
+  ASSERT_EQ(stream.rules().size(), 2u);
+  EXPECT_EQ(stream.rules()[0].kind, util::FaultKind::kCrash);
+  EXPECT_EQ(stream.rules()[0].every, 200);
+  EXPECT_EQ(stream.rules()[1].kind, util::FaultKind::kWedge);
+  EXPECT_DOUBLE_EQ(stream.rules()[1].magnitude, 40.0);
+  const util::FaultChannel codec = plan->channel("codec");
+  ASSERT_EQ(codec.rules().size(), 2u);
+  EXPECT_EQ(codec.rules()[0].kind, util::FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(codec.rules()[0].magnitude, 3.0);
+  EXPECT_EQ(codec.rules()[1].kind, util::FaultKind::kStall);
+}
+
 TEST(FaultPlan, EmptySpecParsesToEmptyPlan) {
   const auto plan = util::FaultPlan::parse("", 7);
   ASSERT_TRUE(plan.has_value());

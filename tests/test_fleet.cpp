@@ -11,6 +11,7 @@
 
 #include "core/fleet.h"
 #include "detect/latency_model.h"
+#include "util/fault_plan.h"
 
 namespace adavp::core {
 namespace {
@@ -119,6 +120,58 @@ TEST(FleetGpu, AgingPreventsStarvationOfLaxDeadlines) {
   EXPECT_GE(lax.start_ms, 500.0);   // it did yield to tighter deadlines...
   EXPECT_LE(lax.start_ms, 900.0);   // ...but aging kicked in well before
   EXPECT_LE(lax.complete_ms, 1000.0);  // 12 tight cycles would end at 1200+
+}
+
+TEST(FleetGpu, HangBillsTheVictimButNotTheSharedSchedule) {
+  // `gpu: hang at=0` wedges dispatch 0's first attempt: the watchdog
+  // cancels it after hang_budget_ms and the retry lands, so the member
+  // completes one budget late — but gpu_free advances by the un-faulted
+  // service only (the recovery lane), so dispatch 1 is bit-identical to
+  // an all-healthy schedule.
+  const auto plan = util::FaultPlan::parse("gpu: hang at=0", 99);
+  ASSERT_TRUE(plan.has_value());
+  FleetGpu gpu({.max_batch = 4, .hang_budget_ms = 250.0, .retry_budget = 2},
+               /*stream_count=*/1, plan->channel("gpu"));
+  const FleetGpu::Grant first = gpu.submit(
+      {0, 0, ModelSetting::kYolov3Tiny_320, 0.0, 1000.0, 100.0});
+  EXPECT_EQ(first.hangs, 1);
+  EXPECT_EQ(first.retries, 1);
+  EXPECT_FALSE(first.failed);
+  EXPECT_DOUBLE_EQ(first.complete_ms, 250.0 + 100.0);
+  EXPECT_DOUBLE_EQ(first.service_share_ms, 100.0 + 250.0);
+  // The shared lane ignored the hang: a request submitted at t=20 starts
+  // at 100 (behind the clean service), exactly as with no fault plan.
+  const FleetGpu::Grant second = gpu.submit(
+      {0, 1, ModelSetting::kYolov3Tiny_320, 20.0, 1020.0, 100.0});
+  EXPECT_EQ(second.hangs, 0);
+  EXPECT_EQ(second.start_ms, 100.0);
+  gpu.finished(0);
+
+  const FleetGpuStats stats = gpu.stats();
+  EXPECT_EQ(stats.hangs, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.failed_dispatches, 0u);
+  EXPECT_DOUBLE_EQ(stats.recovery_ms, 250.0);
+}
+
+TEST(FleetGpu, WedgeExhaustsTheRetryBudgetAndFailsTheDispatch) {
+  // `wedge` burns retry_budget+1 attempts at once: the dispatch fails
+  // outright, the victim is billed retry_budget+1 watchdog budgets and no
+  // service, and the grant comes back failed so the caller coasts.
+  const auto plan = util::FaultPlan::parse("gpu: wedge at=0", 99);
+  ASSERT_TRUE(plan.has_value());
+  FleetGpu gpu({.max_batch = 4, .hang_budget_ms = 250.0, .retry_budget = 2},
+               1, plan->channel("gpu"));
+  const FleetGpu::Grant grant = gpu.submit(
+      {0, 0, ModelSetting::kYolov3Tiny_320, 0.0, 1000.0, 100.0});
+  EXPECT_TRUE(grant.failed);
+  EXPECT_EQ(grant.hangs, 3);    // 1 + retry_budget attempts, all cancelled
+  EXPECT_EQ(grant.retries, 2);  // retry_budget re-enqueues were burned
+  EXPECT_DOUBLE_EQ(grant.complete_ms, 3 * 250.0);  // budgets only, no service
+  gpu.finished(0);
+  const FleetGpuStats stats = gpu.stats();
+  EXPECT_EQ(stats.failed_dispatches, 1u);
+  EXPECT_EQ(stats.hangs, 3u);
 }
 
 // --- admission control --------------------------------------------------

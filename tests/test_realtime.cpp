@@ -251,6 +251,29 @@ TEST(RealtimePipeline, TrackerFaultChannelInjectsAndDegradesTheRun) {
             static_cast<std::uint64_t>(result.stats.faults_injected));
 }
 
+TEST(RealtimePipeline, FailureStatusCarriesChannelAtFrameAnnotation) {
+  // Every worker annotates its failure Status as `<channel>@frame <N>:
+  // <what>` (core::annotate_failure) so a post-mortem can place the
+  // failure without a flight-recorder dump. Pin the format here: an
+  // unsupervised detector throw must surface as a kWorkerFailure whose
+  // message leads with the channel and frame.
+  video::SyntheticVideo video(scene(21, 60));
+  video.precache();
+  const auto plan = util::FaultPlan::parse("detector: throw every=1", 11);
+  ASSERT_TRUE(plan.has_value());
+  RealtimeOptions options;
+  options.time_scale = timing_sensitive_scale(30.0);
+  options.fault_plan = &*plan;
+  const RealtimeResult result = run_realtime(video, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kWorkerFailure)
+      << result.status.to_string();
+  const std::string message(result.status.message());
+  EXPECT_EQ(message.rfind("detector@frame ", 0), 0u) << message;
+  EXPECT_NE(message.find(": detector thread: "), std::string::npos) << message;
+  EXPECT_NE(message.find("injected detector fault"), std::string::npos)
+      << message;
+}
+
 TEST(RealtimePipeline, CoastingBillsCoastPowerNotInferencePower) {
   // Long enough that the zero-GPU coasting tail dominates the fixed cost
   // of riding the ladder down: each of the four watchdog timeouts bills
