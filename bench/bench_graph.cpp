@@ -1,0 +1,182 @@
+// Graph-dispatch overhead benchmark (DESIGN.md §16, docs/PERFORMANCE.md).
+//
+// The rebased engines (detect-only, continuous, MPDT/AdaVP) execute as
+// core::graph dataflow specs by default, with the legacy hand-rolled loops
+// retained behind ADAVP_GRAPH_ENGINES=0. The refactor's performance claim:
+// graph dispatch (scheduler scan, packet queues, type-erased payloads) adds
+// at most 5% wall-clock over the loop it replaced. This harness measures
+// exactly that — each engine runs `reps` times per backend, *interleaved*
+// (legacy, graph, legacy, graph, ...) so cache/thermal drift hits both
+// sides equally, and the min across reps is compared (min filters scheduler
+// noise far better than mean on shared CI runners).
+//
+//   ./bench_graph [--frames=480] [--reps=5] [--smoke]
+//                 [--out=BENCH_GRAPH.json]
+//
+// Writes BENCH_GRAPH.json: one row per engine (min wall ms per backend,
+// graph/legacy ratio, digest-equality check) plus a top-level "gate" object
+// consumed by scripts/bench_gate.py:
+//   graph_overhead_ratio = graph min-wall / legacy min-wall on the MPDT
+//                          engine (must be <= 1.05) — MPDT has the most
+//                          nodes and the velocity feedback edge, so it pays
+//                          the highest dispatch cost per cycle.
+//
+// The harness also digests every run (tests/run_result_digest.h) and
+// refuses to report a ratio for backends that disagree — a fast-but-wrong
+// graph must fail the bench, not pass the gate.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/graph/engine_graphs.h"
+#include "core/mpdt_pipeline.h"
+#include "core/training.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "video/scene.h"
+#include "../tests/run_result_digest.h"
+
+namespace {
+
+using namespace adavp;
+
+struct EngineRow {
+  std::string name;
+  double legacy_ms = std::numeric_limits<double>::infinity();
+  double graph_ms = std::numeric_limits<double>::infinity();
+  std::uint64_t legacy_digest = 0;
+  std::uint64_t graph_digest = 0;
+
+  double ratio() const { return graph_ms / legacy_ms; }
+  bool digests_match() const { return legacy_digest == graph_digest; }
+};
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One engine, `reps` interleaved legacy/graph pairs, min wall per backend.
+EngineRow measure(const std::string& name, int reps,
+                  const std::function<core::RunResult()>& run_engine) {
+  EngineRow row;
+  row.name = name;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool graph : {false, true}) {
+      core::graph::force_graph_engines_for_testing(graph);
+      const auto start = std::chrono::steady_clock::now();
+      const core::RunResult run = run_engine();
+      const double ms = wall_ms_since(start);
+      const std::uint64_t digest = core::digest_run(run);
+      if (graph) {
+        row.graph_ms = std::min(row.graph_ms, ms);
+        row.graph_digest = digest;
+      } else {
+        row.legacy_ms = std::min(row.legacy_ms, ms);
+        row.legacy_digest = digest;
+      }
+    }
+  }
+  core::graph::force_graph_engines_for_testing(std::nullopt);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const int frames = args.get_int("frames", smoke ? 120 : 480);
+  const int reps = args.get_int("reps", smoke ? 3 : 5);
+  const std::string out_path = args.get("out", "BENCH_GRAPH.json");
+
+  video::SceneConfig scene;
+  scene.name = "bench_graph";
+  scene.width = 256;
+  scene.height = 160;
+  scene.frame_count = frames;
+  scene.seed = 2026;
+  scene.initial_objects = 4;
+  scene.max_objects = 6;
+  scene.speed_mean = 1.4;
+  scene.camera_pan = 0.6;
+  const video::SyntheticVideo video(scene);
+  const adapt::ModelAdapter adapter = core::pretrained_adapter();
+  constexpr std::uint64_t kSeed = 421;
+
+  std::cout << "==== bench_graph ====\n"
+            << "Graph-dispatch overhead of the rebased engines "
+            << "(DESIGN.md §16)\n"
+            << "scene " << scene.width << "x" << scene.height << ", "
+            << frames << " frames, min of " << reps
+            << " interleaved reps per backend\n\n";
+
+  std::vector<EngineRow> rows;
+  rows.push_back(measure("detect_only", reps, [&] {
+    core::DetectOnlyOptions options;
+    options.seed = kSeed;
+    return core::run_detect_only(video, options);
+  }));
+  rows.push_back(measure("continuous", reps, [&] {
+    core::DetectOnlyOptions options;
+    options.seed = kSeed;
+    return core::run_continuous(video, options);
+  }));
+  rows.push_back(measure("mpdt", reps, [&] {
+    core::MpdtOptions options;
+    options.seed = kSeed;
+    return core::run_mpdt(video, options);
+  }));
+  rows.push_back(measure("adavp", reps, [&] {
+    core::MpdtOptions options;
+    options.adapter = &adapter;
+    options.seed = kSeed;
+    return core::run_mpdt(video, options);
+  }));
+
+  util::Table table({"engine", "legacy ms", "graph ms", "ratio", "digests"});
+  bool all_match = true;
+  for (const EngineRow& row : rows) {
+    all_match = all_match && row.digests_match();
+    table.add_row({row.name, util::fmt(row.legacy_ms, 1),
+                   util::fmt(row.graph_ms, 1), util::fmt(row.ratio(), 3),
+                   row.digests_match() ? "match" : "DIVERGED"});
+  }
+  table.print();
+
+  if (!all_match) {
+    std::cerr << "\ngraph and legacy backends diverged — a wrong graph must "
+                 "not pass the overhead gate\n";
+    return 1;
+  }
+
+  const double gate_ratio = rows[2].ratio();  // mpdt
+  std::cout << "\ngate: graph_overhead_ratio = " << util::fmt(gate_ratio, 3)
+            << " (want <= 1.05)\n";
+
+  std::ofstream json(out_path);
+  json << "{\"smoke\":" << (smoke ? "true" : "false")
+       << ",\"scene\":{\"width\":" << scene.width
+       << ",\"height\":" << scene.height << ",\"frames\":" << frames
+       << "},\"reps\":" << reps << ",\"engines\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const EngineRow& row = rows[i];
+    json << (i > 0 ? "," : "") << "{\"mode\":\"" << row.name
+         << "\",\"legacy_wall_ms\":" << row.legacy_ms
+         << ",\"graph_wall_ms\":" << row.graph_ms
+         << ",\"overhead_ratio\":" << row.ratio()
+         << ",\"digests_match\":" << (row.digests_match() ? "true" : "false")
+         << "}";
+  }
+  json << "],\"gate\":{\"graph_overhead_ratio\":" << gate_ratio << "}}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -6,6 +6,7 @@
 //                  [--faults "detector: stall p=0.05 ms=900 | tracker: starve p=0.1 frac=0.5"]
 //                  [--slo "fps=30 deadline_ms=40 miss_rate=0.1"] [--slo-out slo.json]
 //                  [--flight-recorder-out flight.json]
+//                  [--graph-out engine.dot [--graph-engine adavp]]
 //
 // Walks the public API in the order a new user meets it:
 //   1. describe a video        (video::SceneConfig / SyntheticVideo)
@@ -26,6 +27,7 @@
 #include <iostream>
 #include <optional>
 
+#include "core/graph/engine_graphs.h"
 #include "core/mpdt_pipeline.h"
 #include "core/realtime_pipeline.h"
 #include "core/scoring.h"
@@ -40,6 +42,26 @@
 int main(int argc, char** argv) {
   using namespace adavp;
   const util::Args args(argc, argv);
+
+  // 0. (--graph-out FILE [--graph-engine NAME]) dump the named engine's
+  //    dataflow topology as Graphviz and exit. The rebased engines
+  //    (detect_only, continuous, mpdt, adavp) export the executable wiring
+  //    the run below actually schedules; the legacy engines (realtime,
+  //    marlin, offload) export a descriptive diagram of their loop.
+  //    Render with `dot -Tsvg engine.dot -o engine.svg`.
+  const std::string graph_out = args.get("graph-out", "");
+  if (!graph_out.empty()) {
+    const std::string engine = args.get("graph-engine", "adavp");
+    try {
+      std::ofstream out(graph_out);
+      out << core::graph::engine_topology_dot(engine);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << engine << " topology to " << graph_out << "\n";
+    return 0;
+  }
 
   // 1. A synthetic street scene. On a real deployment this is the camera;
   //    here the generator also hands us exact ground truth for scoring.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/engine_runtime.h"
+#include "core/graph/engine_graphs.h"
 #include "energy/power_model.h"
 #include "obs/telemetry.h"
 
@@ -157,6 +158,17 @@ RunResult run_detect_only(const video::SyntheticVideo& video,
                             .slo = options.slo});
   if (ctx.frame_count == 0) return std::move(ctx.run);
 
+  if (graph::graph_engines_enabled()) {
+    // The engine as a graph spec: camera -> detector -> sink ring (see
+    // build_detect_only_graph). Byte-identical to the loop below, pinned by
+    // tests/test_engine_equivalence.cpp with either backend forced.
+    graph::Graph g = graph::build_detect_only_graph(ctx, options.setting);
+    const Status status = g.run();
+    if (!status.ok()) ctx.fail("detect-only engine: " + status.message());
+    ctx.finish();
+    return std::move(ctx.run);
+  }
+
   try {
     int index = 0;
     double t = ctx.capture_time_ms(0);
@@ -203,6 +215,20 @@ RunResult run_continuous(const video::SyntheticVideo& video,
   if (ctx.frame_count == 0) return std::move(ctx.run);
 
   const double cpu_w = energy::PowerModel::cpu_feed_w(options.setting);
+
+  if (graph::graph_engines_enabled()) {
+    // Linear camera -> detector -> sink chain; the free-running camera is
+    // paced by bounded-queue backpressure instead of a for-loop.
+    graph::Graph g = graph::build_continuous_graph(ctx, options.setting, cpu_w);
+    const Status status = g.run();
+    if (!status.ok()) ctx.fail("continuous engine: " + status.message());
+    const double graph_processing_ms = ctx.clock->now_ms();
+    ctx.finish();
+    ctx.run.latency_multiplier =
+        graph_processing_ms /
+        (static_cast<double>(ctx.frame_count) * ctx.interval_ms);
+    return std::move(ctx.run);
+  }
 
   try {
     for (int i = 0; i < ctx.frame_count; ++i) {

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/graph/graph.h"
+#include "core/graph/nodes.h"
+
+namespace adavp::core::graph {
+
+/// Whether the rebased engines (detect-only, continuous, MPDT/AdaVP) run on
+/// the core::graph scheduler (the default) or on the retained legacy loops.
+/// Env toggle: ADAVP_GRAPH_ENGINES=0|off|false selects legacy — this is the
+/// switch CI uses to guard graph-vs-legacy byte-identity.
+bool graph_engines_enabled();
+
+/// Test hook overriding the env toggle in-process (nullopt restores it).
+/// Lets one test run both backends back to back and compare digests.
+void force_graph_engines_for_testing(std::optional<bool> enabled);
+
+/// The engine ring topologies, declarative graph specs over one
+/// EngineContext. Builders only wire; the caller runs. The context must
+/// outlive the graph.
+///
+/// detect-only:  camera -> detector -> sink -(tick)-> camera
+/// continuous:   camera -> detector -> sink            (no ring: camera
+///               free-runs, paced purely by edge backpressure)
+/// mpdt/adavp:   camera -> adapter -> detector -> catchup -> sink
+///               -(tick)-> camera, plus catchup -(velocity)-> adapter
+Graph build_detect_only_graph(EngineContext& ctx,
+                              detect::ModelSetting setting);
+Graph build_continuous_graph(EngineContext& ctx, detect::ModelSetting setting,
+                             double cpu_feed_w);
+Graph build_mpdt_graph(EngineContext& ctx, detect::ModelSetting setting,
+                       const adapt::ModelAdapter* adapter,
+                       SelectionPolicy selection);
+
+/// Graphviz topology for any engine by name ("mpdt", "adavp",
+/// "detect_only", "continuous", "marlin", "realtime", "offload"). The three
+/// rebased engines export their real executable wiring; the legacy engines
+/// export a descriptive diagram of their hard-coded loop so `quickstart
+/// --graph-out` covers the whole engine table. Throws GraphError on an
+/// unknown engine name.
+std::string engine_topology_dot(const std::string& engine);
+
+}  // namespace adavp::core::graph

@@ -1,0 +1,331 @@
+#include "core/graph/graph.h"
+
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace adavp::core::graph {
+namespace {
+
+/// Span events keep their name as a `const char*` for the tracer's
+/// lifetime, which can outlive any Graph. Node names are dynamic, so they
+/// are interned into a process-lifetime pool the first time a graph uses
+/// them; repeated builds of the same topology reuse the same pointer.
+const char* intern_span_name(const std::string& name) {
+  static std::mutex mutex;
+  static std::vector<std::unique_ptr<std::string>>* pool =
+      new std::vector<std::unique_ptr<std::string>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& entry : *pool) {
+    if (*entry == name) return entry->c_str();
+  }
+  pool->push_back(std::make_unique<std::string>(name));
+  return pool->back()->c_str();
+}
+
+bool ports_compatible(const PortSpec& out, const PortSpec& in) {
+  if (out.type == nullptr || in.type == nullptr) return true;  // `any` side
+  return *out.type == *in.type;
+}
+
+}  // namespace
+
+void Graph::add_node(std::unique_ptr<Node> node) {
+  NodeSlot slot;
+  slot.out_edges.resize(node->outputs().size());
+  slot.in_edge.assign(node->inputs().size(), -1);
+  slot.interned_name = intern_span_name(node->name());
+  slot.node = std::move(node);
+  nodes_.push_back(std::move(slot));
+}
+
+int Graph::index_of(const Node& node) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].node.get() == &node) return static_cast<int>(i);
+  }
+  throw GraphError("node '" + node.name() + "' is not part of this graph");
+}
+
+int Graph::input_port(const NodeSlot& slot, std::string_view name) const {
+  const auto& ports = slot.node->inputs();
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].name == name) return static_cast<int>(i);
+  }
+  throw GraphError("node '" + slot.node->name() + "' has no input port '" +
+                   std::string(name) + "'");
+}
+
+int Graph::output_port(const NodeSlot& slot, std::string_view name) const {
+  const auto& ports = slot.node->outputs();
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].name == name) return static_cast<int>(i);
+  }
+  throw GraphError("node '" + slot.node->name() + "' has no output port '" +
+                   std::string(name) + "'");
+}
+
+void Graph::connect(Node& from, std::string_view from_port, Node& to,
+                    std::string_view to_port, int capacity) {
+  if (capacity < 1) throw GraphError("edge capacity must be >= 1");
+  const int from_index = index_of(from);
+  const int to_index = index_of(to);
+  NodeSlot& from_slot = nodes_[from_index];
+  NodeSlot& to_slot = nodes_[to_index];
+  const int out = output_port(from_slot, from_port);
+  const int in = input_port(to_slot, to_port);
+  if (to_slot.in_edge[in] != -1) {
+    throw GraphError("input port '" + to.name() + "." + std::string(to_port) +
+                     "' is already connected");
+  }
+  if (!ports_compatible(from.outputs()[out], to.inputs()[in])) {
+    throw GraphError(
+        "type mismatch wiring '" + from.name() + "." + std::string(from_port) +
+        "' (" + from.outputs()[out].type->name() + ") to '" + to.name() + "." +
+        std::string(to_port) + "' (" + to.inputs()[in].type->name() + ")");
+  }
+  Edge edge;
+  edge.from_node = from_index;
+  edge.from_port = out;
+  edge.to_node = to_index;
+  edge.to_port = in;
+  edge.capacity = capacity;
+  const int edge_id = static_cast<int>(edges_.size());
+  edges_.push_back(std::move(edge));
+  from_slot.out_edges[out].push_back(edge_id);
+  to_slot.in_edge[in] = edge_id;
+}
+
+void Graph::prime(Node& to, std::string_view to_port, Packet packet) {
+  const NodeSlot& slot = nodes_[index_of(to)];
+  const int in = input_port(slot, to_port);
+  const int edge_id = slot.in_edge[in];
+  if (edge_id == -1) {
+    throw GraphError("cannot prime unconnected input '" + to.name() + "." +
+                     std::string(to_port) + "'");
+  }
+  Edge& edge = edges_[edge_id];
+  if (static_cast<int>(edge.queue.size()) >= edge.capacity) {
+    throw GraphError("priming would overflow edge into '" + to.name() + "." +
+                     std::string(to_port) + "'");
+  }
+  edge.primed = true;
+  edge.queue.push_back(std::move(packet));
+}
+
+void Graph::validate() const {
+  for (const NodeSlot& slot : nodes_) {
+    const auto& ports = slot.node->inputs();
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      if (!ports[i].optional && slot.in_edge[i] == -1) {
+        throw GraphError("required input '" + slot.node->name() + "." +
+                         ports[i].name + "' is not connected");
+      }
+    }
+  }
+}
+
+bool Graph::runnable(const NodeSlot& slot) const {
+  const auto& in_ports = slot.node->inputs();
+  if (in_ports.empty()) {
+    // A source runs until it says it is done.
+    if (slot.node->exhausted()) return false;
+  } else {
+    // Every required input must have a packet; a node with only optional
+    // inputs still needs at least one packet somewhere, or draining nodes
+    // would spin forever on empty queues.
+    bool any_packet = false;
+    for (std::size_t i = 0; i < in_ports.size(); ++i) {
+      const int edge_id = slot.in_edge[i];
+      const bool has_packet = edge_id != -1 && !edges_[edge_id].queue.empty();
+      if (!in_ports[i].optional && !has_packet) return false;
+      any_packet = any_packet || has_packet;
+    }
+    if (!any_packet) return false;
+  }
+  // Backpressure: every connected output edge must have room for one
+  // packet, or the activation could not complete without overflowing.
+  for (const auto& fan : slot.out_edges) {
+    for (int edge_id : fan) {
+      const Edge& edge = edges_[edge_id];
+      if (static_cast<int>(edge.queue.size()) >= edge.capacity) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Graph::queued_packets() const {
+  std::size_t total = 0;
+  for (const Edge& edge : edges_) total += edge.queue.size();
+  return total;
+}
+
+void Graph::note_queue_depth() {
+  const std::size_t depth = queued_packets();
+  if (depth > max_queued_) max_queued_ = depth;
+}
+
+Status Graph::run() {
+  try {
+    validate();
+  } catch (const std::exception& e) {
+    return Status::invalid_argument(name_ + ": " + e.what());
+  }
+
+  const bool telemetry = obs::Telemetry::enabled();
+  // Per-node instruments resolved once up front (resolution takes a lock;
+  // updates are lock-free). The "graph." prefix composes under any outer
+  // prefix a fleet stream thread has set, yielding e.g.
+  // `fleet.stream3.graph.node.detector.activations`.
+  std::vector<obs::Counter*> node_activations(nodes_.size(), nullptr);
+  obs::Counter* graph_activations = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  if (telemetry) {
+    obs::ScopedMetricPrefix prefix("graph.");
+    auto& registry = obs::metrics();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      node_activations[i] =
+          &registry.counter("node." + nodes_[i].node->name(), "activations");
+    }
+    graph_activations = &registry.counter("scheduler", "activations");
+    queue_depth = &registry.gauge("scheduler", "queue_depth");
+  }
+
+  note_queue_depth();
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Most-downstream-first: scan in reverse insertion order so sinks drain
+    // before sources produce (see the class comment in graph.h).
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+      NodeSlot& slot = nodes_[i];
+      if (!runnable(slot)) continue;
+
+      ++activations_;
+      takes_this_activation_ = 0;
+      NodeRun run(*this, static_cast<int>(i));
+      try {
+        if (telemetry) {
+          obs::ScopedSpan span(slot.interned_name, "graph",
+                               static_cast<std::int64_t>(activations_),
+                               "activation");
+          slot.node->process(run);
+        } else {
+          slot.node->process(run);
+        }
+      } catch (const std::exception& e) {
+        // First-failure path: drop everything in flight (releasing frame
+        // payloads) and surface the node by name. Never hang, never abort.
+        for (Edge& edge : edges_) edge.queue.clear();
+        return Status::worker_failure(slot.node->name() + ": " +
+                                      std::string(e.what()));
+      }
+      if (!slot.node->inputs().empty() && takes_this_activation_ == 0) {
+        // A runnable input-driven node that consumes nothing would be
+        // selected again immediately: a livelock, not progress.
+        for (Edge& edge : edges_) edge.queue.clear();
+        return Status::worker_failure(
+            slot.node->name() +
+            ": activation consumed no input packet (livelock)");
+      }
+      if (telemetry) {
+        node_activations[i]->add();
+        graph_activations->add();
+        queue_depth->set(static_cast<double>(queued_packets()));
+      }
+      note_queue_depth();
+      progressed = true;
+      break;  // restart scan: most-downstream runnable node always goes first
+    }
+  }
+
+  // Leftovers on optional (latest-wins) inputs are expected at quiescence —
+  // a velocity sample emitted on the final cycle has no next cycle to be
+  // drained by. Packets stranded on a *required* input mean the graph
+  // stalled.
+  std::size_t stranded = 0;
+  for (Edge& edge : edges_) {
+    const NodeSlot& to = nodes_[edge.to_node];
+    if (to.node->inputs()[edge.to_port].optional) {
+      edge.queue.clear();
+    } else {
+      stranded += edge.queue.size();
+    }
+  }
+  if (stranded > 0) {
+    for (Edge& edge : edges_) edge.queue.clear();
+    return Status::worker_failure(
+        name_ + ": graph stalled with " + std::to_string(stranded) +
+        " packet(s) queued and no runnable node");
+  }
+  return Status();
+}
+
+std::string Graph::to_dot() const {
+  std::ostringstream out;
+  out << "digraph \"" << name_ << "\" {\n";
+  out << "  rankdir=LR;\n";
+  out << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const NodeSlot& slot : nodes_) {
+    out << "  \"" << slot.node->name() << "\";\n";
+  }
+  for (const Edge& edge : edges_) {
+    const NodeSlot& from = nodes_[edge.from_node];
+    const NodeSlot& to = nodes_[edge.to_node];
+    out << "  \"" << from.node->name() << "\" -> \"" << to.node->name()
+        << "\" [label=\"" << from.node->outputs()[edge.from_port].name
+        << " -> " << to.node->inputs()[edge.to_port].name
+        << " cap=" << edge.capacity << "\"";
+    if (edge.primed) out << ", style=dashed";
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+// --- NodeRun -----------------------------------------------------------------
+
+Packet NodeRun::take(int port) {
+  Packet p = try_take(port);
+  if (p.empty()) {
+    const Graph::NodeSlot& slot = graph_.nodes_[node_index_];
+    throw GraphError("take() on empty input '" + slot.node->name() + "." +
+                     slot.node->inputs()[port].name + "'");
+  }
+  return p;
+}
+
+Packet NodeRun::try_take(int port) {
+  Graph::NodeSlot& slot = graph_.nodes_[node_index_];
+  if (port < 0 || port >= static_cast<int>(slot.in_edge.size())) {
+    throw GraphError("bad input port id on '" + slot.node->name() + "'");
+  }
+  const int edge_id = slot.in_edge[port];
+  if (edge_id == -1) return Packet();
+  Graph::Edge& edge = graph_.edges_[edge_id];
+  if (edge.queue.empty()) return Packet();
+  Packet p = std::move(edge.queue.front());
+  edge.queue.pop_front();
+  ++graph_.takes_this_activation_;
+  return p;
+}
+
+void NodeRun::emit(int port, Packet packet) {
+  Graph::NodeSlot& slot = graph_.nodes_[node_index_];
+  if (port < 0 || port >= static_cast<int>(slot.out_edges.size())) {
+    throw GraphError("bad output port id on '" + slot.node->name() + "'");
+  }
+  for (int edge_id : slot.out_edges[port]) {
+    Graph::Edge& edge = graph_.edges_[edge_id];
+    if (static_cast<int>(edge.queue.size()) >= edge.capacity) {
+      throw GraphError("emit overflows edge '" + slot.node->name() + "." +
+                       slot.node->outputs()[port].name + "' (capacity " +
+                       std::to_string(edge.capacity) + ")");
+    }
+    edge.queue.push_back(packet);
+  }
+}
+
+}  // namespace adavp::core::graph

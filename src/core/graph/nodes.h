@@ -1,0 +1,231 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "adapt/adapter.h"
+#include "core/degradation.h"
+#include "core/engine_runtime.h"
+#include "core/graph/node.h"
+#include "detect/detector.h"
+
+namespace adavp::core::graph {
+
+// --- packet payloads ---------------------------------------------------------
+// The typed vocabulary the engine graphs speak. All payloads are small value
+// types; frame *pixels* never ride the engine streams — nodes fetch them
+// through EngineContext::frame() so camera-fault billing stays exactly where
+// the legacy loops put it. (FrameRef payloads are first-class Packet citizens
+// too — the resampler is payload-agnostic and tests pin that dropping a
+// FrameRef packet releases the frame buffer immediately.)
+
+/// A frame the detector should process next: which frame, when the cycle
+/// starts, and at what model setting.
+struct FrameTicket {
+  int index = 0;
+  double start_ms = 0.0;
+  detect::ModelSetting setting = detect::ModelSetting::kYolov3_512;
+  /// The prologue cycle (frame 0, nothing to track yet). The adapter passes
+  /// it through untouched and the MPDT sink logs no cycle metrics for it,
+  /// mirroring the legacy loop's pre-loop detection.
+  bool initial = false;
+};
+
+/// A completed (fault-wrapped) detection, still carrying its ticket.
+struct DetectionEvent {
+  FrameTicket ticket;
+  detect::DetectionResult det;
+};
+
+/// One detect cycle after the tracker-side catch-up batch ran against it.
+struct TrackedCycle {
+  DetectionEvent event;
+  double cycle_end_ms = 0.0;
+  int frames_between = 0;  ///< f_t of the frame-selection scheme
+  int tracked = 0;         ///< h_t
+  double report_velocity = 0.0;  ///< what the cycle record logs (Eq. 3)
+};
+
+/// The sink's completion signal that clocks the camera source around the
+/// engine ring: the last finished frame and the virtual time it finished.
+struct CycleTick {
+  int index = 0;
+  double t_ms = 0.0;
+};
+
+/// Mean content-change velocity of a finished cycle (adapter feedback).
+struct VelocitySample {
+  double velocity = 0.0;
+};
+
+/// A watchdog overrun report (DegradationNode input).
+struct OverrunSignal {};
+
+// --- calculator library ------------------------------------------------------
+
+/// The engine ring's frame scheduler. Two modes:
+///
+///  * kFeedback (detect-only, MPDT): input "tick" (CycleTick, primed to
+///    start the ring), output "frame". The first activation emits frame 0
+///    at its capture time; each later tick picks the newest frame captured
+///    by tick time (waiting one capture interval when the detector outpaced
+///    the camera) and stops emitting once the tick reports the last frame —
+///    the ring quiesces and the run completes.
+///  * kEveryFrame (continuous): no inputs; emits every frame index in order
+///    and reports exhausted() after the last. Downstream backpressure is
+///    what paces it.
+class CameraSourceNode : public Node {
+ public:
+  enum class Mode { kFeedback, kEveryFrame };
+
+  CameraSourceNode(EngineContext& ctx, Mode mode,
+                   detect::ModelSetting setting);
+
+  void process(NodeRun& run) override;
+  bool exhausted() const override;
+
+ private:
+  EngineContext& ctx_;
+  const Mode mode_;
+  const detect::ModelSetting setting_;
+  bool started_ = false;  ///< kFeedback: first activation consumed the prime
+  int next_ = 0;          ///< kEveryFrame cursor
+  int tick_in_ = -1;
+  int frame_out_ = -1;
+};
+
+/// Cadence throttle, the MediaPipe PacketResamplerCalculator equivalent:
+/// payload-agnostic — passes a packet when at least `period_ms` of stream
+/// time elapsed since the last passed one, drops it otherwise. Dropping
+/// releases the packet's payload immediately (a dropped FrameRef returns
+/// its buffer to the pool).
+class PacketResamplerNode : public Node {
+ public:
+  PacketResamplerNode(std::string name, double period_ms);
+
+  void process(NodeRun& run) override;
+
+  std::uint64_t passed() const { return passed_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  const double period_ms_;
+  double next_emit_ms_ = std::numeric_limits<double>::lowest();
+  std::uint64_t passed_ = 0;
+  std::uint64_t dropped_ = 0;
+  int in_ = -1;
+  int out_ = -1;
+};
+
+/// Model adaptation (§IV-D3): input "frame" plus an optional "velocity"
+/// feedback stream from the tracker. Each non-initial ticket is re-stamped
+/// with the adapter's current setting; when a velocity sample has arrived,
+/// the adapter may switch settings first (counted in
+/// RunResult::setting_switches and the `adapter.switches` metric). With a
+/// null ModelAdapter (MPDT-fixed) the node is a fixed-setting pass-through.
+class AdapterNode : public Node {
+ public:
+  AdapterNode(EngineContext& ctx, const adapt::ModelAdapter* adapter,
+              detect::ModelSetting initial_setting);
+
+  void process(NodeRun& run) override;
+
+ private:
+  EngineContext& ctx_;
+  const adapt::ModelAdapter* adapter_;
+  detect::ModelSetting setting_;
+  double velocity_ = 0.0;
+  bool have_velocity_ = false;
+  int frame_in_ = -1;
+  int velocity_in_ = -1;
+  int frame_out_ = -1;
+};
+
+/// Graceful-degradation cap over the ticket stream: optional "overrun"
+/// signals step the DegradationLadder down, overrun-free tickets step it
+/// back up (hysteresis inside the ladder); each ticket's setting is capped
+/// to the current level. Precondition: the ladder never reaches the
+/// tracker-only floor in a detector-fed graph (the realtime engine handles
+/// coasting out-of-band).
+class DegradationNode : public Node {
+ public:
+  explicit DegradationNode(LadderOptions options = {});
+
+  void process(NodeRun& run) override;
+
+  const DegradationLadder& ladder() const { return ladder_; }
+
+ private:
+  DegradationLadder ladder_;
+  int frame_in_ = -1;
+  int overrun_in_ = -1;
+  int frame_out_ = -1;
+};
+
+/// One fault-wrapped, GPU-billed detection per ticket
+/// (EngineContext::detect_on_gpu). `continuous_power` selects the saturated
+/// no-frame-skipping operating point; `emit_detect_span` reproduces the
+/// legacy baselines' per-detect wall-clock span (the virtual-time MPDT
+/// engine never had one).
+class DetectorNode : public Node {
+ public:
+  DetectorNode(EngineContext& ctx, bool continuous_power,
+               bool emit_detect_span);
+
+  void process(NodeRun& run) override;
+
+ private:
+  EngineContext& ctx_;
+  const bool continuous_power_;
+  const bool emit_detect_span_;
+  int frame_in_ = -1;
+  int event_out_ = -1;
+};
+
+/// The tracker side of an MPDT cycle (§IV-B/C): holds the reference
+/// detection, runs EngineContext::track_catchup across the frames buffered
+/// while the detector (virtually) occupied the cycle, and feeds the mean
+/// velocity back to the adapter. The initial ticket only arms the
+/// reference.
+class TrackerCatchupNode : public Node {
+ public:
+  TrackerCatchupNode(EngineContext& ctx, SelectionPolicy selection);
+
+  void process(NodeRun& run) override;
+
+ private:
+  EngineContext& ctx_;
+  const SelectionPolicy selection_;
+  int ref_index_ = 0;
+  std::vector<detect::Detection> ref_detections_;
+  double prev_velocity_ = 0.0;
+  int event_in_ = -1;
+  int cycle_out_ = -1;
+  int velocity_out_ = -1;
+};
+
+/// Assembles RunResult exactly the way the legacy loop it replaces did —
+/// records the detection, appends the cycle record, logs the engine's
+/// metrics, advances the run clock — and (in the ring modes) emits the
+/// CycleTick that clocks the camera. One mode per rebased engine so the
+/// recorded float arithmetic replicates each loop's formulas verbatim.
+class SinkNode : public Node {
+ public:
+  enum class Mode { kDetectOnly, kContinuous, kMpdt };
+
+  /// `cpu_feed_w` is only read in kContinuous mode (the CPU power of
+  /// feeding the saturated detector).
+  SinkNode(EngineContext& ctx, Mode mode, double cpu_feed_w = 0.0);
+
+  void process(NodeRun& run) override;
+
+ private:
+  EngineContext& ctx_;
+  const Mode mode_;
+  const double cpu_feed_w_;
+  int in_ = -1;
+  int tick_out_ = -1;  ///< -1 in kContinuous (no ring)
+};
+
+}  // namespace adavp::core::graph

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+namespace adavp::core::graph {
+
+/// Raised on graph-contract violations: type-mismatched packet access,
+/// emitting into a full queue, wiring errors. Escapes a node's process()
+/// into the scheduler's first-failure path, never past Graph::run().
+class GraphError : public std::runtime_error {
+ public:
+  explicit GraphError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One unit of dataflow: an immutable payload plus the virtual timestamp
+/// it belongs to. Copying a Packet copies a shared_ptr, never the payload,
+/// so a FrameRef-carrying packet fanned out to two queues still holds one
+/// refcount per copy and releases it the moment the packet is dropped or
+/// consumed — packet lifetime *is* payload lifetime.
+///
+/// The payload is type-erased so heterogeneous streams share one queue
+/// type; `get<T>()` re-types it with a checked cast (a mismatch is a
+/// GraphError naming both types, not UB).
+class Packet {
+ public:
+  Packet() = default;
+
+  template <typename T>
+  static Packet make(T value, double ts_ms) {
+    Packet p;
+    p.payload_ = std::make_shared<Holder<T>>(std::move(value));
+    p.ts_ms_ = ts_ms;
+    return p;
+  }
+
+  /// Virtual time the packet belongs to (capture time, completion time...).
+  double ts_ms() const { return ts_ms_; }
+
+  bool empty() const { return payload_ == nullptr; }
+
+  template <typename T>
+  bool holds() const {
+    return payload_ != nullptr && payload_->type() == typeid(T);
+  }
+
+  /// Typed view of the payload. Throws GraphError on an empty packet or a
+  /// type mismatch.
+  template <typename T>
+  const T& get() const {
+    if (payload_ == nullptr) throw GraphError("get() on an empty packet");
+    if (payload_->type() != typeid(T)) {
+      throw GraphError(std::string("packet type mismatch: holds ") +
+                       payload_->type().name() + ", asked for " +
+                       typeid(T).name());
+    }
+    return static_cast<const Holder<T>*>(payload_.get())->value;
+  }
+
+  /// The held payload's type, or nullptr when empty.
+  const std::type_info* type() const {
+    return payload_ != nullptr ? &payload_->type() : nullptr;
+  }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+    virtual const std::type_info& type() const = 0;
+  };
+  template <typename T>
+  struct Holder final : HolderBase {
+    explicit Holder(T v) : value(std::move(v)) {}
+    const std::type_info& type() const override { return typeid(T); }
+    const T value;
+  };
+
+  std::shared_ptr<const HolderBase> payload_;
+  double ts_ms_ = 0.0;
+};
+
+}  // namespace adavp::core::graph

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/graph/engine_graphs.h"
 #include "obs/telemetry.h"
 
 namespace adavp::core {
@@ -15,6 +16,20 @@ RunResult run_mpdt(const video::SyntheticVideo& video, const MpdtOptions& option
                             .fault_plan = options.fault_plan,
                             .slo = options.slo});
   if (ctx.frame_count == 0) return std::move(ctx.run);
+
+  if (graph::graph_engines_enabled()) {
+    // The engine as a graph spec: camera -> adapter -> detector -> catchup
+    // -> sink ring with a velocity feedback edge (see build_mpdt_graph).
+    // Byte-identical to the loop below, pinned by
+    // tests/test_engine_equivalence.cpp with either backend forced.
+    graph::Graph g = graph::build_mpdt_graph(ctx, options.setting,
+                                             options.adapter,
+                                             options.selection);
+    const Status status = g.run();
+    if (!status.ok()) ctx.fail("mpdt engine: " + status.message());
+    ctx.finish();
+    return std::move(ctx.run);
+  }
 
   detect::ModelSetting setting = options.setting;
   double previous_velocity = 0.0;

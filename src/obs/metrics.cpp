@@ -325,7 +325,16 @@ void set_metric_prefix(std::string prefix) {
 
 ScopedMetricPrefix::ScopedMetricPrefix(std::string prefix)
     : previous_(t_metric_prefix) {
-  t_metric_prefix = std::move(prefix);
+  // Non-empty prefixes *compose* with the enclosing scope, so a graph node
+  // inside a fleet stream lands under "fleet.stream3.graph.node.detector.".
+  // The empty prefix stays a reset-to-root: it is the documented bypass the
+  // fleet GPU thread uses to register shared aggregates outside its
+  // stream's namespace.
+  if (prefix.empty()) {
+    t_metric_prefix.clear();
+  } else {
+    t_metric_prefix += prefix;
+  }
 }
 
 ScopedMetricPrefix::~ScopedMetricPrefix() { t_metric_prefix = previous_; }

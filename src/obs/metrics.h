@@ -166,8 +166,13 @@ struct MetricsSnapshot {
 const std::string& metric_prefix();
 void set_metric_prefix(std::string prefix);
 
-/// RAII prefix for the calling thread; restores the previous prefix (so
-/// scopes nest). Typical use brackets one stream's whole engine run:
+/// RAII prefix for the calling thread; restores the previous prefix on
+/// destruction. Nested non-empty scopes *compose* — appending to the
+/// enclosing prefix — so a graph node resolved inside a fleet stream lands
+/// under "fleet.stream3.graph.node.detector.". An empty prefix resets to
+/// the root namespace for its scope (the fleet GPU thread's bypass for
+/// registering shared, stream-agnostic aggregates). Typical use brackets
+/// one stream's whole engine run:
 ///
 ///   obs::ScopedMetricPrefix scope("fleet.stream3.");
 ///   RunResult run = run_mpdt(video, options);  // instruments land under

@@ -29,6 +29,11 @@ struct FrameRef {
 
   const vision::ImageU8& image() const { return *image_ptr; }
   bool valid() const { return image_ptr != nullptr; }
+  /// Consumers currently sharing these pixels (0 when invalid). The graph
+  /// packet-ownership tests observe this to pin that dropping a
+  /// FrameRef-carrying core::graph::Packet releases the buffer immediately
+  /// — packet lifetime is payload lifetime, nothing else pins pixels.
+  long use_count() const { return image_ptr.use_count(); }
 };
 
 /// Tuning knobs of a FrameStore. The defaults bound resident memory to a

@@ -1,0 +1,635 @@
+// Dataflow-graph runtime suite (DESIGN.md §16).
+//
+// Four claims pinned here:
+//
+//  1. Scheduler contract: deterministic most-downstream-first activation,
+//     bounded queues that never exceed their capacity, and clean Status
+//     outcomes for every edge case — zero-item sources, a node throwing
+//     mid-graph (first-failure path, never a hang or abort), required
+//     inputs left starving (stall detection), livelocking nodes.
+//  2. Calculator library semantics: the resampler's cadence throttle and
+//     its packet-ownership guarantee (a dropped FrameRef packet releases
+//     its pixels immediately), the degradation cap, type-checked wiring.
+//  3. Graph-vs-legacy byte-identity: the rebased engines (detect-only,
+//     continuous, MPDT fixed + AdaVP) produce digest-identical RunResults
+//     on either backend, fault-free and under a seeded chaos FaultPlan —
+//     the in-process counterpart of CI's ADAVP_GRAPH_ENGINES=0 rerun.
+//  4. Graph scheduling is bit-identical across repeats and vision-kernel
+//     thread counts, and its telemetry composes under a fleet stream's
+//     metric prefix ("fleet.streamN.graph.node.<name>.*").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/graph/engine_graphs.h"
+#include "core/graph/graph.h"
+#include "core/graph/nodes.h"
+#include "core/mpdt_pipeline.h"
+#include "core/training.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "run_result_digest.h"
+#include "util/fault_plan.h"
+#include "vision/image.h"
+
+namespace adavp::core::graph {
+namespace {
+
+// --- test calculators --------------------------------------------------------
+
+/// Emits the ints [0, n) one per activation, stamped ts = 10*i.
+class IntSource : public Node {
+ public:
+  IntSource(std::string name, int n) : Node(std::move(name)), n_(n) {
+    out_ = declare_output<int>("out");
+  }
+  void process(NodeRun& run) override {
+    run.emit(out_, next_, 10.0 * next_);
+    ++next_;
+  }
+  bool exhausted() const override { return next_ >= n_; }
+
+ private:
+  const int n_;
+  int next_ = 0;
+  int out_;
+};
+
+class DoubleNode : public Node {
+ public:
+  DoubleNode() : Node("doubler") {
+    in_ = declare_input<int>("in");
+    out_ = declare_output<int>("out");
+  }
+  void process(NodeRun& run) override {
+    Packet p = run.take(in_);
+    run.emit(out_, 2 * p.get<int>(), p.ts_ms());
+  }
+
+ private:
+  int in_, out_;
+};
+
+/// Collects every int (and its timestamp) it consumes.
+class CollectSink : public Node {
+ public:
+  CollectSink() : Node("collector") { in_ = declare_input_any("in"); }
+  void process(NodeRun& run) override {
+    Packet p = run.take(in_);
+    if (p.holds<int>()) values.push_back(p.get<int>());
+    ts.push_back(p.ts_ms());
+  }
+  std::vector<int> values;
+  std::vector<double> ts;
+
+ private:
+  int in_;
+};
+
+class ThrowingNode : public Node {
+ public:
+  ThrowingNode() : Node("exploder") {
+    in_ = declare_input<int>("in");
+    out_ = declare_output<int>("out");
+  }
+  void process(NodeRun& run) override {
+    Packet p = run.take(in_);
+    if (p.get<int>() >= 3) throw std::runtime_error("boom at 3");
+    run.emit(out_, p.get<int>(), p.ts_ms());
+  }
+
+ private:
+  int in_, out_;
+};
+
+/// Violates the consume-at-least-one contract: runnable forever.
+class NoConsumeNode : public Node {
+ public:
+  NoConsumeNode() : Node("lurker") { in_ = declare_input<int>("in"); }
+  void process(NodeRun&) override {}
+
+ private:
+  int in_;
+};
+
+/// Requires both inputs; used to engineer a starvation stall.
+class JoinNode : public Node {
+ public:
+  JoinNode() : Node("join") {
+    a_ = declare_input<int>("a");
+    b_ = declare_input<int>("b");
+    out_ = declare_output<int>("out");
+  }
+  void process(NodeRun& run) override {
+    Packet a = run.take(a_);
+    Packet b = run.take(b_);
+    run.emit(out_, a.get<int>() + b.get<int>(), a.ts_ms());
+  }
+
+ private:
+  int a_, b_, out_;
+};
+
+/// Emits two packets per activation — overflows a capacity-1 edge.
+class OverEmitter : public Node {
+ public:
+  OverEmitter() : Node("overemitter") { out_ = declare_output<int>("out"); }
+  void process(NodeRun& run) override {
+    run.emit(out_, 1, 0.0);
+    run.emit(out_, 2, 0.0);
+    done_ = true;
+  }
+  bool exhausted() const override { return done_; }
+
+ private:
+  bool done_ = false;
+  int out_;
+};
+
+/// Source emitting FrameRef packets over the same pixel buffer.
+class FrameRefSource : public Node {
+ public:
+  FrameRefSource(std::shared_ptr<const vision::ImageU8> image, int n)
+      : Node("frames"), image_(std::move(image)), n_(n) {
+    out_ = declare_output<video::FrameRef>("out");
+  }
+  void process(NodeRun& run) override {
+    run.emit(out_, video::FrameRef{next_, 10.0 * next_, image_},
+             10.0 * next_);
+    ++next_;
+  }
+  bool exhausted() const override { return next_ >= n_; }
+
+ private:
+  std::shared_ptr<const vision::ImageU8> image_;
+  const int n_;
+  int next_ = 0;
+  int out_;
+};
+
+/// Emits FrameTickets at a fixed setting.
+class TicketSource : public Node {
+ public:
+  TicketSource(int n, detect::ModelSetting setting)
+      : Node("tickets"), n_(n), setting_(setting) {
+    out_ = declare_output<FrameTicket>("out");
+  }
+  void process(NodeRun& run) override {
+    run.emit(out_, FrameTicket{next_, 10.0 * next_, setting_, false},
+             10.0 * next_);
+    ++next_;
+  }
+  bool exhausted() const override { return next_ >= n_; }
+
+ private:
+  const int n_;
+  const detect::ModelSetting setting_;
+  int next_ = 0;
+  int out_;
+};
+
+/// Emits `n` overrun signals, one per activation.
+class OverrunSource : public Node {
+ public:
+  explicit OverrunSource(int n) : Node("overruns"), n_(n) {
+    out_ = declare_output<OverrunSignal>("out");
+  }
+  void process(NodeRun& run) override {
+    run.emit(out_, OverrunSignal{}, 0.0);
+    ++next_;
+  }
+  bool exhausted() const override { return next_ >= n_; }
+
+ private:
+  const int n_;
+  int next_ = 0;
+  int out_;
+};
+
+class TicketCollect : public Node {
+ public:
+  TicketCollect() : Node("ticket_sink") {
+    in_ = declare_input<FrameTicket>("in");
+  }
+  void process(NodeRun& run) override {
+    settings.push_back(run.take(in_).get<FrameTicket>().setting);
+  }
+  std::vector<detect::ModelSetting> settings;
+
+ private:
+  int in_;
+};
+
+// --- packet semantics --------------------------------------------------------
+
+TEST(Packet, TypedAccessAndTimestamps) {
+  const Packet p = Packet::make<int>(41, 12.5);
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(p.holds<int>());
+  EXPECT_FALSE(p.holds<double>());
+  EXPECT_EQ(p.get<int>(), 41);
+  EXPECT_DOUBLE_EQ(p.ts_ms(), 12.5);
+  EXPECT_THROW(p.get<double>(), GraphError);
+  EXPECT_THROW(Packet().get<int>(), GraphError);
+  EXPECT_TRUE(Packet().empty());
+}
+
+TEST(Packet, CopiesSharePayloadWithoutCopyingIt) {
+  auto image = std::make_shared<const vision::ImageU8>(8, 8);
+  video::FrameRef ref{0, 0.0, image};
+  EXPECT_EQ(image.use_count(), 2);  // `image` + ref
+  {
+    const Packet p = Packet::make<video::FrameRef>(ref, 0.0);
+    const Packet copy = p;
+    // One holder shared by both packets: +1, not +2.
+    EXPECT_EQ(image.use_count(), 3);
+    EXPECT_EQ(copy.get<video::FrameRef>().use_count(), 3);
+  }
+  EXPECT_EQ(image.use_count(), 2);  // packets gone, payload released
+}
+
+// --- wiring validation -------------------------------------------------------
+
+TEST(GraphWiring, RejectsUnknownPortsTypeMismatchesAndDoubleFeeds) {
+  Graph g;
+  auto& src = g.add<IntSource>("src", 3);
+  auto& sink = g.add<CollectSink>();
+  EXPECT_THROW(g.connect(src, "nope", sink, "in"), GraphError);
+  EXPECT_THROW(g.connect(src, "out", sink, "nope"), GraphError);
+  g.connect(src, "out", sink, "in");
+  EXPECT_THROW(g.connect(src, "out", sink, "in"), GraphError);  // double feed
+
+  // Wiring an int output into a FrameTicket input is a type error at
+  // connect time, not a runtime surprise.
+  Graph t;
+  auto& tsrc = t.add<IntSource>("src", 1);
+  auto& tickets = t.add<TicketCollect>();
+  EXPECT_THROW(t.connect(tsrc, "out", tickets, "in"), GraphError);
+}
+
+TEST(GraphWiring, UnconnectedRequiredInputFailsTheRun) {
+  Graph g;
+  g.add<IntSource>("src", 2);
+  auto& join = g.add<JoinNode>();
+  auto& sink = g.add<CollectSink>();
+  g.connect(join, "out", sink, "in");
+  // join.a and join.b both unconnected.
+  const Status status = g.run();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("join.a"), std::string::npos)
+      << status.message();
+}
+
+// --- scheduler contract ------------------------------------------------------
+
+TEST(GraphScheduler, RunsChainInOrderWithBoundedQueues) {
+  Graph g;
+  auto& src = g.add<IntSource>("src", 100);
+  auto& doubler = g.add<DoubleNode>();
+  auto& sink = g.add<CollectSink>();
+  g.connect(src, "out", doubler, "in", /*capacity=*/4);
+  g.connect(doubler, "out", sink, "in", /*capacity=*/4);
+  const Status status = g.run();
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  ASSERT_EQ(sink.values.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sink.values[i], 2 * i);
+  EXPECT_EQ(g.queued_packets(), 0u);
+  // Downstream-first scheduling keeps at most one packet in flight per
+  // edge; the bound holds regardless.
+  EXPECT_LE(g.max_queued_packets(), 8u);
+  EXPECT_EQ(g.activations(), 300u);
+}
+
+TEST(GraphScheduler, ZeroItemSourceCompletesCleanly) {
+  Graph g;
+  auto& src = g.add<IntSource>("src", 0);
+  auto& sink = g.add<CollectSink>();
+  g.connect(src, "out", sink, "in");
+  const Status status = g.run();
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  EXPECT_TRUE(sink.values.empty());
+  EXPECT_EQ(g.activations(), 0u);
+}
+
+TEST(GraphScheduler, ZeroFrameEngineRingCompletesCleanly) {
+  video::SceneConfig config;
+  config.width = 64;
+  config.height = 48;
+  config.frame_count = 0;
+  const video::SyntheticVideo video(config);
+  EngineContext ctx(video, {});
+  Graph g = build_detect_only_graph(ctx, detect::ModelSetting::kYolov3_512);
+  const Status status = g.run();
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  EXPECT_TRUE(ctx.run.cycles.empty());
+  EXPECT_EQ(g.activations(), 1u);  // the camera consuming its prime
+}
+
+TEST(GraphScheduler, ThrowingNodeSurfacesAsWorkerFailureNotAHang) {
+  Graph g;
+  auto& src = g.add<IntSource>("src", 10);
+  auto& thrower = g.add<ThrowingNode>();
+  auto& sink = g.add<CollectSink>();
+  g.connect(src, "out", thrower, "in");
+  g.connect(thrower, "out", sink, "in");
+  const Status status = g.run();
+  EXPECT_EQ(status.code(), StatusCode::kWorkerFailure);
+  EXPECT_NE(status.message().find("exploder"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("boom at 3"), std::string::npos)
+      << status.message();
+  // Packets produced before the failure were processed; in-flight ones
+  // were dropped, not leaked.
+  EXPECT_EQ(sink.values, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.queued_packets(), 0u);
+}
+
+TEST(GraphScheduler, NonConsumingNodeIsALivelockErrorNotASpin) {
+  Graph g;
+  auto& src = g.add<IntSource>("src", 5);
+  auto& lurker = g.add<NoConsumeNode>();
+  g.connect(src, "out", lurker, "in");
+  const Status status = g.run();
+  EXPECT_EQ(status.code(), StatusCode::kWorkerFailure);
+  EXPECT_NE(status.message().find("livelock"), std::string::npos)
+      << status.message();
+}
+
+TEST(GraphScheduler, StarvedRequiredInputIsAStallStatusNotADeadlock) {
+  Graph g;
+  auto& feast = g.add<IntSource>("feast", 5);
+  auto& famine = g.add<IntSource>("famine", 0);  // exhausted immediately
+  auto& join = g.add<JoinNode>();
+  auto& sink = g.add<CollectSink>();
+  g.connect(feast, "out", join, "a", /*capacity=*/2);
+  g.connect(famine, "out", join, "b", /*capacity=*/2);
+  g.connect(join, "out", sink, "in");
+  const Status status = g.run();
+  EXPECT_EQ(status.code(), StatusCode::kWorkerFailure);
+  EXPECT_NE(status.message().find("stalled"), std::string::npos)
+      << status.message();
+  EXPECT_EQ(g.queued_packets(), 0u);  // stranded packets were drained
+}
+
+TEST(GraphScheduler, EmittingPastEdgeCapacityIsAContractError) {
+  Graph g;
+  auto& burst = g.add<OverEmitter>();
+  auto& sink = g.add<CollectSink>();
+  g.connect(burst, "out", sink, "in", /*capacity=*/1);
+  const Status status = g.run();
+  EXPECT_EQ(status.code(), StatusCode::kWorkerFailure);
+  EXPECT_NE(status.message().find("overflows"), std::string::npos)
+      << status.message();
+}
+
+// --- calculator library ------------------------------------------------------
+
+TEST(PacketResampler, ThrottlesToTheRequestedCadence) {
+  Graph g;
+  auto& src = g.add<IntSource>("src", 7);  // ts = 0,10,...,60
+  auto& resampler = g.add<PacketResamplerNode>("resampler", 25.0);
+  auto& sink = g.add<CollectSink>();
+  g.connect(src, "out", resampler, "in");
+  g.connect(resampler, "out", sink, "in");
+  const Status status = g.run();
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(sink.ts, (std::vector<double>{0.0, 30.0, 60.0}));
+  EXPECT_EQ(resampler.passed(), 3u);
+  EXPECT_EQ(resampler.dropped(), 4u);
+}
+
+TEST(PacketResampler, DroppedFrameRefPacketsReleaseTheirPixelsImmediately) {
+  auto image = std::make_shared<const vision::ImageU8>(16, 16);
+  Graph g;
+  auto& src = g.add<FrameRefSource>(image, 7);
+  auto& resampler = g.add<PacketResamplerNode>("resampler", 25.0);
+  auto& sink = g.add<CollectSink>();
+  g.connect(src, "out", resampler, "in");
+  g.connect(resampler, "out", sink, "in");
+  const Status status = g.run();
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(resampler.dropped(), 4u);
+  // Everything consumed or dropped: only `image` and the source's own copy
+  // still pin the pixels — no queue, holder, or drop path leaked a ref.
+  EXPECT_EQ(image.use_count(), 2);
+}
+
+TEST(DegradationNodeTest, OverrunSignalsCapTheTicketSetting) {
+  Graph g;
+  auto& tickets = g.add<TicketSource>(2, detect::ModelSetting::kYolov3_608);
+  auto& overruns = g.add<OverrunSource>(1);
+  auto& degradation = g.add<DegradationNode>();  // trip_threshold = 1
+  auto& sink = g.add<TicketCollect>();
+  g.connect(tickets, "out", degradation, "frame");
+  g.connect(overruns, "out", degradation, "overrun", /*capacity=*/2);
+  g.connect(degradation, "frame", sink, "in");
+  const Status status = g.run();
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  // The overrun steps the ladder 608 -> 512 before the first ticket passes;
+  // one overrun-free ticket is not enough to recover (recover_after = 3).
+  ASSERT_EQ(sink.settings.size(), 2u);
+  EXPECT_EQ(sink.settings[0], detect::ModelSetting::kYolov3_512);
+  EXPECT_EQ(sink.settings[1], detect::ModelSetting::kYolov3_512);
+  EXPECT_EQ(degradation.ladder().level(), 1);
+  EXPECT_EQ(degradation.ladder().steps_down(), 1);
+}
+
+// --- graph-vs-legacy byte-identity ------------------------------------------
+
+/// RAII backend selector around force_graph_engines_for_testing.
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(bool graph) {
+    force_graph_engines_for_testing(graph);
+  }
+  ~ForcedBackend() { force_graph_engines_for_testing(std::nullopt); }
+};
+
+video::SceneConfig small_scene() {
+  video::SceneConfig cfg;
+  cfg.name = "graph-equivalence";
+  cfg.width = 192;
+  cfg.height = 120;
+  cfg.frame_count = 80;
+  cfg.seed = 2026;
+  cfg.initial_objects = 4;
+  cfg.max_objects = 6;
+  cfg.speed_mean = 1.4;
+  cfg.camera_pan = 0.6;
+  return cfg;
+}
+
+constexpr std::uint64_t kSeed = 421;
+
+// The chaos spec from test_engine_equivalence.cpp: all three channels, no
+// throws, so runs stay digestable.
+constexpr const char* kChaosSpec =
+    "detector: latency every=9 x=2.5; garbage at=40 n=4 | "
+    "camera: black at=25; corrupt every=47 amp=90; hiccup every=31 ms=45 | "
+    "tracker: starve every=17 frac=0.4; diverge at=33 px=6; nan at=57";
+
+template <typename RunFn>
+void expect_backends_identical(const video::SyntheticVideo& video,
+                               RunFn run_fn, bool with_faults) {
+  std::optional<util::FaultPlan> plan;
+  if (with_faults) {
+    std::string error;
+    plan = util::FaultPlan::parse(kChaosSpec, 9, &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+  }
+  const util::FaultPlan* plan_ptr = plan.has_value() ? &*plan : nullptr;
+  std::uint64_t graph_digest = 0;
+  std::uint64_t legacy_digest = 0;
+  std::uint64_t graph_faults = 0;
+  std::uint64_t legacy_faults = 0;
+  {
+    ForcedBackend backend(/*graph=*/true);
+    const RunResult run = run_fn(video, plan_ptr);
+    graph_digest = digest_run(run);
+    graph_faults = run.faults_injected;
+    EXPECT_FALSE(run.status.failed()) << run.status.to_string();
+  }
+  {
+    ForcedBackend backend(/*graph=*/false);
+    const RunResult run = run_fn(video, plan_ptr);
+    legacy_digest = digest_run(run);
+    legacy_faults = run.faults_injected;
+  }
+  EXPECT_EQ(graph_digest, legacy_digest);
+  EXPECT_EQ(graph_faults, legacy_faults);
+}
+
+TEST(GraphVsLegacy, DetectOnlyIsByteIdenticalOnBothBackends) {
+  const video::SyntheticVideo video(small_scene());
+  const auto run_fn = [](const video::SyntheticVideo& v,
+                         const util::FaultPlan* plan) {
+    DetectOnlyOptions options;
+    options.seed = kSeed;
+    options.fault_plan = plan;
+    return run_detect_only(v, options);
+  };
+  expect_backends_identical(video, run_fn, /*with_faults=*/false);
+  expect_backends_identical(video, run_fn, /*with_faults=*/true);
+}
+
+TEST(GraphVsLegacy, ContinuousIsByteIdenticalOnBothBackends) {
+  const video::SyntheticVideo video(small_scene());
+  const auto run_fn = [](const video::SyntheticVideo& v,
+                         const util::FaultPlan* plan) {
+    DetectOnlyOptions options;
+    options.seed = kSeed;
+    options.fault_plan = plan;
+    return run_continuous(v, options);
+  };
+  expect_backends_identical(video, run_fn, /*with_faults=*/false);
+  expect_backends_identical(video, run_fn, /*with_faults=*/true);
+}
+
+TEST(GraphVsLegacy, MpdtFixedIsByteIdenticalOnBothBackends) {
+  const video::SyntheticVideo video(small_scene());
+  const auto run_fn = [](const video::SyntheticVideo& v,
+                         const util::FaultPlan* plan) {
+    MpdtOptions options;
+    options.seed = kSeed;
+    options.fault_plan = plan;
+    return run_mpdt(v, options);
+  };
+  expect_backends_identical(video, run_fn, /*with_faults=*/false);
+  expect_backends_identical(video, run_fn, /*with_faults=*/true);
+}
+
+TEST(GraphVsLegacy, AdaVpIsByteIdenticalOnBothBackends) {
+  const video::SyntheticVideo video(small_scene());
+  const adapt::ModelAdapter adapter = pretrained_adapter();
+  const auto run_fn = [&adapter](const video::SyntheticVideo& v,
+                                 const util::FaultPlan* plan) {
+    MpdtOptions options;
+    options.adapter = &adapter;
+    options.seed = kSeed;
+    options.fault_plan = plan;
+    return run_mpdt(v, options);
+  };
+  expect_backends_identical(video, run_fn, /*with_faults=*/false);
+  expect_backends_identical(video, run_fn, /*with_faults=*/true);
+}
+
+TEST(GraphVsLegacy, GraphBackendIsBitIdenticalAcrossKernelThreadCounts) {
+  const video::SyntheticVideo video(small_scene());
+  ForcedBackend backend(/*graph=*/true);
+  MpdtOptions options;
+  options.seed = kSeed;
+  options.tracker.kernels.num_threads = 1;
+  const RunResult serial = run_mpdt(video, options);
+  options.tracker.kernels.num_threads = 3;
+  const RunResult parallel = run_mpdt(video, options);
+  EXPECT_EQ(digest_run(serial), digest_run(parallel));
+  // And across repeats.
+  options.tracker.kernels.num_threads = 1;
+  EXPECT_EQ(digest_run(serial), digest_run(run_mpdt(video, options)));
+}
+
+TEST(GraphVsLegacy, ThrowingDetectorFailsWithTheEngineAnnotatedStatus) {
+  const video::SyntheticVideo video(small_scene());
+  const auto plan = util::FaultPlan::parse("detector: throw every=1", 9);
+  ASSERT_TRUE(plan.has_value());
+  ForcedBackend backend(/*graph=*/true);
+  MpdtOptions options;
+  options.seed = kSeed;
+  options.fault_plan = &*plan;
+  const RunResult run = run_mpdt(video, options);
+  EXPECT_EQ(run.status.code(), StatusCode::kWorkerFailure);
+  EXPECT_NE(run.status.message().find("mpdt engine"), std::string::npos)
+      << run.status.message();
+  EXPECT_NE(run.status.message().find("detector"), std::string::npos)
+      << run.status.message();
+  EXPECT_EQ(run.frames.size(), static_cast<std::size_t>(video.frame_count()));
+}
+
+// --- introspection and telemetry --------------------------------------------
+
+TEST(GraphIntrospection, ToDotExportsTheWiredTopology) {
+  const std::string dot = engine_topology_dot("mpdt");
+  EXPECT_NE(dot.find("digraph \"run_mpdt\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("\"camera\" -> \"adapter\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"catchup\" -> \"adapter\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos)
+      << "primed feedback edge must be dashed: " << dot;
+
+  // Legacy engines export descriptive diagrams so --graph-out covers the
+  // whole engine table.
+  EXPECT_NE(engine_topology_dot("realtime").find("degradation"),
+            std::string::npos);
+  EXPECT_NE(engine_topology_dot("offload").find("uplink"), std::string::npos);
+  EXPECT_NE(engine_topology_dot("marlin").find("scene_change"),
+            std::string::npos);
+  EXPECT_THROW(engine_topology_dot("warp_drive"), GraphError);
+}
+
+TEST(GraphTelemetry, NodeInstrumentsComposeUnderAFleetStreamPrefix) {
+  obs::Telemetry::set_enabled(true);
+  obs::Telemetry::instance().reset();
+  {
+    obs::ScopedMetricPrefix stream("fleet.stream7.");
+    Graph g;
+    auto& src = g.add<IntSource>("src", 5);
+    auto& sink = g.add<CollectSink>();
+    g.connect(src, "out", sink, "in");
+    ASSERT_TRUE(g.run().ok());
+  }
+  const obs::MetricsSnapshot snap = obs::Telemetry::instance().snapshot();
+  EXPECT_EQ(snap.counter("fleet.stream7.graph.node.src.activations"), 5u);
+  EXPECT_EQ(snap.counter("fleet.stream7.graph.node.collector.activations"),
+            5u);
+  EXPECT_EQ(snap.counter("fleet.stream7.graph.scheduler.activations"), 10u);
+  obs::Telemetry::instance().reset();
+  obs::Telemetry::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace adavp::core::graph

@@ -433,6 +433,33 @@ TEST_F(ObsTest, ScopedMetricPrefixNestsAndRestores) {
   EXPECT_EQ(Telemetry::instance().snapshot().counter("fleet.batches"), 1u);
 }
 
+TEST_F(ObsTest, NestedNonEmptyPrefixesCompose) {
+  // Node-inside-stream contexts: the graph scheduler resolves its per-node
+  // instruments under "graph." *inside* a fleet stream's prefix, and the
+  // result must be the composed namespace — not a replacement. Pinned
+  // byte-for-byte: this is the key the dashboards query.
+  {
+    ScopedMetricPrefix stream("fleet.stream3.");
+    {
+      ScopedMetricPrefix graph("graph.");
+      EXPECT_EQ(metric_prefix(), "fleet.stream3.graph.");
+      metrics().counter("node.detector", "activations").add(7);
+    }
+    EXPECT_EQ(metric_prefix(), "fleet.stream3.");
+  }
+  EXPECT_EQ(metric_prefix(), "");
+  const MetricsSnapshot snap = Telemetry::instance().snapshot();
+  EXPECT_EQ(snap.counter("fleet.stream3.graph.node.detector.activations"), 7u);
+  // And an empty scope inside the composition still resets to the root
+  // (the fleet GPU aggregate bypass survives the compose semantics).
+  {
+    ScopedMetricPrefix stream("fleet.stream3.");
+    ScopedMetricPrefix graph("graph.");
+    ScopedMetricPrefix bypass("");
+    EXPECT_EQ(metric_prefix(), "");
+  }
+}
+
 TEST_F(ObsTest, PrefixIsThreadLocal) {
   ScopedMetricPrefix mine("fleet.stream7.");
   std::thread other([] {
